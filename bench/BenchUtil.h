@@ -1,0 +1,80 @@
+//===- bench/BenchUtil.h - Table rendering for the benches -----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fixed-width table printing shared by the table/figure
+/// regeneration binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BENCH_BENCHUTIL_H
+#define B2_BENCH_BENCHUTIL_H
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace bench {
+
+/// Fixed-width text table.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header)
+      : Columns(Header.size()) {
+    Rows.push_back(std::move(Header));
+  }
+
+  void row(std::vector<std::string> Cells) {
+    Cells.resize(Columns);
+    Rows.push_back(std::move(Cells));
+  }
+
+  void print() const {
+    std::vector<size_t> Width(Columns, 0);
+    for (const auto &R : Rows)
+      for (size_t I = 0; I != Columns; ++I)
+        Width[I] = std::max(Width[I], R[I].size());
+    auto Rule = [&] {
+      std::string S = "+";
+      for (size_t I = 0; I != Columns; ++I)
+        S += std::string(Width[I] + 2, '-') + "+";
+      std::printf("%s\n", S.c_str());
+    };
+    Rule();
+    for (size_t R = 0; R != Rows.size(); ++R) {
+      std::string S = "|";
+      for (size_t I = 0; I != Columns; ++I)
+        S += " " + support::padRight(Rows[R][I], Width[I]) + " |";
+      std::printf("%s\n", S.c_str());
+      if (R == 0)
+        Rule();
+    }
+    Rule();
+  }
+
+private:
+  size_t Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// "%.2f" as a string.
+inline std::string fixed(double V, int Digits = 2) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+inline std::string withTimes(double V, int Digits = 1) {
+  return fixed(V, Digits) + "x";
+}
+
+} // namespace bench
+} // namespace b2
+
+#endif // B2_BENCH_BENCHUTIL_H

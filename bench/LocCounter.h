@@ -1,0 +1,102 @@
+//===- bench/LocCounter.h - Line counting for Tables 3 and 4 ----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts lines of code for the Table 3 / Table 4 regenerators. Lines are
+/// classified the way `cloc` would: blank, comment-only (//, /* ... */,
+/// ///), or code. The repository root is baked in at configure time via
+/// the B2_SOURCE_DIR definition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BENCH_LOCCOUNTER_H
+#define B2_BENCH_LOCCOUNTER_H
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace bench {
+
+struct LocCount {
+  uint64_t Code = 0;
+  uint64_t Comment = 0;
+  uint64_t Blank = 0;
+
+  LocCount &operator+=(const LocCount &O) {
+    Code += O.Code;
+    Comment += O.Comment;
+    Blank += O.Blank;
+    return *this;
+  }
+};
+
+/// Counts one file.
+inline LocCount countFile(const std::filesystem::path &Path) {
+  LocCount Out;
+  std::ifstream In(Path);
+  std::string Line;
+  bool InBlockComment = false;
+  while (std::getline(In, Line)) {
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos) {
+      ++Out.Blank;
+      continue;
+    }
+    std::string T = Line.substr(First);
+    if (InBlockComment) {
+      ++Out.Comment;
+      if (T.find("*/") != std::string::npos)
+        InBlockComment = false;
+      continue;
+    }
+    if (T.rfind("//", 0) == 0) {
+      ++Out.Comment;
+      continue;
+    }
+    if (T.rfind("/*", 0) == 0) {
+      ++Out.Comment;
+      if (T.find("*/", 2) == std::string::npos)
+        InBlockComment = true;
+      continue;
+    }
+    ++Out.Code;
+  }
+  return Out;
+}
+
+/// Counts all matching files under \p RelDirs (relative to the source
+/// root), restricted to names containing any of \p NameParts (empty = all
+/// .h/.cpp files).
+inline LocCount countSources(const std::vector<std::string> &RelPaths) {
+  namespace fs = std::filesystem;
+  LocCount Out;
+  fs::path Root(B2_SOURCE_DIR);
+  for (const std::string &Rel : RelPaths) {
+    fs::path P = Root / Rel;
+    if (fs::is_regular_file(P)) {
+      Out += countFile(P);
+      continue;
+    }
+    if (!fs::is_directory(P))
+      continue;
+    for (const auto &E : fs::recursive_directory_iterator(P)) {
+      if (!E.is_regular_file())
+        continue;
+      std::string Ext = E.path().extension().string();
+      if (Ext == ".h" || Ext == ".cpp")
+        Out += countFile(E.path());
+    }
+  }
+  return Out;
+}
+
+} // namespace bench
+} // namespace b2
+
+#endif // B2_BENCH_LOCCOUNTER_H

@@ -1,0 +1,152 @@
+//===- bench/fig4_pipeline.cpp - Figure 4: the Kami pipeline -------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Figure 4 shows the 4-stage Kami processor with the paper's additions
+// highlighted: the eagerly-filled instruction cache and the BTB branch
+// predictor. This bench regenerates the figure as an ASCII diagram and
+// quantifies each addition by ablation on representative workloads,
+// reporting cycles, IPC, mispredicts, and stall breakdowns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "bedrock2/Parser.h"
+#include "compiler/Compile.h"
+#include "kami/PipelinedCore.h"
+#include "riscv/Machine.h"
+#include "riscv/Step.h"
+
+#include <cstdio>
+
+using namespace b2;
+using namespace b2::bench;
+using namespace b2::kami;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  std::vector<uint8_t> Image;
+  uint64_t Instructions;
+};
+
+Workload makeWorkload(const char *Name, const char *Src, Word Arg) {
+  Workload W;
+  W.Name = Name;
+  bedrock2::ParseResult P = bedrock2::parseProgram(Src);
+  compiler::CompileResult C = compiler::compileProgram(
+      *P.Prog, compiler::CompilerOptions::o0(),
+      compiler::Entry::singleCall("f", {Arg}), 64 * 1024);
+  W.Image = C.Prog->image();
+  riscv::Machine M(64 * 1024);
+  M.loadImage(0, W.Image);
+  riscv::NoDevice D;
+  while (M.getPc() != C.Prog->HaltPc && riscv::step(M, D))
+    ;
+  W.Instructions = M.retiredInstructions();
+  return W;
+}
+
+PipeStats runConfig(const Workload &W, const PipeConfig &Cfg) {
+  kami::Bram Mem(64 * 1024);
+  Mem.loadImage(W.Image);
+  riscv::NoDevice D;
+  PipelinedCore Core(Mem, D, Cfg);
+  Core.runUntilRetired(W.Instructions, 4'000'000'000ull);
+  return Core.stats();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== figure 4: the Kami processor and its additions ==\n\n");
+  std::printf(
+      "           +--------+   +--------+   +--------+   +--------+\n"
+      "  [BTB]--->|   IF   |##>|   ID   |##>|   EX   |##>|   WB   |\n"
+      "           +---+----+   +---+----+   +--------+   +---+----+\n"
+      "               |            |                         |\n"
+      "            [ I$  ]      [ RF ]             memory & MMIO module\n"
+      "          (eager fill                        (byte enables added)\n"
+      "           at reset)\n\n"
+      "  ## : FIFO queue      [BTB], [I$], byte enables: the paper's\n"
+      "                       additions (shown gray in Figure 4)\n\n");
+
+  Workload Loops = makeWorkload("loop-heavy", R"(
+    fn f(n) -> (r) {
+      r = 0; i = 0;
+      while (i < n) {
+        j = 0;
+        while (j < 8) { r = r + j; j = j + 1; }
+        i = i + 1;
+      }
+    })", 300);
+  Workload Branchy = makeWorkload("branchy", R"(
+    fn f(n) -> (r) {
+      r = 0; i = 0;
+      while (i < n) {
+        if ((i * 2654435761) & 64) { r = r + 1; } else { r = r ^ i; }
+        i = i + 1;
+      }
+    })", 1500);
+  Workload Memory = makeWorkload("memory", R"(
+    fn f(n) -> (r) {
+      r = 0;
+      stackalloc buf[512] {
+        i = 0;
+        while (i < n) {
+          store4(buf + (i & 127) * 4, i);
+          r = r + load4(buf + ((n - i) & 127) * 4);
+          i = i + 1;
+        }
+      }
+    })", 1500);
+
+  struct Config {
+    const char *Name;
+    PipeConfig Cfg;
+  };
+  PipeConfig Base;
+  PipeConfig NoBtb = Base;
+  NoBtb.UseBtb = false;
+  PipeConfig BigBtb = Base;
+  BigBtb.BtbIndexBits = 8;
+  PipeConfig InstantFill = Base;
+  InstantFill.ICacheFillWordsPerCycle = 0;
+  PipeConfig SlowFill = Base;
+  SlowFill.ICacheFillWordsPerCycle = 1;
+  PipeConfig Forwarding = Base;
+  Forwarding.EnableForwarding = true;
+  Config Configs[] = {
+      {"paper config (BTB, 32 entries; eager fill 4 w/cyc)", Base},
+      {"no BTB (the baseline Kami frontend)", NoBtb},
+      {"256-entry BTB", BigBtb},
+      {"instant I$ fill (ablation)", InstantFill},
+      {"slow I$ fill (1 word/cycle)", SlowFill},
+      {"+ WB->ID forwarding (beyond the paper)", Forwarding},
+  };
+
+  for (const Workload *W : {&Loops, &Branchy, &Memory}) {
+    std::printf("workload: %s (%llu instructions)\n", W->Name,
+                (unsigned long long)W->Instructions);
+    Table T({"configuration", "cycles", "IPC", "mispredicts", "RAW stalls",
+             "fill cycles"});
+    for (const Config &C : Configs) {
+      PipeStats S = runConfig(*W, C.Cfg);
+      T.row({C.Name, std::to_string(S.Cycles),
+             fixed(double(S.Retired) / double(S.Cycles), 3),
+             std::to_string(S.Mispredicts), std::to_string(S.RawStalls),
+             std::to_string(S.FillCycles)});
+    }
+    T.print();
+    std::printf("\n");
+  }
+
+  std::printf("expected shapes: the BTB removes most loop-branch "
+              "mispredicts (the paper added it\nfor exactly this); I$ fill "
+              "cost is a fixed reset tax; RAW stalls dominate the\n"
+              "dependent-loop workload because the design has no "
+              "forwarding network.\n");
+  return 0;
+}

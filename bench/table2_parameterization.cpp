@@ -1,0 +1,153 @@
+//===- bench/table2_parameterization.cpp - Table 2 ------------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Regenerates Table 2 ("Parameterization throughout the stack"): the
+// horizontal-modularity axes of section 6. For each of the paper's
+// parameters, the table names the C++ construct in this repository that
+// realizes it, and the binary *exercises* each parameterization point by
+// instantiating it a second way, proving the seam is real rather than
+// documentation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "bedrock2/Dsl.h"
+#include "bedrock2/Semantics.h"
+#include "compiler/Compile.h"
+#include "riscv/Step.h"
+
+#include <cstdio>
+
+using namespace b2;
+using namespace b2::bench;
+
+namespace {
+
+/// Exercise: an alternative external-call semantics ("arbitrary", the
+/// paper's running example in section 6.1) plugged into the unchanged
+/// interpreter.
+bool exerciseExtSpecParameter() {
+  using namespace bedrock2;
+  class ArbitraryExt final : public ExtSpec {
+  public:
+    Outcome call(const std::string &Action, const std::vector<Word> &Args,
+                 Footprint &) override {
+      Outcome Out;
+      if (Action != "arbitrary" || Args.size() != 1 || Args[0] == 0) {
+        Out.Ok = false;
+        Out.Error = "vcextern: requires one nonzero argument";
+        return Out;
+      }
+      Out.Rets = {Args[0] - 1}; // "any number less than b": pick b-1.
+      return Out;
+    }
+  };
+  using namespace bedrock2::dsl;
+  V r("r");
+  Program P;
+  P.add(fn("f", {}, {"r"},
+           block({interact({"r"}, "arbitrary", {lit(10)})})));
+  ArbitraryExt Ext;
+  Interp I(P, Ext);
+  ExecResult R = I.callFunction("f", {});
+  if (!R.ok() || R.Rets[0] >= 10)
+    return false;
+  // And the contract is enforced: zero violates the precondition.
+  Program Q;
+  Q.add(fn("g", {}, {"r"},
+           block({interact({"r"}, "arbitrary", {lit(0)})})));
+  Interp J(Q, Ext);
+  return J.callFunction("g", {}).F == Fault::ExtContractViolation;
+}
+
+/// Exercise: an alternative external-calls compiler that lowers a COUNT
+/// action to a register increment, plugged into the unchanged pipeline.
+bool exerciseExtCallCompilerParameter() {
+  class CountCompiler final : public compiler::ExtCallCompiler {
+  public:
+    bool emit(compiler::Asm &A, const std::string &Action, unsigned NumArgs,
+              unsigned NumRets, std::string &Error) override {
+      if (Action != "COUNT" || NumArgs != 1 || NumRets != 1) {
+        Error = "unsupported external call";
+        return false;
+      }
+      A.emit(isa::addi(isa::A0, isa::A0, 1));
+      return true;
+    }
+  };
+  using namespace bedrock2::dsl;
+  V r("r");
+  bedrock2::Program P;
+  P.add(fn("f", {}, {"r"}, block({interact({"r"}, "COUNT", {lit(41)})})));
+  CountCompiler CC;
+  compiler::CompileResult C = compiler::compileProgram(
+      P, compiler::CompilerOptions::o0(), compiler::Entry::singleCall("f"),
+      CC, 64 * 1024);
+  if (!C.ok())
+    return false;
+  riscv::Machine M(64 * 1024);
+  M.loadImage(0, C.Prog->image());
+  riscv::NoDevice D;
+  while (M.getPc() != C.Prog->HaltPc && riscv::step(M, D))
+    ;
+  return !M.hasUb() && M.getReg(10) == 42;
+}
+
+/// Exercise: an alternative I/O device behind the unchanged ISA semantics.
+bool exerciseIoDeviceParameter() {
+  class ConstDevice final : public riscv::MmioDevice {
+  public:
+    bool isMmio(Word Addr, unsigned) const override {
+      return Addr >= 0x40000000;
+    }
+    Word load(Word, unsigned) override { return 0x5EC0FDu; }
+    void store(Word, unsigned, Word) override {}
+  };
+  riscv::Machine M(4096);
+  std::vector<isa::Instr> P;
+  isa::materialize(0x40000000, isa::A0, P);
+  P.push_back(isa::lw(isa::A1, isa::A0, 0));
+  M.loadImage(0, isa::instrencode(P));
+  ConstDevice Dev;
+  riscv::run(M, Dev, P.size()); // Stop before falling off the program.
+  return !M.hasUb() && M.getReg(11) == 0x5EC0FDu;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== table 2: parameterization throughout the stack ==\n\n");
+
+  Table T({"parameter (paper)", "used in (paper)",
+           "realized here as", "exercised"});
+  T.row({"external-call semantics", "program logic and compiler",
+         "bedrock2::ExtSpec (virtual)",
+         exerciseExtSpecParameter() ? "yes: 'arbitrary' instance" : "FAILED"});
+  T.row({"external-calls compiler", "compiler and its proof",
+         "compiler::ExtCallCompiler (virtual)",
+         exerciseExtCallCompilerParameter() ? "yes: COUNT instance"
+                                            : "FAILED"});
+  T.row({"event-loop invariant", "compiler-processor lemma",
+         "compiler::Entry::eventLoop + verify::Lockstep", "yes: tests"});
+  T.row({"bitwidth", "Bedrock2, ISA, processor",
+         "b2::Word = uint32_t (RV32 fixed)", "- (single instantiation)"});
+  T.row({"I/O mechanisms", "compiler and its proof",
+         "riscv::MmioDevice (virtual)",
+         exerciseIoDeviceParameter() ? "yes: constant device" : "FAILED"});
+  T.row({"I/O load/store semantics", "instruction-set specification",
+         "riscv nonmem_load/nonmem_store hooks", "yes: tests"});
+  T.row({"external invariant", "ISA, compiler and its proof",
+         "MMIO/physical-memory disjointness check in MmioExtSpec",
+         "yes: contract tests"});
+  T.row({"ISA", "processor and its proof",
+         "shared kami decode/exec functions vs isa:: decoder",
+         "yes: verify::DecodeConsistency"});
+  T.print();
+
+  std::printf("\nevery 'yes' row above was exercised by this binary or the "
+              "test suite with a second\ninstantiation of the parameter — "
+              "the seams are live code, not documentation.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- examples/packet_fuzz_audit.cpp - Adversarial network fuzzing -----------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// "Any unexpected packet, no matter how maliciously malformed at any
+// layer, is ignored" (section 3). This example throws rounds of fuzzed
+// frames at the full system and audits every run against goodHlTrace and
+// the lightbulb ground truth. It also demonstrates what the paper's
+// verification catches: the same audit against the firmware variant with
+// the historical buffer-overrun bug reports the violation at the
+// program-logic level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "bedrock2/Semantics.h"
+#include "devices/Net.h"
+#include "devices/Platform.h"
+#include "verify/EndToEnd.h"
+
+#include <cstdio>
+
+using namespace b2;
+using namespace b2::verify;
+
+namespace {
+
+/// Runs the buggy firmware against one oversized frame under the checking
+/// interpreter, reporting the footprint violation.
+void auditBuggyVariant() {
+  std::printf("-- program-logic audit of the buggy driver variant --\n");
+  app::FirmwareOptions Buggy;
+  Buggy.BufferOverrunBug = true;
+  bedrock2::Program P = app::buildFirmware(Buggy);
+  devices::Platform Plat;
+  bedrock2::MmioExtSpec Ext(Plat, 64 * 1024);
+  bedrock2::Interp I(P, Ext, 50'000'000);
+  I.callFunction("lightbulb_init", {});
+  Plat.injectNow(devices::buildUdpFrame(std::vector<uint8_t>(900, 0x41)));
+  bedrock2::ExecResult R = I.callFunction("lightbulb_loop", {});
+  std::printf("  937-byte frame against the word/byte-confused copy loop:\n");
+  std::printf("  verdict: %s (%s)\n", bedrock2::faultName(R.F),
+              R.Detail.c_str());
+  std::printf("  (the paper's team exploited exactly this class of bug to "
+              "gain RCE on their prototype, section 3)\n\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Rounds = argc > 1 ? unsigned(std::atoi(argv[1])) : 8;
+  std::printf("== adversarial packet audit: %u rounds x 6 frames ==\n\n",
+              Rounds);
+
+  // Compile once, reuse across rounds.
+  bedrock2::Program P = app::buildFirmware();
+  compiler::CompileResult C = compiler::compileProgram(
+      P, compiler::CompilerOptions::o0(),
+      compiler::Entry::eventLoop("lightbulb_init", "lightbulb_loop"),
+      64 * 1024);
+  if (!C.ok()) {
+    std::printf("firmware compilation failed: %s\n", C.Error.c_str());
+    return 1;
+  }
+
+  unsigned Failures = 0;
+  size_t TotalFrames = 0, TotalEvents = 0;
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    E2EOptions O;
+    E2EScenario S = fuzzScenario(/*Seed=*/1000 + Round, /*NumFrames=*/6);
+    E2EResult R = runCompiledEndToEnd(*C.Prog, S, O);
+    TotalFrames += R.AcceptedFrames;
+    TotalEvents += R.Trace.size();
+    std::printf("round %2u: %zu frames accepted, %6zu MMIO events, "
+                "light changes %zu, spec %s, ground truth %s\n",
+                Round, R.AcceptedFrames, R.Trace.size(),
+                R.LightHistory.size(), R.PrefixAccepted ? "OK" : "FAIL",
+                R.GroundTruthOk ? "OK" : "FAIL");
+    if (!R.Ok) {
+      std::printf("   !! %s\n", R.Error.c_str());
+      ++Failures;
+    }
+  }
+
+  std::printf("\naudited %zu accepted frames, %zu MMIO events: %u failures\n\n",
+              TotalFrames, TotalEvents, Failures);
+
+  auditBuggyVariant();
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,348 @@
+//===- app/Firmware.cpp - The verified IoT lightbulb firmware ---------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+
+#include "bedrock2/Dsl.h"
+#include "devices/Lan9250.h"
+#include "devices/MemoryMap.h"
+#include "devices/Net.h"
+
+using namespace b2;
+using namespace b2::app;
+using namespace b2::bedrock2;
+using namespace b2::bedrock2::dsl;
+using namespace b2::devices;
+
+namespace {
+
+/// if (err == 0) { Body }  — the guarded-step idiom used throughout the
+/// drivers so a failed step skips the rest of the transaction.
+StmtPtr guarded(const V &Err, StmtPtr Body) {
+  return ifThen(E(Err) == lit(0), std::move(Body));
+}
+
+/// spi_write(b) -> (err): poll the transmit-FIFO flag, then enqueue the
+/// byte. With timeouts, gives up after SpiPatience polls.
+Function makeSpiWrite(const FirmwareOptions &O) {
+  V b("b"), err("err"), i("i"), busy("busy"), st("st");
+  StmtPtr PollBody = block({
+      mmioRead(st, lit(SpiTxData)),
+      busy = E(st) >> lit(31),
+      i = E(i) - lit(1),
+  });
+  E Cond = O.Timeouts ? (E(busy) & (lit(0) < i)) : E(busy);
+  // With timeouts the poll loop carries the vcgen annotations: the flag
+  // stays boolean, and the remaining patience is the decreasing measure
+  // (this is how the paper gets total correctness per iteration).
+  StmtPtr Poll = O.Timeouts
+                     ? whileLoopAnnotated(Cond, E(busy) < lit(2), E(i),
+                                          PollBody)
+                     : whileLoop(Cond, PollBody);
+  return fnContract("spi_write", {"b"}, {"err"},
+                    /*Pre=*/E(b) < lit(256),
+                    /*Post=*/E(err) < lit(2),
+                    block({
+                        i = lit(O.SpiPatience),
+                        busy = lit(1),
+                        Poll,
+                        ifThenElse(busy, block({err = lit(1)}),
+                                   block({
+                                       mmioWrite(lit(SpiTxData), b),
+                                       err = lit(0),
+                                   })),
+                    }));
+}
+
+/// spi_read() -> (b, err): poll the receive-FIFO flag, then dequeue.
+Function makeSpiRead(const FirmwareOptions &O) {
+  V b("b"), err("err"), i("i"), empty("empty"), v("v");
+  StmtPtr PollBody = block({
+      mmioRead(v, lit(SpiRxData)),
+      empty = E(v) >> lit(31),
+      i = E(i) - lit(1),
+  });
+  E Cond = O.Timeouts ? (E(empty) & (lit(0) < i)) : E(empty);
+  StmtPtr Poll = O.Timeouts
+                     ? whileLoopAnnotated(Cond, E(empty) < lit(2), E(i),
+                                          PollBody)
+                     : whileLoop(Cond, PollBody);
+  return fnContract("spi_read", {}, {"b", "err"},
+                    /*Pre=*/lit(1),
+                    /*Post=*/(E(err) < lit(2)) & (E(b) < lit(256)),
+                    block({
+                        i = lit(O.SpiPatience),
+                        empty = lit(1),
+                        b = lit(0),
+                        Poll,
+                        ifThenElse(empty, block({err = lit(1)}),
+                                   block({
+                                       b = E(v) & lit(0xFF),
+                                       err = lit(0),
+                                   })),
+                    }));
+}
+
+/// spi_xchg(b) -> (r, err): one full-duplex byte exchange.
+Function makeSpiXchg() {
+  V b("b"), r("r"), err("err");
+  return fn("spi_xchg", {"b"}, {"r", "err"},
+            block({
+                r = lit(0),
+                call({"err"}, "spi_write", {b}),
+                guarded(err, call({"r", "err"}, "spi_read", {})),
+            }));
+}
+
+/// One guarded spi_xchg whose result byte is discarded.
+StmtPtr xchgSend(const V &Err, E Byte) {
+  return guarded(Err, call({"junk", "err"}, "spi_xchg", {Byte}));
+}
+
+/// One guarded spi_xchg whose result byte is kept in \p Dst.
+StmtPtr xchgRecv(const V &Err, const V &Dst, E Byte) {
+  return guarded(Err, call({Dst.Name, "err"}, "spi_xchg", {Byte}));
+}
+
+/// lan9250_readword(addr) -> (v, err): SPI FAST READ of one register.
+Function makeLanReadword(const FirmwareOptions &O) {
+  V addr("addr"), v("v"), err("err");
+  V b0("b0"), b1("b1"), b2("b2"), b3("b3");
+
+  std::vector<StmtPtr> Body;
+  Body.push_back(mmioWrite(lit(SpiCsMode), lit(SpiCsModeHold)));
+  Body.push_back(v = lit(0));
+  Body.push_back(err = lit(0));
+
+  if (!O.SpiPipelining) {
+    // The verified system's transaction: strictly interleaved one-byte
+    // writes and reads ("the simplest specification we could come up
+    // with", section 7.2.1).
+    Body.push_back(xchgSend(err, lit(0x0B)));
+    Body.push_back(xchgSend(err, (E(addr) >> lit(8)) & lit(0xFF)));
+    Body.push_back(xchgSend(err, E(addr) & lit(0xFF)));
+    Body.push_back(xchgSend(err, lit(0))); // FAST READ dummy byte.
+    Body.push_back(xchgRecv(err, b0, lit(0)));
+    Body.push_back(xchgRecv(err, b1, lit(0)));
+    Body.push_back(xchgRecv(err, b2, lit(0)));
+    Body.push_back(xchgRecv(err, b3, lit(0)));
+  } else {
+    // FE310-style pipelining: fill the transmit FIFO with the 4 header
+    // bytes, drain the 4 junk responses, then pipeline the 4 data-byte
+    // exchanges the same way. Requires FIFO depth >= 4.
+    auto Push = [&](E Byte) {
+      Body.push_back(guarded(err, call({"err"}, "spi_write", {Byte})));
+    };
+    auto Pull = [&](const V &Dst) {
+      Body.push_back(guarded(err, call({Dst.Name, "err"}, "spi_read", {})));
+    };
+    V junk("junk");
+    Push(lit(0x0B));
+    Push((E(addr) >> lit(8)) & lit(0xFF));
+    Push(E(addr) & lit(0xFF));
+    Push(lit(0));
+    Pull(junk);
+    Pull(junk);
+    Pull(junk);
+    Pull(junk);
+    Push(lit(0));
+    Push(lit(0));
+    Push(lit(0));
+    Push(lit(0));
+    Pull(b0);
+    Pull(b1);
+    Pull(b2);
+    Pull(b3);
+  }
+
+  Body.push_back(guarded(err, block({
+                             v = E(b0) | (E(b1) << lit(8)) |
+                                 (E(b2) << lit(16)) | (E(b3) << lit(24)),
+                         })));
+  Body.push_back(mmioWrite(lit(SpiCsMode), lit(SpiCsModeAuto)));
+  return fn("lan9250_readword", {"addr"}, {"v", "err"}, block(Body));
+}
+
+/// lan9250_writeword(addr, v) -> (err): SPI WRITE of one register.
+Function makeLanWriteword() {
+  V addr("addr"), v("v"), err("err");
+  std::vector<StmtPtr> Body;
+  Body.push_back(mmioWrite(lit(SpiCsMode), lit(SpiCsModeHold)));
+  Body.push_back(err = lit(0));
+  Body.push_back(xchgSend(err, lit(0x02)));
+  Body.push_back(xchgSend(err, (E(addr) >> lit(8)) & lit(0xFF)));
+  Body.push_back(xchgSend(err, E(addr) & lit(0xFF)));
+  Body.push_back(xchgSend(err, E(v) & lit(0xFF)));
+  Body.push_back(xchgSend(err, (E(v) >> lit(8)) & lit(0xFF)));
+  Body.push_back(xchgSend(err, (E(v) >> lit(16)) & lit(0xFF)));
+  Body.push_back(xchgSend(err, (E(v) >> lit(24)) & lit(0xFF)));
+  Body.push_back(mmioWrite(lit(SpiCsMode), lit(SpiCsModeAuto)));
+  return fn("lan9250_writeword", {"addr", "v"}, {"err"}, block(Body));
+}
+
+/// A bounded poll of `lan9250_readword(RegAddr)` until \p OkExpr (over
+/// variable v) is nonzero. Leaves ok=1 on success, using rerr for the
+/// transaction error.
+StmtPtr pollRegister(const FirmwareOptions &O, Word RegAddr, E OkExpr) {
+  V i("i"), ok("ok"), rerr("rerr");
+  E Cond = O.Timeouts ? ((E(ok) == lit(0)) & (lit(0) < i))
+                      : (E(ok) == lit(0));
+  StmtPtr Body = block({
+      call({"v", "rerr"}, "lan9250_readword", {lit(RegAddr)}),
+      ok = OkExpr,
+      ifThen(rerr, block({ok = lit(0)})),
+      i = E(i) - lit(1),
+  });
+  return block({
+      i = lit(O.InitPatience),
+      ok = lit(0),
+      O.Timeouts ? whileLoopAnnotated(Cond, E(ok) < lit(2), E(i), Body)
+                 : whileLoop(Cond, Body),
+  });
+}
+
+/// lan9250_init() -> (err): the boot sequence (BootSeq in the spec).
+Function makeLanInit(const FirmwareOptions &O) {
+  using namespace lan9250reg;
+  V err("err"), ok("ok"), v("v");
+
+  std::vector<StmtPtr> Body;
+  // 1. Byte-order synchronization: BYTE_TEST reads 0x87654321.
+  Body.push_back(pollRegister(O, ByteTest, E(v) == lit(ByteTestPattern)));
+  Body.push_back(err = (E(ok) == lit(0)));
+
+  // 2. Wait for HW_CFG.READY.
+  Body.push_back(guarded(err, block({
+                             pollRegister(O, HwCfg,
+                                          (E(v) >> lit(27)) & lit(1)),
+                             err = (E(ok) == lit(0)),
+                         })));
+
+  // 3. HW_CFG: set the must-be-one bit (device configuration).
+  Body.push_back(guarded(err, call({"err"}, "lan9250_writeword",
+                                   {lit(HwCfg), lit(HwCfgMbo)})));
+
+  // 4. Enable the MAC receiver and transmitter through the indirect CSR
+  //    interface, then wait for the command to complete.
+  Body.push_back(guarded(err,
+                         call({"err"}, "lan9250_writeword",
+                              {lit(MacCsrData), lit(MacCrRxEn | MacCrTxEn)})));
+  Body.push_back(guarded(err, call({"err"}, "lan9250_writeword",
+                                   {lit(MacCsrCmd),
+                                    lit(MacCsrBusy | MacCrIndex)})));
+  Body.push_back(guarded(
+      err, block({
+               pollRegister(O, MacCsrCmd,
+                            ((E(v) >> lit(31)) & lit(1)) == lit(0)),
+               err = (E(ok) == lit(0)),
+           })));
+
+  // 5. Drive the lightbulb pin as an output.
+  Body.push_back(guarded(
+      err, mmioWrite(lit(GpioOutputEn), lit(Word(1) << LightbulbPin))));
+
+  return fn("lan9250_init", {}, {"err"}, block(Body));
+}
+
+/// lightbulb_init() -> (err).
+Function makeLightbulbInit() {
+  return fn("lightbulb_init", {}, {"err"},
+            block({call({"err"}, "lan9250_init", {})}));
+}
+
+/// lightbulb_loop() -> (err): one iteration of the event loop — poll for
+/// a frame, drain it, validate it, and actuate the lightbulb.
+Function makeLightbulbLoop(const FirmwareOptions &O) {
+  using namespace lan9250reg;
+  V err("err"), buf("buf"), inf("inf"), e("e"), statuses("statuses");
+  V sts("sts"), len("len"), errbit("errbit"), numwords("numwords");
+  V okstore("okstore"), i("i"), w("w"), e3("e3"), eacc("eacc");
+  V ethertype("ethertype"), ipvihl("ipvihl"), proto("proto"), cmd("cmd");
+
+  // The receive loop. The correct version bounds the copy by the *word*
+  // count and only stores when the length fits the buffer; the bug
+  // variant reproduces the paper's prototype overflow by looping over the
+  // *byte* count and storing unconditionally (section 3: the "confusing a
+  // word count for a byte count" incident).
+  StmtPtr StoreStmt =
+      O.BufferOverrunBug
+          ? store4(E(buf) + (E(i) << lit(2)), w)
+          : ifThen(okstore, store4(E(buf) + (E(i) << lit(2)), w));
+  E CopyBound = O.BufferOverrunBug ? E(len) : E(numwords);
+  StmtPtr DrainLoop = whileLoopAnnotated(
+      E(i) < CopyBound, /*Invariant=*/lit(1) - (CopyBound < i),
+      /*Measure=*/CopyBound - i,
+      block({
+          call({"w", "e3"}, "lan9250_readword", {lit(RxDataFifo)}),
+          StoreStmt,
+          eacc = E(eacc) | e3,
+          i = E(i) + lit(1),
+      }));
+
+  // Frame validation + actuation (only when the drain was clean).
+  StmtPtr Actuate = block({
+      ethertype = (load1(E(buf) + lit(12)) << lit(8)) |
+                  load1(E(buf) + lit(13)),
+      ipvihl = load1(E(buf) + lit(14)),
+      proto = load1(E(buf) + lit(23)),
+      ifThen((E(ethertype) == lit(0x0800)) & (E(ipvihl) == lit(0x45)) &
+                 (E(proto) == lit(17)),
+             block({
+                 cmd = load1(E(buf) + lit(devices::frame::CmdOffset)),
+                 mmioWrite(lit(GpioOutputVal),
+                           (E(cmd) & lit(1)) << lit(LightbulbPin)),
+             })),
+  });
+
+  StmtPtr HandleFrame = block({
+      call({"sts", "e"}, "lan9250_readword", {lit(RxStatusFifo)}),
+      ifThenElse(e, block({err = lit(1)}),
+                 block({
+                     len = (E(sts) >> lit(16)) & lit(0x3FFF),
+                     errbit = (E(sts) >> lit(15)) & lit(1),
+                     numwords = (E(len) + lit(3)) >> lit(2),
+                     okstore = (lit(MinAcceptedLen - 1) < len) &
+                               (E(len) < lit(MaxAcceptedLen + 1)),
+                     i = lit(0),
+                     eacc = lit(0),
+                     DrainLoop,
+                     ifThen(E(okstore) & (E(errbit) == lit(0)) &
+                                (E(eacc) == lit(0)),
+                            Actuate),
+                 })),
+  });
+
+  StmtPtr Poll = block({
+      call({"inf", "e"}, "lan9250_readword", {lit(RxFifoInf)}),
+      ifThenElse(e, block({err = lit(1)}),
+                 block({
+                     statuses = (E(inf) >> lit(16)) & lit(0xFF),
+                     ifThen(E(statuses) != lit(0), HandleFrame),
+                 })),
+  });
+
+  return fnContract("lightbulb_loop", {}, {"err"},
+                    /*Pre=*/lit(1), /*Post=*/E(err) < lit(2),
+                    block({
+                        err = lit(0),
+                        stackalloc(buf, RxBufferBytes, Poll),
+                    }));
+}
+
+} // namespace
+
+Program b2::app::buildFirmware(const FirmwareOptions &Options) {
+  Program P;
+  P.add(makeSpiWrite(Options));
+  P.add(makeSpiRead(Options));
+  P.add(makeSpiXchg());
+  P.add(makeLanReadword(Options));
+  P.add(makeLanWriteword());
+  P.add(makeLanInit(Options));
+  P.add(makeLightbulbInit());
+  P.add(makeLightbulbLoop(Options));
+  return P;
+}

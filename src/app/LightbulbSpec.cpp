@@ -1,0 +1,191 @@
+//===- app/LightbulbSpec.cpp - goodHlTrace for the lightbulb ----------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/LightbulbSpec.h"
+
+#include "devices/Lan9250.h"
+#include "devices/MemoryMap.h"
+#include "devices/Net.h"
+#include "support/Format.h"
+
+using namespace b2;
+using namespace b2::app;
+using namespace b2::devices;
+using namespace b2::devices::lan9250reg;
+using namespace b2::tracespec;
+
+namespace {
+
+constexpr Word FlagBit = SpiFlagBit;
+
+/// txdata read reporting "FIFO full".
+Spec txBusy() {
+  return Spec::sym("ld spi.txdata (busy)", [](const Event &E) {
+    return !E.IsStore && E.Addr == SpiTxData && (E.Value & FlagBit) != 0;
+  });
+}
+
+/// txdata read reporting "ready".
+Spec txReady() {
+  return Spec::sym("ld spi.txdata (ready)", [](const Event &E) {
+    return !E.IsStore && E.Addr == SpiTxData && (E.Value & FlagBit) == 0;
+  });
+}
+
+/// rxdata read reporting "empty".
+Spec rxEmpty() {
+  return Spec::sym("ld spi.rxdata (empty)", [](const Event &E) {
+    return !E.IsStore && E.Addr == SpiRxData && (E.Value & FlagBit) != 0;
+  });
+}
+
+/// rxdata read delivering a data byte satisfying \p P (null = any).
+Spec rxData(BytePred P) {
+  return Spec::sym("ld spi.rxdata (data)", [P](const Event &E) {
+    if (E.IsStore || E.Addr != SpiRxData || (E.Value & FlagBit) != 0)
+      return false;
+    return !P || P(uint8_t(E.Value & 0xFF));
+  });
+}
+
+/// txdata store of a byte satisfying \p P (null = any).
+Spec txSend(BytePred P) {
+  return Spec::sym("st spi.txdata", [P](const Event &E) {
+    if (!E.IsStore || E.Addr != SpiTxData)
+      return false;
+    return !P || P(uint8_t(E.Value & 0xFF));
+  });
+}
+
+BytePred eqByte(uint8_t B) {
+  return [B](uint8_t V) { return V == B; };
+}
+
+Spec csHold() { return st("st spi.csmode (hold)", SpiCsMode, SpiCsModeHold); }
+Spec csAuto() { return st("st spi.csmode (auto)", SpiCsMode, SpiCsModeAuto); }
+
+} // namespace
+
+Spec b2::app::spiWriteSpec(BytePred SendPred) {
+  return Spec::star(txBusy()) + txReady() + txSend(std::move(SendPred));
+}
+
+Spec b2::app::spiReadSpec(BytePred RecvPred) {
+  return Spec::star(rxEmpty()) + rxData(std::move(RecvPred));
+}
+
+Spec b2::app::spiXchgSpec(BytePred SendPred, BytePred RecvPred) {
+  return spiWriteSpec(std::move(SendPred)) + spiReadSpec(std::move(RecvPred));
+}
+
+Spec b2::app::lanReadwordSpec(Word Reg, const BytePred DataPreds[4]) {
+  Spec S = csHold();
+  S = S + spiXchgSpec(eqByte(0x0B), nullptr);                  // FAST READ.
+  S = S + spiXchgSpec(eqByte(uint8_t((Reg >> 8) & 0xFF)), nullptr);
+  S = S + spiXchgSpec(eqByte(uint8_t(Reg & 0xFF)), nullptr);
+  S = S + spiXchgSpec(eqByte(0x00), nullptr);                  // Dummy.
+  for (unsigned I = 0; I != 4; ++I)
+    S = S + spiXchgSpec(eqByte(0x00), DataPreds ? DataPreds[I] : nullptr);
+  return S + csAuto();
+}
+
+Spec b2::app::lanReadwordAnySpec(Word Reg) {
+  return lanReadwordSpec(Reg, nullptr);
+}
+
+Spec b2::app::lanReadwordExpectSpec(Word Reg, Word Value) {
+  BytePred Preds[4];
+  for (unsigned I = 0; I != 4; ++I)
+    Preds[I] = eqByte(uint8_t((Value >> (8 * I)) & 0xFF));
+  return lanReadwordSpec(Reg, Preds);
+}
+
+Spec b2::app::lanWritewordSpec(Word Reg, Word Value) {
+  Spec S = csHold();
+  S = S + spiXchgSpec(eqByte(0x02), nullptr); // WRITE command.
+  S = S + spiXchgSpec(eqByte(uint8_t((Reg >> 8) & 0xFF)), nullptr);
+  S = S + spiXchgSpec(eqByte(uint8_t(Reg & 0xFF)), nullptr);
+  for (unsigned I = 0; I != 4; ++I)
+    S = S + spiXchgSpec(eqByte(uint8_t((Value >> (8 * I)) & 0xFF)), nullptr);
+  return S + csAuto();
+}
+
+Spec b2::app::bootSeqSpec() {
+  // 1. Byte-order sync: reads of BYTE_TEST until the magic pattern.
+  Spec S = Spec::star(lanReadwordAnySpec(ByteTest)) +
+           lanReadwordExpectSpec(ByteTest, ByteTestPattern);
+
+  // 2. HW_CFG ready poll: bit 27 = byte 3, bit 3.
+  BytePred ReadyPreds[4] = {nullptr, nullptr, nullptr,
+                            [](uint8_t B) { return (B & 0x08) != 0; }};
+  S = S + Spec::star(lanReadwordAnySpec(HwCfg)) +
+      lanReadwordSpec(HwCfg, ReadyPreds);
+
+  // 3. Device configuration and MAC receive enable.
+  S = S + lanWritewordSpec(HwCfg, HwCfgMbo);
+  S = S + lanWritewordSpec(MacCsrData, MacCrRxEn | MacCrTxEn);
+  S = S + lanWritewordSpec(MacCsrCmd, MacCsrBusy | MacCrIndex);
+
+  // 4. MAC CSR completion poll: bit 31 = byte 3, bit 7, must clear.
+  BytePred DonePreds[4] = {nullptr, nullptr, nullptr,
+                           [](uint8_t B) { return (B & 0x80) == 0; }};
+  S = S + Spec::star(lanReadwordAnySpec(MacCsrCmd)) +
+      lanReadwordSpec(MacCsrCmd, DonePreds);
+
+  // 5. GPIO: drive the lightbulb pin.
+  S = S + st("st gpio.output_en (lightbulb)", GpioOutputEn,
+             Word(1) << LightbulbPin);
+  return S;
+}
+
+Spec b2::app::pollNoneSpec() {
+  // RX_FIFO_INF byte 2 = pending status-word count; zero means no packet.
+  BytePred NonePreds[4] = {nullptr, nullptr,
+                           [](uint8_t B) { return B == 0; }, nullptr};
+  return lanReadwordSpec(RxFifoInf, NonePreds);
+}
+
+namespace {
+
+/// Shared prefix of Recv and RecvInvalid: a positive RX_FIFO_INF poll
+/// followed by the status-word pop.
+Spec recvPrefix() {
+  BytePred SomePreds[4] = {nullptr, nullptr,
+                           [](uint8_t B) { return B != 0; }, nullptr};
+  return lanReadwordSpec(RxFifoInf, SomePreds) +
+         lanReadwordAnySpec(RxStatusFifo);
+}
+
+} // namespace
+
+Spec b2::app::recvSpec(bool B) {
+  // The command byte is frame offset 42 = data word 10, byte lane 2. The
+  // packet-content specification is deliberately lax (section 3.1): only
+  // the bit that decides the actuation is constrained.
+  Spec DataAny = lanReadwordAnySpec(RxDataFifo);
+  BytePred CmdPreds[4] = {nullptr, nullptr,
+                          [B](uint8_t V) { return (V & 1) == (B ? 1 : 0); },
+                          nullptr};
+  return recvPrefix() + Spec::repeat(DataAny, frame::CmdOffset / 4) +
+         lanReadwordSpec(RxDataFifo, CmdPreds) + Spec::star(DataAny);
+}
+
+Spec b2::app::recvInvalidSpec() {
+  return recvPrefix() + Spec::star(lanReadwordAnySpec(RxDataFifo));
+}
+
+Spec b2::app::lightbulbCmdSpec(bool B) {
+  Word Value = B ? (Word(1) << LightbulbPin) : 0;
+  return st(B ? "st gpio.output_val (on)" : "st gpio.output_val (off)",
+            GpioOutputVal, Value);
+}
+
+Spec b2::app::goodHlTrace() {
+  Spec Iteration =
+      exBool([](bool B) { return recvSpec(B) + lightbulbCmdSpec(B); }) |
+      recvInvalidSpec() | pollNoneSpec();
+  return bootSeqSpec() + Spec::star(Iteration);
+}

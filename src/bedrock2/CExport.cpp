@@ -1,0 +1,293 @@
+//===- bedrock2/CExport.cpp - Export Bedrock2 to C ---------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock2/CExport.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <set>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::support;
+
+namespace {
+
+std::string cTypeFor(unsigned Size) {
+  switch (Size) {
+  case 1:
+    return "uint8_t";
+  case 2:
+    return "uint16_t";
+  case 4:
+    return "uint32_t";
+  default:
+    assert(false && "bad access size");
+    return "uint32_t";
+  }
+}
+
+const char *cBinOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Divu:
+    return "/";
+  case BinOp::Remu:
+    return "%";
+  case BinOp::And:
+    return "&";
+  case BinOp::Or:
+    return "|";
+  case BinOp::Xor:
+    return "^";
+  case BinOp::Sru:
+    return ">>";
+  case BinOp::Slu:
+    return "<<";
+  case BinOp::Ltu:
+    return "<";
+  case BinOp::Eq:
+    return "==";
+  default:
+    return nullptr; // MulHuu/Srs/Lts need casts; handled separately.
+  }
+}
+
+std::string emitExpr(const Expr &E);
+
+std::string emitBin(const Expr &E) {
+  std::string A = emitExpr(*E.A);
+  std::string B = emitExpr(*E.B);
+  switch (E.Op) {
+  case BinOp::MulHuu:
+    return "(uintptr_t)(((uint64_t)" + A + " * (uint64_t)" + B + ") >> 32)";
+  case BinOp::Srs:
+    return "(uintptr_t)((intptr_t)" + A + " >> " + B + ")";
+  case BinOp::Lts:
+    return "((intptr_t)" + A + " < (intptr_t)" + B + ")";
+  case BinOp::Divu:
+    // Bedrock2 allows division by zero (RISC-V semantics); C does not.
+    return "_br2_divu(" + A + ", " + B + ")";
+  case BinOp::Remu:
+    return "_br2_remu(" + A + ", " + B + ")";
+  default: {
+    const char *Op = cBinOp(E.Op);
+    assert(Op && "operator should have a direct C spelling");
+    return "(" + A + " " + Op + " " + B + ")";
+  }
+  }
+}
+
+std::string emitExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::Literal:
+    return "(uintptr_t)" + hex32(E.Lit) + "u";
+  case Expr::Kind::Var:
+    return E.Name;
+  case Expr::Kind::Load:
+    return "(uintptr_t)(*(" + cTypeFor(E.Size) + " const *)(" +
+           emitExpr(*E.A) + "))";
+  case Expr::Kind::Op:
+    return emitBin(E);
+  }
+  return "0";
+}
+
+void collectLocals(const Stmt &S, std::set<std::string> &Out) {
+  switch (S.K) {
+  case Stmt::Kind::Set:
+    Out.insert(S.Var);
+    return;
+  case Stmt::Kind::If:
+    collectLocals(*S.S1, Out);
+    collectLocals(*S.S2, Out);
+    return;
+  case Stmt::Kind::While:
+    collectLocals(*S.S1, Out);
+    return;
+  case Stmt::Kind::Seq:
+    collectLocals(*S.S1, Out);
+    collectLocals(*S.S2, Out);
+    return;
+  case Stmt::Kind::Call:
+  case Stmt::Kind::Interact:
+    for (const std::string &D : S.Dsts)
+      Out.insert(D);
+    return;
+  case Stmt::Kind::Stackalloc:
+    Out.insert(S.Var);
+    collectLocals(*S.S1, Out);
+    return;
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Store:
+    return;
+  }
+}
+
+struct Emitter {
+  std::string Out;
+  unsigned AllocCounter = 0;
+
+  void line(unsigned Indent, const std::string &S) {
+    Out += std::string(Indent * 2, ' ') + S + "\n";
+  }
+
+  void emitCallLike(unsigned Indent, const Stmt &S, bool IsExtern) {
+    // First result via return value, remaining via out-pointers.
+    std::string CallExpr;
+    if (IsExtern) {
+      assert((S.Callee == "MMIOREAD" || S.Callee == "MMIOWRITE") &&
+             "unknown external call in C export");
+      if (S.Callee == "MMIOREAD") {
+        CallExpr = "(*(volatile uint32_t *)(" + emitExpr(*S.Args[0]) + "))";
+      } else {
+        line(Indent, "*(volatile uint32_t *)(" + emitExpr(*S.Args[0]) +
+                         ") = (uint32_t)(" + emitExpr(*S.Args[1]) + ");");
+        return;
+      }
+    } else {
+      CallExpr = S.Callee + "(";
+      bool FirstArg = true;
+      for (const ExprPtr &A : S.Args) {
+        if (!FirstArg)
+          CallExpr += ", ";
+        CallExpr += emitExpr(*A);
+        FirstArg = false;
+      }
+      for (size_t I = 1; I < S.Dsts.size(); ++I) {
+        if (!FirstArg || I > 1)
+          CallExpr += ", ";
+        CallExpr += "&" + S.Dsts[I];
+        FirstArg = false;
+      }
+      CallExpr += ")";
+    }
+    if (S.Dsts.empty())
+      line(Indent, CallExpr + ";");
+    else
+      line(Indent, S.Dsts[0] + " = " + CallExpr + ";");
+  }
+
+  void emitStmt(unsigned Indent, const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Skip:
+      line(Indent, "/* skip */;");
+      return;
+    case Stmt::Kind::Set:
+      line(Indent, S.Var + " = " + emitExpr(*S.Value) + ";");
+      return;
+    case Stmt::Kind::Store:
+      line(Indent, "*(" + cTypeFor(S.Size) + " *)(" + emitExpr(*S.Addr) +
+                       ") = (" + cTypeFor(S.Size) + ")(" +
+                       emitExpr(*S.Value) + ");");
+      return;
+    case Stmt::Kind::If:
+      line(Indent, "if (" + emitExpr(*S.Cond) + ") {");
+      emitStmt(Indent + 1, *S.S1);
+      line(Indent, "} else {");
+      emitStmt(Indent + 1, *S.S2);
+      line(Indent, "}");
+      return;
+    case Stmt::Kind::While:
+      line(Indent, "while (" + emitExpr(*S.Cond) + ") {");
+      emitStmt(Indent + 1, *S.S1);
+      line(Indent, "}");
+      return;
+    case Stmt::Kind::Seq:
+      emitStmt(Indent, *S.S1);
+      emitStmt(Indent, *S.S2);
+      return;
+    case Stmt::Kind::Call:
+      emitCallLike(Indent, S, /*IsExtern=*/false);
+      return;
+    case Stmt::Kind::Interact:
+      emitCallLike(Indent, S, /*IsExtern=*/true);
+      return;
+    case Stmt::Kind::Stackalloc: {
+      std::string Buf = "_stack" + std::to_string(AllocCounter++);
+      line(Indent, "{");
+      line(Indent + 1, "uint32_t " + Buf + "[" +
+                           std::to_string(S.NBytes / 4) + "] = {0};");
+      line(Indent + 1, S.Var + " = (uintptr_t)&" + Buf + "[0];");
+      emitStmt(Indent + 1, *S.S1);
+      line(Indent, "}");
+      return;
+    }
+    }
+  }
+};
+
+std::string signatureOf(const Function &F) {
+  std::string Sig;
+  Sig += F.Rets.empty() ? "void" : "uintptr_t";
+  Sig += " " + F.Name + "(";
+  bool First = true;
+  for (const std::string &P : F.Params) {
+    if (!First)
+      Sig += ", ";
+    Sig += "uintptr_t " + P;
+    First = false;
+  }
+  for (size_t I = 1; I < F.Rets.size(); ++I) {
+    if (!First)
+      Sig += ", ";
+    Sig += "uintptr_t *_out_" + F.Rets[I];
+    First = false;
+  }
+  if (First)
+    Sig += "void";
+  Sig += ")";
+  return Sig;
+}
+
+} // namespace
+
+std::string b2::bedrock2::exportCFunction(const Function &F) {
+  Emitter E;
+  E.Out += signatureOf(F) + " {\n";
+
+  std::set<std::string> Locals;
+  collectLocals(*F.Body, Locals);
+  for (const std::string &R : F.Rets)
+    Locals.insert(R);
+  for (const std::string &P : F.Params)
+    Locals.erase(P);
+  for (const std::string &L : Locals)
+    E.line(1, "uintptr_t " + L + " = 0;");
+
+  E.emitStmt(1, *F.Body);
+
+  for (size_t I = 1; I < F.Rets.size(); ++I)
+    E.line(1, "*_out_" + F.Rets[I] + " = " + F.Rets[I] + ";");
+  if (!F.Rets.empty())
+    E.line(1, "return " + F.Rets[0] + ";");
+  E.Out += "}\n";
+  return E.Out;
+}
+
+std::string b2::bedrock2::exportC(const Program &P) {
+  std::string Out;
+  Out += "// Generated by b2stack's Bedrock2-to-C exporter.\n";
+  Out += "#include <stdint.h>\n\n";
+  Out += "static inline uintptr_t _br2_divu(uintptr_t a, uintptr_t b) {\n"
+         "  return b == 0 ? (uintptr_t)-1 : a / b;\n"
+         "}\n"
+         "static inline uintptr_t _br2_remu(uintptr_t a, uintptr_t b) {\n"
+         "  return b == 0 ? a : a % b;\n"
+         "}\n\n";
+  for (const auto &[Name, F] : P.Functions)
+    Out += signatureOf(F) + ";\n";
+  Out += "\n";
+  for (const auto &[Name, F] : P.Functions)
+    Out += exportCFunction(F) + "\n";
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- bedrock2/CExport.h - Export Bedrock2 to C ---------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates Bedrock2 programs to C source text, reproducing the
+/// "Exported C code" arrow of Figure 1: "Bedrock2 source programs can be
+/// exported to C code", which is how the paper's authors ran the verified
+/// sources through gcc on the FE310 for the baseline measurements of
+/// section 7.2.1.
+///
+/// Conventions (following the original bedrock2 ToCString):
+///  * every Bedrock2 word is a `uintptr_t`;
+///  * a function's first result is the C return value; further results
+///    are returned through trailing out-pointer parameters;
+///  * loads/stores become casts through (volatile-free) sized pointers;
+///  * MMIOREAD/MMIOWRITE become volatile accesses;
+///  * stackalloc becomes a local array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BEDROCK2_CEXPORT_H
+#define B2_BEDROCK2_CEXPORT_H
+
+#include "bedrock2/Ast.h"
+
+#include <string>
+
+namespace b2 {
+namespace bedrock2 {
+
+/// Renders the whole program as a self-contained C translation unit
+/// (includes, forward declarations, definitions).
+std::string exportC(const Program &P);
+
+/// Renders one function definition.
+std::string exportCFunction(const Function &F);
+
+} // namespace bedrock2
+} // namespace b2
+
+#endif // B2_BEDROCK2_CEXPORT_H

@@ -1,0 +1,65 @@
+//===- bedrock2/Dma.cpp - DMA-style external calls ----------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock2/Dma.h"
+
+#include "bedrock2/Semantics.h"
+#include "support/Format.h"
+
+using namespace b2;
+using namespace b2::bedrock2;
+
+ExtSpec::Outcome DmaExtSpec::call(const std::string &Action,
+                                  const std::vector<Word> &Args,
+                                  Footprint &Mem) {
+  Outcome Out;
+  if (Action == "DMA_RECV") {
+    if (!Args.empty()) {
+      Out.Ok = false;
+      Out.Error = "DMA_RECV takes no arguments";
+      return Out;
+    }
+    if (Queue.empty()) {
+      Out.Rets = {0, 0}; // No pending buffer.
+      return Out;
+    }
+    std::vector<uint8_t> Data = std::move(Queue.front());
+    Queue.pop_front();
+    Word Len = Word(Data.size());
+    Word Padded = (Len + 3) & ~Word(3);
+    NextBase -= Padded;
+    Word Addr = NextBase;
+    // The ownership change: the device's memory becomes the program's.
+    Mem.own(Addr, Padded);
+    for (Word I = 0; I != Len; ++I)
+      Mem.write(Addr + I, Data[I]);
+    Grants[Addr] = Padded;
+    Out.Rets = {Addr, Len};
+    return Out;
+  }
+  if (Action == "DMA_RELEASE") {
+    if (Args.size() != 2) {
+      Out.Ok = false;
+      Out.Error = "DMA_RELEASE takes (addr, len)";
+      return Out;
+    }
+    auto It = Grants.find(Args[0]);
+    Word Padded = (Args[1] + 3) & ~Word(3);
+    if (It == Grants.end() || It->second != Padded) {
+      // vcextern: releasing memory the device never granted (or twice)
+      // would let the program forge ownership transfers.
+      Out.Ok = false;
+      Out.Error = "DMA_RELEASE of a non-live grant at " +
+                  support::hex32(Args[0]);
+      return Out;
+    }
+    // The ownership change back: the program loses the buffer.
+    Mem.disown(It->first, It->second);
+    Grants.erase(It);
+    return Out;
+  }
+  return Inner.call(Action, Args, Mem);
+}

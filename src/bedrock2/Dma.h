@@ -1,0 +1,80 @@
+//===- bedrock2/Dma.h - DMA-style external calls ---------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's unused-but-designed-for extension, implemented: "The same
+/// interface is also powerful enough to model direct memory access (DMA),
+/// by recording memory-ownership changes in the I/O trace, but we do not
+/// make use of this feature in the lightbulb application" (section 6.2),
+/// and the conclusion's "external calls that acquire and release logical
+/// ownership of memory".
+///
+/// DmaExtSpec layers two actions over any inner ExtSpec:
+///
+///   addr, len = DMA_RECV()        If the device has a pending buffer,
+///                                 ownership of `len` bytes holding the
+///                                 data is *granted* to the program at an
+///                                 unspecified address; otherwise
+///                                 (0, 0) is returned.
+///   DMA_RELEASE(addr, len)        Ownership of a previously granted
+///                                 buffer is returned to the device.
+///                                 Contract: (addr, len) must be a live
+///                                 grant (double release or a forged
+///                                 address is a vcextern violation).
+///
+/// After a release, any program access to the buffer is caught by the
+/// footprint discipline — exactly the "acquire and release logical
+/// ownership" protocol the paper sketches. Unknown actions are forwarded
+/// to the inner ExtSpec, so MMIO and DMA compose.
+///
+/// The grant address is internal nondeterminism, like stackalloc: the
+/// policy salt lets checkers re-run with different placements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BEDROCK2_DMA_H
+#define B2_BEDROCK2_DMA_H
+
+#include "bedrock2/ExtSpec.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace b2 {
+namespace bedrock2 {
+
+/// DMA grant/release layered over an inner external-call semantics.
+class DmaExtSpec final : public ExtSpec {
+public:
+  /// \p Inner handles every action other than DMA_RECV/DMA_RELEASE.
+  /// Grants are placed downward from \p ArenaBase, offset by \p Salt.
+  explicit DmaExtSpec(ExtSpec &Inner, Word ArenaBase = 0x00E00000,
+                      Word Salt = 0)
+      : Inner(Inner), NextBase(ArenaBase - (Salt & ~Word(3))) {}
+
+  /// Queues an incoming buffer for the next DMA_RECV.
+  void queueIncoming(std::vector<uint8_t> Data) {
+    Queue.push_back(std::move(Data));
+  }
+
+  /// Number of grants the program currently holds (tests).
+  size_t liveGrants() const { return Grants.size(); }
+
+  Outcome call(const std::string &Action, const std::vector<Word> &Args,
+               Footprint &Mem) override;
+
+private:
+  ExtSpec &Inner;
+  Word NextBase;
+  std::deque<std::vector<uint8_t>> Queue;
+  std::map<Word, Word> Grants; ///< addr -> len of live grants.
+};
+
+} // namespace bedrock2
+} // namespace b2
+
+#endif // B2_BEDROCK2_DMA_H

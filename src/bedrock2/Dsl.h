@@ -1,0 +1,181 @@
+//===- bedrock2/Dsl.h - Embedded construction DSL --------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper develops Bedrock2 programs *inside Coq*, using "Coq's
+/// notation mechanism ... to the point where we can now write fairly
+/// natural-looking C-like code directly within Coq" (section 7.3.1). This
+/// header plays the same role in C++: operator overloading and small
+/// helpers that make the firmware in app/Firmware.cpp read like C.
+///
+/// Expressions are wrapped in the value type \c E (rather than the raw
+/// shared pointer) so the overloaded operators never collide with
+/// std::shared_ptr's own comparisons.
+///
+/// Usage (see app/Firmware.cpp):
+/// \code
+///   using namespace b2::bedrock2::dsl;
+///   V x("x");
+///   StmtPtr Body = block({
+///       x = lit(1),
+///       whileLoop(x < lit(10), block({x = x + lit(1)})),
+///   });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BEDROCK2_DSL_H
+#define B2_BEDROCK2_DSL_H
+
+#include "bedrock2/Ast.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace b2 {
+namespace bedrock2 {
+namespace dsl {
+
+struct V;
+
+/// A DSL expression: a thin value wrapper around ExprPtr.
+struct E {
+  ExprPtr P;
+  E(ExprPtr P) : P(std::move(P)) {}
+  E(const V &Var);
+
+  operator ExprPtr() const { return P; }
+};
+
+/// A named Bedrock2 variable.
+struct V {
+  std::string Name;
+  explicit V(std::string Name) : Name(std::move(Name)) {}
+
+  /// Assignment builds a Set statement (also for variable-to-variable
+  /// assignment, which would otherwise resolve to the implicit copy
+  /// assignment).
+  StmtPtr operator=(const E &Rhs) const { return Stmt::set(Name, Rhs.P); }
+  StmtPtr operator=(const V &Rhs) const {
+    return Stmt::set(Name, Expr::var(Rhs.Name));
+  }
+};
+
+inline E::E(const V &Var) : P(Expr::var(Var.Name)) {}
+
+inline E lit(Word W) { return E(Expr::literal(W)); }
+
+// Arithmetic and comparison operators mirror Bedrock2's BinOp set.
+inline E operator+(E A, E B) { return Expr::op(BinOp::Add, A.P, B.P); }
+inline E operator-(E A, E B) { return Expr::op(BinOp::Sub, A.P, B.P); }
+inline E operator*(E A, E B) { return Expr::op(BinOp::Mul, A.P, B.P); }
+inline E operator&(E A, E B) { return Expr::op(BinOp::And, A.P, B.P); }
+inline E operator|(E A, E B) { return Expr::op(BinOp::Or, A.P, B.P); }
+inline E operator^(E A, E B) { return Expr::op(BinOp::Xor, A.P, B.P); }
+inline E operator>>(E A, E B) { return Expr::op(BinOp::Sru, A.P, B.P); }
+inline E operator<<(E A, E B) { return Expr::op(BinOp::Slu, A.P, B.P); }
+inline E operator<(E A, E B) { return Expr::op(BinOp::Ltu, A.P, B.P); }
+inline E operator==(E A, E B) { return Expr::op(BinOp::Eq, A.P, B.P); }
+inline E operator!=(E A, E B) {
+  // x != y  ==  (x == y) == 0.
+  return Expr::op(BinOp::Eq, Expr::op(BinOp::Eq, A.P, B.P),
+                  Expr::literal(0));
+}
+inline E divu(E A, E B) { return Expr::op(BinOp::Divu, A.P, B.P); }
+inline E remu(E A, E B) { return Expr::op(BinOp::Remu, A.P, B.P); }
+inline E mulhuu(E A, E B) { return Expr::op(BinOp::MulHuu, A.P, B.P); }
+inline E lts(E A, E B) { return Expr::op(BinOp::Lts, A.P, B.P); }
+inline E srs(E A, E B) { return Expr::op(BinOp::Srs, A.P, B.P); }
+
+// Memory access.
+inline E load1(E Addr) { return Expr::load(1, Addr.P); }
+inline E load2(E Addr) { return Expr::load(2, Addr.P); }
+inline E load4(E Addr) { return Expr::load(4, Addr.P); }
+inline StmtPtr store1(E Addr, E Val) { return Stmt::store(1, Addr.P, Val.P); }
+inline StmtPtr store2(E Addr, E Val) { return Stmt::store(2, Addr.P, Val.P); }
+inline StmtPtr store4(E Addr, E Val) { return Stmt::store(4, Addr.P, Val.P); }
+
+// Control flow.
+inline StmtPtr block(std::vector<StmtPtr> Stmts) {
+  return Stmt::block(std::move(Stmts));
+}
+inline StmtPtr ifThen(E Cond, StmtPtr Then) {
+  return Stmt::ifThenElse(Cond.P, std::move(Then), Stmt::skip());
+}
+inline StmtPtr ifThenElse(E Cond, StmtPtr Then, StmtPtr Else) {
+  return Stmt::ifThenElse(Cond.P, std::move(Then), std::move(Else));
+}
+inline StmtPtr whileLoop(E Cond, StmtPtr Body) {
+  return Stmt::whileLoop(Cond.P, std::move(Body));
+}
+inline StmtPtr whileLoopAnnotated(E Cond, E Invariant, E Measure,
+                                  StmtPtr Body) {
+  return Stmt::whileLoopAnnotated(Cond.P, Invariant.P, Measure.P,
+                                  std::move(Body));
+}
+
+namespace detail {
+inline std::vector<ExprPtr> unwrap(const std::vector<E> &Args) {
+  std::vector<ExprPtr> Out;
+  Out.reserve(Args.size());
+  for (const E &A : Args)
+    Out.push_back(A.P);
+  return Out;
+}
+} // namespace detail
+
+// Calls.
+inline StmtPtr call(std::vector<std::string> Dsts, std::string Callee,
+                    const std::vector<E> &Args) {
+  return Stmt::call(std::move(Dsts), std::move(Callee),
+                    detail::unwrap(Args));
+}
+inline StmtPtr interact(std::vector<std::string> Dsts, std::string Action,
+                        const std::vector<E> &Args) {
+  return Stmt::interact(std::move(Dsts), std::move(Action),
+                        detail::unwrap(Args));
+}
+
+/// MMIO conveniences (the platform's two external calls, section 6.1).
+inline StmtPtr mmioRead(const V &Dst, E Addr) {
+  return Stmt::interact({Dst.Name}, "MMIOREAD", {Addr.P});
+}
+inline StmtPtr mmioWrite(E Addr, E Value) {
+  return Stmt::interact({}, "MMIOWRITE", {Addr.P, Value.P});
+}
+
+inline StmtPtr stackalloc(const V &Ptr, Word NBytes, StmtPtr Body) {
+  return Stmt::stackalloc(Ptr.Name, NBytes, std::move(Body));
+}
+
+/// Builds a function.
+inline Function fn(std::string Name, std::vector<std::string> Params,
+                   std::vector<std::string> Rets, StmtPtr Body) {
+  Function F;
+  F.Name = std::move(Name);
+  F.Params = std::move(Params);
+  F.Rets = std::move(Rets);
+  F.Body = std::move(Body);
+  return F;
+}
+
+/// Builds a function with a requires/ensures contract.
+inline Function fnContract(std::string Name, std::vector<std::string> Params,
+                           std::vector<std::string> Rets, E Pre, E Post,
+                           StmtPtr Body) {
+  Function F = fn(std::move(Name), std::move(Params), std::move(Rets),
+                  std::move(Body));
+  F.Pre = Pre.P;
+  F.Post = Post.P;
+  return F;
+}
+
+} // namespace dsl
+} // namespace bedrock2
+} // namespace b2
+
+#endif // B2_BEDROCK2_DSL_H

@@ -1,0 +1,99 @@
+//===- bedrock2/ExtSpec.h - External-call semantics parameter --*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The semantics of the source language are parameterized over the
+/// behavior of these external calls" (section 6.1). An ExtSpec both
+/// *checks the contract* of each call (the executable counterpart of the
+/// paper's `vcextern` precondition) and *supplies the runtime behavior*
+/// (which the paper models as nondeterministic input and we resolve with
+/// a device model).
+///
+/// The MMIO instantiation enforces exactly the paper's side conditions:
+/// the address must be within the platform's MMIO range and naturally
+/// aligned — "the source-code-level verification condition for an MMIO
+/// external call still needs to restrict the address to be within MMIO
+/// range."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BEDROCK2_EXTSPEC_H
+#define B2_BEDROCK2_EXTSPEC_H
+
+#include "riscv/Mmio.h"
+#include "support/Word.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace bedrock2 {
+
+/// One entry of the source-level interaction trace: external procedure
+/// name, argument values, and result values.
+struct IoEvent {
+  std::string Action;
+  std::vector<Word> Args;
+  std::vector<Word> Rets;
+};
+
+using IoTrace = std::vector<IoEvent>;
+
+class Footprint;
+
+/// The external-call parameter of the source semantics.
+///
+/// "External procedures can update the memory (and such updates are
+/// recorded in the trace)" (section 5.2) — the \p Mem parameter gives an
+/// instance that power, which is what makes DMA-style external calls
+/// (section 6.2: recording memory-ownership changes in the I/O trace)
+/// expressible. The lightbulb's MMIO instance does not use it, exactly
+/// as in the paper.
+class ExtSpec {
+public:
+  virtual ~ExtSpec();
+
+  struct Outcome {
+    bool Ok = true;
+    std::string Error;        ///< Contract violation description when !Ok.
+    std::vector<Word> Rets;   ///< Result tuple when Ok.
+  };
+
+  /// Performs (and contract-checks) one external call. \p Mem is the
+  /// program's owned footprint; an instance may grant, revoke, or write
+  /// memory through it.
+  virtual Outcome call(const std::string &Action,
+                       const std::vector<Word> &Args, Footprint &Mem) = 0;
+};
+
+/// The lightbulb platform's instantiation: actions MMIOREAD (addr) -> val
+/// and MMIOWRITE (addr, val) -> (), backed by a device and mirrored into
+/// an MMIO event trace so that source-level and machine-level executions
+/// can be compared event by event.
+class MmioExtSpec final : public ExtSpec {
+public:
+  /// \p Device answers the MMIO accesses; \p RamBytes is the size of the
+  /// physical memory (the external invariant of section 6.3 demands MMIO
+  /// not overlap it, which the contract check enforces).
+  MmioExtSpec(riscv::MmioDevice &Device, Word RamBytes)
+      : Device(Device), RamBytes(RamBytes) {}
+
+  Outcome call(const std::string &Action, const std::vector<Word> &Args,
+               Footprint &Mem) override;
+
+  /// The MMIO events performed so far ("ld"/"st" triples).
+  const riscv::MmioTrace &mmioTrace() const { return Trace; }
+
+private:
+  riscv::MmioDevice &Device;
+  Word RamBytes;
+  riscv::MmioTrace Trace;
+};
+
+} // namespace bedrock2
+} // namespace b2
+
+#endif // B2_BEDROCK2_EXTSPEC_H

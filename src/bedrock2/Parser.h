@@ -1,0 +1,63 @@
+//===- bedrock2/Parser.h - Bedrock2 concrete-syntax parser -----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for Bedrock2's C-like concrete syntax (the same syntax printed
+/// by bedrock2::toString, so printing and reparsing round-trips). In the
+/// paper, surface syntax is provided by Coq notations; here a conventional
+/// recursive-descent parser plays that role, which also gives the examples
+/// a way to accept programs from files.
+///
+/// Grammar sketch:
+/// \code
+///   program    := function*
+///   function   := "fn" IDENT "(" idents? ")" ["->" "(" idents ")"] block
+///   stmt       := IDENT ["," idents] "=" rhs ";"
+///              |  "storeN" "(" expr "," expr ")" ";"
+///              |  "if" "(" expr ")" block ["else" block]
+///              |  "while" "(" expr ")" block
+///              |  "stackalloc" IDENT "[" NUM "]" block
+///              |  "skip" ";"  |  call ";"  |  "extern" call ";"
+///   rhs        := expr | call | "extern" call
+///   expr       := binary operators with C-like precedence over atoms
+///   atom       := NUM | IDENT | "loadN" "(" expr ")" | "(" expr ")"
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BEDROCK2_PARSER_H
+#define B2_BEDROCK2_PARSER_H
+
+#include "bedrock2/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace b2 {
+namespace bedrock2 {
+
+/// Outcome of parsing: a program, or a diagnostic.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error; ///< "line N: message" when parsing failed.
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses a whole compilation unit.
+ParseResult parseProgram(const std::string &Source);
+
+/// Parses a single expression (tests and tools).
+struct ParseExprResult {
+  ExprPtr E;
+  std::string Error;
+};
+ParseExprResult parseExpr(const std::string &Source);
+
+} // namespace bedrock2
+} // namespace b2
+
+#endif // B2_BEDROCK2_PARSER_H

@@ -1,0 +1,393 @@
+//===- bedrock2/Semantics.cpp - Checking interpreter ------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock2/Semantics.h"
+
+#include "devices/MemoryMap.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::support;
+
+ExtSpec::~ExtSpec() = default;
+
+ExtSpec::Outcome MmioExtSpec::call(const std::string &Action,
+                                   const std::vector<Word> &Args,
+                                   Footprint &Mem) {
+  (void)Mem; // MMIO neither grants nor revokes memory (section 6.2 notes
+             // DMA would; the lightbulb platform has none).
+  Outcome Out;
+  // The vcextern instance for the lightbulb platform (section 6.1): the
+  // address must be a word-aligned MMIO address; MMIO must not alias the
+  // physical memory (external invariant, section 6.3).
+  auto CheckAddr = [&](Word Addr) -> bool {
+    if (!devices::isMmioAddr(Addr)) {
+      Out.Ok = false;
+      Out.Error = "address " + hex32(Addr) + " is not an MMIO address";
+      return false;
+    }
+    if (!isAligned(Addr, 4)) {
+      Out.Ok = false;
+      Out.Error = "MMIO address " + hex32(Addr) + " is not word-aligned";
+      return false;
+    }
+    if (Addr < RamBytes) {
+      Out.Ok = false;
+      Out.Error = "MMIO address " + hex32(Addr) + " overlaps physical memory";
+      return false;
+    }
+    return true;
+  };
+
+  if (Action == "MMIOREAD") {
+    if (Args.size() != 1) {
+      Out.Ok = false;
+      Out.Error = "MMIOREAD expects 1 argument";
+      return Out;
+    }
+    if (!CheckAddr(Args[0]))
+      return Out;
+    Word V = Device.load(Args[0], 4);
+    Trace.push_back(riscv::MmioEvent{/*IsStore=*/false, Args[0], V, 4});
+    Out.Rets = {V};
+    return Out;
+  }
+  if (Action == "MMIOWRITE") {
+    if (Args.size() != 2) {
+      Out.Ok = false;
+      Out.Error = "MMIOWRITE expects 2 arguments";
+      return Out;
+    }
+    if (!CheckAddr(Args[0]))
+      return Out;
+    Device.store(Args[0], 4, Args[1]);
+    Trace.push_back(riscv::MmioEvent{/*IsStore=*/true, Args[0], Args[1], 4});
+    return Out;
+  }
+  Out.Ok = false;
+  Out.Error = "unknown external procedure '" + Action + "'";
+  return Out;
+}
+
+const char *b2::bedrock2::faultName(Fault F) {
+  switch (F) {
+  case Fault::None:
+    return "none";
+  case Fault::UnboundVariable:
+    return "unbound-variable";
+  case Fault::LoadOutsideFootprint:
+    return "load-outside-footprint";
+  case Fault::StoreOutsideFootprint:
+    return "store-outside-footprint";
+  case Fault::MisalignedAccess:
+    return "misaligned-access";
+  case Fault::UnknownFunction:
+    return "unknown-function";
+  case Fault::ArityMismatch:
+    return "arity-mismatch";
+  case Fault::ExtContractViolation:
+    return "extcall-contract-violation";
+  case Fault::OutOfFuel:
+    return "out-of-fuel";
+  case Fault::StackallocMisuse:
+    return "stackalloc-misuse";
+  case Fault::PreconditionFailed:
+    return "precondition-failed";
+  case Fault::PostconditionFailed:
+    return "postcondition-failed";
+  case Fault::InvariantViolated:
+    return "invariant-violated";
+  case Fault::MeasureNotDecreasing:
+    return "measure-not-decreasing";
+  }
+  return "unknown";
+}
+
+// -- Footprint ---------------------------------------------------------------
+
+void Footprint::own(Word Addr, Word Len) {
+  for (Word I = 0; I != Len; ++I)
+    Bytes[Addr + I] = 0;
+}
+
+void Footprint::disown(Word Addr, Word Len) {
+  for (Word I = 0; I != Len; ++I)
+    Bytes.erase(Addr + I);
+}
+
+bool Footprint::owns(Word Addr, Word Len) const {
+  for (Word I = 0; I != Len; ++I)
+    if (!Bytes.count(Addr + I))
+      return false;
+  return true;
+}
+
+uint8_t Footprint::read(Word Addr) const {
+  auto It = Bytes.find(Addr);
+  assert(It != Bytes.end() && "read of unowned byte");
+  return It->second;
+}
+
+void Footprint::write(Word Addr, uint8_t V) {
+  auto It = Bytes.find(Addr);
+  assert(It != Bytes.end() && "write of unowned byte");
+  It->second = V;
+}
+
+Word Footprint::readLe(Word Addr, unsigned Size) const {
+  Word V = 0;
+  for (unsigned I = 0; I != Size; ++I)
+    V |= Word(read(Addr + I)) << (8 * I);
+  return V;
+}
+
+void Footprint::writeLe(Word Addr, unsigned Size, Word V) {
+  for (unsigned I = 0; I != Size; ++I)
+    write(Addr + I, uint8_t((V >> (8 * I)) & 0xFF));
+}
+
+// -- Interpreter ---------------------------------------------------------------
+
+Interp::Interp(const Program &P, ExtSpec &Ext, uint64_t Fuel,
+               const StackallocPolicy &Policy)
+    : Prog(P), Ext(Ext), Fuel(Fuel), Policy(Policy) {
+  StackNext = Policy.Base - (Policy.Salt & ~Word(3));
+}
+
+bool Interp::fault(Fault F, std::string Detail) {
+  if (Result.F == Fault::None) {
+    Result.F = F;
+    Result.Detail = std::move(Detail);
+  }
+  return false;
+}
+
+bool Interp::evalExpr(const Expr &E, const Locals &L, Word &Out) {
+  switch (E.K) {
+  case Expr::Kind::Literal:
+    Out = E.Lit;
+    return true;
+  case Expr::Kind::Var: {
+    auto It = L.find(E.Name);
+    if (It == L.end())
+      return fault(Fault::UnboundVariable, "variable '" + E.Name + "'");
+    Out = It->second;
+    return true;
+  }
+  case Expr::Kind::Load: {
+    Word Addr;
+    if (!evalExpr(*E.A, L, Addr))
+      return false;
+    if (!isAligned(Addr, E.Size))
+      return fault(Fault::MisalignedAccess,
+                   "load" + std::to_string(E.Size) + " at " + hex32(Addr));
+    if (!Mem.owns(Addr, E.Size))
+      return fault(Fault::LoadOutsideFootprint,
+                   "load" + std::to_string(E.Size) + " at " + hex32(Addr));
+    Out = Mem.readLe(Addr, E.Size);
+    return true;
+  }
+  case Expr::Kind::Op: {
+    Word A, B;
+    if (!evalExpr(*E.A, L, A) || !evalExpr(*E.B, L, B))
+      return false;
+    if ((E.Op == BinOp::Divu || E.Op == BinOp::Remu) && B == 0)
+      ++Result.DivByZeroCount;
+    Out = evalBinOp(E.Op, A, B);
+    return true;
+  }
+  }
+  assert(false && "unreachable: exhaustive expression kinds");
+  return false;
+}
+
+bool Interp::execCall(const std::string &Callee,
+                      const std::vector<Word> &ArgVals,
+                      std::vector<Word> &Rets) {
+  const Function *F = Prog.find(Callee);
+  if (!F)
+    return fault(Fault::UnknownFunction, "function '" + Callee + "'");
+  if (F->Params.size() != ArgVals.size())
+    return fault(Fault::ArityMismatch,
+                 "call to '" + Callee + "' with " +
+                     std::to_string(ArgVals.size()) + " args, expected " +
+                     std::to_string(F->Params.size()));
+  Locals L;
+  for (size_t I = 0; I != ArgVals.size(); ++I)
+    L[F->Params[I]] = ArgVals[I];
+  // The contract's precondition (vcgen is invoked under P, section 4.1).
+  if (F->Pre) {
+    Word P;
+    if (!evalExpr(*F->Pre, L, P))
+      return false;
+    if (P == 0)
+      return fault(Fault::PreconditionFailed,
+                   "requires clause of '" + Callee + "'");
+  }
+  if (!execStmt(*F->Body, L))
+    return false;
+  Rets.clear();
+  for (const std::string &R : F->Rets) {
+    auto It = L.find(R);
+    if (It == L.end())
+      return fault(Fault::UnboundVariable,
+                   "return variable '" + R + "' of '" + Callee + "'");
+    Rets.push_back(It->second);
+  }
+  // The contract's postcondition Q, over final parameter values and the
+  // results.
+  if (F->Post) {
+    Word Q;
+    if (!evalExpr(*F->Post, L, Q))
+      return false;
+    if (Q == 0)
+      return fault(Fault::PostconditionFailed,
+                   "ensures clause of '" + Callee + "'");
+  }
+  return true;
+}
+
+bool Interp::execStmt(const Stmt &S, Locals &L) {
+  if (Result.StepsUsed >= Fuel)
+    return fault(Fault::OutOfFuel, "statement budget exhausted");
+  ++Result.StepsUsed;
+
+  switch (S.K) {
+  case Stmt::Kind::Skip:
+    return true;
+  case Stmt::Kind::Set: {
+    Word V;
+    if (!evalExpr(*S.Value, L, V))
+      return false;
+    L[S.Var] = V;
+    return true;
+  }
+  case Stmt::Kind::Store: {
+    Word Addr, V;
+    if (!evalExpr(*S.Addr, L, Addr) || !evalExpr(*S.Value, L, V))
+      return false;
+    if (!isAligned(Addr, S.Size))
+      return fault(Fault::MisalignedAccess,
+                   "store" + std::to_string(S.Size) + " at " + hex32(Addr));
+    if (!Mem.owns(Addr, S.Size))
+      return fault(Fault::StoreOutsideFootprint,
+                   "store" + std::to_string(S.Size) + " at " + hex32(Addr));
+    Mem.writeLe(Addr, S.Size, V);
+    return true;
+  }
+  case Stmt::Kind::If: {
+    Word C;
+    if (!evalExpr(*S.Cond, L, C))
+      return false;
+    return execStmt(C != 0 ? *S.S1 : *S.S2, L);
+  }
+  case Stmt::Kind::While: {
+    // vcgen's loop case "asks for a loop invariant and a decreasing
+    // measure instead of unrolling the loop" (section 4.1); when the
+    // annotations are present the interpreter enforces them.
+    bool HavePrev = false;
+    Word PrevMeasure = 0;
+    for (;;) {
+      if (S.Invariant) {
+        Word Inv;
+        if (!evalExpr(*S.Invariant, L, Inv))
+          return false;
+        if (Inv == 0)
+          return fault(Fault::InvariantViolated, "loop invariant");
+      }
+      Word C;
+      if (!evalExpr(*S.Cond, L, C))
+        return false;
+      if (C == 0)
+        return true;
+      if (S.Measure) {
+        Word M;
+        if (!evalExpr(*S.Measure, L, M))
+          return false;
+        if (HavePrev && M >= PrevMeasure)
+          return fault(Fault::MeasureNotDecreasing,
+                       "measure " + std::to_string(M) +
+                           " after " + std::to_string(PrevMeasure));
+        PrevMeasure = M;
+        HavePrev = true;
+      }
+      if (!execStmt(*S.S1, L))
+        return false;
+      if (Result.StepsUsed >= Fuel)
+        return fault(Fault::OutOfFuel, "loop budget exhausted");
+      ++Result.StepsUsed;
+    }
+  }
+  case Stmt::Kind::Seq:
+    return execStmt(*S.S1, L) && execStmt(*S.S2, L);
+  case Stmt::Kind::Call: {
+    std::vector<Word> ArgVals(S.Args.size());
+    for (size_t I = 0; I != S.Args.size(); ++I)
+      if (!evalExpr(*S.Args[I], L, ArgVals[I]))
+        return false;
+    std::vector<Word> Rets;
+    if (!execCall(S.Callee, ArgVals, Rets))
+      return false;
+    if (Rets.size() != S.Dsts.size())
+      return fault(Fault::ArityMismatch,
+                   "call to '" + S.Callee + "' binds " +
+                       std::to_string(S.Dsts.size()) + " results, returns " +
+                       std::to_string(Rets.size()));
+    for (size_t I = 0; I != Rets.size(); ++I)
+      L[S.Dsts[I]] = Rets[I];
+    return true;
+  }
+  case Stmt::Kind::Interact: {
+    std::vector<Word> ArgVals(S.Args.size());
+    for (size_t I = 0; I != S.Args.size(); ++I)
+      if (!evalExpr(*S.Args[I], L, ArgVals[I]))
+        return false;
+    ExtSpec::Outcome Out = Ext.call(S.Callee, ArgVals, Mem);
+    if (!Out.Ok)
+      return fault(Fault::ExtContractViolation,
+                   "'" + S.Callee + "': " + Out.Error);
+    if (Out.Rets.size() != S.Dsts.size())
+      return fault(Fault::ArityMismatch,
+                   "external '" + S.Callee + "' binds " +
+                       std::to_string(S.Dsts.size()) + " results");
+    // "The semantics records the latter in an interaction trace" (5.2).
+    Result.Trace.push_back(IoEvent{S.Callee, ArgVals, Out.Rets});
+    for (size_t I = 0; I != Out.Rets.size(); ++I)
+      L[S.Dsts[I]] = Out.Rets[I];
+    return true;
+  }
+  case Stmt::Kind::Stackalloc: {
+    if (S.NBytes == 0 || S.NBytes % 4 != 0)
+      return fault(Fault::StackallocMisuse,
+                   "size " + std::to_string(S.NBytes));
+    // Resolve the internal nondeterminism: pick the next address from the
+    // policy-controlled arena. The program must not depend on the value.
+    StackNext -= S.NBytes;
+    Word Addr = StackNext;
+    Mem.own(Addr, S.NBytes);
+    L[S.Var] = Addr;
+    bool OkBody = execStmt(*S.S1, L);
+    // Ownership ends with the block, even on fault (the fault sticks).
+    Mem.disown(Addr, S.NBytes);
+    StackNext += S.NBytes;
+    return OkBody;
+  }
+  }
+  assert(false && "unreachable: exhaustive statement kinds");
+  return false;
+}
+
+ExecResult Interp::callFunction(const std::string &FuncName,
+                                const std::vector<Word> &Args) {
+  Result = ExecResult();
+  std::vector<Word> Rets;
+  if (execCall(FuncName, Args, Rets))
+    Result.Rets = std::move(Rets);
+  return std::move(Result);
+}

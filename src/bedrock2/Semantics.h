@@ -1,0 +1,157 @@
+//===- bedrock2/Semantics.h - Checking interpreter -------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the paper's program logic (section 4.1):
+/// an interpreter for Bedrock2 that *checks*, at every step, the side
+/// conditions that `vcgen` would emit as proof obligations —
+///
+///  * every load and store touches only memory the program owns
+///    (separation-logic footprint discipline; the word-count/byte-count
+///    driver bug of section 3 is caught here as an ownership violation);
+///  * word and halfword accesses are naturally aligned;
+///  * variables are bound before use, calls match arities;
+///  * external calls satisfy their `vcextern` contracts (bedrock2/ExtSpec.h);
+///  * execution terminates within the provided fuel ("we only model
+///    behavior of terminating programs ... implicitly identifying
+///    nontermination with undefined behavior", section 5.2).
+///
+/// On the paper's CPS semantics (section 4): the Coq development phrases
+/// evaluation as derivations `(c, t, m, l) ⇓ Q` so that *all* possible
+/// executions under nondeterminism are covered by one derivation. In this
+/// executable reproduction the ExtSpec resolves the input nondeterminism
+/// and the Stackalloc policy resolves the internal nondeterminism, so one
+/// run computes one concrete execution; checkers quantify over
+/// nondeterminism by re-running with varied policies (see
+/// verify/CompilerDiff.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_BEDROCK2_SEMANTICS_H
+#define B2_BEDROCK2_SEMANTICS_H
+
+#include "bedrock2/Ast.h"
+#include "bedrock2/ExtSpec.h"
+#include "support/Word.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace b2 {
+namespace bedrock2 {
+
+/// Why an execution failed to be well-defined.
+enum class Fault : uint8_t {
+  None,
+  UnboundVariable,
+  LoadOutsideFootprint,
+  StoreOutsideFootprint,
+  MisalignedAccess,
+  UnknownFunction,
+  ArityMismatch,
+  ExtContractViolation, ///< vcextern precondition failed.
+  OutOfFuel,            ///< Suspected divergence (totality violation).
+  StackallocMisuse,     ///< Bad size or nested shadowing.
+  PreconditionFailed,   ///< A callee's `requires` clause was violated.
+  PostconditionFailed,  ///< A function's `ensures` clause was violated.
+  InvariantViolated,    ///< A loop invariant did not hold at the test.
+  MeasureNotDecreasing, ///< A loop measure failed to strictly decrease.
+};
+
+const char *faultName(Fault F);
+
+/// Byte-granular owned memory: the Bedrock2-owned footprint. Sparse, so
+/// ownership of disjoint regions anywhere in the address space can be
+/// modeled (the memory is "a global (not necessarily contiguous) address
+/// space of bytes", section 5.2).
+class Footprint {
+public:
+  /// Grants ownership of [Addr, Addr+Len) initialized to zero.
+  void own(Word Addr, Word Len);
+
+  /// Revokes ownership of [Addr, Addr+Len) (stackalloc scope exit).
+  void disown(Word Addr, Word Len);
+
+  bool owns(Word Addr, Word Len) const;
+
+  /// Unchecked accessors; callers must have verified ownership.
+  uint8_t read(Word Addr) const;
+  void write(Word Addr, uint8_t V);
+
+  Word readLe(Word Addr, unsigned Size) const;
+  void writeLe(Word Addr, unsigned Size, Word V);
+
+  /// Number of owned bytes (tests).
+  size_t size() const { return Bytes.size(); }
+
+private:
+  std::unordered_map<Word, uint8_t> Bytes;
+};
+
+/// Policy resolving stackalloc's internal nondeterminism: where the next
+/// allocation lands. Varying \p Salt across runs checks that programs do
+/// not depend on the unspecified choice.
+struct StackallocPolicy {
+  Word Base = 0x00F00000; ///< Grows downward from here.
+  Word Salt = 0;          ///< Extra offset mixed into every address.
+};
+
+/// Result of running a Bedrock2 function.
+struct ExecResult {
+  Fault F = Fault::None;
+  std::string Detail;        ///< Human-readable fault context.
+  std::vector<Word> Rets;    ///< Return tuple (valid when F == None).
+  IoTrace Trace;             ///< Interaction trace (valid prefix even on fault).
+  uint64_t StepsUsed = 0;
+  uint64_t DivByZeroCount = 0; ///< Divisions/remainders by zero observed
+                               ///< (unspecified in source semantics).
+
+  bool ok() const { return F == Fault::None; }
+};
+
+/// The interpreter.
+class Interp {
+public:
+  /// \p Ext supplies and checks external calls; \p Fuel bounds the total
+  /// statement steps (totality check).
+  Interp(const Program &P, ExtSpec &Ext, uint64_t Fuel = 10'000'000,
+         const StackallocPolicy &Policy = StackallocPolicy());
+
+  /// Grants the program ownership of [Addr, Addr+Len) before execution
+  /// (e.g. a static scratch buffer).
+  void ownMemory(Word Addr, Word Len) { Mem.own(Addr, Len); }
+
+  /// Calls \p FuncName with \p Args and runs it to completion.
+  ExecResult callFunction(const std::string &FuncName,
+                          const std::vector<Word> &Args);
+
+  /// Direct access to the owned memory (tests).
+  Footprint &memory() { return Mem; }
+
+private:
+  using Locals = std::unordered_map<std::string, Word>;
+
+  const Program &Prog;
+  ExtSpec &Ext;
+  uint64_t Fuel;
+  StackallocPolicy Policy;
+  Footprint Mem;
+  Word StackNext = 0;
+  ExecResult Result; ///< Accumulates trace/fault during a call.
+
+  bool fault(Fault F, std::string Detail);
+  bool evalExpr(const Expr &E, const Locals &L, Word &Out);
+  bool execStmt(const Stmt &S, Locals &L);
+  bool execCall(const std::string &Callee,
+                const std::vector<Word> &ArgVals, std::vector<Word> &Rets);
+};
+
+} // namespace bedrock2
+} // namespace b2
+
+#endif // B2_BEDROCK2_SEMANTICS_H

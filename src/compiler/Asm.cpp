@@ -1,0 +1,184 @@
+//===- compiler/Asm.cpp - Label-based assembler with relaxation -------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Asm.h"
+
+#include "support/Word.h"
+
+#include <cassert>
+
+using namespace b2;
+using namespace b2::compiler;
+using namespace b2::isa;
+
+Label Asm::newLabel() {
+  LabelPositions.emplace_back();
+  return Label(LabelPositions.size() - 1);
+}
+
+void Asm::bind(Label L) {
+  assert(L < LabelPositions.size() && "unknown label");
+  assert(!LabelPositions[L].has_value() && "label bound twice");
+  LabelPositions[L] = Items.size();
+}
+
+void Asm::emit(const Instr &I) {
+  Item It;
+  It.K = Item::Kind::Concrete;
+  It.I = I;
+  Items.push_back(It);
+}
+
+void Asm::emitBranch(Opcode Op, Reg Rs1, Reg Rs2, Label Target) {
+  assert(isBranch(Op) && "emitBranch requires a branch opcode");
+  Item It;
+  It.K = Item::Kind::Branch;
+  It.I.Op = Op;
+  It.I.Rs1 = Rs1;
+  It.I.Rs2 = Rs2;
+  It.Target = Target;
+  Items.push_back(It);
+}
+
+void Asm::emitJal(Reg Rd, Label Target) {
+  Item It;
+  It.K = Item::Kind::Jump;
+  It.I.Op = Opcode::Jal;
+  It.I.Rd = Rd;
+  It.Target = Target;
+  Items.push_back(It);
+}
+
+void Asm::emitLoadImm(Reg Rd, Word Value) {
+  std::vector<Instr> Seq;
+  materialize(Value, Rd, Seq);
+  for (const Instr &I : Seq)
+    emit(I);
+}
+
+Opcode Asm::invertBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+    return Opcode::Bne;
+  case Opcode::Bne:
+    return Opcode::Beq;
+  case Opcode::Blt:
+    return Opcode::Bge;
+  case Opcode::Bge:
+    return Opcode::Blt;
+  case Opcode::Bltu:
+    return Opcode::Bgeu;
+  case Opcode::Bgeu:
+    return Opcode::Bltu;
+  default:
+    assert(false && "not a branch");
+    return Op;
+  }
+}
+
+std::optional<std::vector<Instr>> Asm::finish(std::string &Error) {
+  // All referenced labels must be bound before any offset math.
+  for (const Item &It : Items) {
+    if (It.K == Item::Kind::Concrete)
+      continue;
+    if (It.Target >= LabelPositions.size() ||
+        !LabelPositions[It.Target].has_value()) {
+      Error = "unbound label " + std::to_string(It.Target);
+      return std::nullopt;
+    }
+  }
+
+  // Widths in instructions: concrete 1, jump 1, branch 1 or 2 (relaxed).
+  auto WidthOf = [](const Item &It) -> size_t {
+    return (It.K == Item::Kind::Branch && It.Relaxed) ? 2 : 1;
+  };
+
+  // Iterate relaxation to a fixpoint. Widths only grow, so this
+  // terminates after at most |Items| rounds.
+  std::vector<size_t> Offsets(Items.size() + 1, 0); // In instructions.
+  for (;;) {
+    for (size_t I = 0; I != Items.size(); ++I)
+      Offsets[I + 1] = Offsets[I] + WidthOf(Items[I]);
+
+    auto TargetOffset = [&](Label L, size_t &Out) -> bool {
+      if (L >= LabelPositions.size() || !LabelPositions[L].has_value()) {
+        Error = "unbound label " + std::to_string(L);
+        return false;
+      }
+      Out = Offsets[*LabelPositions[L]];
+      return true;
+    };
+
+    bool Changed = false;
+    for (size_t I = 0; I != Items.size(); ++I) {
+      Item &It = Items[I];
+      if (It.K != Item::Kind::Branch || It.Relaxed)
+        continue;
+      size_t T;
+      if (!TargetOffset(It.Target, T))
+        return std::nullopt;
+      int64_t Delta = (int64_t(T) - int64_t(Offsets[I])) * 4;
+      if (!support::fitsSigned(SWord(Delta), 13)) {
+        It.Relaxed = true;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  FinalLabelOffsets.assign(LabelPositions.size(), 0);
+  for (size_t L = 0; L != LabelPositions.size(); ++L)
+    if (LabelPositions[L].has_value())
+      FinalLabelOffsets[L] = Offsets[*LabelPositions[L]];
+
+  // Final emission with resolved offsets.
+  std::vector<Instr> Out;
+  Out.reserve(Offsets.back());
+  for (size_t I = 0; I != Items.size(); ++I) {
+    const Item &It = Items[I];
+    size_t Here = Offsets[I];
+    switch (It.K) {
+    case Item::Kind::Concrete:
+      Out.push_back(It.I);
+      break;
+    case Item::Kind::Jump: {
+      size_t T = Offsets[*LabelPositions[It.Target]];
+      int64_t Delta = (int64_t(T) - int64_t(Here)) * 4;
+      if (!support::fitsSigned(SWord(Delta), 21)) {
+        Error = "jump target out of jal range";
+        return std::nullopt;
+      }
+      Out.push_back(jal(It.I.Rd, SWord(Delta)));
+      break;
+    }
+    case Item::Kind::Branch: {
+      size_t T = Offsets[*LabelPositions[It.Target]];
+      if (!It.Relaxed) {
+        int64_t Delta = (int64_t(T) - int64_t(Here)) * 4;
+        Out.push_back(mkB(It.I.Op, It.I.Rs1, It.I.Rs2, SWord(Delta)));
+      } else {
+        // Inverted branch skips the jal that performs the far jump.
+        Out.push_back(mkB(invertBranch(It.I.Op), It.I.Rs1, It.I.Rs2, 8));
+        int64_t Delta = (int64_t(T) - int64_t(Here + 1)) * 4;
+        if (!support::fitsSigned(SWord(Delta), 21)) {
+          Error = "relaxed branch target out of jal range";
+          return std::nullopt;
+        }
+        Out.push_back(jal(Zero, SWord(Delta)));
+      }
+      break;
+    }
+    }
+  }
+  assert(Out.size() == Offsets.back() && "width bookkeeping mismatch");
+  return Out;
+}
+
+size_t Asm::labelOffsetAfterFinish(Label L) const {
+  assert(L < FinalLabelOffsets.size() && "unknown label");
+  return FinalLabelOffsets[L];
+}

@@ -1,0 +1,87 @@
+//===- compiler/Asm.h - Label-based assembler with relaxation --*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for the compiler backend: code is emitted against
+/// symbolic labels, then \c finish() resolves label offsets. Conditional
+/// branches whose targets exceed the B-format's ±4 KiB range are relaxed
+/// into an inverted branch over a jal (and jal targets beyond ±1 MiB are
+/// rejected — the demo platform's RAM is far smaller). Relaxation iterates
+/// to a fixpoint since widening one branch can push another out of range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_ASM_H
+#define B2_COMPILER_ASM_H
+
+#include "isa/Build.h"
+#include "isa/Instr.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace compiler {
+
+/// A symbolic code label.
+using Label = uint32_t;
+
+/// The assembler. Emitted items are either concrete instructions or
+/// label-referencing branch/jump placeholders.
+class Asm {
+public:
+  /// Allocates a fresh, unbound label.
+  Label newLabel();
+
+  /// Binds \p L to the current position. A label may be bound once.
+  void bind(Label L);
+
+  /// Emits a concrete instruction.
+  void emit(const isa::Instr &I);
+
+  /// Emits `op rs1, rs2, -> Target` (conditional branch).
+  void emitBranch(isa::Opcode Op, isa::Reg Rs1, isa::Reg Rs2, Label Target);
+
+  /// Emits `jal rd, -> Target`.
+  void emitJal(isa::Reg Rd, Label Target);
+
+  /// Loads a 32-bit constant into \p Rd (lui/addi as needed).
+  void emitLoadImm(isa::Reg Rd, Word Value);
+
+  /// Current instruction count (before relaxation).
+  size_t size() const { return Items.size(); }
+
+  /// Resolves labels and relaxes out-of-range branches. Returns the final
+  /// instruction list, or std::nullopt with \p Error set (unbound label or
+  /// unencodable jump).
+  std::optional<std::vector<isa::Instr>> finish(std::string &Error);
+
+  /// Final instruction index of \p L. Valid only after a successful
+  /// finish().
+  size_t labelOffsetAfterFinish(Label L) const;
+
+private:
+  struct Item {
+    enum class Kind : uint8_t { Concrete, Branch, Jump } K;
+    isa::Instr I;       ///< Concrete instruction / branch or jump template.
+    Label Target = 0;
+    bool Relaxed = false; ///< Branch: expanded to inverted-branch + jal.
+  };
+
+  std::vector<Item> Items;
+  std::vector<std::optional<size_t>> LabelPositions; ///< Item index.
+  std::vector<size_t> FinalLabelOffsets; ///< Instruction index per label,
+                                         ///< filled by finish().
+
+  static isa::Opcode invertBranch(isa::Opcode Op);
+};
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_ASM_H

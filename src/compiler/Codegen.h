@@ -1,0 +1,64 @@
+//===- compiler/Codegen.h - RISC-V backend ---------------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's backend (Figure 3: "compiler backend" to "RISC-V"):
+/// lowers FlatImp-with-registers to RV32IM instructions.
+///
+/// Frame layout (sp grows down; all offsets from the post-prologue sp):
+/// \code
+///   +-------------------------+  <- sp + FrameSize   (caller's sp)
+///   | saved ra                |
+///   | saved s-registers ...   |
+///   | spill slots ...         |
+///   | stackalloc arena ...    |
+///   +-------------------------+  <- sp
+/// \endcode
+///
+/// Recursion is rejected by the driver, and each function's frame size is
+/// static, so the whole program's stack need is a static bound — this is
+/// how the paper can "prove that the application will never run out of
+/// memory" (section 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_CODEGEN_H
+#define B2_COMPILER_CODEGEN_H
+
+#include "compiler/Asm.h"
+#include "compiler/ExtCallCompiler.h"
+#include "compiler/FlatImp.h"
+#include "compiler/RegAlloc.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace b2 {
+namespace compiler {
+
+/// Code for one function plus the metadata the driver needs.
+struct FunctionCode {
+  std::string Name;
+  Word FrameBytes = 0;   ///< Static frame size.
+  Label Entry;           ///< Label of the function's entry point.
+  std::vector<std::string> Callees; ///< Direct calls (for stack/recursion
+                                    ///< analysis).
+};
+
+/// Generates code for \p F into \p A. \p FunctionLabels maps every
+/// function name to its entry label (pre-created by the driver so calls
+/// can be emitted before their targets). Returns metadata or nullopt with
+/// \p Error set.
+std::optional<FunctionCode>
+generateFunction(Asm &A, const FlatFunction &F, const Allocation &Alloc,
+                 const std::map<std::string, Label> &FunctionLabels,
+                 ExtCallCompiler &ExtCompiler, std::string &Error);
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_CODEGEN_H

@@ -1,0 +1,281 @@
+//===- compiler/Compile.cpp - Compiler driver ---------------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compile.h"
+
+#include "compiler/Codegen.h"
+#include "compiler/Flatten.h"
+#include "compiler/Passes.h"
+#include "compiler/RegAlloc.h"
+#include "isa/Encoding.h"
+
+#include <cassert>
+#include <set>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::compiler;
+using namespace b2::isa;
+
+std::vector<uint8_t> CompiledProgram::image() const {
+  return instrencode(Code);
+}
+
+namespace {
+
+/// Checks that every call has a defined callee with matching arities.
+bool checkCalls(const FlatProgram &P, std::string &Error) {
+  for (const FlatFunction &F : P.Functions) {
+    bool Ok = true;
+    auto Walk = [&](auto &&Self, const FStmt &S) -> void {
+      if (!Ok)
+        return;
+      switch (S.K) {
+      case FStmt::Kind::Call: {
+        const FlatFunction *Callee = P.find(S.Callee);
+        if (!Callee) {
+          Error = "'" + F.Name + "' calls undefined '" + S.Callee + "'";
+          Ok = false;
+          return;
+        }
+        if (Callee->Params.size() != S.Args.size() ||
+            Callee->Rets.size() != S.Dsts.size()) {
+          Error = "'" + F.Name + "' calls '" + S.Callee +
+                  "' with mismatched arity";
+          Ok = false;
+        }
+        return;
+      }
+      case FStmt::Kind::If:
+        Self(Self, *S.S1);
+        Self(Self, *S.S2);
+        return;
+      case FStmt::Kind::While:
+        Self(Self, *S.CondPre);
+        Self(Self, *S.S1);
+        return;
+      case FStmt::Kind::Seq:
+        Self(Self, *S.S1);
+        Self(Self, *S.S2);
+        return;
+      case FStmt::Kind::Stackalloc:
+        Self(Self, *S.S1);
+        return;
+      default:
+        return;
+      }
+    };
+    Walk(Walk, *F.Body);
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+/// Rejects recursion ("disallowing recursive functions ... enables us to
+/// prove that the application ... will never run out of memory", section
+/// 5.3) and computes the worst-case stack need per function.
+class StackAnalysis {
+public:
+  StackAnalysis(const std::vector<FunctionCode> &Fns) {
+    for (const FunctionCode &F : Fns)
+      ByName[F.Name] = &F;
+  }
+
+  /// Returns the static bound for \p Name, or nullopt on recursion.
+  std::optional<Word> maxStack(const std::string &Name, std::string &Error) {
+    auto Memo = Done.find(Name);
+    if (Memo != Done.end())
+      return Memo->second;
+    if (InProgress.count(Name)) {
+      Error = "recursion through '" + Name + "' is not supported";
+      return std::nullopt;
+    }
+    const FunctionCode *F = ByName.at(Name);
+    InProgress.insert(Name);
+    Word Deepest = 0;
+    for (const std::string &Callee : F->Callees) {
+      std::optional<Word> Sub = maxStack(Callee, Error);
+      if (!Sub)
+        return std::nullopt;
+      Deepest = std::max(Deepest, *Sub);
+    }
+    InProgress.erase(Name);
+    Word Total = F->FrameBytes + Deepest;
+    Done[Name] = Total;
+    return Total;
+  }
+
+private:
+  std::map<std::string, const FunctionCode *> ByName;
+  std::map<std::string, Word> Done;
+  std::set<std::string> InProgress;
+};
+
+} // namespace
+
+CompileResult b2::compiler::compileProgram(const Program &P,
+                                           const CompilerOptions &Options,
+                                           const Entry &EntryPoint,
+                                           ExtCallCompiler &ExtCompiler,
+                                           Word RamBytes) {
+  CompileResult R;
+
+  // Optional AST-level inlining (gcc -O3 stand-in, section 7.2.1).
+  Program Source = Options.Inlining
+                       ? inlineCalls(P, Options.InlineThreshold)
+                       : P;
+
+  // Phase 1: flattening.
+  FlattenResult Flat = flatten(Source);
+  if (!Flat.ok()) {
+    R.Error = Flat.Error;
+    return R;
+  }
+  FlatProgram FP = std::move(*Flat.Prog);
+
+  // Optional FlatImp-level optimizations.
+  for (FlatFunction &F : FP.Functions) {
+    if (Options.ConstantPropagation)
+      F = constantPropagation(F);
+    if (Options.DeadCodeElim)
+      F = deadCodeElim(F);
+  }
+
+  if (!checkCalls(FP, R.Error))
+    return R;
+
+  // Entry-point sanity.
+  auto RequireFn = [&](const std::string &Name) -> const FlatFunction * {
+    const FlatFunction *F = FP.find(Name);
+    if (!F)
+      R.Error = "entry function '" + Name + "' is not defined";
+    return F;
+  };
+
+  Asm A;
+  std::map<std::string, Label> FunctionLabels;
+  for (const FlatFunction &F : FP.Functions)
+    FunctionLabels[F.Name] = A.newLabel();
+
+  // Entry stub at PC 0: establish the stack pointer at the top of RAM,
+  // then either enter the event loop or perform the single call.
+  std::vector<std::string> EntryCallees;
+  Label HaltLabel = A.newLabel();
+  A.emitLoadImm(SP, RamBytes);
+  switch (EntryPoint.K) {
+  case Entry::Kind::EventLoop: {
+    if (!EntryPoint.Init.empty()) {
+      const FlatFunction *Init = RequireFn(EntryPoint.Init);
+      if (!Init)
+        return R;
+      if (!Init->Params.empty()) {
+        R.Error = "event-loop init must take no arguments";
+        return R;
+      }
+      A.emitJal(RA, FunctionLabels.at(EntryPoint.Init));
+      EntryCallees.push_back(EntryPoint.Init);
+    }
+    const FlatFunction *Loop = RequireFn(EntryPoint.Loop);
+    if (!Loop)
+      return R;
+    if (!Loop->Params.empty()) {
+      R.Error = "event-loop body must take no arguments";
+      return R;
+    }
+    Label LoopHead = A.newLabel();
+    A.bind(LoopHead);
+    A.emitJal(RA, FunctionLabels.at(EntryPoint.Loop));
+    A.emitJal(Zero, LoopHead);
+    EntryCallees.push_back(EntryPoint.Loop);
+    A.bind(HaltLabel); // Unreachable; bound for uniformity.
+    break;
+  }
+  case Entry::Kind::SingleCall: {
+    const FlatFunction *Fn = RequireFn(EntryPoint.Fn);
+    if (!Fn)
+      return R;
+    if (Fn->Params.size() != EntryPoint.Args.size()) {
+      R.Error = "entry call to '" + EntryPoint.Fn +
+                "' has mismatched argument count";
+      return R;
+    }
+    if (EntryPoint.Args.size() > 8) {
+      R.Error = "entry call exceeds 8 arguments";
+      return R;
+    }
+    for (size_t I = 0; I != EntryPoint.Args.size(); ++I)
+      A.emitLoadImm(Reg(A0 + I), EntryPoint.Args[I]);
+    A.emitJal(RA, FunctionLabels.at(EntryPoint.Fn));
+    EntryCallees.push_back(EntryPoint.Fn);
+    A.bind(HaltLabel);
+    A.emitJal(Zero, HaltLabel); // Park: jump-to-self at the halt PC.
+    break;
+  }
+  }
+
+  // Phase 2 + 3 per function: register allocation, then the backend.
+  RegAllocOptions RegOpts;
+  RegOpts.UseCallerSaved = Options.UseCallerSaved;
+  std::vector<FunctionCode> FnCode;
+  for (const FlatFunction &F : FP.Functions) {
+    Allocation Alloc = allocateRegisters(F, RegOpts);
+    std::optional<FunctionCode> Code =
+        generateFunction(A, F, Alloc, FunctionLabels, ExtCompiler, R.Error);
+    if (!Code)
+      return R;
+    FnCode.push_back(std::move(*Code));
+  }
+
+  std::string AsmError;
+  std::optional<std::vector<Instr>> Code = A.finish(AsmError);
+  if (!Code) {
+    R.Error = AsmError;
+    return R;
+  }
+
+  // Recursion check and static stack bound over the entry's call tree.
+  FunctionCode EntryFc;
+  EntryFc.Name = "$entry$";
+  EntryFc.FrameBytes = 0;
+  EntryFc.Callees = EntryCallees;
+  std::vector<FunctionCode> All = FnCode;
+  All.push_back(EntryFc);
+  StackAnalysis SA(All);
+  std::optional<Word> MaxStack = SA.maxStack("$entry$", R.Error);
+  if (!MaxStack)
+    return R;
+
+  CompiledProgram Out;
+  Out.Code = std::move(*Code);
+  Out.CodeBytes = Word(Out.Code.size()) * 4;
+  Out.MaxStackBytes = *MaxStack;
+  Out.RamBytes = RamBytes;
+  Out.HaltPc = Word(A.labelOffsetAfterFinish(HaltLabel)) * 4;
+  for (const auto &[Name, L] : FunctionLabels)
+    Out.FunctionPc[Name] = Word(A.labelOffsetAfterFinish(L)) * 4;
+
+  // "We also prove that the application will never run out of memory"
+  // (section 5.3): code and worst-case stack must fit in RAM together.
+  if (Out.CodeBytes + Out.MaxStackBytes > RamBytes) {
+    R.Error = "program does not fit: " + std::to_string(Out.CodeBytes) +
+              " code bytes + " + std::to_string(Out.MaxStackBytes) +
+              " stack bytes exceed " + std::to_string(RamBytes) +
+              " RAM bytes";
+    return R;
+  }
+
+  R.Prog = std::move(Out);
+  return R;
+}
+
+CompileResult b2::compiler::compileProgram(const Program &P,
+                                           const CompilerOptions &Options,
+                                           const Entry &EntryPoint,
+                                           Word RamBytes) {
+  MmioExtCallCompiler Mmio;
+  return compileProgram(P, Options, EntryPoint, Mmio, RamBytes);
+}

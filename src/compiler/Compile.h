@@ -1,0 +1,120 @@
+//===- compiler/Compile.h - Compiler driver --------------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler driver: runs the phases of Figure 3 (flattening, register
+/// allocation, RISC-V backend), lays out all functions plus an entry stub
+/// in one position-relative code image, rejects recursion, and computes
+/// the static stack bound that lets the system promise it "will never run
+/// out of memory" (section 5.3).
+///
+/// Two entry conventions are supported:
+///  * EventLoop — the `init(); while(1) loop();` idiom of section 5.2,
+///    used by the lightbulb firmware. The loop runs forever.
+///  * SingleCall — call one function, then park in an infinite self-jump
+///    at a known halt address (tests and batch examples detect the halt
+///    PC to decide completion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_COMPILE_H
+#define B2_COMPILER_COMPILE_H
+
+#include "bedrock2/Ast.h"
+#include "compiler/ExtCallCompiler.h"
+#include "isa/Instr.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace compiler {
+
+/// Pipeline configuration. The default configuration is the paper's
+/// compiler; \c o3() enables the optimizations gcc -O3 is credited with in
+/// section 7.2.1 and serves as the baseline-compiler stand-in.
+struct CompilerOptions {
+  bool ConstantPropagation = false;
+  bool Inlining = false;
+  bool DeadCodeElim = false;
+  bool UseCallerSaved = false;
+  unsigned InlineThreshold = 60; ///< Max callee size (flat statements).
+
+  static CompilerOptions o0() { return CompilerOptions(); }
+  static CompilerOptions o3() {
+    CompilerOptions O;
+    O.ConstantPropagation = true;
+    O.Inlining = true;
+    O.DeadCodeElim = true;
+    O.UseCallerSaved = true;
+    return O;
+  }
+};
+
+/// How execution starts.
+struct Entry {
+  enum class Kind { EventLoop, SingleCall } K = Kind::SingleCall;
+  std::string Init;             ///< EventLoop: runs once (may be empty).
+  std::string Loop;             ///< EventLoop: runs forever.
+  std::string Fn;               ///< SingleCall target.
+  std::vector<Word> Args;       ///< SingleCall arguments (max 8).
+
+  static Entry eventLoop(std::string Init, std::string Loop) {
+    Entry E;
+    E.K = Kind::EventLoop;
+    E.Init = std::move(Init);
+    E.Loop = std::move(Loop);
+    return E;
+  }
+  static Entry singleCall(std::string Fn, std::vector<Word> Args = {}) {
+    Entry E;
+    E.K = Kind::SingleCall;
+    E.Fn = std::move(Fn);
+    E.Args = std::move(Args);
+    return E;
+  }
+};
+
+/// The compiled artifact.
+struct CompiledProgram {
+  std::vector<isa::Instr> Code;            ///< Image, instruction 0 at PC 0.
+  std::map<std::string, Word> FunctionPc;  ///< Entry PC per function.
+  Word HaltPc = 0;       ///< SingleCall: PC of the self-jump parking loop.
+  Word CodeBytes = 0;
+  Word MaxStackBytes = 0;///< Static bound on total stack use.
+  Word RamBytes = 0;     ///< RAM size the bound was checked against.
+
+  /// Little-endian memory image (the paper's `instrencode`).
+  std::vector<uint8_t> image() const;
+};
+
+/// Result of compilation.
+struct CompileResult {
+  std::optional<CompiledProgram> Prog;
+  std::string Error;
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Compiles \p P for a machine with \p RamBytes of RAM at address 0.
+/// Verifies: no recursion, all callees defined, arities consistent, code
+/// plus worst-case stack fits in RAM.
+CompileResult compileProgram(const bedrock2::Program &P,
+                             const CompilerOptions &Options,
+                             const Entry &EntryPoint,
+                             ExtCallCompiler &ExtCompiler, Word RamBytes);
+
+/// Convenience overload using the MMIO external-calls compiler.
+CompileResult compileProgram(const bedrock2::Program &P,
+                             const CompilerOptions &Options,
+                             const Entry &EntryPoint, Word RamBytes);
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_COMPILE_H

@@ -1,0 +1,55 @@
+//===- compiler/ExtCallCompiler.h - External-calls compiler ----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Our compiler pipeline is parameterized over an external-calls
+/// compiler, which defines how to implement each call with machine code.
+/// In the lightbulb example, it simply translates MMIOREAD and MMIOWRITE
+/// calls to lw and sw instructions" (section 6.3). This header defines the
+/// parameter and that instance.
+///
+/// Contract (the compiler invariant's external-invariant clause, section
+/// 6.3): emitted code receives its arguments in a0..a(n-1), must deliver
+/// results in a0..a(m-1), may clobber only a-registers and the scratch
+/// registers t0..t2, and must not access memory below the MMIO range —
+/// in particular it must not touch the stack or application data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_EXTCALLCOMPILER_H
+#define B2_COMPILER_EXTCALLCOMPILER_H
+
+#include "compiler/Asm.h"
+
+#include <string>
+
+namespace b2 {
+namespace compiler {
+
+/// The external-calls compiler parameter.
+class ExtCallCompiler {
+public:
+  virtual ~ExtCallCompiler();
+
+  /// Emits machine code for external procedure \p Action with \p NumArgs
+  /// arguments in a0.. and \p NumRets expected results in a0... Returns
+  /// false (setting \p Error) for unsupported actions or arities.
+  virtual bool emit(Asm &A, const std::string &Action, unsigned NumArgs,
+                    unsigned NumRets, std::string &Error) = 0;
+};
+
+/// The lightbulb platform's instance: MMIOREAD(addr) -> lw, and
+/// MMIOWRITE(addr, value) -> sw.
+class MmioExtCallCompiler final : public ExtCallCompiler {
+public:
+  bool emit(Asm &A, const std::string &Action, unsigned NumArgs,
+            unsigned NumRets, std::string &Error) override;
+};
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_EXTCALLCOMPILER_H

@@ -1,0 +1,118 @@
+//===- compiler/FlatImp.h - Flattened intermediate language ----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FlatImp, the compiler's intermediate language (Figure 3): Bedrock2
+/// statements whose expressions have been flattened into three-address
+/// assignments over variables. The flattening phase produces "FlatImp
+/// with variables"; the register-allocation phase assigns each variable a
+/// machine register or a spill slot, yielding "FlatImp with registers"
+/// (represented as FlatImp plus an Allocation side table).
+///
+/// Variables are dense integer ids within one function; FlatFunction keeps
+/// the original names for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_FLATIMP_H
+#define B2_COMPILER_FLATIMP_H
+
+#include "bedrock2/Ast.h"
+#include "support/Word.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace compiler {
+
+/// A FlatImp variable id (dense, per function).
+using FVar = uint32_t;
+
+struct FStmt;
+using FStmtPtr = std::shared_ptr<const FStmt>;
+
+/// Flattened statements. Expressions appear only as single operations.
+struct FStmt {
+  enum class Kind : uint8_t {
+    Skip,
+    Const,      ///< Dst = Imm.
+    Copy,       ///< Dst = A.
+    Op,         ///< Dst = A op B.
+    OpImm,      ///< Dst = A op Imm (produced by constant propagation only).
+    Load,       ///< Dst = mem[A] (Size bytes).
+    Store,      ///< mem[A] = B (Size bytes).
+    If,         ///< if (CondVar != 0) S1 else S2. CondVar is computed by
+                ///< statements emitted before the If.
+    While,      ///< while: CondPre; if (CondVar == 0) break; Body.
+    Seq,        ///< S1; S2.
+    Call,       ///< Dsts = Callee(Args).
+    Interact,   ///< Dsts = external Callee(Args).
+    Stackalloc, ///< Dst = fresh NBytes buffer for the dynamic extent of S1.
+  } K;
+
+  FVar Dst = 0;
+  FVar A = 0;
+  FVar B = 0;
+  Word Imm = 0;
+  bedrock2::BinOp Op = bedrock2::BinOp::Add;
+  unsigned Size = 4;
+  FVar CondVar = 0;
+  FStmtPtr CondPre; ///< While: recomputes CondVar before each test.
+  FStmtPtr S1;
+  FStmtPtr S2;
+  std::vector<FVar> Dsts;
+  std::string Callee;
+  std::vector<FVar> Args;
+  Word NBytes = 0;
+
+  static FStmtPtr skip();
+  static FStmtPtr constant(FVar Dst, Word Imm);
+  static FStmtPtr copy(FVar Dst, FVar A);
+  static FStmtPtr op(FVar Dst, bedrock2::BinOp Op, FVar A, FVar B);
+  static FStmtPtr opImm(FVar Dst, bedrock2::BinOp Op, FVar A, Word Imm);
+  static FStmtPtr load(FVar Dst, unsigned Size, FVar Addr);
+  static FStmtPtr store(unsigned Size, FVar Addr, FVar Value);
+  static FStmtPtr ifThenElse(FVar CondVar, FStmtPtr S1, FStmtPtr S2);
+  static FStmtPtr whileLoop(FStmtPtr CondPre, FVar CondVar, FStmtPtr Body);
+  static FStmtPtr seq(FStmtPtr S1, FStmtPtr S2);
+  static FStmtPtr call(std::vector<FVar> Dsts, std::string Callee,
+                       std::vector<FVar> Args);
+  static FStmtPtr interact(std::vector<FVar> Dsts, std::string Action,
+                           std::vector<FVar> Args);
+  static FStmtPtr stackalloc(FVar Dst, Word NBytes, FStmtPtr Body);
+};
+
+/// A flattened function.
+struct FlatFunction {
+  std::string Name;
+  std::vector<FVar> Params;
+  std::vector<FVar> Rets;
+  FStmtPtr Body;
+  FVar NumVars = 0;                  ///< Ids are 0..NumVars-1.
+  std::vector<std::string> VarNames; ///< Diagnostic names per id.
+};
+
+/// A flattened program.
+struct FlatProgram {
+  std::vector<FlatFunction> Functions;
+
+  const FlatFunction *find(const std::string &Name) const {
+    for (const FlatFunction &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Pretty-printer for debugging and golden tests.
+std::string toString(const FlatFunction &F);
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_FLATIMP_H

@@ -1,0 +1,175 @@
+//===- compiler/Flatten.cpp - Flattening phase -------------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Flatten.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::compiler;
+
+namespace {
+
+class FunctionFlattener {
+public:
+  explicit FunctionFlattener(const Function &F) : Src(F) {}
+
+  FlatFunction run() {
+    FlatFunction Out;
+    Out.Name = Src.Name;
+    for (const std::string &P : Src.Params)
+      Out.Params.push_back(varFor(P));
+    FStmtPtr Body = flattenStmt(*Src.Body);
+    for (const std::string &R : Src.Rets)
+      Out.Rets.push_back(varFor(R));
+    Out.Body = Body;
+    Out.NumVars = NextVar;
+    Out.VarNames = Names;
+    return Out;
+  }
+
+private:
+  const Function &Src;
+  std::unordered_map<std::string, FVar> VarIds;
+  std::vector<std::string> Names;
+  FVar NextVar = 0;
+
+  FVar fresh(const std::string &Hint) {
+    FVar Id = NextVar++;
+    Names.push_back(Hint);
+    return Id;
+  }
+
+  FVar varFor(const std::string &Name) {
+    auto It = VarIds.find(Name);
+    if (It != VarIds.end())
+      return It->second;
+    FVar Id = fresh(Name);
+    VarIds.emplace(Name, Id);
+    return Id;
+  }
+
+  /// Flattens \p E, emitting prep statements into \p Pre and returning the
+  /// variable holding the value.
+  FVar flattenExpr(const Expr &E, std::vector<FStmtPtr> &Pre) {
+    switch (E.K) {
+    case Expr::Kind::Literal: {
+      FVar T = fresh("");
+      Pre.push_back(FStmt::constant(T, E.Lit));
+      return T;
+    }
+    case Expr::Kind::Var:
+      return varFor(E.Name);
+    case Expr::Kind::Load: {
+      FVar A = flattenExpr(*E.A, Pre);
+      FVar T = fresh("");
+      Pre.push_back(FStmt::load(T, E.Size, A));
+      return T;
+    }
+    case Expr::Kind::Op: {
+      FVar A = flattenExpr(*E.A, Pre);
+      FVar B = flattenExpr(*E.B, Pre);
+      FVar T = fresh("");
+      Pre.push_back(FStmt::op(T, E.Op, A, B));
+      return T;
+    }
+    }
+    assert(false && "unreachable: exhaustive expression kinds");
+    return 0;
+  }
+
+  FStmtPtr flattenStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Skip:
+      return FStmt::skip();
+    case Stmt::Kind::Set: {
+      std::vector<FStmtPtr> Pre;
+      FVar V = flattenExpr(*S.Value, Pre);
+      Pre.push_back(FStmt::copy(varFor(S.Var), V));
+      return seqAll(Pre);
+    }
+    case Stmt::Kind::Store: {
+      std::vector<FStmtPtr> Pre;
+      FVar A = flattenExpr(*S.Addr, Pre);
+      FVar V = flattenExpr(*S.Value, Pre);
+      Pre.push_back(FStmt::store(S.Size, A, V));
+      return seqAll(Pre);
+    }
+    case Stmt::Kind::If: {
+      std::vector<FStmtPtr> Pre;
+      FVar C = flattenExpr(*S.Cond, Pre);
+      FStmtPtr Then = flattenStmt(*S.S1);
+      FStmtPtr Else = flattenStmt(*S.S2);
+      Pre.push_back(FStmt::ifThenElse(C, Then, Else));
+      return seqAll(Pre);
+    }
+    case Stmt::Kind::While: {
+      // The condition is re-evaluated before every iteration; its prep
+      // statements become the loop's CondPre block.
+      std::vector<FStmtPtr> Pre;
+      FVar C = flattenExpr(*S.Cond, Pre);
+      FStmtPtr CondPre = seqAll(Pre);
+      FStmtPtr Body = flattenStmt(*S.S1);
+      return FStmt::whileLoop(CondPre, C, Body);
+    }
+    case Stmt::Kind::Seq:
+      return FStmt::seq(flattenStmt(*S.S1), flattenStmt(*S.S2));
+    case Stmt::Kind::Call:
+    case Stmt::Kind::Interact: {
+      std::vector<FStmtPtr> Pre;
+      std::vector<FVar> Args;
+      Args.reserve(S.Args.size());
+      for (const ExprPtr &A : S.Args)
+        Args.push_back(flattenExpr(*A, Pre));
+      std::vector<FVar> Dsts;
+      Dsts.reserve(S.Dsts.size());
+      for (const std::string &D : S.Dsts)
+        Dsts.push_back(varFor(D));
+      if (S.K == Stmt::Kind::Call)
+        Pre.push_back(FStmt::call(std::move(Dsts), S.Callee, std::move(Args)));
+      else
+        Pre.push_back(
+            FStmt::interact(std::move(Dsts), S.Callee, std::move(Args)));
+      return seqAll(Pre);
+    }
+    case Stmt::Kind::Stackalloc:
+      return FStmt::stackalloc(varFor(S.Var), S.NBytes, flattenStmt(*S.S1));
+    }
+    assert(false && "unreachable: exhaustive statement kinds");
+    return FStmt::skip();
+  }
+
+  static FStmtPtr seqAll(const std::vector<FStmtPtr> &Stmts) {
+    if (Stmts.empty())
+      return FStmt::skip();
+    FStmtPtr Out = Stmts.back();
+    for (size_t I = Stmts.size() - 1; I-- > 0;)
+      Out = FStmt::seq(Stmts[I], Out);
+    return Out;
+  }
+};
+
+} // namespace
+
+FlatFunction b2::compiler::flattenFunction(const Function &F) {
+  return FunctionFlattener(F).run();
+}
+
+FlattenResult b2::compiler::flatten(const Program &P) {
+  FlattenResult R;
+  FlatProgram Out;
+  for (const auto &[Name, F] : P.Functions) {
+    if (!F.Body) {
+      R.Error = "function '" + Name + "' has no body";
+      return R;
+    }
+    Out.Functions.push_back(flattenFunction(F));
+  }
+  R.Prog = std::move(Out);
+  return R;
+}

@@ -1,0 +1,45 @@
+//===- compiler/Flatten.h - Flattening phase -------------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's first phase (Figure 3): flattens Bedrock2 expression
+/// trees into three-address FlatImp, introducing a fresh temporary per
+/// intermediate value. Source variables keep one id for the whole
+/// function (FlatImp is not SSA, matching the original compiler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_FLATTEN_H
+#define B2_COMPILER_FLATTEN_H
+
+#include "bedrock2/Ast.h"
+#include "compiler/FlatImp.h"
+
+#include <optional>
+#include <string>
+
+namespace b2 {
+namespace compiler {
+
+/// Result of flattening: a program, or a diagnostic (e.g. a statement
+/// form that cannot be flattened).
+struct FlattenResult {
+  std::optional<FlatProgram> Prog;
+  std::string Error;
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Flattens every function of \p P.
+FlattenResult flatten(const bedrock2::Program &P);
+
+/// Flattens a single function (tests).
+FlatFunction flattenFunction(const bedrock2::Function &F);
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_FLATTEN_H

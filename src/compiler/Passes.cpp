@@ -1,0 +1,516 @@
+//===- compiler/Passes.cpp - Optional optimization passes --------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+
+#include "compiler/Flatten.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::compiler;
+
+unsigned b2::compiler::flatSize(const FStmt &S) {
+  switch (S.K) {
+  case FStmt::Kind::Seq:
+    return flatSize(*S.S1) + flatSize(*S.S2);
+  case FStmt::Kind::If:
+    return 1 + flatSize(*S.S1) + flatSize(*S.S2);
+  case FStmt::Kind::While:
+    return 1 + flatSize(*S.CondPre) + flatSize(*S.S1);
+  case FStmt::Kind::Stackalloc:
+    return 1 + flatSize(*S.S1);
+  default:
+    return 1;
+  }
+}
+
+// -- Inlining -------------------------------------------------------------------
+
+namespace {
+
+ExprPtr renameExpr(const Expr &E, const std::string &Prefix) {
+  switch (E.K) {
+  case Expr::Kind::Literal:
+    return Expr::literal(E.Lit);
+  case Expr::Kind::Var:
+    return Expr::var(Prefix + E.Name);
+  case Expr::Kind::Load:
+    return Expr::load(E.Size, renameExpr(*E.A, Prefix));
+  case Expr::Kind::Op:
+    return Expr::op(E.Op, renameExpr(*E.A, Prefix), renameExpr(*E.B, Prefix));
+  }
+  assert(false && "unreachable");
+  return nullptr;
+}
+
+StmtPtr renameStmt(const Stmt &S, const std::string &Prefix) {
+  switch (S.K) {
+  case Stmt::Kind::Skip:
+    return Stmt::skip();
+  case Stmt::Kind::Set:
+    return Stmt::set(Prefix + S.Var, renameExpr(*S.Value, Prefix));
+  case Stmt::Kind::Store:
+    return Stmt::store(S.Size, renameExpr(*S.Addr, Prefix),
+                       renameExpr(*S.Value, Prefix));
+  case Stmt::Kind::If:
+    return Stmt::ifThenElse(renameExpr(*S.Cond, Prefix),
+                            renameStmt(*S.S1, Prefix),
+                            renameStmt(*S.S2, Prefix));
+  case Stmt::Kind::While:
+    return Stmt::whileLoop(renameExpr(*S.Cond, Prefix),
+                           renameStmt(*S.S1, Prefix));
+  case Stmt::Kind::Seq:
+    return Stmt::seq(renameStmt(*S.S1, Prefix), renameStmt(*S.S2, Prefix));
+  case Stmt::Kind::Call:
+  case Stmt::Kind::Interact: {
+    std::vector<std::string> Dsts;
+    for (const std::string &D : S.Dsts)
+      Dsts.push_back(Prefix + D);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &A : S.Args)
+      Args.push_back(renameExpr(*A, Prefix));
+    if (S.K == Stmt::Kind::Call)
+      return Stmt::call(std::move(Dsts), S.Callee, std::move(Args));
+    return Stmt::interact(std::move(Dsts), S.Callee, std::move(Args));
+  }
+  case Stmt::Kind::Stackalloc:
+    return Stmt::stackalloc(Prefix + S.Var, S.NBytes,
+                            renameStmt(*S.S1, Prefix));
+  }
+  assert(false && "unreachable");
+  return nullptr;
+}
+
+class Inliner {
+public:
+  Inliner(const Program &P, unsigned Threshold) : Prog(P) {
+    for (const auto &[Name, F] : P.Functions) {
+      FlatFunction FF = flattenFunction(F);
+      if (flatSize(*FF.Body) <= Threshold)
+        Eligible.insert(Name);
+    }
+  }
+
+  Program run() {
+    Program Out;
+    for (const auto &[Name, F] : Prog.Functions) {
+      Function NF = F;
+      // Iterate: inlined bodies can contain further eligible calls. The
+      // call graph is acyclic, so the depth bound is |functions|.
+      for (size_t Round = 0; Round != Prog.Functions.size() + 1; ++Round) {
+        bool Changed = false;
+        NF.Body = rewrite(*NF.Body, Name, Changed);
+        if (!Changed)
+          break;
+      }
+      Out.add(std::move(NF));
+    }
+    return Out;
+  }
+
+private:
+  const Program &Prog;
+  std::set<std::string> Eligible;
+  unsigned Counter = 0;
+
+  StmtPtr rewrite(const Stmt &S, const std::string &Caller, bool &Changed) {
+    switch (S.K) {
+    case Stmt::Kind::If:
+      return Stmt::ifThenElse(S.Cond, rewrite(*S.S1, Caller, Changed),
+                              rewrite(*S.S2, Caller, Changed));
+    case Stmt::Kind::While:
+      return Stmt::whileLoop(S.Cond, rewrite(*S.S1, Caller, Changed));
+    case Stmt::Kind::Seq:
+      return Stmt::seq(rewrite(*S.S1, Caller, Changed),
+                       rewrite(*S.S2, Caller, Changed));
+    case Stmt::Kind::Stackalloc:
+      return Stmt::stackalloc(S.Var, S.NBytes,
+                              rewrite(*S.S1, Caller, Changed));
+    case Stmt::Kind::Call: {
+      if (!Eligible.count(S.Callee) || S.Callee == Caller)
+        return std::make_shared<Stmt>(S);
+      const Function *Callee = Prog.find(S.Callee);
+      if (!Callee || Callee->Params.size() != S.Args.size() ||
+          Callee->Rets.size() != S.Dsts.size())
+        return std::make_shared<Stmt>(S); // Leave errors to the driver.
+      Changed = true;
+      std::string Prefix =
+          "$inl" + std::to_string(Counter++) + "$";
+      std::vector<StmtPtr> Parts;
+      for (size_t I = 0; I != S.Args.size(); ++I)
+        Parts.push_back(Stmt::set(Prefix + Callee->Params[I], S.Args[I]));
+      Parts.push_back(renameStmt(*Callee->Body, Prefix));
+      for (size_t I = 0; I != S.Dsts.size(); ++I)
+        Parts.push_back(
+            Stmt::set(S.Dsts[I], Expr::var(Prefix + Callee->Rets[I])));
+      return Stmt::block(std::move(Parts));
+    }
+    default:
+      return std::make_shared<Stmt>(S);
+    }
+  }
+};
+
+} // namespace
+
+Program b2::compiler::inlineCalls(const Program &P, unsigned Threshold) {
+  return Inliner(P, Threshold).run();
+}
+
+// -- Constant propagation --------------------------------------------------------
+
+namespace {
+
+using ConstEnv = std::unordered_map<FVar, Word>;
+
+void assignedVars(const FStmt &S, std::unordered_set<FVar> &Out) {
+  switch (S.K) {
+  case FStmt::Kind::Const:
+  case FStmt::Kind::Copy:
+  case FStmt::Kind::Op:
+  case FStmt::Kind::OpImm:
+  case FStmt::Kind::Load:
+    Out.insert(S.Dst);
+    return;
+  case FStmt::Kind::If:
+    assignedVars(*S.S1, Out);
+    assignedVars(*S.S2, Out);
+    return;
+  case FStmt::Kind::While:
+    assignedVars(*S.CondPre, Out);
+    assignedVars(*S.S1, Out);
+    return;
+  case FStmt::Kind::Seq:
+    assignedVars(*S.S1, Out);
+    assignedVars(*S.S2, Out);
+    return;
+  case FStmt::Kind::Call:
+  case FStmt::Kind::Interact:
+    for (FVar D : S.Dsts)
+      Out.insert(D);
+    return;
+  case FStmt::Kind::Stackalloc:
+    Out.insert(S.Dst);
+    assignedVars(*S.S1, Out);
+    return;
+  case FStmt::Kind::Skip:
+  case FStmt::Kind::Store:
+    return;
+  }
+}
+
+bool isCommutative(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+  case BinOp::Mul:
+  case BinOp::MulHuu:
+  case BinOp::And:
+  case BinOp::Or:
+  case BinOp::Xor:
+  case BinOp::Eq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class ConstProp {
+public:
+  FStmtPtr run(const FStmt &S, ConstEnv &Env) {
+    switch (S.K) {
+    case FStmt::Kind::Skip:
+    case FStmt::Kind::Store:
+      return clone(S);
+    case FStmt::Kind::Const:
+      Env[S.Dst] = S.Imm;
+      return clone(S);
+    case FStmt::Kind::Copy: {
+      auto It = Env.find(S.A);
+      if (It != Env.end()) {
+        Env[S.Dst] = It->second;
+        return FStmt::constant(S.Dst, It->second);
+      }
+      Env.erase(S.Dst);
+      return clone(S);
+    }
+    case FStmt::Kind::Op: {
+      auto A = lookup(Env, S.A);
+      auto B = lookup(Env, S.B);
+      if (A && B) {
+        Word V = evalBinOp(S.Op, *A, *B);
+        Env[S.Dst] = V;
+        return FStmt::constant(S.Dst, V);
+      }
+      if (B) {
+        Env.erase(S.Dst);
+        return FStmt::opImm(S.Dst, S.Op, S.A, *B);
+      }
+      if (A && isCommutative(S.Op)) {
+        Env.erase(S.Dst);
+        return FStmt::opImm(S.Dst, S.Op, S.B, *A);
+      }
+      Env.erase(S.Dst);
+      return clone(S);
+    }
+    case FStmt::Kind::OpImm: {
+      auto A = lookup(Env, S.A);
+      if (A) {
+        Word V = evalBinOp(S.Op, *A, S.Imm);
+        Env[S.Dst] = V;
+        return FStmt::constant(S.Dst, V);
+      }
+      Env.erase(S.Dst);
+      return clone(S);
+    }
+    case FStmt::Kind::Load:
+      Env.erase(S.Dst);
+      return clone(S);
+    case FStmt::Kind::If: {
+      auto C = lookup(Env, S.CondVar);
+      if (C)
+        return run(*C != 0 ? *S.S1 : *S.S2, Env);
+      ConstEnv ThenEnv = Env;
+      ConstEnv ElseEnv = Env;
+      FStmtPtr Then = run(*S.S1, ThenEnv);
+      FStmtPtr Else = run(*S.S2, ElseEnv);
+      Env.clear();
+      for (const auto &[V, K] : ThenEnv) {
+        auto It = ElseEnv.find(V);
+        if (It != ElseEnv.end() && It->second == K)
+          Env[V] = K;
+      }
+      return FStmt::ifThenElse(S.CondVar, Then, Else);
+    }
+    case FStmt::Kind::While: {
+      // Conservative: every variable assigned in the loop is unknown both
+      // inside and after it.
+      std::unordered_set<FVar> Killed;
+      assignedVars(*S.CondPre, Killed);
+      assignedVars(*S.S1, Killed);
+      for (FVar V : Killed)
+        Env.erase(V);
+      ConstEnv LoopEnv = Env;
+      FStmtPtr CondPre = run(*S.CondPre, LoopEnv);
+      ConstEnv BodyEnv = Env; // Re-enter with the pre-loop knowledge only.
+      FStmtPtr Body = run(*S.S1, BodyEnv);
+      for (FVar V : Killed)
+        Env.erase(V);
+      return FStmt::whileLoop(CondPre, S.CondVar, Body);
+    }
+    case FStmt::Kind::Seq: {
+      FStmtPtr S1 = run(*S.S1, Env);
+      FStmtPtr S2 = run(*S.S2, Env);
+      return FStmt::seq(S1, S2);
+    }
+    case FStmt::Kind::Call:
+    case FStmt::Kind::Interact:
+      for (FVar D : S.Dsts)
+        Env.erase(D);
+      return clone(S);
+    case FStmt::Kind::Stackalloc: {
+      // The address is unspecified: never a known constant.
+      Env.erase(S.Dst);
+      FStmtPtr Body = run(*S.S1, Env);
+      auto N = std::make_shared<FStmt>(S);
+      N->S1 = Body;
+      return N;
+    }
+    }
+    assert(false && "unreachable");
+    return nullptr;
+  }
+
+private:
+  static std::optional<Word> lookup(const ConstEnv &Env, FVar V) {
+    auto It = Env.find(V);
+    if (It == Env.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  static FStmtPtr clone(const FStmt &S) { return std::make_shared<FStmt>(S); }
+};
+
+} // namespace
+
+FlatFunction b2::compiler::constantPropagation(const FlatFunction &F) {
+  FlatFunction Out = F;
+  ConstEnv Env;
+  Out.Body = ConstProp().run(*F.Body, Env);
+  return Out;
+}
+
+// -- Dead-code elimination --------------------------------------------------------
+
+namespace {
+
+void readVars(const FStmt &S, std::unordered_set<FVar> &Out) {
+  switch (S.K) {
+  case FStmt::Kind::Copy:
+    Out.insert(S.A);
+    return;
+  case FStmt::Kind::Op:
+    Out.insert(S.A);
+    Out.insert(S.B);
+    return;
+  case FStmt::Kind::OpImm:
+  case FStmt::Kind::Load:
+    Out.insert(S.A);
+    return;
+  case FStmt::Kind::Store:
+    Out.insert(S.A);
+    Out.insert(S.B);
+    return;
+  case FStmt::Kind::If:
+    Out.insert(S.CondVar);
+    readVars(*S.S1, Out);
+    readVars(*S.S2, Out);
+    return;
+  case FStmt::Kind::While:
+    Out.insert(S.CondVar);
+    readVars(*S.CondPre, Out);
+    readVars(*S.S1, Out);
+    return;
+  case FStmt::Kind::Seq:
+    readVars(*S.S1, Out);
+    readVars(*S.S2, Out);
+    return;
+  case FStmt::Kind::Call:
+  case FStmt::Kind::Interact:
+    for (FVar A : S.Args)
+      Out.insert(A);
+    return;
+  case FStmt::Kind::Stackalloc:
+    readVars(*S.S1, Out);
+    return;
+  case FStmt::Kind::Skip:
+  case FStmt::Kind::Const:
+    return;
+  }
+}
+
+class Dce {
+public:
+  /// Rewrites \p S given the variables live after it; updates \p Live to
+  /// the variables live before it.
+  FStmtPtr run(const FStmt &S, std::unordered_set<FVar> &Live) {
+    switch (S.K) {
+    case FStmt::Kind::Skip:
+      return FStmt::skip();
+    case FStmt::Kind::Const:
+      if (!Live.count(S.Dst))
+        return FStmt::skip();
+      Live.erase(S.Dst);
+      return clone(S);
+    case FStmt::Kind::Copy:
+      if (!Live.count(S.Dst))
+        return FStmt::skip();
+      Live.erase(S.Dst);
+      Live.insert(S.A);
+      return clone(S);
+    case FStmt::Kind::Op:
+      // Division can trap in C but not here; the only side effect of a
+      // pure op is its result, so unused results die. (An unused load is
+      // also removable: dropping a potentially-UB load only removes
+      // behaviors, which refinement allows.)
+      if (!Live.count(S.Dst))
+        return FStmt::skip();
+      Live.erase(S.Dst);
+      Live.insert(S.A);
+      Live.insert(S.B);
+      return clone(S);
+    case FStmt::Kind::OpImm:
+      if (!Live.count(S.Dst))
+        return FStmt::skip();
+      Live.erase(S.Dst);
+      Live.insert(S.A);
+      return clone(S);
+    case FStmt::Kind::Load:
+      if (!Live.count(S.Dst))
+        return FStmt::skip();
+      Live.erase(S.Dst);
+      Live.insert(S.A);
+      return clone(S);
+    case FStmt::Kind::Store:
+      Live.insert(S.A);
+      Live.insert(S.B);
+      return clone(S);
+    case FStmt::Kind::If: {
+      std::unordered_set<FVar> ThenLive = Live;
+      std::unordered_set<FVar> ElseLive = Live;
+      FStmtPtr Then = run(*S.S1, ThenLive);
+      FStmtPtr Else = run(*S.S2, ElseLive);
+      Live = ThenLive;
+      Live.insert(ElseLive.begin(), ElseLive.end());
+      Live.insert(S.CondVar);
+      return FStmt::ifThenElse(S.CondVar, Then, Else);
+    }
+    case FStmt::Kind::While: {
+      // Conservative: everything read anywhere in the loop is live
+      // throughout it, so only assignments to variables never read in or
+      // after the loop are removed.
+      std::unordered_set<FVar> InLoop;
+      readVars(*S.CondPre, InLoop);
+      readVars(*S.S1, InLoop);
+      InLoop.insert(S.CondVar);
+      std::unordered_set<FVar> LoopLive = Live;
+      LoopLive.insert(InLoop.begin(), InLoop.end());
+      std::unordered_set<FVar> BodyLive = LoopLive;
+      FStmtPtr Body = run(*S.S1, BodyLive);
+      std::unordered_set<FVar> PreLive = LoopLive;
+      FStmtPtr CondPre = run(*S.CondPre, PreLive);
+      Live = LoopLive;
+      Live.insert(PreLive.begin(), PreLive.end());
+      Live.insert(BodyLive.begin(), BodyLive.end());
+      return FStmt::whileLoop(CondPre, S.CondVar, Body);
+    }
+    case FStmt::Kind::Seq: {
+      FStmtPtr S2 = run(*S.S2, Live);
+      FStmtPtr S1 = run(*S.S1, Live);
+      if (S1->K == FStmt::Kind::Skip)
+        return S2;
+      if (S2->K == FStmt::Kind::Skip)
+        return S1;
+      return FStmt::seq(S1, S2);
+    }
+    case FStmt::Kind::Call:
+    case FStmt::Kind::Interact:
+      for (FVar D : S.Dsts)
+        Live.erase(D);
+      for (FVar A : S.Args)
+        Live.insert(A);
+      return clone(S);
+    case FStmt::Kind::Stackalloc: {
+      FStmtPtr Body = run(*S.S1, Live);
+      Live.erase(S.Dst);
+      auto N = std::make_shared<FStmt>(S);
+      N->S1 = Body;
+      return N;
+    }
+    }
+    assert(false && "unreachable");
+    return nullptr;
+  }
+
+private:
+  static FStmtPtr clone(const FStmt &S) { return std::make_shared<FStmt>(S); }
+};
+
+} // namespace
+
+FlatFunction b2::compiler::deadCodeElim(const FlatFunction &F) {
+  FlatFunction Out = F;
+  std::unordered_set<FVar> Live(F.Rets.begin(), F.Rets.end());
+  Out.Body = Dce().run(*F.Body, Live);
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- compiler/Passes.h - Optional optimization passes --------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimizations that the paper's compiler deliberately lacks: "Our
+/// compiler does not do constant propagation, function inlining, or
+/// exploit caller-saved registers, whereas gcc -O3 inlines the SPI driver
+/// function call in the innermost loop and compiles it to two
+/// instructions" (section 7.2.1). The repository's optimizing mode
+/// implements exactly those (plus dead-code elimination to clean up after
+/// the first two), serving as the gcc -O3 stand-in for the compiler-factor
+/// benchmark. Caller-saved register use lives in RegAllocOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_PASSES_H
+#define B2_COMPILER_PASSES_H
+
+#include "bedrock2/Ast.h"
+#include "compiler/FlatImp.h"
+
+namespace b2 {
+namespace compiler {
+
+/// AST-level inlining: calls to functions whose flattened size is at most
+/// \p Threshold statements are replaced by the renamed callee body.
+/// Requires an acyclic call graph (checked by the driver). Iterates until
+/// no eligible call remains.
+bedrock2::Program inlineCalls(const bedrock2::Program &P, unsigned Threshold);
+
+/// Constant propagation and folding over FlatImp: forward dataflow within
+/// each function, conservative at control-flow joins (intersection) and
+/// across loop bodies (invalidation). Folds Const-operand Ops into OpImm
+/// or Const statements.
+FlatFunction constantPropagation(const FlatFunction &F);
+
+/// Dead-code elimination over FlatImp: removes assignments whose
+/// destinations are never observed (backward liveness; loop bodies iterate
+/// to a fixpoint). Calls, interactions, stores, and stackallocs are never
+/// removed.
+FlatFunction deadCodeElim(const FlatFunction &F);
+
+/// Statement count of a flattened body (inlining heuristic, stats).
+unsigned flatSize(const FStmt &S);
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_PASSES_H

@@ -1,0 +1,275 @@
+//===- compiler/RegAlloc.cpp - Register allocation phase ---------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/RegAlloc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace b2;
+using namespace b2::compiler;
+using namespace b2::isa;
+
+namespace {
+
+constexpr uint32_t NoPos = std::numeric_limits<uint32_t>::max();
+
+/// Conservative live interval of one variable, in statement positions.
+struct Interval {
+  FVar Var = 0;
+  uint32_t First = NoPos;
+  uint32_t Last = 0;
+  bool CrossesCall = false;
+
+  bool used() const { return First != NoPos; }
+};
+
+/// Walks the function once, numbering statements and recording variable
+/// occurrences, loop regions, and call positions.
+class IntervalBuilder {
+public:
+  explicit IntervalBuilder(const FlatFunction &F)
+      : Func(F), Intervals(F.NumVars) {
+    for (FVar V = 0; V != F.NumVars; ++V)
+      Intervals[V].Var = V;
+  }
+
+  std::vector<Interval> run() {
+    // Parameters are defined at entry; results are used at exit.
+    for (FVar P : Func.Params)
+      touch(P);
+    ++Pos;
+    walk(*Func.Body);
+    ++Pos;
+    for (FVar R : Func.Rets)
+      touch(R);
+
+    // Extend intervals over loops: a variable occurring inside a loop is
+    // treated as live for the whole loop. One extension can make an
+    // interval newly overlap an enclosing or subsequent loop region, so
+    // iterate to a fixpoint (regions only make intervals grow).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (Interval &I : Intervals) {
+        if (!I.used())
+          continue;
+        for (const auto &[Start, End] : Loops) {
+          bool Overlaps = I.First <= End && Start <= I.Last;
+          if (!Overlaps)
+            continue;
+          if (I.First > Start) {
+            I.First = Start;
+            Changed = true;
+          }
+          if (I.Last < End) {
+            I.Last = End;
+            Changed = true;
+          }
+        }
+      }
+    }
+
+    for (Interval &I : Intervals) {
+      if (!I.used())
+        continue;
+      for (uint32_t C : CallPositions)
+        if (I.First < C && C < I.Last)
+          I.CrossesCall = true;
+    }
+    return Intervals;
+  }
+
+private:
+  const FlatFunction &Func;
+  std::vector<Interval> Intervals;
+  std::vector<std::pair<uint32_t, uint32_t>> Loops;
+  std::vector<uint32_t> CallPositions;
+  uint32_t Pos = 0;
+
+  void touch(FVar V) {
+    assert(V < Intervals.size() && "variable id out of range");
+    Interval &I = Intervals[V];
+    I.First = std::min(I.First, Pos);
+    I.Last = std::max(I.Last, Pos);
+  }
+
+  void walk(const FStmt &S) {
+    ++Pos;
+    switch (S.K) {
+    case FStmt::Kind::Skip:
+      return;
+    case FStmt::Kind::Const:
+      touch(S.Dst);
+      return;
+    case FStmt::Kind::Copy:
+      touch(S.A);
+      touch(S.Dst);
+      return;
+    case FStmt::Kind::Op:
+      touch(S.A);
+      touch(S.B);
+      touch(S.Dst);
+      return;
+    case FStmt::Kind::OpImm:
+      touch(S.A);
+      touch(S.Dst);
+      return;
+    case FStmt::Kind::Load:
+      touch(S.A);
+      touch(S.Dst);
+      return;
+    case FStmt::Kind::Store:
+      touch(S.A);
+      touch(S.B);
+      return;
+    case FStmt::Kind::If:
+      touch(S.CondVar);
+      walk(*S.S1);
+      ++Pos;
+      walk(*S.S2);
+      return;
+    case FStmt::Kind::While: {
+      uint32_t Start = Pos;
+      walk(*S.CondPre);
+      touch(S.CondVar);
+      walk(*S.S1);
+      ++Pos;
+      Loops.push_back({Start, Pos});
+      return;
+    }
+    case FStmt::Kind::Seq:
+      walk(*S.S1);
+      walk(*S.S2);
+      return;
+    case FStmt::Kind::Call:
+    case FStmt::Kind::Interact:
+      for (FVar A : S.Args)
+        touch(A);
+      CallPositions.push_back(Pos);
+      ++Pos;
+      for (FVar D : S.Dsts)
+        touch(D);
+      return;
+    case FStmt::Kind::Stackalloc:
+      touch(S.Dst);
+      walk(*S.S1);
+      return;
+    }
+  }
+};
+
+} // namespace
+
+Allocation b2::compiler::allocateRegisters(const FlatFunction &F,
+                                           const RegAllocOptions &Options) {
+  std::vector<Interval> Intervals = IntervalBuilder(F).run();
+
+  // Register pools.
+  static const Reg CalleeSavedPool[] = {S0, S1, 18, 19, 20, 21,
+                                        22, 23, 24, 25, 26, 27};
+  static const Reg CallerSavedPool[] = {T3, T4, T5, T6};
+
+  Allocation Out;
+  Out.VarLoc.resize(F.NumVars);
+
+  std::vector<Interval> Order;
+  for (const Interval &I : Intervals)
+    if (I.used())
+      Order.push_back(I);
+  std::sort(Order.begin(), Order.end(),
+            [](const Interval &A, const Interval &B) {
+              return A.First < B.First ||
+                     (A.First == B.First && A.Var < B.Var);
+            });
+
+  struct Active {
+    uint32_t Last;
+    FVar Var;
+    Reg R;
+  };
+  std::vector<Active> ActiveList; // Kept sorted by Last ascending.
+  std::vector<Reg> FreeCallee(std::begin(CalleeSavedPool),
+                              std::end(CalleeSavedPool));
+  std::vector<Reg> FreeCaller;
+  if (Options.UseCallerSaved)
+    FreeCaller.assign(std::begin(CallerSavedPool), std::end(CallerSavedPool));
+
+  auto IsCallerSaved = [](Reg R) { return R >= T3 && R <= T6; };
+
+  auto Release = [&](Reg R) {
+    if (IsCallerSaved(R))
+      FreeCaller.push_back(R);
+    else
+      FreeCallee.push_back(R);
+  };
+
+  unsigned NextSlot = 0;
+  std::vector<bool> CalleeUsed(NumRegs, false);
+
+  for (const Interval &I : Order) {
+    // Expire intervals that ended before this one starts.
+    while (!ActiveList.empty() && ActiveList.front().Last < I.First) {
+      Release(ActiveList.front().R);
+      ActiveList.erase(ActiveList.begin());
+    }
+
+    // Pick a register: caller-saved pool for call-free intervals first
+    // (free to use), callee-saved otherwise.
+    Reg Chosen = 0;
+    bool Have = false;
+    if (!I.CrossesCall && !FreeCaller.empty()) {
+      Chosen = FreeCaller.back();
+      FreeCaller.pop_back();
+      Have = true;
+      Out.UsedCallerSavedPool = true;
+    } else if (!FreeCallee.empty()) {
+      Chosen = FreeCallee.back();
+      FreeCallee.pop_back();
+      Have = true;
+    }
+
+    if (!Have) {
+      // All registers busy: spill the active interval that ends last (or
+      // this one, if it ends last itself).
+      Active *Victim = nullptr;
+      for (Active &A : ActiveList) {
+        // Caller-saved registers cannot host call-crossing intervals, so
+        // a victim's register must be acceptable for I.
+        if (I.CrossesCall && IsCallerSaved(A.R))
+          continue;
+        if (!Victim || A.Last > Victim->Last)
+          Victim = &A;
+      }
+      if (Victim && Victim->Last > I.Last) {
+        Out.VarLoc[Victim->Var] =
+            Location{Location::Kind::Slot, 0, NextSlot++};
+        Chosen = Victim->R;
+        ActiveList.erase(ActiveList.begin() + (Victim - &ActiveList[0]));
+      } else {
+        Out.VarLoc[I.Var] = Location{Location::Kind::Slot, 0, NextSlot++};
+        continue;
+      }
+    }
+
+    Out.VarLoc[I.Var] = Location{Location::Kind::Register, Chosen, 0};
+    if (!IsCallerSaved(Chosen))
+      CalleeUsed[Chosen] = true;
+    Active A{I.Last, I.Var, Chosen};
+    auto It = std::lower_bound(ActiveList.begin(), ActiveList.end(), A.Last,
+                               [](const Active &X, uint32_t L) {
+                                 return X.Last < L;
+                               });
+    ActiveList.insert(It, A);
+  }
+
+  Out.NumSlots = NextSlot;
+  for (unsigned R = 0; R != NumRegs; ++R)
+    if (CalleeUsed[R])
+      Out.UsedCalleeSaved.push_back(Reg(R));
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- compiler/RegAlloc.h - Register allocation phase ---------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's register-allocation phase (Figure 3: "FlatImp with
+/// variables" -> "FlatImp with registers"): a linear-scan allocator over
+/// conservative live intervals, with spilling to stack slots.
+///
+/// Calling convention (defined here and implemented by Codegen):
+///  * arguments and results travel in a0..a7;
+///  * t0..t2 are code-generator scratch;
+///  * s0..s11 are callee-saved: a function saves every s-register it
+///    writes, so values in s-registers survive calls;
+///  * t3..t6 are caller-saved and used for values that do not live across
+///    a call — but only in optimizing mode. The paper measures that its
+///    compiler does not "exploit caller-saved registers" (section 7.2.1,
+///    part of the 2.1x factor vs gcc -O3); the baseline mode reproduces
+///    that limitation by allocating everything to callee-saved registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_COMPILER_REGALLOC_H
+#define B2_COMPILER_REGALLOC_H
+
+#include "compiler/FlatImp.h"
+#include "isa/Reg.h"
+
+#include <vector>
+
+namespace b2 {
+namespace compiler {
+
+/// Where a FlatImp variable lives at run time.
+struct Location {
+  enum class Kind : uint8_t { Register, Slot } K = Kind::Register;
+  isa::Reg R = 0;    ///< Register when K == Register.
+  unsigned Slot = 0; ///< Spill-slot index when K == Slot.
+};
+
+/// The allocation result for one function.
+struct Allocation {
+  std::vector<Location> VarLoc;           ///< Indexed by FVar.
+  unsigned NumSlots = 0;                  ///< Spill slots used.
+  std::vector<isa::Reg> UsedCalleeSaved;  ///< s-registers written (to save).
+  bool UsedCallerSavedPool = false;       ///< Any var in t3..t6 (stats).
+};
+
+struct RegAllocOptions {
+  /// Allow t3..t6 for values that do not live across a call.
+  bool UseCallerSaved = false;
+};
+
+/// Allocates registers for \p F.
+Allocation allocateRegisters(const FlatFunction &F,
+                             const RegAllocOptions &Options);
+
+} // namespace compiler
+} // namespace b2
+
+#endif // B2_COMPILER_REGALLOC_H

@@ -1,0 +1,221 @@
+//===- devices/Lan9250.cpp - LAN9250 Ethernet controller model -------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "devices/Lan9250.h"
+
+using namespace b2;
+using namespace b2::devices;
+using namespace b2::devices::lan9250reg;
+
+namespace {
+constexpr uint8_t CmdRead = 0x03;
+constexpr uint8_t CmdFastRead = 0x0B;
+constexpr uint8_t CmdWrite = 0x02;
+} // namespace
+
+Lan9250::Lan9250() : Lan9250(Config()) {}
+
+Lan9250::Lan9250(const Config &C) : Cfg(C), NotReadyLeft(C.NotReadyPolls) {
+  Regs[HwCfg] = 0; // READY is computed on read.
+  Regs[RxCfg] = 0;
+  Regs[IrqCfg] = 0;
+  Regs[IntEn] = 0;
+}
+
+void Lan9250::csAssert() { State = SpiState::Cmd; }
+
+void Lan9250::csRelease() {
+  State = SpiState::Idle;
+  ByteCount = 0;
+}
+
+uint8_t Lan9250::exchange(uint8_t Mosi) {
+  switch (State) {
+  case SpiState::Idle:
+    return 0xFF; // Not selected: the MISO line floats high.
+  case SpiState::Cmd:
+    Command = Mosi;
+    if (Command == CmdRead || Command == CmdFastRead || Command == CmdWrite) {
+      State = SpiState::AddrHi;
+    } else {
+      State = SpiState::Idle; // Unknown command: ignore until reselect.
+    }
+    return 0xFF;
+  case SpiState::AddrHi:
+    Address = Word(Mosi) << 8;
+    State = SpiState::AddrLo;
+    return 0xFF;
+  case SpiState::AddrLo:
+    Address |= Mosi;
+    ByteCount = 0;
+    if (Command == CmdWrite) {
+      State = SpiState::WriteData;
+      Assembly = 0;
+    } else if (Command == CmdFastRead) {
+      State = SpiState::FastReadDummy;
+    } else {
+      State = SpiState::ReadData;
+    }
+    return 0xFF;
+  case SpiState::FastReadDummy:
+    State = SpiState::ReadData;
+    return 0xFF;
+  case SpiState::ReadData: {
+    // Latch lazily on the first beat of each word, so FIFO ports pop
+    // exactly one word per four byte-beats (no lookahead pop).
+    if (ByteCount == 0)
+      ReadLatch = readRegister(Address);
+    uint8_t Out = uint8_t((ReadLatch >> (8 * ByteCount)) & 0xFF);
+    if (++ByteCount == 4) {
+      ByteCount = 0;
+      // FIFO ports stay put; plain registers auto-increment the address.
+      if (Address != RxDataFifo && Address != RxStatusFifo)
+        Address += 4;
+    }
+    return Out;
+  }
+  case SpiState::WriteData:
+    Assembly |= Word(Mosi) << (8 * ByteCount);
+    if (++ByteCount == 4) {
+      writeRegister(Address, Assembly);
+      Assembly = 0;
+      ByteCount = 0;
+      if (Address != RxDataFifo)
+        Address += 4;
+    }
+    return 0xFF;
+  }
+  return 0xFF;
+}
+
+Word Lan9250::statusWordFor(const PendingFrame &F) const {
+  Word Sts = (Word(F.Data.size()) & RxStsLengthMask) << RxStsLengthShift;
+  if (F.Errored)
+    Sts |= RxStsErrorSummary;
+  return Sts;
+}
+
+Word Lan9250::rxFifoInf() const {
+  Word StatusWords = Word(RxQueue.size());
+  if (StatusWords > 0xFF)
+    StatusWords = 0xFF;
+  Word DataBytes = 0;
+  for (const PendingFrame &F : RxQueue)
+    DataBytes += paddedLen(Word(F.Data.size()));
+  if (DataBytes > 0xFFFF)
+    DataBytes = 0xFFFF;
+  return (StatusWords << 16) | DataBytes;
+}
+
+Word Lan9250::popRxStatus() {
+  if (RxQueue.empty())
+    return 0;
+  PendingFrame &F = RxQueue.front();
+  if (F.StatusConsumed)
+    return 0; // Status already taken; datasheet says behavior undefined.
+  F.StatusConsumed = true;
+  return statusWordFor(F);
+}
+
+Word Lan9250::popRxData() {
+  if (RxQueue.empty())
+    return 0;
+  PendingFrame &F = RxQueue.front();
+  if (!F.StatusConsumed)
+    return 0; // Data before status: undefined per datasheet; return 0.
+  Word V = 0;
+  for (unsigned I = 0; I != 4; ++I) {
+    Word Idx = F.ReadOffset + I;
+    if (Idx < F.Data.size())
+      V |= Word(F.Data[Idx]) << (8 * I);
+  }
+  F.ReadOffset += 4;
+  if (F.ReadOffset >= paddedLen(Word(F.Data.size())))
+    RxQueue.pop_front();
+  return V;
+}
+
+Word Lan9250::readRegister(Word Addr) {
+  switch (Addr) {
+  case RxDataFifo:
+    return popRxData();
+  case RxStatusFifo:
+    return popRxStatus();
+  case RxStatusPeek:
+    return RxQueue.empty() ? 0 : statusWordFor(RxQueue.front());
+  case IdRev:
+    return IdRevValue;
+  case ByteTest:
+    return ByteTestPattern;
+  case HwCfg: {
+    Word V = Regs[HwCfg] & ~HwCfgReady;
+    if (NotReadyLeft > 0) {
+      --NotReadyLeft;
+      return V;
+    }
+    return V | HwCfgReady;
+  }
+  case RxFifoInf:
+    return rxFifoInf();
+  case MacCsrCmd:
+    return 0; // The indirect access always completes before the next read.
+  case MacCsrData:
+    return MacCsrDataReg;
+  case IntSts:
+    return 0;
+  default: {
+    auto It = Regs.find(Addr);
+    return It == Regs.end() ? 0 : It->second;
+  }
+  }
+}
+
+void Lan9250::writeRegister(Word Addr, Word Value) {
+  switch (Addr) {
+  case MacCsrCmd: {
+    Word Index = Value & 0xF;
+    if (Value & MacCsrBusy) {
+      if (Value & MacCsrRead)
+        MacCsrDataReg = MacRegs[Index];
+      else
+        MacRegs[Index] = MacCsrDataReg;
+    }
+    return;
+  }
+  case MacCsrData:
+    MacCsrDataReg = Value;
+    return;
+  case RxCfg:
+    Regs[RxCfg] = Value;
+    // RX_DUMP (bit 15): discard the frame at the head of the RX FIFO.
+    if ((Value & (Word(1) << 15)) && !RxQueue.empty())
+      RxQueue.pop_front();
+    return;
+  case ByteTest:
+  case IdRev:
+  case RxFifoInf:
+    return; // Read-only.
+  default:
+    Regs[Addr] = Value;
+    return;
+  }
+}
+
+bool Lan9250::rxEnabled() const {
+  return (MacRegs[MacCrIndex] & MacCrRxEn) != 0;
+}
+
+bool Lan9250::injectFrame(std::vector<uint8_t> Frame, bool Errored) {
+  if (!rxEnabled())
+    return false;
+  if (RxQueue.size() >= Cfg.MaxBufferedFrames)
+    return false;
+  PendingFrame F;
+  F.Data = std::move(Frame);
+  F.Errored = Errored;
+  RxQueue.push_back(F);
+  return true;
+}

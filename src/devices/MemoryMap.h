@@ -1,0 +1,74 @@
+//===- devices/MemoryMap.h - Platform memory map ----------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The demo platform's physical address map. The paper "replicated the SPI
+/// and GPIO interfaces from the commercial FE310 RISC-V microcontroller"
+/// (section 5.1) so that the verified software could also be tested on the
+/// real chip; we use the FE310's peripheral base addresses and register
+/// offsets for the same reason. RAM occupies low memory starting at 0
+/// (boot PC), and the external invariant of section 6.3 — MMIO addresses
+/// do not overlap physical memory — holds by construction because every
+/// peripheral base is far above any supported RAM size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_DEVICES_MEMORYMAP_H
+#define B2_DEVICES_MEMORYMAP_H
+
+#include "support/Word.h"
+
+namespace b2 {
+namespace devices {
+
+/// Default BRAM size for the demo system (64 KiB, as on a small FPGA).
+constexpr Word DefaultRamBytes = 64 * 1024;
+
+// -- GPIO (FE310 GPIO controller subset) -------------------------------------
+
+constexpr Word GpioBase = 0x10012000;
+constexpr Word GpioSize = 0x1000;
+constexpr Word GpioInputVal = GpioBase + 0x00;
+constexpr Word GpioOutputEn = GpioBase + 0x08;
+constexpr Word GpioOutputVal = GpioBase + 0x0C;
+
+/// The lightbulb power switch is driven by GPIO output bit 23 (an
+/// arbitrary FE310 pin choice, kept fixed across spec and drivers).
+constexpr unsigned LightbulbPin = 23;
+
+// -- SPI (FE310 QSPI1 register layout subset) ---------------------------------
+
+constexpr Word SpiBase = 0x10024000;
+constexpr Word SpiSize = 0x1000;
+constexpr Word SpiSckDiv = SpiBase + 0x00;
+constexpr Word SpiCsId = SpiBase + 0x10;
+constexpr Word SpiCsDef = SpiBase + 0x14;
+constexpr Word SpiCsMode = SpiBase + 0x18;
+constexpr Word SpiTxData = SpiBase + 0x48;
+constexpr Word SpiRxData = SpiBase + 0x4C;
+
+/// csmode values (FE310): AUTO deasserts chip select between frames, HOLD
+/// keeps it asserted. The LAN9250 driver brackets each SPI transaction
+/// with HOLD/AUTO writes, which also delimit transactions for the slave
+/// model.
+constexpr Word SpiCsModeAuto = 0;
+constexpr Word SpiCsModeHold = 2;
+
+/// txdata/rxdata flag bit (bit 31): txdata full / rxdata empty.
+constexpr Word SpiFlagBit = 0x80000000u;
+
+/// Returns true iff \p Addr lies in one of the platform's MMIO regions.
+/// This is the `isMMIOAddr` side condition the program logic imposes on
+/// external calls (section 6.1).
+constexpr bool isMmioAddr(Word Addr) {
+  return (Addr >= GpioBase && Addr < GpioBase + GpioSize) ||
+         (Addr >= SpiBase && Addr < SpiBase + SpiSize);
+}
+
+} // namespace devices
+} // namespace b2
+
+#endif // B2_DEVICES_MEMORYMAP_H

@@ -1,0 +1,165 @@
+//===- devices/Net.cpp - Ethernet/IPv4/UDP frame construction --------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "devices/Net.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace b2;
+using namespace b2::devices;
+using namespace b2::devices::frame;
+
+uint16_t b2::devices::internetChecksum(const uint8_t *Data, size_t Len) {
+  uint32_t Sum = 0;
+  for (size_t I = 0; I + 1 < Len; I += 2)
+    Sum += (uint32_t(Data[I]) << 8) | Data[I + 1];
+  if (Len & 1)
+    Sum += uint32_t(Data[Len - 1]) << 8;
+  while (Sum >> 16)
+    Sum = (Sum & 0xFFFF) + (Sum >> 16);
+  return uint16_t(~Sum);
+}
+
+std::vector<uint8_t>
+b2::devices::buildUdpFrame(const std::vector<uint8_t> &Payload,
+                           const UdpFrameOptions &O) {
+  std::vector<uint8_t> F;
+  F.reserve(CmdOffset + Payload.size());
+
+  // Ethernet header.
+  F.insert(F.end(), O.DstMac.begin(), O.DstMac.end());
+  F.insert(F.end(), O.SrcMac.begin(), O.SrcMac.end());
+  F.push_back(uint8_t(EthertypeIpv4 >> 8));
+  F.push_back(uint8_t(EthertypeIpv4 & 0xFF));
+
+  // IPv4 header (no options).
+  uint16_t IpLen = uint16_t(Ipv4HeaderLen + UdpHeaderLen + Payload.size());
+  size_t IpStart = F.size();
+  F.push_back(0x45); // Version 4, IHL 5.
+  F.push_back(0x00); // DSCP/ECN.
+  F.push_back(uint8_t(IpLen >> 8));
+  F.push_back(uint8_t(IpLen & 0xFF));
+  F.push_back(0x00); // Identification.
+  F.push_back(0x00);
+  F.push_back(0x40); // Flags: don't fragment.
+  F.push_back(0x00);
+  F.push_back(O.Ttl);
+  F.push_back(IpProtoUdp);
+  F.push_back(0x00); // Checksum placeholder.
+  F.push_back(0x00);
+  F.insert(F.end(), O.SrcIp.begin(), O.SrcIp.end());
+  F.insert(F.end(), O.DstIp.begin(), O.DstIp.end());
+  uint16_t Ck = internetChecksum(F.data() + IpStart, Ipv4HeaderLen);
+  F[IpStart + 10] = uint8_t(Ck >> 8);
+  F[IpStart + 11] = uint8_t(Ck & 0xFF);
+
+  // UDP header (checksum 0 = not computed, legal for IPv4).
+  uint16_t UdpLen = uint16_t(UdpHeaderLen + Payload.size());
+  F.push_back(uint8_t(O.SrcPort >> 8));
+  F.push_back(uint8_t(O.SrcPort & 0xFF));
+  F.push_back(uint8_t(O.DstPort >> 8));
+  F.push_back(uint8_t(O.DstPort & 0xFF));
+  F.push_back(uint8_t(UdpLen >> 8));
+  F.push_back(uint8_t(UdpLen & 0xFF));
+  F.push_back(0x00);
+  F.push_back(0x00);
+
+  F.insert(F.end(), Payload.begin(), Payload.end());
+  return F;
+}
+
+std::vector<uint8_t> b2::devices::buildCommandFrame(bool LightOn,
+                                                    const UdpFrameOptions &O) {
+  return buildUdpFrame({uint8_t(LightOn ? 1 : 0)}, O);
+}
+
+FrameClass b2::devices::classifyFrame(const std::vector<uint8_t> &Frame) {
+  FrameClass C;
+  if (Frame.size() < MinCmdFrameLen || Frame.size() > MaxFrameLen)
+    return C;
+  // Ethertype must be IPv4.
+  if (Frame[12] != uint8_t(EthertypeIpv4 >> 8) ||
+      Frame[13] != uint8_t(EthertypeIpv4 & 0xFF))
+    return C;
+  // IPv4, header length 5 words, protocol UDP.
+  if (Frame[EthHeaderLen] != 0x45)
+    return C;
+  if (Frame[EthHeaderLen + 9] != IpProtoUdp)
+    return C;
+  C.Valid = true;
+  C.CommandBit = (Frame[CmdOffset] & 1) != 0;
+  return C;
+}
+
+std::vector<uint8_t> PacketFuzzer::mutate(std::vector<uint8_t> F) {
+  switch (Rng.below(8)) {
+  case 0: // Truncate below the minimum command length.
+    F.resize(Rng.below(MinCmdFrameLen));
+    break;
+  case 1: // Corrupt the ethertype.
+    if (F.size() > 13)
+      F[12] ^= uint8_t(1 + Rng.below(255));
+    break;
+  case 2: // Corrupt the IP version/IHL.
+    if (F.size() > EthHeaderLen)
+      F[EthHeaderLen] = uint8_t(Rng.next32());
+    break;
+  case 3: // Wrong transport protocol.
+    if (F.size() > EthHeaderLen + 9)
+      F[EthHeaderLen + 9] = uint8_t(Rng.below(255));
+    break;
+  case 4: { // Giant frame (stresses the receive-buffer bound).
+    size_t Target = MaxFrameLen + 1 + Rng.below(4096);
+    while (F.size() < Target)
+      F.push_back(uint8_t(Rng.next32()));
+    break;
+  }
+  case 5: { // Random garbage of arbitrary length.
+    F.clear();
+    size_t Len = Rng.below(128);
+    for (size_t I = 0; I != Len; ++I)
+      F.push_back(uint8_t(Rng.next32()));
+    break;
+  }
+  case 6: // Flip random bytes anywhere.
+    for (unsigned I = 0, N = unsigned(1 + Rng.below(8)); I != N; ++I)
+      if (!F.empty())
+        F[Rng.below(F.size())] ^= uint8_t(Rng.next32());
+    break;
+  default: { // Lie in the IP total-length field.
+    if (F.size() > EthHeaderLen + 3) {
+      F[EthHeaderLen + 2] = uint8_t(Rng.next32());
+      F[EthHeaderLen + 3] = uint8_t(Rng.next32());
+    }
+    break;
+  }
+  }
+  return F;
+}
+
+PacketFuzzer::Generated PacketFuzzer::next() {
+  Generated G;
+  bool On = Rng.flip();
+  std::vector<uint8_t> Valid = buildCommandFrame(On);
+  if (Rng.flip()) {
+    // Valid command; occasionally with extra payload (still valid).
+    if (Rng.chance(1, 4)) {
+      std::vector<uint8_t> Payload(1 + Rng.below(64));
+      Payload[0] = uint8_t(On ? 1 : 0) | uint8_t(Rng.next32() & 0xFE);
+      for (size_t I = 1; I != Payload.size(); ++I)
+        Payload[I] = uint8_t(Rng.next32());
+      G.Frame = buildUdpFrame(Payload);
+    } else {
+      G.Frame = Valid;
+    }
+    return G;
+  }
+  G.Frame = mutate(std::move(Valid));
+  // Some malformed frames additionally arrive with a PHY-level error.
+  G.MarkErrored = Rng.chance(1, 6);
+  return G;
+}

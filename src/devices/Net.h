@@ -1,0 +1,105 @@
+//===- devices/Net.h - Ethernet/IPv4/UDP frame construction ----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frame builders and classifiers for the lightbulb protocol: "read UDP
+/// packets from the network interface card and turn the lightbulb on or
+/// off depending on the first byte of the received packet" (section 3).
+/// Also provides the adversarial frame fuzzer used by the end-to-end
+/// checker: "Any unexpected packet, no matter how maliciously malformed at
+/// any layer, is ignored."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_DEVICES_NET_H
+#define B2_DEVICES_NET_H
+
+#include "support/Rng.h"
+#include "support/Word.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace b2 {
+namespace devices {
+
+using MacAddr = std::array<uint8_t, 6>;
+using Ipv4Addr = std::array<uint8_t, 4>;
+
+/// Frame layout constants shared by the driver, the spec, and the tests.
+namespace frame {
+constexpr unsigned EthHeaderLen = 14;
+constexpr unsigned Ipv4HeaderLen = 20;
+constexpr unsigned UdpHeaderLen = 8;
+/// Offset of the first UDP payload byte — the lightbulb command byte.
+constexpr unsigned CmdOffset = EthHeaderLen + Ipv4HeaderLen + UdpHeaderLen;
+/// Minimum length of a valid command frame (headers + 1 command byte).
+constexpr unsigned MinCmdFrameLen = CmdOffset + 1;
+/// Largest frame the driver's receive buffer accepts.
+constexpr unsigned MaxFrameLen = 1536;
+constexpr uint16_t EthertypeIpv4 = 0x0800;
+constexpr uint8_t IpProtoUdp = 17;
+} // namespace frame
+
+/// Options for building a well-formed lightbulb command frame.
+struct UdpFrameOptions {
+  MacAddr DstMac = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  MacAddr SrcMac = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  Ipv4Addr SrcIp = {10, 0, 0, 2};
+  Ipv4Addr DstIp = {10, 0, 0, 1};
+  uint16_t SrcPort = 4096;
+  uint16_t DstPort = 1560;
+  uint8_t Ttl = 64;
+};
+
+/// Builds a complete Ethernet+IPv4+UDP frame carrying \p Payload.
+std::vector<uint8_t> buildUdpFrame(const std::vector<uint8_t> &Payload,
+                                   const UdpFrameOptions &Options = {});
+
+/// Builds a valid lightbulb command frame whose command bit is \p LightOn.
+std::vector<uint8_t> buildCommandFrame(bool LightOn,
+                                       const UdpFrameOptions &Options = {});
+
+/// The validity judgment the *driver* implements (the "simple (and lax)
+/// specification of byte strings accepted as Ethernet and UDP packets",
+/// section 3.1): length bounds, IPv4 ethertype, IPv4 version/IHL, and the
+/// UDP protocol number. Deliberately does not verify checksums.
+struct FrameClass {
+  bool Valid = false;
+  bool CommandBit = false; ///< Meaningful only when Valid.
+};
+FrameClass classifyFrame(const std::vector<uint8_t> &Frame);
+
+/// Internet checksum (RFC 1071) over \p Data, for the IPv4 header.
+uint16_t internetChecksum(const uint8_t *Data, size_t Len);
+
+/// Adversarial frame generator: produces a mix of valid command frames
+/// and malformed variants (truncations, bad ethertypes, wrong protocol,
+/// corrupted length fields, giant frames, random garbage).
+class PacketFuzzer {
+public:
+  explicit PacketFuzzer(uint64_t Seed) : Rng(Seed) {}
+
+  struct Generated {
+    std::vector<uint8_t> Frame;
+    bool MarkErrored = false; ///< Deliver with the RX error-summary bit.
+  };
+
+  /// Produces the next frame; roughly half are valid commands.
+  Generated next();
+
+private:
+  support::Rng Rng;
+
+  std::vector<uint8_t> mutate(std::vector<uint8_t> Frame);
+};
+
+} // namespace devices
+} // namespace b2
+
+#endif // B2_DEVICES_NET_H

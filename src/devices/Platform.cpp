@@ -1,0 +1,58 @@
+//===- devices/Platform.cpp - MMIO bus and demo platform -------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "devices/Platform.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace b2;
+using namespace b2::devices;
+
+Platform::Platform(const SpiConfig &SpiCfg, const Lan9250::Config &LanCfg)
+    : Nic(LanCfg), SpiCtrl(Nic, SpiCfg) {}
+
+void Platform::scheduleFrame(uint64_t AtOp, std::vector<uint8_t> Frame,
+                             bool Errored) {
+  assert((Pending.empty() || Pending.back().AtOp <= AtOp) &&
+         "frames must be scheduled in arrival order");
+  Pending.push_back(ScheduledFrame{AtOp, std::move(Frame), Errored});
+}
+
+void Platform::deliverDue() {
+  while (NextPending < Pending.size() &&
+         Pending[NextPending].AtOp <= OpCount) {
+    ScheduledFrame &F = Pending[NextPending];
+    if (Nic.injectFrame(F.Frame, F.Errored))
+      Accepted_.push_back(F);
+    ++NextPending;
+  }
+}
+
+Word Platform::load(Word Addr, unsigned Size) {
+  (void)Size;
+  ++OpCount;
+  deliverDue();
+  if (Spi::claims(Addr))
+    return SpiCtrl.read(Addr);
+  if (Gpio::claims(Addr))
+    return GpioBlock.read(Addr);
+  return 0;
+}
+
+void Platform::store(Word Addr, unsigned Size, Word Value) {
+  (void)Size;
+  ++OpCount;
+  deliverDue();
+  if (Spi::claims(Addr)) {
+    SpiCtrl.write(Addr, Value);
+    return;
+  }
+  if (Gpio::claims(Addr)) {
+    GpioBlock.write(Addr, Value);
+    return;
+  }
+}

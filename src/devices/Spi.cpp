@@ -1,0 +1,95 @@
+//===- devices/Spi.cpp - FE310-style SPI controller model ------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "devices/Spi.h"
+
+using namespace b2;
+using namespace b2::devices;
+
+SpiSlave::~SpiSlave() = default;
+
+Spi::Spi(SpiSlave &Slave, const SpiConfig &Config)
+    : Slave(Slave), Config(Config) {}
+
+void Spi::setCsMode(Word Value) {
+  CsModeReg = Value & 3;
+  if (CsModeReg == SpiCsModeHold && !CsAsserted) {
+    CsAsserted = true;
+    Slave.csAssert();
+  } else if (CsModeReg == SpiCsModeAuto && CsAsserted) {
+    CsAsserted = false;
+    Slave.csRelease();
+  }
+}
+
+Word Spi::read(Word Addr) {
+  ++OpClock;
+  switch (Addr) {
+  case SpiSckDiv:
+    return SckDivReg;
+  case SpiCsId:
+    return CsIdReg;
+  case SpiCsDef:
+    return CsDefReg;
+  case SpiCsMode:
+    return CsModeReg;
+  case SpiTxData:
+    // Bit 31 set = FIFO full: all entries occupied by responses that have
+    // not been read yet.
+    return RxFifo.size() >= Config.FifoDepth ? SpiFlagBit : 0;
+  case SpiRxData: {
+    // Bit 31 set = FIFO empty, or the head byte still in the shifter.
+    if (RxFifo.empty() || OpClock < RxFifo.front().ReadyAt)
+      return SpiFlagBit;
+    Word V = RxFifo.front().Byte;
+    RxFifo.pop_front();
+    return V;
+  }
+  default:
+    return 0; // Unmodeled SPI registers read as zero.
+  }
+}
+
+void Spi::write(Word Addr, Word Value) {
+  ++OpClock;
+  switch (Addr) {
+  case SpiSckDiv:
+    SckDivReg = Value & 0xFFF;
+    return;
+  case SpiCsId:
+    CsIdReg = Value;
+    return;
+  case SpiCsDef:
+    CsDefReg = Value;
+    return;
+  case SpiCsMode:
+    setCsMode(Value);
+    return;
+  case SpiTxData: {
+    if (RxFifo.size() >= Config.FifoDepth)
+      return; // FIFO full: the byte is dropped (drivers poll first).
+    // In AUTO csmode the controller frames each byte by itself.
+    bool AutoFrame = !CsAsserted;
+    if (AutoFrame)
+      Slave.csAssert();
+    uint8_t Miso = Slave.exchange(uint8_t(Value & 0xFF));
+    if (AutoFrame)
+      Slave.csRelease();
+    ++Exchanges;
+    // The shifter is serial: this byte's transfer starts when the shifter
+    // frees up and completes TransferOps later. A deep FIFO lets transfers
+    // of queued bytes overlap the driver's later operations; the
+    // interleaved driver waits out each transfer with polls.
+    uint64_t Start = std::max(OpClock, ShifterFreeAt);
+    uint64_t ReadyAt = Start + Config.TransferOps;
+    ShifterFreeAt = ReadyAt;
+    RxFifo.push_back(PendingRx{Miso, ReadyAt});
+    return;
+  }
+  default:
+    return; // Unmodeled SPI registers ignore writes.
+  }
+}

@@ -1,0 +1,129 @@
+//===- isa/Build.h - Instruction factory helpers ---------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience constructors for decoded instructions, used by the compiler
+/// backend and by hand-written test programs. Each helper asserts
+/// encodability so that malformed instructions are caught at construction
+/// time rather than at encoding time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_ISA_BUILD_H
+#define B2_ISA_BUILD_H
+
+#include "isa/Encoding.h"
+#include "isa/Instr.h"
+
+#include <cassert>
+
+namespace b2 {
+namespace isa {
+
+inline Instr mkR(Opcode Op, Reg Rd, Reg Rs1, Reg Rs2) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  assert(isEncodable(I) && "malformed R-type instruction");
+  return I;
+}
+
+inline Instr mkI(Opcode Op, Reg Rd, Reg Rs1, SWord Imm) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Imm = Imm;
+  assert(isEncodable(I) && "malformed I-type instruction");
+  return I;
+}
+
+inline Instr mkS(Opcode Op, Reg Rs1, Reg Rs2, SWord Imm) {
+  Instr I;
+  I.Op = Op;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  I.Imm = Imm;
+  assert(isEncodable(I) && "malformed S-type instruction");
+  return I;
+}
+
+inline Instr mkB(Opcode Op, Reg Rs1, Reg Rs2, SWord Offset) {
+  Instr I;
+  I.Op = Op;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  I.Imm = Offset;
+  assert(isEncodable(I) && "malformed B-type instruction");
+  return I;
+}
+
+inline Instr lui(Reg Rd, SWord UpperImm) {
+  Instr I;
+  I.Op = Opcode::Lui;
+  I.Rd = Rd;
+  I.Imm = UpperImm;
+  assert(isEncodable(I) && "malformed lui");
+  return I;
+}
+
+inline Instr auipc(Reg Rd, SWord UpperImm) {
+  Instr I;
+  I.Op = Opcode::Auipc;
+  I.Rd = Rd;
+  I.Imm = UpperImm;
+  assert(isEncodable(I) && "malformed auipc");
+  return I;
+}
+
+inline Instr jal(Reg Rd, SWord Offset) {
+  Instr I;
+  I.Op = Opcode::Jal;
+  I.Rd = Rd;
+  I.Imm = Offset;
+  assert(isEncodable(I) && "malformed jal");
+  return I;
+}
+
+inline Instr jalr(Reg Rd, Reg Rs1, SWord Offset) {
+  return mkI(Opcode::Jalr, Rd, Rs1, Offset);
+}
+
+inline Instr addi(Reg Rd, Reg Rs1, SWord Imm) {
+  return mkI(Opcode::Addi, Rd, Rs1, Imm);
+}
+
+inline Instr lw(Reg Rd, Reg Rs1, SWord Imm) {
+  return mkI(Opcode::Lw, Rd, Rs1, Imm);
+}
+
+inline Instr sw(Reg Rs1Base, Reg Rs2Src, SWord Imm) {
+  return mkS(Opcode::Sw, Rs1Base, Rs2Src, Imm);
+}
+
+inline Instr nop() { return addi(Zero, Zero, 0); }
+
+/// Materializes an arbitrary 32-bit constant into \p Rd using lui+addi.
+/// Returns one or two instructions appended to \p Out.
+inline void materialize(Word Value, Reg Rd, std::vector<Instr> &Out) {
+  SWord Low = SWord(support::signExtend(Value, 12));
+  Word High = Value - Word(Low);
+  // High now has its low 12 bits clear by construction.
+  if (High != 0) {
+    Out.push_back(lui(Rd, SWord(High)));
+    if (Low != 0)
+      Out.push_back(addi(Rd, Rd, Low));
+  } else {
+    Out.push_back(addi(Rd, Zero, Low));
+  }
+}
+
+} // namespace isa
+} // namespace b2
+
+#endif // B2_ISA_BUILD_H

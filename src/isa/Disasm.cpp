@@ -1,0 +1,72 @@
+//===- isa/Disasm.cpp - RV32IM disassembler --------------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disasm.h"
+
+#include "support/Format.h"
+
+using namespace b2;
+using namespace b2::isa;
+using namespace b2::support;
+
+std::string b2::isa::disasm(const Instr &I) {
+  std::string Name = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::Invalid:
+    return Name;
+  case Opcode::Lui:
+  case Opcode::Auipc:
+    return Name + " " + regName(I.Rd) + ", " + hex32(Word(I.Imm) >> 12);
+  case Opcode::Jal:
+    return Name + " " + regName(I.Rd) + ", " + dec(I.Imm);
+  case Opcode::Jalr:
+    return Name + " " + regName(I.Rd) + ", " + dec(I.Imm) + "(" +
+           regName(I.Rs1) + ")";
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    return Name + " " + regName(I.Rs1) + ", " + regName(I.Rs2) + ", " +
+           dec(I.Imm);
+  case Opcode::Lb:
+  case Opcode::Lh:
+  case Opcode::Lw:
+  case Opcode::Lbu:
+  case Opcode::Lhu:
+    return Name + " " + regName(I.Rd) + ", " + dec(I.Imm) + "(" +
+           regName(I.Rs1) + ")";
+  case Opcode::Sb:
+  case Opcode::Sh:
+  case Opcode::Sw:
+    return Name + " " + regName(I.Rs2) + ", " + dec(I.Imm) + "(" +
+           regName(I.Rs1) + ")";
+  case Opcode::Fence:
+    return Name;
+  case Opcode::Ecall:
+  case Opcode::Ebreak:
+    return Name;
+  default:
+    if (isImmAlu(I.Op))
+      return Name + " " + regName(I.Rd) + ", " + regName(I.Rs1) + ", " +
+             dec(I.Imm);
+    return Name + " " + regName(I.Rd) + ", " + regName(I.Rs1) + ", " +
+           regName(I.Rs2);
+  }
+}
+
+std::string b2::isa::disasmListing(const std::vector<Instr> &Program,
+                                   Word BaseAddr) {
+  std::string Out;
+  for (size_t I = 0; I != Program.size(); ++I) {
+    Out += hex32(BaseAddr + Word(I) * 4);
+    Out += ":  ";
+    Out += disasm(Program[I]);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- isa/Disasm.h - RV32IM disassembler ----------------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual disassembly of decoded instructions, used for debugging output,
+/// compiler listings, and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_ISA_DISASM_H
+#define B2_ISA_DISASM_H
+
+#include "isa/Instr.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace isa {
+
+/// Renders \p I as assembly text, e.g. "addi a0, a0, -4".
+std::string disasm(const Instr &I);
+
+/// Renders a whole program with addresses, starting at \p BaseAddr.
+std::string disasmListing(const std::vector<Instr> &Program, Word BaseAddr);
+
+} // namespace isa
+} // namespace b2
+
+#endif // B2_ISA_DISASM_H

@@ -1,0 +1,413 @@
+//===- isa/Encoding.cpp - RV32IM instruction encode/decode -----------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace b2;
+using namespace b2::isa;
+using namespace b2::support;
+
+namespace {
+
+// Major opcode fields (bits [6:0]).
+constexpr Word OpcLui = 0x37;
+constexpr Word OpcAuipc = 0x17;
+constexpr Word OpcJal = 0x6F;
+constexpr Word OpcJalr = 0x67;
+constexpr Word OpcBranch = 0x63;
+constexpr Word OpcLoad = 0x03;
+constexpr Word OpcStore = 0x23;
+constexpr Word OpcOpImm = 0x13;
+constexpr Word OpcOp = 0x33;
+constexpr Word OpcMiscMem = 0x0F;
+constexpr Word OpcSystem = 0x73;
+
+Word immI(Word Raw) { return signExtend(bits(Raw, 31, 20), 12); }
+
+Word immS(Word Raw) {
+  return signExtend((bits(Raw, 31, 25) << 5) | bits(Raw, 11, 7), 12);
+}
+
+Word immB(Word Raw) {
+  Word Imm = (bit(Raw, 31) << 12) | (bit(Raw, 7) << 11) |
+             (bits(Raw, 30, 25) << 5) | (bits(Raw, 11, 8) << 1);
+  return signExtend(Imm, 13);
+}
+
+Word immU(Word Raw) { return Raw & 0xFFFFF000u; }
+
+Word immJ(Word Raw) {
+  Word Imm = (bit(Raw, 31) << 20) | (bits(Raw, 19, 12) << 12) |
+             (bit(Raw, 20) << 11) | (bits(Raw, 30, 21) << 1);
+  return signExtend(Imm, 21);
+}
+
+Word encR(Word Funct7, Reg Rs2, Reg Rs1, Word Funct3, Reg Rd, Word Opc) {
+  return (Funct7 << 25) | (Word(Rs2) << 20) | (Word(Rs1) << 15) |
+         (Funct3 << 12) | (Word(Rd) << 7) | Opc;
+}
+
+Word encI(Word Imm12, Reg Rs1, Word Funct3, Reg Rd, Word Opc) {
+  return ((Imm12 & 0xFFF) << 20) | (Word(Rs1) << 15) | (Funct3 << 12) |
+         (Word(Rd) << 7) | Opc;
+}
+
+Word encS(Word Imm12, Reg Rs2, Reg Rs1, Word Funct3, Word Opc) {
+  return (bits(Imm12, 11, 5) << 25) | (Word(Rs2) << 20) | (Word(Rs1) << 15) |
+         (Funct3 << 12) | (bits(Imm12, 4, 0) << 7) | Opc;
+}
+
+Word encB(Word Imm13, Reg Rs2, Reg Rs1, Word Funct3, Word Opc) {
+  return (bit(Imm13, 12) << 31) | (bits(Imm13, 10, 5) << 25) |
+         (Word(Rs2) << 20) | (Word(Rs1) << 15) | (Funct3 << 12) |
+         (bits(Imm13, 4, 1) << 8) | (bit(Imm13, 11) << 7) | Opc;
+}
+
+Word encU(Word Imm32, Reg Rd, Word Opc) {
+  return (Imm32 & 0xFFFFF000u) | (Word(Rd) << 7) | Opc;
+}
+
+Word encJ(Word Imm21, Reg Rd, Word Opc) {
+  return (bit(Imm21, 20) << 31) | (bits(Imm21, 10, 1) << 21) |
+         (bit(Imm21, 11) << 20) | (bits(Imm21, 19, 12) << 12) |
+         (Word(Rd) << 7) | Opc;
+}
+
+Instr make(Opcode Op, Reg Rd, Reg Rs1, Reg Rs2, SWord Imm) {
+  Instr I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  I.Imm = Imm;
+  return I;
+}
+
+Instr invalid() { return Instr(); }
+
+Instr decodeBranch(Word Raw, Reg Rs1, Reg Rs2, Word Funct3) {
+  SWord Imm = SWord(immB(Raw));
+  switch (Funct3) {
+  case 0:
+    return make(Opcode::Beq, 0, Rs1, Rs2, Imm);
+  case 1:
+    return make(Opcode::Bne, 0, Rs1, Rs2, Imm);
+  case 4:
+    return make(Opcode::Blt, 0, Rs1, Rs2, Imm);
+  case 5:
+    return make(Opcode::Bge, 0, Rs1, Rs2, Imm);
+  case 6:
+    return make(Opcode::Bltu, 0, Rs1, Rs2, Imm);
+  case 7:
+    return make(Opcode::Bgeu, 0, Rs1, Rs2, Imm);
+  default:
+    return invalid();
+  }
+}
+
+Instr decodeLoad(Word Raw, Reg Rd, Reg Rs1, Word Funct3) {
+  SWord Imm = SWord(immI(Raw));
+  switch (Funct3) {
+  case 0:
+    return make(Opcode::Lb, Rd, Rs1, 0, Imm);
+  case 1:
+    return make(Opcode::Lh, Rd, Rs1, 0, Imm);
+  case 2:
+    return make(Opcode::Lw, Rd, Rs1, 0, Imm);
+  case 4:
+    return make(Opcode::Lbu, Rd, Rs1, 0, Imm);
+  case 5:
+    return make(Opcode::Lhu, Rd, Rs1, 0, Imm);
+  default:
+    return invalid();
+  }
+}
+
+Instr decodeStore(Word Raw, Reg Rs1, Reg Rs2, Word Funct3) {
+  SWord Imm = SWord(immS(Raw));
+  switch (Funct3) {
+  case 0:
+    return make(Opcode::Sb, 0, Rs1, Rs2, Imm);
+  case 1:
+    return make(Opcode::Sh, 0, Rs1, Rs2, Imm);
+  case 2:
+    return make(Opcode::Sw, 0, Rs1, Rs2, Imm);
+  default:
+    return invalid();
+  }
+}
+
+Instr decodeOpImm(Word Raw, Reg Rd, Reg Rs1, Word Funct3) {
+  SWord Imm = SWord(immI(Raw));
+  Word Funct7 = bits(Raw, 31, 25);
+  Word Shamt = bits(Raw, 24, 20);
+  switch (Funct3) {
+  case 0:
+    return make(Opcode::Addi, Rd, Rs1, 0, Imm);
+  case 1:
+    if (Funct7 != 0)
+      return invalid();
+    return make(Opcode::Slli, Rd, Rs1, 0, SWord(Shamt));
+  case 2:
+    return make(Opcode::Slti, Rd, Rs1, 0, Imm);
+  case 3:
+    return make(Opcode::Sltiu, Rd, Rs1, 0, Imm);
+  case 4:
+    return make(Opcode::Xori, Rd, Rs1, 0, Imm);
+  case 5:
+    if (Funct7 == 0)
+      return make(Opcode::Srli, Rd, Rs1, 0, SWord(Shamt));
+    if (Funct7 == 0x20)
+      return make(Opcode::Srai, Rd, Rs1, 0, SWord(Shamt));
+    return invalid();
+  case 6:
+    return make(Opcode::Ori, Rd, Rs1, 0, Imm);
+  case 7:
+    return make(Opcode::Andi, Rd, Rs1, 0, Imm);
+  default:
+    return invalid();
+  }
+}
+
+Instr decodeOp(Word Raw, Reg Rd, Reg Rs1, Reg Rs2, Word Funct3) {
+  Word Funct7 = bits(Raw, 31, 25);
+  if (Funct7 == 0x01) {
+    // RV32M.
+    static const Opcode MulOps[8] = {Opcode::Mul,  Opcode::Mulh,
+                                     Opcode::Mulhsu, Opcode::Mulhu,
+                                     Opcode::Div,  Opcode::Divu,
+                                     Opcode::Rem,  Opcode::Remu};
+    return make(MulOps[Funct3], Rd, Rs1, Rs2, 0);
+  }
+  if (Funct7 == 0x00) {
+    static const Opcode BaseOps[8] = {Opcode::Add, Opcode::Sll, Opcode::Slt,
+                                      Opcode::Sltu, Opcode::Xor, Opcode::Srl,
+                                      Opcode::Or,  Opcode::And};
+    return make(BaseOps[Funct3], Rd, Rs1, Rs2, 0);
+  }
+  if (Funct7 == 0x20) {
+    if (Funct3 == 0)
+      return make(Opcode::Sub, Rd, Rs1, Rs2, 0);
+    if (Funct3 == 5)
+      return make(Opcode::Sra, Rd, Rs1, Rs2, 0);
+    return invalid();
+  }
+  return invalid();
+}
+
+} // namespace
+
+Instr b2::isa::decode(Word Raw) {
+  Word Opc = bits(Raw, 6, 0);
+  Reg Rd = Reg(bits(Raw, 11, 7));
+  Word Funct3 = bits(Raw, 14, 12);
+  Reg Rs1 = Reg(bits(Raw, 19, 15));
+  Reg Rs2 = Reg(bits(Raw, 24, 20));
+
+  switch (Opc) {
+  case OpcLui:
+    return make(Opcode::Lui, Rd, 0, 0, SWord(immU(Raw)));
+  case OpcAuipc:
+    return make(Opcode::Auipc, Rd, 0, 0, SWord(immU(Raw)));
+  case OpcJal:
+    return make(Opcode::Jal, Rd, 0, 0, SWord(immJ(Raw)));
+  case OpcJalr:
+    if (Funct3 != 0)
+      return invalid();
+    return make(Opcode::Jalr, Rd, Rs1, 0, SWord(immI(Raw)));
+  case OpcBranch:
+    return decodeBranch(Raw, Rs1, Rs2, Funct3);
+  case OpcLoad:
+    return decodeLoad(Raw, Rd, Rs1, Funct3);
+  case OpcStore:
+    return decodeStore(Raw, Rs1, Rs2, Funct3);
+  case OpcOpImm:
+    return decodeOpImm(Raw, Rd, Rs1, Funct3);
+  case OpcOp:
+    return decodeOp(Raw, Rd, Rs1, Rs2, Funct3);
+  case OpcMiscMem:
+    // FENCE and FENCE.I; we treat all fences as one no-op opcode but keep
+    // the raw immediate so encode(decode(x)) can reproduce x is not
+    // required for fences (the compiler only emits the canonical form).
+    if (Funct3 == 0)
+      return make(Opcode::Fence, Rd, Rs1, 0, SWord(immI(Raw)));
+    return invalid();
+  case OpcSystem:
+    if (Raw == 0x00000073)
+      return make(Opcode::Ecall, 0, 0, 0, 0);
+    if (Raw == 0x00100073)
+      return make(Opcode::Ebreak, 0, 0, 0, 0);
+    return invalid();
+  default:
+    return invalid();
+  }
+}
+
+bool b2::isa::isEncodable(const Instr &I) {
+  if (I.Rd >= NumRegs || I.Rs1 >= NumRegs || I.Rs2 >= NumRegs)
+    return false;
+  switch (I.Op) {
+  case Opcode::Invalid:
+    return false;
+  case Opcode::Lui:
+  case Opcode::Auipc:
+    return (Word(I.Imm) & 0xFFF) == 0;
+  case Opcode::Jal:
+    return fitsSigned(I.Imm, 21) && (I.Imm & 1) == 0;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    return fitsSigned(I.Imm, 13) && (I.Imm & 1) == 0;
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Srai:
+    return I.Imm >= 0 && I.Imm < 32;
+  case Opcode::Jalr:
+  case Opcode::Lb:
+  case Opcode::Lh:
+  case Opcode::Lw:
+  case Opcode::Lbu:
+  case Opcode::Lhu:
+  case Opcode::Sb:
+  case Opcode::Sh:
+  case Opcode::Sw:
+  case Opcode::Addi:
+  case Opcode::Slti:
+  case Opcode::Sltiu:
+  case Opcode::Xori:
+  case Opcode::Ori:
+  case Opcode::Andi:
+  case Opcode::Fence:
+    return fitsSigned(I.Imm, 12);
+  default:
+    return true; // R-type and system instructions have no immediate.
+  }
+}
+
+Word b2::isa::encode(const Instr &I) {
+  assert(isEncodable(I) && "attempting to encode an unencodable instruction");
+  Word Imm = Word(I.Imm);
+  switch (I.Op) {
+  case Opcode::Lui:
+    return encU(Imm, I.Rd, OpcLui);
+  case Opcode::Auipc:
+    return encU(Imm, I.Rd, OpcAuipc);
+  case Opcode::Jal:
+    return encJ(Imm, I.Rd, OpcJal);
+  case Opcode::Jalr:
+    return encI(Imm, I.Rs1, 0, I.Rd, OpcJalr);
+  case Opcode::Beq:
+    return encB(Imm, I.Rs2, I.Rs1, 0, OpcBranch);
+  case Opcode::Bne:
+    return encB(Imm, I.Rs2, I.Rs1, 1, OpcBranch);
+  case Opcode::Blt:
+    return encB(Imm, I.Rs2, I.Rs1, 4, OpcBranch);
+  case Opcode::Bge:
+    return encB(Imm, I.Rs2, I.Rs1, 5, OpcBranch);
+  case Opcode::Bltu:
+    return encB(Imm, I.Rs2, I.Rs1, 6, OpcBranch);
+  case Opcode::Bgeu:
+    return encB(Imm, I.Rs2, I.Rs1, 7, OpcBranch);
+  case Opcode::Lb:
+    return encI(Imm, I.Rs1, 0, I.Rd, OpcLoad);
+  case Opcode::Lh:
+    return encI(Imm, I.Rs1, 1, I.Rd, OpcLoad);
+  case Opcode::Lw:
+    return encI(Imm, I.Rs1, 2, I.Rd, OpcLoad);
+  case Opcode::Lbu:
+    return encI(Imm, I.Rs1, 4, I.Rd, OpcLoad);
+  case Opcode::Lhu:
+    return encI(Imm, I.Rs1, 5, I.Rd, OpcLoad);
+  case Opcode::Sb:
+    return encS(Imm, I.Rs2, I.Rs1, 0, OpcStore);
+  case Opcode::Sh:
+    return encS(Imm, I.Rs2, I.Rs1, 1, OpcStore);
+  case Opcode::Sw:
+    return encS(Imm, I.Rs2, I.Rs1, 2, OpcStore);
+  case Opcode::Addi:
+    return encI(Imm, I.Rs1, 0, I.Rd, OpcOpImm);
+  case Opcode::Slti:
+    return encI(Imm, I.Rs1, 2, I.Rd, OpcOpImm);
+  case Opcode::Sltiu:
+    return encI(Imm, I.Rs1, 3, I.Rd, OpcOpImm);
+  case Opcode::Xori:
+    return encI(Imm, I.Rs1, 4, I.Rd, OpcOpImm);
+  case Opcode::Ori:
+    return encI(Imm, I.Rs1, 6, I.Rd, OpcOpImm);
+  case Opcode::Andi:
+    return encI(Imm, I.Rs1, 7, I.Rd, OpcOpImm);
+  case Opcode::Slli:
+    return encI(Imm, I.Rs1, 1, I.Rd, OpcOpImm);
+  case Opcode::Srli:
+    return encI(Imm, I.Rs1, 5, I.Rd, OpcOpImm);
+  case Opcode::Srai:
+    return encI(Imm | 0x400, I.Rs1, 5, I.Rd, OpcOpImm);
+  case Opcode::Add:
+    return encR(0x00, I.Rs2, I.Rs1, 0, I.Rd, OpcOp);
+  case Opcode::Sub:
+    return encR(0x20, I.Rs2, I.Rs1, 0, I.Rd, OpcOp);
+  case Opcode::Sll:
+    return encR(0x00, I.Rs2, I.Rs1, 1, I.Rd, OpcOp);
+  case Opcode::Slt:
+    return encR(0x00, I.Rs2, I.Rs1, 2, I.Rd, OpcOp);
+  case Opcode::Sltu:
+    return encR(0x00, I.Rs2, I.Rs1, 3, I.Rd, OpcOp);
+  case Opcode::Xor:
+    return encR(0x00, I.Rs2, I.Rs1, 4, I.Rd, OpcOp);
+  case Opcode::Srl:
+    return encR(0x00, I.Rs2, I.Rs1, 5, I.Rd, OpcOp);
+  case Opcode::Sra:
+    return encR(0x20, I.Rs2, I.Rs1, 5, I.Rd, OpcOp);
+  case Opcode::Or:
+    return encR(0x00, I.Rs2, I.Rs1, 6, I.Rd, OpcOp);
+  case Opcode::And:
+    return encR(0x00, I.Rs2, I.Rs1, 7, I.Rd, OpcOp);
+  case Opcode::Fence:
+    return encI(Imm, I.Rs1, 0, I.Rd, OpcMiscMem);
+  case Opcode::Ecall:
+    return 0x00000073;
+  case Opcode::Ebreak:
+    return 0x00100073;
+  case Opcode::Mul:
+    return encR(0x01, I.Rs2, I.Rs1, 0, I.Rd, OpcOp);
+  case Opcode::Mulh:
+    return encR(0x01, I.Rs2, I.Rs1, 1, I.Rd, OpcOp);
+  case Opcode::Mulhsu:
+    return encR(0x01, I.Rs2, I.Rs1, 2, I.Rd, OpcOp);
+  case Opcode::Mulhu:
+    return encR(0x01, I.Rs2, I.Rs1, 3, I.Rd, OpcOp);
+  case Opcode::Div:
+    return encR(0x01, I.Rs2, I.Rs1, 4, I.Rd, OpcOp);
+  case Opcode::Divu:
+    return encR(0x01, I.Rs2, I.Rs1, 5, I.Rd, OpcOp);
+  case Opcode::Rem:
+    return encR(0x01, I.Rs2, I.Rs1, 6, I.Rd, OpcOp);
+  case Opcode::Remu:
+    return encR(0x01, I.Rs2, I.Rs1, 7, I.Rd, OpcOp);
+  case Opcode::Invalid:
+    break;
+  }
+  assert(false && "unreachable: invalid opcode in encode");
+  return 0;
+}
+
+std::vector<uint8_t> b2::isa::instrencode(const std::vector<Instr> &Program) {
+  std::vector<uint8_t> Image;
+  Image.reserve(Program.size() * 4);
+  for (const Instr &I : Program) {
+    Word W = encode(I);
+    Image.push_back(uint8_t(W & 0xFF));
+    Image.push_back(uint8_t((W >> 8) & 0xFF));
+    Image.push_back(uint8_t((W >> 16) & 0xFF));
+    Image.push_back(uint8_t((W >> 24) & 0xFF));
+  }
+  return Image;
+}

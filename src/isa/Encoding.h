@@ -1,0 +1,49 @@
+//===- isa/Encoding.h - RV32IM instruction encode/decode -------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encoding and decoding of RV32IM instructions ("as specified by
+/// riscv-coq" in the paper's Figure 3). The compiler uses \c encode to
+/// produce the memory image (the paper's `instrencode lightbulb_insts`);
+/// the software-oriented ISA semantics use \c decode. Decoding of an
+/// encoded instruction is proven (here: property-tested) to be the
+/// identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_ISA_ENCODING_H
+#define B2_ISA_ENCODING_H
+
+#include "isa/Instr.h"
+#include "support/Word.h"
+
+#include <vector>
+
+namespace b2 {
+namespace isa {
+
+/// Decodes the 32-bit instruction word \p Raw. Returns an Instr with
+/// Opcode::Invalid if the word does not encode an RV32IM instruction we
+/// model.
+Instr decode(Word Raw);
+
+/// Encodes \p I to its 32-bit instruction word. Asserts that all fields
+/// are in range (register indices < 32, immediates representable in the
+/// instruction format, branch/jump offsets even).
+Word encode(const Instr &I);
+
+/// Returns true iff \p I can be encoded: registers in range and the
+/// immediate representable in the opcode's format.
+bool isEncodable(const Instr &I);
+
+/// Encodes a whole program to a little-endian byte image, one 4-byte word
+/// per instruction. This is the paper's `instrencode`.
+std::vector<uint8_t> instrencode(const std::vector<Instr> &Program);
+
+} // namespace isa
+} // namespace b2
+
+#endif // B2_ISA_ENCODING_H

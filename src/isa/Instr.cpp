@@ -1,0 +1,233 @@
+//===- isa/Instr.cpp - Instruction classification --------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Instr.h"
+
+#include <cassert>
+
+using namespace b2;
+using namespace b2::isa;
+
+std::string b2::isa::regName(Reg R) {
+  static const char *Names[NumRegs] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  assert(R < NumRegs && "register index out of range");
+  return Names[R];
+}
+
+bool b2::isa::isBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool b2::isa::isLoad(Opcode Op) {
+  switch (Op) {
+  case Opcode::Lb:
+  case Opcode::Lh:
+  case Opcode::Lw:
+  case Opcode::Lbu:
+  case Opcode::Lhu:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool b2::isa::isStore(Opcode Op) {
+  switch (Op) {
+  case Opcode::Sb:
+  case Opcode::Sh:
+  case Opcode::Sw:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool b2::isa::isRegAlu(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Sll:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+  case Opcode::Xor:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::Or:
+  case Opcode::And:
+    return true;
+  default:
+    return isMulDiv(Op);
+  }
+}
+
+bool b2::isa::isImmAlu(Opcode Op) {
+  switch (Op) {
+  case Opcode::Addi:
+  case Opcode::Slti:
+  case Opcode::Sltiu:
+  case Opcode::Xori:
+  case Opcode::Ori:
+  case Opcode::Andi:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Srai:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool b2::isa::isMulDiv(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mul:
+  case Opcode::Mulh:
+  case Opcode::Mulhsu:
+  case Opcode::Mulhu:
+  case Opcode::Div:
+  case Opcode::Divu:
+  case Opcode::Rem:
+  case Opcode::Remu:
+    return true;
+  default:
+    return false;
+  }
+}
+
+unsigned b2::isa::accessSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::Lb:
+  case Opcode::Lbu:
+  case Opcode::Sb:
+    return 1;
+  case Opcode::Lh:
+  case Opcode::Lhu:
+  case Opcode::Sh:
+    return 2;
+  case Opcode::Lw:
+  case Opcode::Sw:
+    return 4;
+  default:
+    assert(false && "accessSize of a non-memory opcode");
+    return 0;
+  }
+}
+
+const char *b2::isa::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Invalid:
+    return "<invalid>";
+  case Opcode::Lui:
+    return "lui";
+  case Opcode::Auipc:
+    return "auipc";
+  case Opcode::Jal:
+    return "jal";
+  case Opcode::Jalr:
+    return "jalr";
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Blt:
+    return "blt";
+  case Opcode::Bge:
+    return "bge";
+  case Opcode::Bltu:
+    return "bltu";
+  case Opcode::Bgeu:
+    return "bgeu";
+  case Opcode::Lb:
+    return "lb";
+  case Opcode::Lh:
+    return "lh";
+  case Opcode::Lw:
+    return "lw";
+  case Opcode::Lbu:
+    return "lbu";
+  case Opcode::Lhu:
+    return "lhu";
+  case Opcode::Sb:
+    return "sb";
+  case Opcode::Sh:
+    return "sh";
+  case Opcode::Sw:
+    return "sw";
+  case Opcode::Addi:
+    return "addi";
+  case Opcode::Slti:
+    return "slti";
+  case Opcode::Sltiu:
+    return "sltiu";
+  case Opcode::Xori:
+    return "xori";
+  case Opcode::Ori:
+    return "ori";
+  case Opcode::Andi:
+    return "andi";
+  case Opcode::Slli:
+    return "slli";
+  case Opcode::Srli:
+    return "srli";
+  case Opcode::Srai:
+    return "srai";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Sll:
+    return "sll";
+  case Opcode::Slt:
+    return "slt";
+  case Opcode::Sltu:
+    return "sltu";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Srl:
+    return "srl";
+  case Opcode::Sra:
+    return "sra";
+  case Opcode::Or:
+    return "or";
+  case Opcode::And:
+    return "and";
+  case Opcode::Fence:
+    return "fence";
+  case Opcode::Ecall:
+    return "ecall";
+  case Opcode::Ebreak:
+    return "ebreak";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Mulh:
+    return "mulh";
+  case Opcode::Mulhsu:
+    return "mulhsu";
+  case Opcode::Mulhu:
+    return "mulhu";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Divu:
+    return "divu";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Remu:
+    return "remu";
+  }
+  return "<invalid>";
+}

@@ -1,0 +1,126 @@
+//===- isa/Instr.h - Decoded RV32IM instruction representation -*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded instruction type shared by the software-oriented ISA
+/// semantics (riscv/) and the compiler backend (compiler/). The Kami-style
+/// hardware model deliberately has its *own* decoder (kami/Decode.h), so
+/// that the paper's "processor-ISA consistency proof" has a C++ analogue:
+/// a differential checker between the two decoders (verify/).
+///
+/// We implement RV32IM: the base integer ISA the paper reconciled the Kami
+/// processor with (RV32I), plus the M extension the compiler uses for
+/// multiplication and division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_ISA_INSTR_H
+#define B2_ISA_INSTR_H
+
+#include "isa/Reg.h"
+#include "support/Word.h"
+
+#include <cstdint>
+
+namespace b2 {
+namespace isa {
+
+/// Every RV32IM instruction we model, plus Invalid for undecodable words.
+enum class Opcode : uint8_t {
+  Invalid,
+  // RV32I: upper-immediate and control transfer.
+  Lui,
+  Auipc,
+  Jal,
+  Jalr,
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Bltu,
+  Bgeu,
+  // RV32I: loads and stores.
+  Lb,
+  Lh,
+  Lw,
+  Lbu,
+  Lhu,
+  Sb,
+  Sh,
+  Sw,
+  // RV32I: immediate ALU.
+  Addi,
+  Slti,
+  Sltiu,
+  Xori,
+  Ori,
+  Andi,
+  Slli,
+  Srli,
+  Srai,
+  // RV32I: register ALU.
+  Add,
+  Sub,
+  Sll,
+  Slt,
+  Sltu,
+  Xor,
+  Srl,
+  Sra,
+  Or,
+  And,
+  // RV32I: system / misc-mem. We model Fence as a no-op and Ecall/Ebreak
+  // as undefined behavior (the demo platform has no execution environment).
+  Fence,
+  Ecall,
+  Ebreak,
+  // RV32M.
+  Mul,
+  Mulh,
+  Mulhsu,
+  Mulhu,
+  Div,
+  Divu,
+  Rem,
+  Remu,
+};
+
+/// A decoded instruction. Unused fields are zero. \c Imm holds the
+/// sign-extended immediate for I/S/B/U/J formats (for U-format it holds the
+/// already-shifted upper immediate, i.e. imm20 << 12).
+struct Instr {
+  Opcode Op = Opcode::Invalid;
+  Reg Rd = 0;
+  Reg Rs1 = 0;
+  Reg Rs2 = 0;
+  SWord Imm = 0;
+
+  bool isValid() const { return Op != Opcode::Invalid; }
+
+  friend bool operator==(const Instr &A, const Instr &B) {
+    return A.Op == B.Op && A.Rd == B.Rd && A.Rs1 == B.Rs1 && A.Rs2 == B.Rs2 &&
+           A.Imm == B.Imm;
+  }
+};
+
+/// Classification helpers used by the semantics and the encoder.
+bool isBranch(Opcode Op);
+bool isLoad(Opcode Op);
+bool isStore(Opcode Op);
+bool isRegAlu(Opcode Op);
+bool isImmAlu(Opcode Op);
+bool isMulDiv(Opcode Op);
+
+/// Number of bytes accessed by a load/store opcode (1, 2, or 4).
+unsigned accessSize(Opcode Op);
+
+/// Returns the mnemonic ("addi", "lw", ...).
+const char *opcodeName(Opcode Op);
+
+} // namespace isa
+} // namespace b2
+
+#endif // B2_ISA_INSTR_H

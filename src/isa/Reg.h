@@ -1,0 +1,64 @@
+//===- isa/Reg.h - RISC-V integer register names ---------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RV32I integer register numbering and ABI names. Registers are plain
+/// uint8_t values 0..31 throughout the stack; this header provides the
+/// symbolic constants used by the compiler's calling convention and the
+/// disassembler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_ISA_REG_H
+#define B2_ISA_REG_H
+
+#include <cstdint>
+#include <string>
+
+namespace b2 {
+namespace isa {
+
+/// A RISC-V integer register index (0..31).
+using Reg = uint8_t;
+
+/// Number of integer registers in RV32I.
+constexpr unsigned NumRegs = 32;
+
+// ABI register aliases. We use the standard RISC-V psABI names; the
+// compiler's calling convention (args/rets in a-registers, temporaries in
+// t-registers, allocatables in s-registers) is defined in compiler/Codegen.
+constexpr Reg Zero = 0; ///< Hard-wired zero.
+constexpr Reg RA = 1;   ///< Return address.
+constexpr Reg SP = 2;   ///< Stack pointer.
+constexpr Reg GP = 3;   ///< Global pointer (unused by our compiler).
+constexpr Reg TP = 4;   ///< Thread pointer (unused by our compiler).
+constexpr Reg T0 = 5;   ///< Temporary / scratch.
+constexpr Reg T1 = 6;   ///< Temporary / scratch.
+constexpr Reg T2 = 7;   ///< Temporary / scratch.
+constexpr Reg S0 = 8;   ///< Saved register (allocatable).
+constexpr Reg S1 = 9;   ///< Saved register (allocatable).
+constexpr Reg A0 = 10;  ///< Argument/return 0.
+constexpr Reg A1 = 11;  ///< Argument/return 1.
+constexpr Reg A2 = 12;
+constexpr Reg A3 = 13;
+constexpr Reg A4 = 14;
+constexpr Reg A5 = 15;
+constexpr Reg A6 = 16;
+constexpr Reg A7 = 17;
+constexpr Reg S2 = 18; ///< S2..S11 are allocatable saved registers.
+constexpr Reg S11 = 27;
+constexpr Reg T3 = 28;
+constexpr Reg T4 = 29;
+constexpr Reg T5 = 30;
+constexpr Reg T6 = 31;
+
+/// Returns the ABI name of \p R ("zero", "ra", "sp", "a0", ...).
+std::string regName(Reg R);
+
+} // namespace isa
+} // namespace b2
+
+#endif // B2_ISA_REG_H

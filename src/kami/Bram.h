@@ -1,0 +1,142 @@
+//===- kami/Bram.h - Block RAM with byte-enable interface ------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FPGA block-RAM model. The paper's additions to the Kami processor
+/// included "adding byte-enable signals to the memory interface" to support
+/// lb/sb (section 5.5); accordingly this model's write port takes a 4-bit
+/// byte-enable mask on a word-aligned address, and all narrower accesses
+/// are expressed through it.
+///
+/// Address handling matches hardware, not the software semantics: the
+/// Kami semantics "does not have a notion of undefined behavior —
+/// memory accesses at too-large addresses just wrap around, ignoring the
+/// more-significant address bits" (section 5.8). The wrap is implemented
+/// here so that the processor models inherit it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_KAMI_BRAM_H
+#define B2_KAMI_BRAM_H
+
+#include "support/Word.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace b2 {
+namespace kami {
+
+/// Word-addressed block RAM with a byte-enable write port.
+class Bram {
+public:
+  /// Creates a zeroed BRAM of \p SizeBytes (positive multiple of 4).
+  explicit Bram(Word SizeBytes) : Words(SizeBytes / 4, 0) {
+    assert(SizeBytes > 0 && SizeBytes % 4 == 0 &&
+           "BRAM size must be a positive multiple of 4");
+  }
+
+  Word sizeBytes() const { return Word(Words.size()) * 4; }
+
+  /// Reads the aligned word containing \p Addr; high address bits wrap.
+  Word readWord(Word Addr) const { return Words[wordIndex(Addr)]; }
+
+  /// Writes bytes of \p Data selected by \p ByteEnable (bit i enables byte
+  /// lane i) into the aligned word containing \p Addr.
+  void writeWord(Word Addr, uint8_t ByteEnable, Word Data) {
+    Word &W = Words[wordIndex(Addr)];
+    for (unsigned Lane = 0; Lane != 4; ++Lane) {
+      if (!(ByteEnable & (1u << Lane)))
+        continue;
+      Word Mask = Word(0xFF) << (8 * Lane);
+      W = (W & ~Mask) | (Data & Mask);
+    }
+  }
+
+  /// Copies \p Image into the BRAM starting at byte 0 (system bring-up:
+  /// "place it at address 0 in a memory", section 5.9). Asserts it fits.
+  void loadImage(const std::vector<uint8_t> &Image) {
+    assert(Image.size() <= size_t(sizeBytes()) && "image does not fit");
+    for (std::size_t I = 0; I != Image.size(); ++I) {
+      Word Lane = Word(I) & 3;
+      writeWord(Word(I), uint8_t(1u << Lane), Word(Image[I]) << (8 * Lane));
+    }
+  }
+
+  /// Byte view used by checkers that compare against the software
+  /// semantics' RAM.
+  uint8_t readByte(Word Addr) const {
+    Word W = readWord(Addr);
+    return uint8_t((W >> (8 * (Addr & 3))) & 0xFF);
+  }
+
+private:
+  Word wordIndex(Word Addr) const {
+    // Hardware truncates the address to the BRAM's index width: high bits
+    // wrap around.
+    return (Addr / 4) % Word(Words.size());
+  }
+
+  std::vector<Word> Words;
+};
+
+/// Computes the byte-enable mask for a \p Size-byte access at \p Addr
+/// (addr low bits select lanes). \p Size in {1,2,4}.
+inline uint8_t byteEnableFor(Word Addr, unsigned Size) {
+  unsigned Lane = Addr & 3;
+  switch (Size) {
+  case 1:
+    return uint8_t(1u << Lane);
+  case 2:
+    return uint8_t(0x3u << (Lane & 2));
+  case 4:
+    return 0xF;
+  default:
+    assert(false && "invalid access size");
+    return 0;
+  }
+}
+
+/// Replicates \p Value across the byte lanes selected by \p Addr so a
+/// narrow store drives the right lanes of the word-wide write port.
+inline Word laneAlign(Word Addr, unsigned Size, Word Value) {
+  unsigned Lane = Addr & 3;
+  switch (Size) {
+  case 1:
+    return (Value & 0xFF) << (8 * Lane);
+  case 2:
+    return (Value & 0xFFFF) << (8 * (Lane & 2));
+  case 4:
+    return Value;
+  default:
+    assert(false && "invalid access size");
+    return 0;
+  }
+}
+
+/// Extracts a \p Size-byte value from word \p WordData as selected by the
+/// low bits of \p Addr.
+inline Word laneExtract(Word Addr, unsigned Size, Word WordData) {
+  unsigned Lane = Addr & 3;
+  switch (Size) {
+  case 1:
+    return (WordData >> (8 * Lane)) & 0xFF;
+  case 2:
+    return (WordData >> (8 * (Lane & 2))) & 0xFFFF;
+  case 4:
+    return WordData;
+  default:
+    assert(false && "invalid access size");
+    return 0;
+  }
+}
+
+} // namespace kami
+} // namespace b2
+
+#endif // B2_KAMI_BRAM_H

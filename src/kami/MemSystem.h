@@ -1,0 +1,101 @@
+//===- kami/MemSystem.h - Shared memory/MMIO routing -----------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory module shared by the spec processor and the pipelined
+/// processor. "The processor itself does not distinguish ordinary memory
+/// operations from MMIO. When the memory module is attached, it handles
+/// the loads and stores to memory addresses but makes designated external
+/// method calls for the rest. This factoring appears both in the pipelined
+/// processor and in the spec processor, making for an easy correctness
+/// proof by modular refinement" (paper section 6.4). Sharing the routing
+/// logic here makes the refinement property hold for the *data values* by
+/// construction; the refinement checker still validates the end-to-end
+/// label traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_KAMI_MEMSYSTEM_H
+#define B2_KAMI_MEMSYSTEM_H
+
+#include "kami/Bram.h"
+#include "kami/Labels.h"
+#include "riscv/Mmio.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace b2 {
+namespace kami {
+
+/// Data-memory port: routes each access either to the BRAM or to the
+/// external module (recording a label).
+class MemPort {
+public:
+  MemPort(Bram &Mem, riscv::MmioDevice &Device) : Mem(Mem), Device(Device) {}
+
+  bool isExternal(Word Addr) const { return Addr >= Mem.sizeBytes(); }
+
+  /// Performs a load; external accesses are recorded in \p Labels.
+  Word load(Word Addr, unsigned Size, uint64_t Cycle, LabelTrace &Labels) {
+    if (!isExternal(Addr))
+      return laneExtract(Addr, Size, Mem.readWord(Addr));
+    // External method call on the unspecified module. Addresses no device
+    // claims still produce a call; the reply is an arbitrary (but
+    // deterministic) value.
+    Word V = Device.isMmio(Addr, Size) ? Device.load(Addr, Size) : 0;
+    Labels.push_back(Label{Label::Kind::MmioLoad, Addr, V, uint8_t(Size),
+                           Cycle});
+    return V;
+  }
+
+  /// Performs a store; external accesses are recorded in \p Labels.
+  void store(Word Addr, unsigned Size, Word Value, uint64_t Cycle,
+             LabelTrace &Labels) {
+    if (!isExternal(Addr)) {
+      Mem.writeWord(Addr, byteEnableFor(Addr, Size),
+                    laneAlign(Addr, Size, Value));
+      return;
+    }
+    Word Sent = Size == 4 ? Value : (Value & ((Word(1) << (8 * Size)) - 1));
+    if (Device.isMmio(Addr, Size))
+      Device.store(Addr, Size, Sent);
+    Labels.push_back(Label{Label::Kind::MmioStore, Addr, Sent, uint8_t(Size),
+                           Cycle});
+  }
+
+  Bram &bram() { return Mem; }
+
+private:
+  Bram &Mem;
+  riscv::MmioDevice &Device;
+};
+
+/// The interface-compatible instruction cache the paper added to the Kami
+/// processor: on reset it eagerly copies main memory into FPGA block RAM
+/// and serves all fetches from the copy (section 5.5). Ordinary stores do
+/// *not* update it — that is the stale-instruction hazard of section 5.6,
+/// which the software side must avoid via the XAddrs discipline.
+class ICache {
+public:
+  explicit ICache(const Bram &Mem) {
+    Lines.resize(Mem.sizeBytes() / 4);
+    for (Word I = 0; I != Word(Lines.size()); ++I)
+      Lines[I] = Mem.readWord(I * 4);
+  }
+
+  Word fetch(Word Pc) const { return Lines[(Pc / 4) % Word(Lines.size())]; }
+
+  Word sizeWords() const { return Word(Lines.size()); }
+
+private:
+  std::vector<Word> Lines;
+};
+
+} // namespace kami
+} // namespace b2
+
+#endif // B2_KAMI_MEMSYSTEM_H

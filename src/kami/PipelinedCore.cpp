@@ -1,0 +1,243 @@
+//===- kami/PipelinedCore.cpp - 4-stage pipelined processor ----------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kami/PipelinedCore.h"
+
+#include <cassert>
+
+using namespace b2;
+using namespace b2::kami;
+
+PipelinedCore::PipelinedCore(Bram &Mem, riscv::MmioDevice &Device,
+                             const PipeConfig &Config)
+    : Port(Mem, Device), IMem(Mem), Config(Config) {
+  Btb.resize(size_t(1) << Config.BtbIndexBits);
+  if (Config.ICacheFillWordsPerCycle != 0) {
+    // Eager fill occupies the frontend for sizeWords/rate cycles after
+    // reset (the copy itself already happened in the ICache constructor;
+    // we model its latency here).
+    FillCyclesLeft = (IMem.sizeWords() + Config.ICacheFillWordsPerCycle - 1) /
+                     Config.ICacheFillWordsPerCycle;
+  }
+}
+
+Word PipelinedCore::predictNext(Word Pc) const {
+  if (Config.UseBtb) {
+    const BtbEntry &E = Btb[(Pc / 4) & (Btb.size() - 1)];
+    if (E.Valid && E.Pc == Pc)
+      return E.Target;
+  }
+  return Pc + 4;
+}
+
+void PipelinedCore::trainBtb(Word Pc, Word ActualNext) {
+  if (!Config.UseBtb)
+    return;
+  BtbEntry &E = Btb[(Pc / 4) & (Btb.size() - 1)];
+  if (ActualNext != Pc + 4) {
+    E.Valid = true;
+    E.Pc = Pc;
+    E.Target = ActualNext;
+  } else if (E.Valid && E.Pc == Pc) {
+    // Not-taken branch whose entry would keep mispredicting: drop it.
+    E.Valid = false;
+  }
+}
+
+void PipelinedCore::stageWriteback() {
+  if (!E2W)
+    return;
+  ExecOut &W = *E2W;
+
+  bool IsMem = W.D.Cls == InstClass::Load || W.D.Cls == InstClass::Store;
+  if (IsMem && Port.isExternal(W.MemAddr) && MmioStallLeft > 0) {
+    // Handshake with the external module in progress.
+    --MmioStallLeft;
+    ++Stats.MmioStalls;
+    return;
+  }
+
+  if (W.D.Cls == InstClass::Load) {
+    Word Raw = Port.load(W.MemAddr, W.D.Funct3 == 2 ? 4
+                                    : (W.D.Funct3 & 1) ? 2
+                                                       : 1,
+                         Stats.Cycles, Labels);
+    setReg(W.D.Rd, execLoadExtend(W.D.Funct3, Raw));
+  } else if (W.D.Cls == InstClass::Store) {
+    unsigned Size = W.D.Funct3 == 2 ? 4 : W.D.Funct3 == 1 ? 2 : 1;
+    Port.store(W.MemAddr, Size, W.StoreData, Stats.Cycles, Labels);
+  } else if (W.D.writesRd()) {
+    setReg(W.D.Rd, W.AluResult);
+  }
+
+  if (W.D.writesRd()) {
+    assert(Pending[W.D.Rd] > 0 && "scoreboard underflow");
+    --Pending[W.D.Rd];
+  }
+
+  assert(W.Pc == CommitPc && "out-of-order retirement");
+  CommitPc = W.NextPc;
+  ++Stats.Retired;
+  E2W.reset();
+}
+
+void PipelinedCore::stageExecute() {
+  if (!D2E || E2W)
+    return;
+  DecodeOut &X = *D2E;
+
+  ExecOut Out;
+  Out.Pc = X.Pc;
+  Out.D = X.D;
+  Out.NextPc = X.Pc + 4;
+
+  switch (X.D.Cls) {
+  case InstClass::Illegal:
+  case InstClass::Fence:
+  case InstClass::System:
+    break;
+  case InstClass::Lui:
+    Out.AluResult = X.D.Imm;
+    break;
+  case InstClass::Auipc:
+    Out.AluResult = X.Pc + X.D.Imm;
+    break;
+  case InstClass::Jal:
+    Out.AluResult = X.Pc + 4;
+    Out.NextPc = X.Pc + X.D.Imm;
+    break;
+  case InstClass::Jalr:
+    Out.AluResult = X.Pc + 4;
+    Out.NextPc = (X.A + X.D.Imm) & ~Word(1);
+    break;
+  case InstClass::Branch:
+    if (execBranchTaken(X.D.Funct3, X.A, X.B))
+      Out.NextPc = X.Pc + X.D.Imm;
+    break;
+  case InstClass::Load:
+  case InstClass::Store:
+    Out.MemAddr = X.A + X.D.Imm;
+    Out.StoreData = X.B;
+    break;
+  case InstClass::Alu:
+    Out.AluResult = execAlu(X.D, X.A, X.B);
+    break;
+  case InstClass::AluImm:
+    Out.AluResult = execAlu(X.D, X.A, X.D.Imm);
+    break;
+  }
+
+  // Control-flow verification: every instruction (not just branches)
+  // checks the frontend's prediction, because a stale BTB entry can
+  // redirect a non-control instruction.
+  if (Out.NextPc != X.PredictedNext) {
+    ++Stats.Mispredicts;
+    F2D.reset(); // Squash the younger wrong-path instruction.
+    FetchPc = Out.NextPc;
+  }
+  trainBtb(X.Pc, Out.NextPc);
+
+  // External accesses pay the handshake latency when they reach WB.
+  if ((X.D.Cls == InstClass::Load || X.D.Cls == InstClass::Store) &&
+      Port.isExternal(Out.MemAddr))
+    MmioStallLeft = Config.MmioLatency;
+
+  E2W = Out;
+  D2E.reset();
+}
+
+void PipelinedCore::stageDecode() {
+  if (!F2D || D2E)
+    return;
+  FetchOut &F = *F2D;
+
+  DecodedInst D = decodeInst(F.Raw);
+
+  // Scoreboard with an optional forwarding path: an operand whose only
+  // outstanding writer sits in the WB latch with a ready ALU result can
+  // be bypassed; anything else (loads, multiple writers) stalls.
+  auto Resolve = [&](uint8_t R, Word &Value, bool &Stall) {
+    if (Pending[R] == 0) {
+      Value = getReg(R);
+      return;
+    }
+    if (Config.EnableForwarding && Pending[R] == 1 && E2W &&
+        E2W->D.writesRd() && E2W->D.Rd == R &&
+        E2W->D.Cls != InstClass::Load && E2W->D.Cls != InstClass::Store) {
+      Value = E2W->AluResult;
+      ++Stats.Forwards;
+      return;
+    }
+    Stall = true;
+  };
+
+  bool Stall = false;
+  Word A = 0, B = 0;
+  if (D.readsRs1())
+    Resolve(D.Rs1, A, Stall);
+  if (D.readsRs2())
+    Resolve(D.Rs2, B, Stall);
+  // WAW on the single write port still serializes.
+  if (D.writesRd() && Pending[D.Rd] > 0)
+    Stall = true;
+  if (Stall) {
+    ++Stats.RawStalls;
+    return;
+  }
+
+  DecodeOut Out;
+  Out.Pc = F.Pc;
+  Out.PredictedNext = F.PredictedNext;
+  Out.D = D;
+  Out.A = D.readsRs1() ? A : getReg(D.Rs1);
+  Out.B = D.readsRs2() ? B : getReg(D.Rs2);
+  if (D.writesRd())
+    ++Pending[D.Rd];
+
+  D2E = Out;
+  F2D.reset();
+}
+
+void PipelinedCore::stageFetch() {
+  if (F2D)
+    return;
+  FetchOut Out;
+  Out.Pc = FetchPc;
+  Out.Raw = IMem.fetch(FetchPc);
+  Out.PredictedNext = predictNext(FetchPc);
+  FetchPc = Out.PredictedNext;
+  F2D = Out;
+}
+
+void PipelinedCore::tick() {
+  ++Stats.Cycles;
+  if (FillCyclesLeft > 0) {
+    --FillCyclesLeft;
+    ++Stats.FillCycles;
+    return;
+  }
+  // Stages evaluate oldest-first so that a value travels at most one
+  // stage per cycle and an EX redirect squashes before ID issues.
+  stageWriteback();
+  stageExecute();
+  stageDecode();
+  stageFetch();
+}
+
+bool PipelinedCore::runUntilRetired(uint64_t N, uint64_t MaxCycles) {
+  uint64_t Start = Stats.Cycles;
+  while (Stats.Retired < N) {
+    if (Stats.Cycles - Start >= MaxCycles)
+      return false;
+    tick();
+  }
+  return true;
+}
+
+void PipelinedCore::run(uint64_t N) {
+  for (uint64_t I = 0; I != N; ++I)
+    tick();
+}

@@ -1,0 +1,77 @@
+//===- kami/SpecCore.cpp - Single-cycle spec processor ---------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kami/SpecCore.h"
+
+using namespace b2;
+using namespace b2::kami;
+
+SpecCore::SpecCore(Bram &Mem, riscv::MmioDevice &Device)
+    : Port(Mem, Device), IMem(Mem) {}
+
+void SpecCore::tick() {
+  ++Cycles;
+
+  // Fetch from the reset-time instruction snapshot; low address bits are
+  // dropped and high bits wrap, as in the implementation.
+  Word Raw = IMem.fetch(Pc);
+  DecodedInst D = decodeInst(Raw);
+  Word NextPc = Pc + 4;
+  Word A = getReg(D.Rs1);
+  Word B = getReg(D.Rs2);
+
+  switch (D.Cls) {
+  case InstClass::Illegal:
+  case InstClass::Fence:
+  case InstClass::System:
+    break; // Arbitrary-but-deterministic hardware behavior: no-op.
+  case InstClass::Lui:
+    setReg(D.Rd, D.Imm);
+    break;
+  case InstClass::Auipc:
+    setReg(D.Rd, Pc + D.Imm);
+    break;
+  case InstClass::Jal:
+    setReg(D.Rd, Pc + 4);
+    NextPc = Pc + D.Imm;
+    break;
+  case InstClass::Jalr:
+    setReg(D.Rd, Pc + 4);
+    NextPc = (A + D.Imm) & ~Word(1);
+    break;
+  case InstClass::Branch:
+    if (execBranchTaken(D.Funct3, A, B))
+      NextPc = Pc + D.Imm;
+    break;
+  case InstClass::Load: {
+    Word Addr = A + D.Imm;
+    unsigned Size = D.Funct3 == 2 ? 4 : (D.Funct3 & 1) ? 2 : 1;
+    Word Raw2 = Port.load(Addr, Size, Cycles, Labels);
+    setReg(D.Rd, execLoadExtend(D.Funct3, Raw2));
+    break;
+  }
+  case InstClass::Store: {
+    Word Addr = A + D.Imm;
+    unsigned Size = D.Funct3 == 2 ? 4 : D.Funct3 == 1 ? 2 : 1;
+    Port.store(Addr, Size, B, Cycles, Labels);
+    break;
+  }
+  case InstClass::Alu:
+    setReg(D.Rd, execAlu(D, A, B));
+    break;
+  case InstClass::AluImm:
+    setReg(D.Rd, execAlu(D, A, D.Imm));
+    break;
+  }
+
+  Pc = NextPc;
+  ++Retired;
+}
+
+void SpecCore::run(uint64_t N) {
+  for (uint64_t I = 0; I != N; ++I)
+    tick();
+}

@@ -1,0 +1,109 @@
+//===- riscv/Machine.cpp - Software-oriented RISC-V machine state ----------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "riscv/Machine.h"
+
+#include "support/Format.h"
+
+using namespace b2;
+using namespace b2::riscv;
+
+MmioDevice::~MmioDevice() = default;
+
+std::string b2::riscv::toString(const MmioEvent &E) {
+  return std::string("(\"") + (E.IsStore ? "st" : "ld") + "\", " +
+         support::hex32(E.Addr) + ", " + support::hex32(E.Value) + ")";
+}
+
+std::string b2::riscv::toString(const MmioTrace &T) {
+  std::string Out;
+  for (const MmioEvent &E : T) {
+    Out += toString(E);
+    Out += "\n";
+  }
+  return Out;
+}
+
+const char *b2::riscv::ubKindName(UbKind K) {
+  switch (K) {
+  case UbKind::None:
+    return "none";
+  case UbKind::FetchUnmapped:
+    return "fetch-unmapped";
+  case UbKind::FetchMisaligned:
+    return "fetch-misaligned";
+  case UbKind::FetchNotExecutable:
+    return "fetch-not-executable";
+  case UbKind::InvalidInstruction:
+    return "invalid-instruction";
+  case UbKind::LoadUnmapped:
+    return "load-unmapped";
+  case UbKind::StoreUnmapped:
+    return "store-unmapped";
+  case UbKind::LoadMisaligned:
+    return "load-misaligned";
+  case UbKind::StoreMisaligned:
+    return "store-misaligned";
+  case UbKind::MmioBadSize:
+    return "mmio-bad-size";
+  case UbKind::EnvironmentCall:
+    return "environment-call";
+  }
+  return "unknown";
+}
+
+Machine::Machine(Word RamSize) : Ram(RamSize, 0), XAddrs(RamSize, true) {
+  assert(RamSize > 0 && RamSize % 4 == 0 && "RAM size must be a multiple of 4");
+}
+
+Word Machine::readRam(Word Addr, unsigned Size) const {
+  assert(inRam(Addr, Size) && "RAM read out of range");
+  Word V = 0;
+  for (unsigned I = 0; I != Size; ++I)
+    V |= Word(Ram[Addr + I]) << (8 * I);
+  return V;
+}
+
+void Machine::writeRam(Word Addr, unsigned Size, Word V) {
+  assert(inRam(Addr, Size) && "RAM write out of range");
+  for (unsigned I = 0; I != Size; ++I)
+    Ram[Addr + I] = uint8_t((V >> (8 * I)) & 0xFF);
+}
+
+void Machine::loadImage(Word Addr, const std::vector<uint8_t> &Image) {
+  assert(inRam(Addr, Word(Image.size())) && "image does not fit in RAM");
+  for (size_t I = 0; I != Image.size(); ++I)
+    Ram[Addr + I] = Image[I];
+}
+
+bool Machine::isExecutable(Word Addr) const {
+  if (!inRam(Addr, 4))
+    return false;
+  return XAddrs[Addr] && XAddrs[Addr + 1] && XAddrs[Addr + 2] &&
+         XAddrs[Addr + 3];
+}
+
+void Machine::removeXAddrs(Word Addr, unsigned Size) {
+  for (unsigned I = 0; I != Size; ++I)
+    if (inRam(Addr + I, 1))
+      XAddrs[Addr + I] = false;
+}
+
+bool Machine::rangeExecutable(Word Addr, Word Size) const {
+  if (!inRam(Addr, Size))
+    return false;
+  for (Word I = 0; I != Size; ++I)
+    if (!XAddrs[Addr + I])
+      return false;
+  return true;
+}
+
+void Machine::markUb(UbKind K, std::string Detail) {
+  if (Ub != UbKind::None)
+    return;
+  Ub = K;
+  UbMessage = std::move(Detail);
+}

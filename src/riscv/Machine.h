@@ -1,0 +1,160 @@
+//===- riscv/Machine.h - Software-oriented RISC-V machine state -*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-state type of the software-oriented RISC-V semantics that
+/// the compiler is verified (here: differentially tested) against — the
+/// paper's riscv-coq instantiation (sections 5.4 and 5.6). It includes:
+///
+///  * the register file, program counter, and a flat byte-addressed RAM
+///    starting at address 0 (the demo platform's BRAM);
+///  * the I/O trace of MMIO events (section 6.2);
+///  * the set of executable addresses `XAddrs` used to encode the
+///    stale-instruction discipline (section 5.6): every store removes its
+///    addresses from the set, and fetching from an address outside the set
+///    is undefined behavior;
+///  * an explicit undefined-behavior status. UB is a *value* of the
+///    simulation, never C++ UB: a machine that stepped into UB freezes and
+///    remembers why.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_RISCV_MACHINE_H
+#define B2_RISCV_MACHINE_H
+
+#include "riscv/Mmio.h"
+#include "support/Word.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace riscv {
+
+/// Why a machine stopped making well-defined progress.
+enum class UbKind : uint8_t {
+  None,              ///< No UB: the machine is running.
+  FetchUnmapped,     ///< PC outside RAM.
+  FetchMisaligned,   ///< PC not 4-byte aligned.
+  FetchNotExecutable,///< PC in RAM but outside XAddrs (stale instruction).
+  InvalidInstruction,///< Fetched word does not decode.
+  LoadUnmapped,      ///< Load from an address that is neither RAM nor MMIO.
+  StoreUnmapped,     ///< Store to an address that is neither RAM nor MMIO.
+  LoadMisaligned,    ///< Misaligned RAM or MMIO load.
+  StoreMisaligned,   ///< Misaligned RAM or MMIO store.
+  MmioBadSize,       ///< Non-word-sized MMIO access on this platform.
+  EnvironmentCall,   ///< ecall/ebreak: no execution environment exists.
+};
+
+/// Human-readable name for a UB kind.
+const char *ubKindName(UbKind K);
+
+/// The software-oriented RISC-V machine. The memory footprint never
+/// changes during execution (paper section 6.2: "In our instantiation of
+/// the ISA specification, the memory footprint remains unchanged").
+class Machine {
+public:
+  /// Creates a machine with \p RamSize bytes of zeroed RAM at address 0,
+  /// PC 0, all registers 0, and every RAM address executable. \p RamSize
+  /// must be a positive multiple of 4.
+  explicit Machine(Word RamSize);
+
+  // -- Registers and PC ---------------------------------------------------
+
+  Word getReg(unsigned R) const {
+    assert(R < 32 && "register index out of range");
+    return R == 0 ? 0 : Regs[R];
+  }
+
+  void setReg(unsigned R, Word V) {
+    assert(R < 32 && "register index out of range");
+    if (R != 0)
+      Regs[R] = V;
+  }
+
+  Word getPc() const { return Pc; }
+  void setPc(Word V) { Pc = V; }
+
+  // -- RAM ----------------------------------------------------------------
+
+  Word ramSize() const { return Word(Ram.size()); }
+
+  /// Returns true iff the \p Size-byte range at \p Addr lies entirely in
+  /// RAM (with overflow handled).
+  bool inRam(Word Addr, unsigned Size) const {
+    return Addr < Ram.size() && Size <= Ram.size() - Addr;
+  }
+
+  uint8_t readByte(Word Addr) const {
+    assert(inRam(Addr, 1) && "RAM read out of range");
+    return Ram[Addr];
+  }
+
+  void writeByte(Word Addr, uint8_t V) {
+    assert(inRam(Addr, 1) && "RAM write out of range");
+    Ram[Addr] = V;
+  }
+
+  /// Little-endian read of \p Size in {1,2,4} bytes.
+  Word readRam(Word Addr, unsigned Size) const;
+
+  /// Little-endian write of \p Size in {1,2,4} bytes.
+  void writeRam(Word Addr, unsigned Size, Word V);
+
+  /// Copies \p Image into RAM at \p Addr. Asserts it fits.
+  void loadImage(Word Addr, const std::vector<uint8_t> &Image);
+
+  // -- XAddrs (stale-instruction discipline, section 5.6) ------------------
+
+  /// True iff all 4 bytes at \p Addr are executable.
+  bool isExecutable(Word Addr) const;
+
+  /// Removes [Addr, Addr+Size) from the executable set; called on every
+  /// RAM store.
+  void removeXAddrs(Word Addr, unsigned Size);
+
+  /// True iff [Addr, Addr+Size) is entirely executable; used by the
+  /// compiler-correctness checker to verify the program image stays
+  /// executable throughout execution.
+  bool rangeExecutable(Word Addr, Word Size) const;
+
+  // -- UB status ------------------------------------------------------------
+
+  bool hasUb() const { return Ub != UbKind::None; }
+  UbKind ubKind() const { return Ub; }
+  const std::string &ubDetail() const { return UbMessage; }
+
+  /// Marks the machine as having undefined behavior. Sticky: the first UB
+  /// wins and the machine stops stepping.
+  void markUb(UbKind K, std::string Detail);
+
+  // -- I/O trace -------------------------------------------------------------
+
+  const MmioTrace &trace() const { return Trace; }
+  void appendEvent(const MmioEvent &E) { Trace.push_back(E); }
+
+  // -- Counters --------------------------------------------------------------
+
+  uint64_t retiredInstructions() const { return Retired; }
+  void countRetired() { ++Retired; }
+
+private:
+  Word Regs[32] = {};
+  Word Pc = 0;
+  std::vector<uint8_t> Ram;
+  std::vector<bool> XAddrs;
+  UbKind Ub = UbKind::None;
+  std::string UbMessage;
+  MmioTrace Trace;
+  uint64_t Retired = 0;
+};
+
+} // namespace riscv
+} // namespace b2
+
+#endif // B2_RISCV_MACHINE_H

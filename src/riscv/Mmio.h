@@ -1,0 +1,87 @@
+//===- riscv/Mmio.h - I/O parameterization of the ISA semantics -*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ISA semantics are parameterized over external interactions (paper
+/// section 6.2): loads and stores that fall outside the memory owned by the
+/// code are given "special treatment" through this interface and recorded
+/// in the I/O trace of all externally visible behavior. The lightbulb
+/// platform instantiates it with an MMIO bus (devices/Platform.h); tests
+/// instantiate it with scripted or randomized devices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_RISCV_MMIO_H
+#define B2_RISCV_MMIO_H
+
+#include "support/Word.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace riscv {
+
+/// One entry of an MMIO trace: the paper's ("ld"|"st", addr, value)
+/// triples (section 3.1). \c Size is carried for diagnostics; the verified
+/// platform only performs word-sized MMIO.
+struct MmioEvent {
+  bool IsStore = false;
+  Word Addr = 0;
+  Word Value = 0;
+  uint8_t Size = 4;
+
+  friend bool operator==(const MmioEvent &A, const MmioEvent &B) {
+    return A.IsStore == B.IsStore && A.Addr == B.Addr && A.Value == B.Value &&
+           A.Size == B.Size;
+  }
+};
+
+using MmioTrace = std::vector<MmioEvent>;
+
+/// Renders an event as `("ld", 0x....., 0x.....)`.
+std::string toString(const MmioEvent &E);
+
+/// Renders a whole trace, one event per line.
+std::string toString(const MmioTrace &T);
+
+/// The external-interaction parameter of the ISA semantics: the C++
+/// analogue of the paper's `nonmem_load` / `nonmem_store`. A device is a
+/// deterministic function of the MMIO access *sequence* it observes (never
+/// of simulation cycle counts), so that the software-oriented semantics and
+/// the cycle-accurate hardware model observe identical values when they
+/// issue identical access sequences. That determinism is what makes the
+/// lockstep checker (verify/Lockstep.h) meaningful.
+class MmioDevice {
+public:
+  virtual ~MmioDevice();
+
+  /// Returns true iff \p Addr (of a \p Size-byte access) is a
+  /// memory-mapped I/O address handled by this device.
+  virtual bool isMmio(Word Addr, unsigned Size) const = 0;
+
+  /// Performs an MMIO load. Only called when isMmio holds and the access
+  /// is naturally aligned.
+  virtual Word load(Word Addr, unsigned Size) = 0;
+
+  /// Performs an MMIO store. Only called when isMmio holds and the access
+  /// is naturally aligned.
+  virtual void store(Word Addr, unsigned Size, Word Value) = 0;
+};
+
+/// A device with no MMIO addresses at all: every nonmemory access is
+/// undefined behavior. Useful for pure-computation tests.
+class NoDevice final : public MmioDevice {
+public:
+  bool isMmio(Word, unsigned) const override { return false; }
+  Word load(Word, unsigned) override { return 0; }
+  void store(Word, unsigned, Word) override {}
+};
+
+} // namespace riscv
+} // namespace b2
+
+#endif // B2_RISCV_MMIO_H

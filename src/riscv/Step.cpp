@@ -1,0 +1,279 @@
+//===- riscv/Step.cpp - One-instruction ISA semantics ----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "riscv/Step.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+
+using namespace b2;
+using namespace b2::isa;
+using namespace b2::riscv;
+using namespace b2::support;
+
+namespace {
+
+/// ALU for register-register and register-immediate operations. This is
+/// the semantics the compiler is tested against; the Kami model has an
+/// independently written ALU (kami/Exec.cpp) and the two are checked
+/// against each other by verify/DecodeConsistency.
+Word alu(Opcode Op, Word A, Word B) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Addi:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Sll:
+  case Opcode::Slli:
+    return shiftL(A, B);
+  case Opcode::Slt:
+  case Opcode::Slti:
+    return SWord(A) < SWord(B) ? 1 : 0;
+  case Opcode::Sltu:
+  case Opcode::Sltiu:
+    return A < B ? 1 : 0;
+  case Opcode::Xor:
+  case Opcode::Xori:
+    return A ^ B;
+  case Opcode::Srl:
+  case Opcode::Srli:
+    return shiftRL(A, B);
+  case Opcode::Sra:
+  case Opcode::Srai:
+    return shiftRA(A, B);
+  case Opcode::Or:
+  case Opcode::Ori:
+    return A | B;
+  case Opcode::And:
+  case Opcode::Andi:
+    return A & B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::Mulh:
+    return Word((SDWord(SWord(A)) * SDWord(SWord(B))) >> 32);
+  case Opcode::Mulhsu:
+    return Word((SDWord(SWord(A)) * SDWord(DWord(B))) >> 32);
+  case Opcode::Mulhu:
+    return mulhuu(A, B);
+  case Opcode::Div:
+    return divs(A, B);
+  case Opcode::Divu:
+    return divu(A, B);
+  case Opcode::Rem:
+    return rems(A, B);
+  case Opcode::Remu:
+    return remu(A, B);
+  default:
+    assert(false && "alu called on a non-ALU opcode");
+    return 0;
+  }
+}
+
+bool branchTaken(Opcode Op, Word A, Word B) {
+  switch (Op) {
+  case Opcode::Beq:
+    return A == B;
+  case Opcode::Bne:
+    return A != B;
+  case Opcode::Blt:
+    return SWord(A) < SWord(B);
+  case Opcode::Bge:
+    return SWord(A) >= SWord(B);
+  case Opcode::Bltu:
+    return A < B;
+  case Opcode::Bgeu:
+    return A >= B;
+  default:
+    assert(false && "branchTaken called on a non-branch opcode");
+    return false;
+  }
+}
+
+/// Sign- or zero-extends a loaded value according to the load opcode.
+Word extendLoad(Opcode Op, Word Raw) {
+  switch (Op) {
+  case Opcode::Lb:
+    return signExtend(Raw, 8);
+  case Opcode::Lh:
+    return signExtend(Raw, 16);
+  case Opcode::Lbu:
+    return Raw & 0xFF;
+  case Opcode::Lhu:
+    return Raw & 0xFFFF;
+  case Opcode::Lw:
+    return Raw;
+  default:
+    assert(false && "extendLoad called on a non-load opcode");
+    return 0;
+  }
+}
+
+/// The nonmem_load instance for the lightbulb platform (paper section
+/// 6.2): the access must be an MMIO address, naturally aligned, and
+/// word-sized; the read value is recorded in the I/O trace.
+bool nonmemLoad(Machine &M, MmioDevice &Device, Word Addr, unsigned Size,
+                Word &Out) {
+  if (!Device.isMmio(Addr, Size)) {
+    M.markUb(UbKind::LoadUnmapped, "load at " + hex32(Addr));
+    return false;
+  }
+  if (Size != 4) {
+    M.markUb(UbKind::MmioBadSize, "non-word MMIO load at " + hex32(Addr));
+    return false;
+  }
+  if (!isAligned(Addr, Size)) {
+    M.markUb(UbKind::LoadMisaligned, "MMIO load at " + hex32(Addr));
+    return false;
+  }
+  Out = Device.load(Addr, Size);
+  M.appendEvent(MmioEvent{/*IsStore=*/false, Addr, Out, uint8_t(Size)});
+  return true;
+}
+
+/// The nonmem_store instance for the lightbulb platform.
+bool nonmemStore(Machine &M, MmioDevice &Device, Word Addr, unsigned Size,
+                 Word Value) {
+  if (!Device.isMmio(Addr, Size)) {
+    M.markUb(UbKind::StoreUnmapped, "store at " + hex32(Addr));
+    return false;
+  }
+  if (Size != 4) {
+    M.markUb(UbKind::MmioBadSize, "non-word MMIO store at " + hex32(Addr));
+    return false;
+  }
+  if (!isAligned(Addr, Size)) {
+    M.markUb(UbKind::StoreMisaligned, "MMIO store at " + hex32(Addr));
+    return false;
+  }
+  Device.store(Addr, Size, Value);
+  M.appendEvent(MmioEvent{/*IsStore=*/true, Addr, Value, uint8_t(Size)});
+  return true;
+}
+
+} // namespace
+
+bool b2::riscv::step(Machine &M, MmioDevice &Device) {
+  if (M.hasUb())
+    return false;
+
+  // Fetch. The XAddrs check encodes the stale-instruction discipline
+  // (section 5.6): addresses written by stores are no longer executable.
+  Word Pc = M.getPc();
+  if (!isAligned(Pc, 4)) {
+    M.markUb(UbKind::FetchMisaligned, "pc = " + hex32(Pc));
+    return false;
+  }
+  if (!M.inRam(Pc, 4)) {
+    M.markUb(UbKind::FetchUnmapped, "pc = " + hex32(Pc));
+    return false;
+  }
+  if (!M.isExecutable(Pc)) {
+    M.markUb(UbKind::FetchNotExecutable, "pc = " + hex32(Pc));
+    return false;
+  }
+  Word Raw = M.readRam(Pc, 4);
+  Instr I = decode(Raw);
+  if (!I.isValid()) {
+    M.markUb(UbKind::InvalidInstruction,
+             "word " + hex32(Raw) + " at pc " + hex32(Pc));
+    return false;
+  }
+
+  Word NextPc = Pc + 4;
+
+  switch (I.Op) {
+  case Opcode::Lui:
+    M.setReg(I.Rd, Word(I.Imm));
+    break;
+  case Opcode::Auipc:
+    M.setReg(I.Rd, Pc + Word(I.Imm));
+    break;
+  case Opcode::Jal:
+    M.setReg(I.Rd, Pc + 4);
+    NextPc = Pc + Word(I.Imm);
+    break;
+  case Opcode::Jalr: {
+    Word Target = (M.getReg(I.Rs1) + Word(I.Imm)) & ~Word(1);
+    M.setReg(I.Rd, Pc + 4);
+    NextPc = Target;
+    break;
+  }
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    if (branchTaken(I.Op, M.getReg(I.Rs1), M.getReg(I.Rs2)))
+      NextPc = Pc + Word(I.Imm);
+    break;
+  case Opcode::Lb:
+  case Opcode::Lh:
+  case Opcode::Lw:
+  case Opcode::Lbu:
+  case Opcode::Lhu: {
+    Word Addr = M.getReg(I.Rs1) + Word(I.Imm);
+    unsigned Size = accessSize(I.Op);
+    Word Raw2;
+    if (M.inRam(Addr, Size)) {
+      if (!isAligned(Addr, Size)) {
+        M.markUb(UbKind::LoadMisaligned, "load at " + hex32(Addr));
+        return false;
+      }
+      Raw2 = M.readRam(Addr, Size);
+    } else if (!nonmemLoad(M, Device, Addr, Size, Raw2)) {
+      return false;
+    }
+    M.setReg(I.Rd, extendLoad(I.Op, Raw2));
+    break;
+  }
+  case Opcode::Sb:
+  case Opcode::Sh:
+  case Opcode::Sw: {
+    Word Addr = M.getReg(I.Rs1) + Word(I.Imm);
+    unsigned Size = accessSize(I.Op);
+    Word Value = M.getReg(I.Rs2);
+    if (M.inRam(Addr, Size)) {
+      if (!isAligned(Addr, Size)) {
+        M.markUb(UbKind::StoreMisaligned, "store at " + hex32(Addr));
+        return false;
+      }
+      M.writeRam(Addr, Size, Value);
+      M.removeXAddrs(Addr, Size);
+    } else if (!nonmemStore(M, Device, Addr, Size, Value)) {
+      return false;
+    }
+    break;
+  }
+  case Opcode::Fence:
+    break; // Single-core platform: fences are no-ops.
+  case Opcode::Ecall:
+  case Opcode::Ebreak:
+    M.markUb(UbKind::EnvironmentCall,
+             std::string(opcodeName(I.Op)) + " at pc " + hex32(Pc));
+    return false;
+  default:
+    if (isImmAlu(I.Op)) {
+      M.setReg(I.Rd, alu(I.Op, M.getReg(I.Rs1), Word(I.Imm)));
+    } else {
+      assert(isRegAlu(I.Op) && "unhandled opcode in step");
+      M.setReg(I.Rd, alu(I.Op, M.getReg(I.Rs1), M.getReg(I.Rs2)));
+    }
+    break;
+  }
+
+  M.setPc(NextPc);
+  M.countRetired();
+  return true;
+}
+
+uint64_t b2::riscv::run(Machine &M, MmioDevice &Device, uint64_t MaxSteps) {
+  uint64_t N = 0;
+  while (N < MaxSteps && step(M, Device))
+    ++N;
+  return N;
+}

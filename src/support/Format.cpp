@@ -1,0 +1,49 @@
+//===- support/Format.cpp - Small formatting helpers ----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace b2;
+using namespace b2::support;
+
+std::string b2::support::hex32(Word Value) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%08x", Value);
+  return Buf;
+}
+
+std::string b2::support::hex8(uint8_t Value) {
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "0x%02x", Value);
+  return Buf;
+}
+
+std::string b2::support::dec(SWord Value) { return std::to_string(Value); }
+
+std::string b2::support::join(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string b2::support::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string b2::support::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}

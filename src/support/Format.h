@@ -1,0 +1,46 @@
+//===- support/Format.h - Small formatting helpers -------------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-free formatting helpers used by the disassembler, the trace
+/// pretty-printers, and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_SUPPORT_FORMAT_H
+#define B2_SUPPORT_FORMAT_H
+
+#include "support/Word.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace support {
+
+/// Formats \p Value as 0x%08x.
+std::string hex32(Word Value);
+
+/// Formats \p Value as 0x%02x.
+std::string hex8(uint8_t Value);
+
+/// Formats \p Value as a signed decimal.
+std::string dec(SWord Value);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Left-pads \p S with spaces to at least \p Width characters.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Right-pads \p S with spaces to at least \p Width characters.
+std::string padRight(const std::string &S, size_t Width);
+
+} // namespace support
+} // namespace b2
+
+#endif // B2_SUPPORT_FORMAT_H

@@ -1,0 +1,80 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (xoshiro-style) used by the property tests,
+/// the packet fuzzer, and the randomized differential checkers. We avoid
+/// <random> so that all test inputs are bit-reproducible across standard
+/// library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_SUPPORT_RNG_H
+#define B2_SUPPORT_RNG_H
+
+#include "support/Word.h"
+
+#include <cstdint>
+
+namespace b2 {
+namespace support {
+
+/// Deterministic splitmix64/xorshift generator with convenience helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t next64() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Next 32-bit value.
+  Word next32() { return Word(next64() >> 32); }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next64() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Fair coin.
+  bool flip() { return (next64() & 1) != 0; }
+
+  /// Biased coin: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// A word that is "interesting" for arithmetic edge cases: small values,
+  /// values near powers of two, and all-ones patterns appear often.
+  Word interestingWord() {
+    switch (below(8)) {
+    case 0:
+      return Word(below(8));
+    case 1:
+      return ~Word(0) - Word(below(4));
+    case 2:
+      return (Word(1) << below(32)) - Word(below(2));
+    case 3:
+      return 0x80000000u + Word(below(4)) - 2;
+    default:
+      return next32();
+    }
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace support
+} // namespace b2
+
+#endif // B2_SUPPORT_RNG_H

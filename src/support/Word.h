@@ -1,0 +1,125 @@
+//===- support/Word.h - 32-bit word arithmetic helpers ---------*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine words and the bit-manipulation helpers shared by the ISA
+/// semantics, the Kami-style processor models, and the compiler. All of the
+/// simulated stack is 32-bit (RV32), matching the paper's demo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_SUPPORT_WORD_H
+#define B2_SUPPORT_WORD_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace b2 {
+
+/// The machine word of the simulated platform (RV32).
+using Word = uint32_t;
+
+/// Signed view of a machine word, used by arithmetic that is defined on
+/// two's-complement values (slt, sra, div, rem, ...).
+using SWord = int32_t;
+
+/// Double-width word for widening multiplies.
+using DWord = uint64_t;
+using SDWord = int64_t;
+
+namespace support {
+
+/// Extracts the bit field [Lo, Hi] (inclusive on both ends) of \p Value.
+constexpr Word bits(Word Value, unsigned Hi, unsigned Lo) {
+  assert(Hi >= Lo && Hi < 32 && "bit range out of order");
+  Word Width = Hi - Lo + 1;
+  Word Mask = Width >= 32 ? ~Word(0) : ((Word(1) << Width) - 1);
+  return (Value >> Lo) & Mask;
+}
+
+/// Extracts a single bit of \p Value as 0 or 1.
+constexpr Word bit(Word Value, unsigned Index) {
+  assert(Index < 32 && "bit index out of range");
+  return (Value >> Index) & 1;
+}
+
+/// Sign-extends the low \p Width bits of \p Value to a full word.
+constexpr Word signExtend(Word Value, unsigned Width) {
+  assert(Width >= 1 && Width <= 32 && "invalid sign-extension width");
+  if (Width == 32)
+    return Value;
+  Word SignBit = Word(1) << (Width - 1);
+  Word Mask = (Word(1) << Width) - 1;
+  Value &= Mask;
+  return (Value ^ SignBit) - SignBit;
+}
+
+/// Returns true iff \p Value fits in a signed immediate of \p Width bits.
+constexpr bool fitsSigned(SWord Value, unsigned Width) {
+  assert(Width >= 1 && Width < 32 && "invalid immediate width");
+  SWord Lo = -(SWord(1) << (Width - 1));
+  SWord Hi = (SWord(1) << (Width - 1)) - 1;
+  return Value >= Lo && Value <= Hi;
+}
+
+/// Returns true iff \p Addr is aligned to \p Size bytes (a power of two).
+constexpr bool isAligned(Word Addr, Word Size) {
+  assert((Size & (Size - 1)) == 0 && "alignment must be a power of two");
+  return (Addr & (Size - 1)) == 0;
+}
+
+/// RISC-V division semantics: division by zero yields all ones. The
+/// Bedrock2 source semantics leave division by zero unspecified, but the
+/// compiler is allowed to assume the RISC-V behavior (paper footnote 3).
+constexpr Word divu(Word A, Word B) { return B == 0 ? ~Word(0) : A / B; }
+
+/// RISC-V remainder semantics: remainder by zero yields the dividend.
+constexpr Word remu(Word A, Word B) { return B == 0 ? A : A % B; }
+
+/// Signed RISC-V division: by zero yields -1; overflow (INT_MIN / -1)
+/// yields INT_MIN.
+constexpr Word divs(Word A, Word B) {
+  if (B == 0)
+    return ~Word(0);
+  if (A == 0x80000000u && B == ~Word(0))
+    return A;
+  return Word(SWord(A) / SWord(B));
+}
+
+/// Signed RISC-V remainder: by zero yields the dividend; overflow yields 0.
+constexpr Word rems(Word A, Word B) {
+  if (B == 0)
+    return A;
+  if (A == 0x80000000u && B == ~Word(0))
+    return 0;
+  return Word(SWord(A) % SWord(B));
+}
+
+/// Upper 32 bits of the unsigned 64-bit product (mulhu).
+constexpr Word mulhuu(Word A, Word B) {
+  return Word((DWord(A) * DWord(B)) >> 32);
+}
+
+/// Logical shifts mask the shift amount to 5 bits, as RISC-V does.
+constexpr Word shiftL(Word A, Word B) { return A << (B & 31); }
+constexpr Word shiftRL(Word A, Word B) { return A >> (B & 31); }
+constexpr Word shiftRA(Word A, Word B) {
+  // Implementation-defined-free arithmetic shift right.
+  Word Shift = B & 31;
+  if (Shift == 0)
+    return A;
+  Word Logical = A >> Shift;
+  if (SWord(A) < 0)
+    Logical |= ~Word(0) << (32 - Shift);
+  return Logical;
+}
+
+} // namespace support
+} // namespace b2
+
+#endif // B2_SUPPORT_WORD_H

@@ -1,0 +1,206 @@
+//===- tracespec/Matcher.cpp - NFA matching of trace predicates ------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tracespec/Matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace b2;
+using namespace b2::tracespec;
+using detail::Node;
+
+namespace {
+
+/// Bottom-up Glushkov attributes of a subterm.
+struct Attrs {
+  bool Nullable = false;
+  std::vector<uint32_t> First;
+  std::vector<uint32_t> Last;
+};
+
+void appendAll(std::vector<uint32_t> &Dst, const std::vector<uint32_t> &Src) {
+  Dst.insert(Dst.end(), Src.begin(), Src.end());
+}
+
+} // namespace
+
+Matcher::Matcher(const Spec &S) {
+  // Recursive Glushkov construction. Shared subtrees (the combinator DAG
+  // can share nodes) are deliberately given *distinct* positions per
+  // occurrence, which is what the construction requires.
+  std::vector<std::vector<uint32_t>> Follow;
+  auto Build = [&](auto &&Self, const Node *N) -> Attrs {
+    Attrs Out;
+    switch (N->K) {
+    case Node::Kind::Eps:
+      Out.Nullable = true;
+      return Out;
+    case Node::Kind::Sym: {
+      uint32_t P = uint32_t(Positions.size());
+      Positions.push_back(Position{N->Pred, N->Name, false, {}});
+      Follow.emplace_back();
+      Out.Nullable = false;
+      Out.First = {P};
+      Out.Last = {P};
+      return Out;
+    }
+    case Node::Kind::Concat: {
+      Attrs A = Self(Self, N->A.get());
+      Attrs B = Self(Self, N->B.get());
+      for (uint32_t P : A.Last)
+        appendAll(Follow[P], B.First);
+      Out.Nullable = A.Nullable && B.Nullable;
+      Out.First = A.First;
+      if (A.Nullable)
+        appendAll(Out.First, B.First);
+      Out.Last = B.Last;
+      if (B.Nullable)
+        appendAll(Out.Last, A.Last);
+      return Out;
+    }
+    case Node::Kind::Alt: {
+      Attrs A = Self(Self, N->A.get());
+      Attrs B = Self(Self, N->B.get());
+      Out.Nullable = A.Nullable || B.Nullable;
+      Out.First = A.First;
+      appendAll(Out.First, B.First);
+      Out.Last = A.Last;
+      appendAll(Out.Last, B.Last);
+      return Out;
+    }
+    case Node::Kind::Star: {
+      Attrs A = Self(Self, N->A.get());
+      for (uint32_t P : A.Last)
+        appendAll(Follow[P], A.First);
+      Out.Nullable = true;
+      Out.First = A.First;
+      Out.Last = A.Last;
+      return Out;
+    }
+    }
+    assert(false && "unreachable: exhaustive node kinds");
+    return Out;
+  };
+
+  Attrs Root = Build(Build, S.node().get());
+  Nullable = Root.Nullable;
+  FirstSet = Root.First;
+  for (uint32_t P : Root.Last)
+    Positions[P].Accepting = true;
+  for (size_t P = 0; P != Positions.size(); ++P) {
+    std::vector<uint32_t> &F = Follow[P];
+    std::sort(F.begin(), F.end());
+    F.erase(std::unique(F.begin(), F.end()), F.end());
+    Positions[P].Follow = std::move(F);
+  }
+  std::sort(FirstSet.begin(), FirstSet.end());
+  FirstSet.erase(std::unique(FirstSet.begin(), FirstSet.end()),
+                 FirstSet.end());
+}
+
+std::vector<bool> Matcher::simulate(const Trace &T, size_t &Consumed) const {
+  // The live set is over positions; the start state is represented
+  // implicitly by seeding with FirstSet on the first event.
+  std::vector<bool> Live(Positions.size(), false);
+  std::vector<uint32_t> Current = FirstSet;
+
+  Consumed = 0;
+  for (const Event &E : T) {
+    std::vector<bool> Next(Positions.size(), false);
+    bool Any = false;
+    for (uint32_t P : Current) {
+      if (!Positions[P].Pred(E))
+        continue;
+      // This occurrence matched; mark it so acceptance and the next
+      // frontier can be read off.
+      Next[P] = true;
+      Any = true;
+    }
+    if (!Any) {
+      // Dead: no live position can consume this event.
+      std::vector<bool> Result(Positions.size(), false);
+      for (uint32_t P : Current)
+        Result[P] = true;
+      return Result; // Live set *before* the failing event, Consumed set.
+    }
+    // Build the next frontier: followers of every just-matched position.
+    std::vector<uint32_t> Frontier;
+    std::vector<bool> InFrontier(Positions.size(), false);
+    for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P) {
+      if (!Next[P])
+        continue;
+      for (uint32_t Q : Positions[P].Follow) {
+        if (!InFrontier[Q]) {
+          InFrontier[Q] = true;
+          Frontier.push_back(Q);
+        }
+      }
+    }
+    Live = Next;
+    Current = std::move(Frontier);
+    ++Consumed;
+  }
+
+  // All events consumed: return the just-matched set (or a marker for the
+  // empty trace).
+  return Live;
+}
+
+bool Matcher::matches(const Trace &T) const {
+  if (T.empty())
+    return Nullable;
+  size_t Consumed = 0;
+  std::vector<bool> Final = simulate(T, Consumed);
+  if (Consumed != T.size())
+    return false;
+  for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P)
+    if (Final[P] && Positions[P].Accepting)
+      return true;
+  return false;
+}
+
+bool Matcher::acceptsPrefix(const Trace &T) const {
+  if (T.empty())
+    return true; // Every language here is non-empty, so eps is a prefix.
+  size_t Consumed = 0;
+  simulate(T, Consumed);
+  // Because every subterm's language is non-empty and every position can
+  // complete to an accepted trace, consuming the whole trace (live set
+  // nonempty along the way) is exactly prefix membership.
+  return Consumed == T.size();
+}
+
+MatchDiagnosis Matcher::diagnose(const Trace &T) const {
+  MatchDiagnosis D;
+  size_t Consumed = 0;
+  std::vector<bool> Final = simulate(T, Consumed);
+  D.DeadAt = Consumed;
+  D.PrefixAccepted = Consumed == T.size();
+  D.Accepted = false;
+  if (T.empty()) {
+    D.Accepted = Nullable;
+    D.PrefixAccepted = true;
+    return D;
+  }
+  if (D.PrefixAccepted) {
+    for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P)
+      if (Final[P] && Positions[P].Accepting)
+        D.Accepted = true;
+    return D;
+  }
+  // Report what the spec was willing to accept at the point of death. The
+  // returned set is the frontier before the failing event.
+  std::map<std::string, bool> Seen;
+  for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P)
+    if (Final[P] && !Seen[Positions[P].Name]) {
+      Seen[Positions[P].Name] = true;
+      D.ExpectedHere.push_back(Positions[P].Name);
+    }
+  D.FailingEvent = riscv::toString(T[Consumed]);
+  return D;
+}

@@ -1,0 +1,85 @@
+//===- tracespec/Matcher.h - NFA matching of trace predicates --*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides membership and prefix-membership of MMIO traces in the language
+/// of a trace predicate. The end-to-end theorem asserts that the observed
+/// trace is a *prefix* of a trace allowed by goodHlTrace ("The prefix
+/// closure is important because this theorem holds at any point during the
+/// execution", section 5.9), so prefix acceptance is the primary query.
+///
+/// Implementation: Glushkov position automaton over the combinator tree.
+/// States are the Sym leaves (plus a start state); simulation keeps the
+/// set of live positions. Because Spec guarantees every subterm has a
+/// non-empty language, a non-empty live set after consuming the whole
+/// trace is exactly prefix membership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_TRACESPEC_MATCHER_H
+#define B2_TRACESPEC_MATCHER_H
+
+#include "tracespec/Spec.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace tracespec {
+
+/// Result of a diagnostic match, for debugging spec/implementation
+/// mismatches.
+struct MatchDiagnosis {
+  bool Accepted = false;      ///< Full-trace membership.
+  bool PrefixAccepted = false;///< Prefix membership.
+  size_t DeadAt = 0;          ///< Index of the first unconsumable event
+                              ///< (== trace size if all were consumed).
+  std::vector<std::string> ExpectedHere; ///< Leaf names that were live at
+                                         ///< the point of death.
+  std::string FailingEvent;   ///< Rendering of the offending event.
+};
+
+/// Compiled matcher for one Spec. Construction is linear-ish in the spec
+/// size; matching is O(events * live states).
+class Matcher {
+public:
+  explicit Matcher(const Spec &S);
+
+  /// Full-trace membership: Trace ∈ L(Spec).
+  bool matches(const Trace &T) const;
+
+  /// Prefix membership: ∃ extension U. Trace·U ∈ L(Spec).
+  bool acceptsPrefix(const Trace &T) const;
+
+  /// Detailed matching for error reporting.
+  MatchDiagnosis diagnose(const Trace &T) const;
+
+  /// Number of automaton positions (for tests and benches).
+  size_t numPositions() const { return Positions.size(); }
+
+private:
+  struct Position {
+    EventPred Pred;
+    std::string Name;
+    bool Accepting = false;          ///< Position is in last(Spec).
+    std::vector<uint32_t> Follow;    ///< Successor positions.
+  };
+
+  std::vector<Position> Positions;
+  std::vector<uint32_t> FirstSet; ///< Positions reachable from the start.
+  bool Nullable = false;          ///< Empty trace accepted.
+
+  /// Runs the simulation, returning the live set after the longest
+  /// consumable prefix and reporting how many events were consumed.
+  std::vector<bool> simulate(const Trace &T, size_t &Consumed) const;
+};
+
+} // namespace tracespec
+} // namespace b2
+
+#endif // B2_TRACESPEC_MATCHER_H

@@ -1,0 +1,113 @@
+//===- tracespec/Spec.cpp - Trace-predicate combinators --------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tracespec/Spec.h"
+
+#include <cassert>
+
+using namespace b2;
+using namespace b2::tracespec;
+using detail::Node;
+
+namespace {
+
+std::shared_ptr<const Node> mkNode(Node::Kind K) {
+  auto N = std::make_shared<Node>();
+  N->K = K;
+  return N;
+}
+
+} // namespace
+
+Spec Spec::eps() { return Spec(mkNode(Node::Kind::Eps)); }
+
+Spec Spec::sym(std::string Name, EventPred Pred) {
+  auto N = std::make_shared<Node>();
+  N->K = Node::Kind::Sym;
+  N->Name = std::move(Name);
+  N->Pred = std::move(Pred);
+  return Spec(std::move(N));
+}
+
+Spec Spec::concat(Spec A, Spec B) {
+  // Normalize concatenation with the empty trace away; this keeps the
+  // position automaton small for heavily composed specs.
+  if (A.N->K == Node::Kind::Eps)
+    return B;
+  if (B.N->K == Node::Kind::Eps)
+    return A;
+  auto N = std::make_shared<Node>();
+  N->K = Node::Kind::Concat;
+  N->A = A.N;
+  N->B = B.N;
+  return Spec(std::move(N));
+}
+
+Spec Spec::alt(Spec A, Spec B) {
+  auto N = std::make_shared<Node>();
+  N->K = Node::Kind::Alt;
+  N->A = A.N;
+  N->B = B.N;
+  return Spec(std::move(N));
+}
+
+Spec Spec::star(Spec A) {
+  auto N = std::make_shared<Node>();
+  N->K = Node::Kind::Star;
+  N->A = A.N;
+  return Spec(std::move(N));
+}
+
+Spec Spec::plus(Spec A) { return concat(A, star(A)); }
+
+Spec Spec::repeat(Spec A, unsigned N) {
+  Spec Out = eps();
+  for (unsigned I = 0; I != N; ++I)
+    Out = concat(Out, A);
+  return Out;
+}
+
+Spec Spec::anyOf(const std::vector<Spec> &Alternatives) {
+  assert(!Alternatives.empty() && "anyOf requires at least one alternative");
+  Spec Out = Alternatives.front();
+  for (size_t I = 1; I != Alternatives.size(); ++I)
+    Out = alt(Out, Alternatives[I]);
+  return Out;
+}
+
+Spec b2::tracespec::ld(std::string Name, Word Addr) {
+  return Spec::sym(std::move(Name), [Addr](const Event &E) {
+    return !E.IsStore && E.Addr == Addr;
+  });
+}
+
+Spec b2::tracespec::ldWhere(std::string Name, Word Addr,
+                            std::function<bool(Word)> ValuePred) {
+  return Spec::sym(std::move(Name),
+                   [Addr, ValuePred = std::move(ValuePred)](const Event &E) {
+                     return !E.IsStore && E.Addr == Addr && ValuePred(E.Value);
+                   });
+}
+
+Spec b2::tracespec::st(std::string Name, Word Addr, Word Value) {
+  return Spec::sym(std::move(Name), [Addr, Value](const Event &E) {
+    return E.IsStore && E.Addr == Addr && E.Value == Value;
+  });
+}
+
+Spec b2::tracespec::stAny(std::string Name, Word Addr) {
+  return Spec::sym(std::move(Name), [Addr](const Event &E) {
+    return E.IsStore && E.Addr == Addr;
+  });
+}
+
+Spec b2::tracespec::stWhere(std::string Name, Word Addr,
+                            std::function<bool(Word)> ValuePred) {
+  return Spec::sym(std::move(Name),
+                   [Addr, ValuePred = std::move(ValuePred)](const Event &E) {
+                     return E.IsStore && E.Addr == Addr && ValuePred(E.Value);
+                   });
+}

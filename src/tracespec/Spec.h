@@ -1,0 +1,139 @@
+//===- tracespec/Spec.h - Trace-predicate combinators ----------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper states application-level specifications "as predicates over
+/// traces of the MMIO reads and writes issued by the processor", written
+/// "in the style of regular expressions, with notation ||| for union, +++
+/// for concatenation, and ^* for zero or more repetitions" (section 3.1).
+///
+/// This library reproduces that notation as a combinator algebra over
+/// MMIO events:
+///
+///   Spec S = bootSeq + star((exBool(recv) + lightbulbCmd) | recvInvalid
+///                           | pollNone);
+///
+/// where + is the paper's +++, | is |||, star is ^*, and exBool builds
+/// `EX b:bool, P(b)` as the union of the two instantiations. Leaves are
+/// arbitrary C++ predicates over events, so — as in the paper — the
+/// formalism is not limited to a finite alphabet. Matching is decidable
+/// because the *structure* is regular; see tracespec/Matcher.h.
+///
+/// Invariant: no constructor builds an empty *language* (every Spec
+/// accepts at least one trace). This keeps the matcher's prefix check
+/// exact: a live NFA state can always be extended to an accepted trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_TRACESPEC_SPEC_H
+#define B2_TRACESPEC_SPEC_H
+
+#include "riscv/Mmio.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace tracespec {
+
+/// Trace events are the software-level MMIO triples.
+using Event = riscv::MmioEvent;
+using Trace = riscv::MmioTrace;
+
+/// A predicate on one trace event.
+using EventPred = std::function<bool(const Event &)>;
+
+namespace detail {
+struct Node;
+} // namespace detail
+
+/// An immutable trace predicate. Cheap to copy (shared tree).
+class Spec {
+public:
+  /// The empty trace.
+  static Spec eps();
+
+  /// A single event satisfying \p Pred. \p Name is used in diagnostics.
+  static Spec sym(std::string Name, EventPred Pred);
+
+  /// Concatenation (the paper's +++).
+  static Spec concat(Spec A, Spec B);
+
+  /// Union (the paper's |||).
+  static Spec alt(Spec A, Spec B);
+
+  /// Zero or more repetitions (the paper's ^*).
+  static Spec star(Spec A);
+
+  /// One or more repetitions.
+  static Spec plus(Spec A);
+
+  /// Exactly \p N repetitions.
+  static Spec repeat(Spec A, unsigned N);
+
+  /// Union of all elements of the non-empty \p Alternatives.
+  static Spec anyOf(const std::vector<Spec> &Alternatives);
+
+  const std::shared_ptr<const detail::Node> &node() const { return N; }
+
+private:
+  explicit Spec(std::shared_ptr<const detail::Node> N) : N(std::move(N)) {}
+  std::shared_ptr<const detail::Node> N;
+};
+
+/// The paper's +++.
+inline Spec operator+(Spec A, Spec B) {
+  return Spec::concat(std::move(A), std::move(B));
+}
+
+/// The paper's |||.
+inline Spec operator|(Spec A, Spec B) {
+  return Spec::alt(std::move(A), std::move(B));
+}
+
+/// The paper's `EX b:bool, P(b)`: existential quantification over a
+/// Boolean, realized as the union of both instantiations.
+template <typename F> Spec exBool(F MakeSpec) {
+  return MakeSpec(false) | MakeSpec(true);
+}
+
+// -- Common leaf builders ----------------------------------------------------
+
+/// An MMIO load at \p Addr with any reply value.
+Spec ld(std::string Name, Word Addr);
+
+/// An MMIO load at \p Addr whose reply satisfies \p ValuePred.
+Spec ldWhere(std::string Name, Word Addr, std::function<bool(Word)> ValuePred);
+
+/// An MMIO store of exactly \p Value at \p Addr.
+Spec st(std::string Name, Word Addr, Word Value);
+
+/// An MMIO store at \p Addr with any value.
+Spec stAny(std::string Name, Word Addr);
+
+/// An MMIO store at \p Addr whose value satisfies \p ValuePred.
+Spec stWhere(std::string Name, Word Addr, std::function<bool(Word)> ValuePred);
+
+namespace detail {
+
+/// Combinator-tree node. Public only so the matcher can traverse it.
+struct Node {
+  enum class Kind { Eps, Sym, Concat, Alt, Star } K;
+  // Sym:
+  std::string Name;
+  EventPred Pred;
+  // Concat/Alt/Star:
+  std::shared_ptr<const Node> A;
+  std::shared_ptr<const Node> B;
+};
+
+} // namespace detail
+} // namespace tracespec
+} // namespace b2
+
+#endif // B2_TRACESPEC_SPEC_H

@@ -1,0 +1,90 @@
+//===- verify/CompilerDiff.h - Compiler differential checking --*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the compiler-correctness theorem
+/// (sections 5.3 and 6.3): for a program whose source execution is free of
+/// undefined behavior, the compiled binary running on the software ISA
+/// semantics must
+///
+///  * produce the *same I/O trace* (MMIO events in the same order with
+///    the same values),
+///  * produce the same return values,
+///  * trigger no machine-level undefined behavior, and
+///  * keep the program image executable throughout (the XAddrs
+///    preservation obligation of section 5.6).
+///
+/// Both sides run against their own instance of the same deterministic
+/// device scenario, so differences are attributable to the compiler.
+/// Internal nondeterminism (stackalloc placement) is exercised by running
+/// the source side under several placement policies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VERIFY_COMPILERDIFF_H
+#define B2_VERIFY_COMPILERDIFF_H
+
+#include "bedrock2/Ast.h"
+#include "bedrock2/Semantics.h"
+#include "compiler/Compile.h"
+#include "riscv/Machine.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace riscv {
+class MmioDevice;
+}
+namespace verify {
+
+/// Creates a fresh, identically configured device instance for one side
+/// of the comparison.
+using DeviceFactory = std::function<std::unique_ptr<riscv::MmioDevice>()>;
+
+struct DiffOptions {
+  Word RamBytes = 64 * 1024;
+  uint64_t SourceFuel = 20'000'000;
+  uint64_t MachineMaxSteps = 50'000'000;
+  compiler::CompilerOptions Compiler = compiler::CompilerOptions::o0();
+  /// Stackalloc placement salts to try on the source side (checks that
+  /// observable behavior does not depend on the unspecified addresses).
+  std::vector<Word> StackallocSalts = {0, 64, 4096};
+  /// Memory regions granted to the source program (static buffers). The
+  /// machine side needs no grant: the regions are ordinary zeroed RAM.
+  /// Callers must keep them clear of the code image and the stack.
+  std::vector<std::pair<Word, Word>> OwnRegions;
+};
+
+struct DiffResult {
+  bool Ok = false;
+  std::string Error;
+  bedrock2::ExecResult Source;   ///< Last source-side run.
+  riscv::MmioTrace SourceTrace;  ///< Source-side MMIO events.
+  riscv::MmioTrace MachineTrace; ///< Machine-side MMIO events.
+  std::vector<Word> MachineRets; ///< a0.. after the halt.
+  uint64_t MachineRetired = 0;
+};
+
+/// Runs \p Fn with \p Args through both semantics and compares. A source
+/// execution with UB makes the comparison vacuous (reported as Ok with
+/// Source.F set, since the compiler promises nothing for UB programs —
+/// callers asserting UB-freedom should check Source.ok()).
+DiffResult diffCompile(const bedrock2::Program &P, const std::string &Fn,
+                       const std::vector<Word> &Args,
+                       DeviceFactory MakeDevice, const DiffOptions &Options);
+
+/// Convenience: diff with a no-I/O device.
+DiffResult diffCompilePure(const bedrock2::Program &P, const std::string &Fn,
+                           const std::vector<Word> &Args,
+                           const DiffOptions &Options = DiffOptions());
+
+} // namespace verify
+} // namespace b2
+
+#endif // B2_VERIFY_COMPILERDIFF_H

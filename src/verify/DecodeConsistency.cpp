@@ -1,0 +1,144 @@
+//===- verify/DecodeConsistency.cpp - ISA/processor decode check ------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/DecodeConsistency.h"
+
+#include "isa/Disasm.h"
+#include "isa/Encoding.h"
+#include "kami/Decode.h"
+#include "riscv/Machine.h"
+#include "riscv/Step.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+using namespace b2;
+using namespace b2::verify;
+using namespace b2::support;
+
+bool b2::verify::decodeAgrees(Word Raw, std::string &Error) {
+  isa::Instr Sw = isa::decode(Raw);
+  kami::DecodedInst Hw = kami::decodeInst(Raw);
+  isa::Instr HwAsSw = kami::toIsa(Hw);
+
+  if (!Sw.isValid() && !HwAsSw.isValid())
+    return true;
+  if (Sw.isValid() != HwAsSw.isValid()) {
+    Error = "legality disagreement on " + hex32(Raw) + ": software says " +
+            (Sw.isValid() ? "legal" : "illegal") + ", hardware says " +
+            (HwAsSw.isValid() ? "legal" : "illegal");
+    return false;
+  }
+  if (!(Sw == HwAsSw)) {
+    Error = "decode disagreement on " + hex32(Raw) + ": software " +
+            isa::disasm(Sw) + " (imm " + dec(Sw.Imm) + "), hardware " +
+            isa::disasm(HwAsSw) + " (imm " + dec(HwAsSw.Imm) + ")";
+    return false;
+  }
+  return true;
+}
+
+bool b2::verify::execAgrees(Word Raw, Word A, Word B, std::string &Error) {
+  isa::Instr Sw = isa::decode(Raw);
+  kami::DecodedInst Hw = kami::decodeInst(Raw);
+  if (!Sw.isValid() || Hw.Cls == kami::InstClass::Illegal)
+    return true; // Legality itself is decodeAgrees' business.
+
+  // Reference result: execute the instruction word on the software ISA
+  // semantics (an independent path from kami::execAlu).
+  auto RunReference = [&](riscv::Machine &M) {
+    M.writeRam(0, 4, Raw);
+    riscv::NoDevice Dev;
+    riscv::step(M, Dev);
+    return !M.hasUb();
+  };
+
+  switch (Hw.Cls) {
+  case kami::InstClass::Alu:
+  case kami::InstClass::AluImm: {
+    riscv::Machine M(16);
+    M.setReg(Hw.Rs1, A);
+    M.setReg(Hw.Rs2, B);
+    Word OperA = M.getReg(Hw.Rs1);
+    Word OperB = Hw.Cls == kami::InstClass::Alu ? M.getReg(Hw.Rs2) : Hw.Imm;
+    if (!RunReference(M))
+      return true; // ALU ops never fault; defensive.
+    Word HwResult = kami::execAlu(Hw, OperA, OperB);
+    Word SwResult = M.getReg(Hw.Rd);
+    if (Hw.Rd != 0 && HwResult != SwResult) {
+      Error = "execute disagreement on " + hex32(Raw) + " (" +
+              isa::disasm(Sw) + ") with A=" + hex32(OperA) + " B=" +
+              hex32(OperB) + ": hardware " + hex32(HwResult) +
+              ", software " + hex32(SwResult);
+      return false;
+    }
+    return true;
+  }
+  case kami::InstClass::Branch: {
+    if (Sw.Imm == 4)
+      return true; // Taken and fall-through coincide: unobservable.
+    riscv::Machine M(16);
+    M.setReg(Hw.Rs1, A);
+    M.setReg(Hw.Rs2, B);
+    Word OperA = M.getReg(Hw.Rs1);
+    Word OperB = M.getReg(Hw.Rs2);
+    bool HwTaken = kami::execBranchTaken(Hw.Funct3, OperA, OperB);
+    if (!RunReference(M))
+      return true; // A taken branch may leave RAM; fetch UB is fine here.
+    bool SwTaken = M.getPc() != 4;
+    if (HwTaken != SwTaken) {
+      Error = "branch disagreement on " + hex32(Raw) + " (" +
+              isa::disasm(Sw) + ") with A=" + hex32(OperA) + " B=" +
+              hex32(OperB);
+      return false;
+    }
+    return true;
+  }
+  default:
+    return true;
+  }
+}
+
+uint64_t b2::verify::sweepDecodeConsistency(uint64_t Samples, uint64_t Seed,
+                                            std::string &Report) {
+  support::Rng Rng(Seed);
+  uint64_t Bad = 0;
+  auto Check = [&](Word Raw) {
+    std::string Error;
+    if (!decodeAgrees(Raw, Error)) {
+      if (Bad < 5)
+        Report += Error + "\n";
+      ++Bad;
+      return;
+    }
+    if (!execAgrees(Raw, Rng.interestingWord(), Rng.interestingWord(),
+                    Error)) {
+      if (Bad < 5)
+        Report += Error + "\n";
+      ++Bad;
+    }
+  };
+
+  // Directed pass: every major opcode x funct3 x interesting funct7, with
+  // a few register/immediate fillings each.
+  static const Word Majors[] = {0x37, 0x17, 0x6F, 0x67, 0x63, 0x03,
+                                0x23, 0x13, 0x33, 0x0F, 0x73, 0x2F};
+  static const Word Funct7s[] = {0x00, 0x01, 0x20, 0x7F, 0x10};
+  for (Word Major : Majors)
+    for (Word F3 = 0; F3 != 8; ++F3)
+      for (Word F7 : Funct7s)
+        for (unsigned K = 0; K != 4; ++K) {
+          Word Rd = Rng.below(32), Rs1 = Rng.below(32), Rs2 = Rng.below(32);
+          Word Raw = (F7 << 25) | (Rs2 << 20) | (Rs1 << 15) | (F3 << 12) |
+                     (Rd << 7) | Major;
+          Check(Raw);
+        }
+
+  // Randomized pass.
+  for (uint64_t I = 0; I != Samples; ++I)
+    Check(Rng.next32());
+
+  return Bad;
+}

@@ -1,0 +1,69 @@
+//===- verify/Lockstep.h - Processor/ISA lockstep checking -----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the paper's `kstep1_sound` /
+/// `kstep_star_sound` theorems (section 5.8): as long as the software
+/// semantics do not flag undefined behavior, the pipelined processor's
+/// architectural state after each retirement must be `related` to the ISA
+/// simulator's state after the corresponding step:
+///
+///  * equal register files,
+///  * the pipelined core's next-retirement PC equals the simulator's PC,
+///  * equal data memory (checked periodically and at the end), and
+///  * the instruction cache agrees with memory on all executable
+///    addresses (the XAddrs part of `related`).
+///
+/// The MMIO label sequence must equal the simulator's trace under
+/// KamiLabelSeqR. When the simulator *does* flag UB, the check stops —
+/// beyond that point the hardware "just proceeds in some arbitrary way".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VERIFY_LOCKSTEP_H
+#define B2_VERIFY_LOCKSTEP_H
+
+#include "kami/PipelinedCore.h"
+#include "riscv/Machine.h"
+#include "verify/CompilerDiff.h" // DeviceFactory
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace verify {
+
+struct LockstepOptions {
+  Word RamBytes = 64 * 1024;
+  uint64_t MaxRetired = 1'000'000;
+  uint64_t MaxCyclesPerInstr = 10'000; ///< Liveness bound per retirement.
+  uint64_t MemoryCheckEvery = 512;     ///< Retirements between full memory
+                                       ///< comparisons.
+  kami::PipeConfig Pipe;
+};
+
+struct LockstepResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Retired = 0;
+  uint64_t Cycles = 0;
+  bool SimulatorHitUb = false; ///< The run ended because the software
+                               ///< semantics flagged UB (vacuous beyond).
+  riscv::UbKind Ub = riscv::UbKind::None;
+};
+
+/// Runs \p Image from address 0 on both models in lockstep until
+/// MaxRetired instructions, a halt PC (optional, pass ~0u to disable), UB,
+/// or a mismatch.
+LockstepResult lockstep(const std::vector<uint8_t> &Image, Word HaltPc,
+                        DeviceFactory MakeDevice,
+                        const LockstepOptions &Options);
+
+} // namespace verify
+} // namespace b2
+
+#endif // B2_VERIFY_LOCKSTEP_H

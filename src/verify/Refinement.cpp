@@ -1,0 +1,89 @@
+//===- verify/Refinement.cpp - Pipeline-refines-spec checking ----------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Refinement.h"
+
+#include "kami/SpecCore.h"
+#include "support/Format.h"
+
+using namespace b2;
+using namespace b2::verify;
+using namespace b2::support;
+
+RefinementResult
+b2::verify::checkRefinement(const std::vector<uint8_t> &Image,
+                            DeviceFactory MakeDevice,
+                            const RefinementOptions &Options) {
+  RefinementResult R;
+
+  auto PipeDev = MakeDevice();
+  kami::Bram PipeMem(Options.RamBytes);
+  PipeMem.loadImage(Image);
+  kami::PipelinedCore Pipe(PipeMem, *PipeDev, Options.Pipe);
+
+  auto SpecDev = MakeDevice();
+  kami::Bram SpecMem(Options.RamBytes);
+  SpecMem.loadImage(Image);
+  kami::SpecCore Spec(SpecMem, *SpecDev);
+
+  if (!Pipe.runUntilRetired(Options.Retirements, Options.MaxCycles)) {
+    R.Error = "pipelined core retired only " +
+              std::to_string(Pipe.retired()) + " of " +
+              std::to_string(Options.Retirements) + " instructions in " +
+              std::to_string(Options.MaxCycles) + " cycles";
+    return R;
+  }
+  Spec.run(Pipe.retired()); // The spec core retires one per cycle.
+
+  R.Retired = Pipe.retired();
+  R.PipelineCycles = Pipe.cycles();
+  R.SpecCycles = Spec.cycles();
+
+  // Trace containment (here: equality, since devices are deterministic).
+  const kami::LabelTrace &A = Pipe.labels();
+  const kami::LabelTrace &B = Spec.labels();
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I != N; ++I) {
+    if (!(A[I] == B[I])) {
+      R.Error = "label " + std::to_string(I) + " differs: pipeline " +
+                riscv::toString(kami::kamiLabelSeqR({A[I]})[0]) + " vs spec " +
+                riscv::toString(kami::kamiLabelSeqR({B[I]})[0]);
+      return R;
+    }
+  }
+  if (A.size() != B.size()) {
+    R.Error = "label-trace lengths differ: pipeline " +
+              std::to_string(A.size()) + " vs spec " +
+              std::to_string(B.size());
+    return R;
+  }
+
+  if (Options.CompareArchState) {
+    for (unsigned Reg = 0; Reg != 32; ++Reg) {
+      if (Pipe.getReg(Reg) != Spec.getReg(Reg)) {
+        R.Error = "final register x" + std::to_string(Reg) +
+                  " differs: pipeline " + hex32(Pipe.getReg(Reg)) +
+                  " vs spec " + hex32(Spec.getReg(Reg));
+        return R;
+      }
+    }
+    if (Pipe.architecturalPc() != Spec.getPc()) {
+      R.Error = "final pc differs: pipeline " +
+                hex32(Pipe.architecturalPc()) + " vs spec " +
+                hex32(Spec.getPc());
+      return R;
+    }
+    for (Word Addr = 0; Addr < Options.RamBytes; Addr += 4) {
+      if (PipeMem.readWord(Addr) != SpecMem.readWord(Addr)) {
+        R.Error = "final memory word at " + hex32(Addr) + " differs";
+        return R;
+      }
+    }
+  }
+
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,59 @@
+//===- verify/Refinement.h - Pipeline-refines-spec checking ----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the Kami refinement proof (section 5.7):
+/// "The pipelined processor is proven to implement a single-cycle
+/// processor model in the sense of refinement, showing that the set of
+/// possible traces of the implementation is contained in the trace set of
+/// the spec." With deterministic devices the trace sets are singletons, so
+/// containment is checked as equality of the label traces for the same
+/// number of retirements, for *arbitrary* programs — including
+/// self-modifying and otherwise UB-at-the-software-level ones, because the
+/// Kami level has no UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VERIFY_REFINEMENT_H
+#define B2_VERIFY_REFINEMENT_H
+
+#include "kami/PipelinedCore.h"
+#include "verify/CompilerDiff.h" // DeviceFactory
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace verify {
+
+struct RefinementOptions {
+  Word RamBytes = 64 * 1024;
+  uint64_t Retirements = 100'000; ///< Instructions to compare.
+  uint64_t MaxCycles = 50'000'000;
+  kami::PipeConfig Pipe;
+  bool CompareArchState = true; ///< Also require equal registers/PC at the
+                                ///< end (stronger than trace containment).
+};
+
+struct RefinementResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Retired = 0;
+  uint64_t PipelineCycles = 0;
+  uint64_t SpecCycles = 0;
+};
+
+/// Runs \p Image on the pipelined core and the spec core with identical
+/// device scenarios and compares.
+RefinementResult checkRefinement(const std::vector<uint8_t> &Image,
+                                 DeviceFactory MakeDevice,
+                                 const RefinementOptions &Options);
+
+} // namespace verify
+} // namespace b2
+
+#endif // B2_VERIFY_REFINEMENT_H

@@ -1,0 +1,226 @@
+//===- tests/RandomProgram.h - Random Bedrock2 program generator -*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random Bedrock2 programs that are UB-free and terminating
+/// *by construction*, for property-based differential testing of the
+/// compiler and the processor models:
+///
+///  * all memory accesses go through a stackalloc'd buffer with the
+///    offset masked into bounds and aligned;
+///  * every loop is bounded by a decrementing counter;
+///  * division is unrestricted (div-by-zero is defined as RISC-V);
+///  * optional MMIO traffic targets the platform's SPI/GPIO registers
+///    (always word-aligned and in range).
+///
+/// Helper functions are generated first and called by later ones, so call
+/// graphs are acyclic by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_TESTS_RANDOMPROGRAM_H
+#define B2_TESTS_RANDOMPROGRAM_H
+
+#include "bedrock2/Ast.h"
+#include "bedrock2/Dsl.h"
+#include "devices/MemoryMap.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace testing {
+
+struct RandomProgramOptions {
+  unsigned NumHelpers = 2;     ///< Helper functions before main.
+  unsigned MaxStmtsPerBlock = 5;
+  unsigned MaxDepth = 3;       ///< Nesting depth of if/while.
+  unsigned MaxExprDepth = 3;
+  Word BufferBytes = 64;       ///< Per-function stackalloc buffer.
+  bool UseMmio = false;        ///< Emit MMIOREAD/MMIOWRITE to safe addrs.
+  bool UseMulDiv = true;
+};
+
+class RandomProgramGen {
+public:
+  RandomProgramGen(uint64_t Seed, const RandomProgramOptions &O = {})
+      : Rng(Seed), O(O) {}
+
+  /// Generates a program with a `main(a, b) -> (r0, r1)` entry.
+  bedrock2::Program generate() {
+    bedrock2::Program P;
+    for (unsigned H = 0; H != O.NumHelpers; ++H) {
+      P.add(makeFunction("helper" + std::to_string(H), /*CanCall=*/H));
+      Helpers.push_back("helper" + std::to_string(H));
+    }
+    P.add(makeFunction("main", O.NumHelpers));
+    return P;
+  }
+
+private:
+  support::Rng Rng;
+  RandomProgramOptions O;
+  std::vector<std::string> Helpers;
+  unsigned VarCounter = 0;
+  std::vector<std::string> CreatedVars; ///< Temporaries of the function
+                                        ///< being generated, zero-filled at
+                                        ///< entry so no path reads an
+                                        ///< unbound variable.
+
+  bedrock2::ExprPtr randomExpr(const std::vector<std::string> &Vars,
+                               const std::string &BufVar, unsigned Depth) {
+    using namespace bedrock2;
+    using namespace bedrock2::dsl;
+    if (Depth == 0 || Rng.chance(1, 3)) {
+      if (!Vars.empty() && Rng.flip())
+        return Expr::var(Vars[Rng.below(Vars.size())]);
+      return Expr::literal(Rng.interestingWord());
+    }
+    if (!BufVar.empty() && Rng.chance(1, 6)) {
+      // In-bounds aligned load: buf + ((e & mask) aligned to size).
+      unsigned Size = 1u << Rng.below(3);
+      Word Mask = (O.BufferBytes - 1) & ~Word(Size - 1);
+      ExprPtr Off = Expr::op(BinOp::And,
+                             randomExpr(Vars, "", Depth - 1),
+                             Expr::literal(Mask));
+      return Expr::load(Size,
+                        Expr::op(BinOp::Add, Expr::var(BufVar), Off));
+    }
+    static const BinOp Ops[] = {BinOp::Add, BinOp::Sub,  BinOp::Mul,
+                                BinOp::MulHuu, BinOp::Divu, BinOp::Remu,
+                                BinOp::And, BinOp::Or,   BinOp::Xor,
+                                BinOp::Sru, BinOp::Slu,  BinOp::Srs,
+                                BinOp::Lts, BinOp::Ltu,  BinOp::Eq};
+    BinOp Op = Ops[Rng.below(O.UseMulDiv ? 15 : 12)];
+    if (!O.UseMulDiv &&
+        (Op == BinOp::Mul || Op == BinOp::MulHuu || Op == BinOp::Divu ||
+         Op == BinOp::Remu))
+      Op = BinOp::Add;
+    return bedrock2::Expr::op(Op, randomExpr(Vars, BufVar, Depth - 1),
+                              randomExpr(Vars, BufVar, Depth - 1));
+  }
+
+  std::string freshVar(std::vector<std::string> &Vars) {
+    std::string Name = "x" + std::to_string(VarCounter++);
+    Vars.push_back(Name);
+    CreatedVars.push_back(Name);
+    return Name;
+  }
+
+  bedrock2::StmtPtr randomStmt(std::vector<std::string> &Vars,
+                               const std::string &BufVar, unsigned Depth,
+                               unsigned CanCall) {
+    using namespace bedrock2;
+    switch (Rng.below(Depth > 0 ? 7 : 5)) {
+    case 0:
+    case 1: { // Assignment.
+      ExprPtr V = randomExpr(Vars, BufVar, O.MaxExprDepth);
+      return Stmt::set(Rng.flip() && !Vars.empty()
+                           ? Vars[Rng.below(Vars.size())]
+                           : freshVar(Vars),
+                       V);
+    }
+    case 2: { // In-bounds aligned store.
+      if (BufVar.empty())
+        return Stmt::skip();
+      unsigned Size = 1u << Rng.below(3);
+      Word Mask = (O.BufferBytes - 1) & ~Word(Size - 1);
+      ExprPtr Off = Expr::op(BinOp::And, randomExpr(Vars, "", 1),
+                             Expr::literal(Mask));
+      return Stmt::store(Size,
+                         Expr::op(BinOp::Add, Expr::var(BufVar), Off),
+                         randomExpr(Vars, BufVar, O.MaxExprDepth));
+    }
+    case 3: { // Helper call.
+      if (CanCall == 0 || Helpers.empty())
+        return Stmt::skip();
+      const std::string &Callee = Helpers[Rng.below(CanCall)];
+      std::vector<ExprPtr> Args = {randomExpr(Vars, BufVar, 2),
+                                   randomExpr(Vars, BufVar, 2)};
+      std::vector<std::string> Dsts;
+      Dsts.push_back(freshVar(Vars));
+      Dsts.push_back(freshVar(Vars));
+      return Stmt::call(Dsts, Callee, Args);
+    }
+    case 4: { // MMIO (optional) or skip.
+      if (!O.UseMmio)
+        return Stmt::skip();
+      if (Rng.flip()) {
+        // Read a harmless SPI register.
+        return Stmt::interact({freshVar(Vars)}, "MMIOREAD",
+                              {Expr::literal(devices::SpiRxData)});
+      }
+      return Stmt::interact({}, "MMIOWRITE",
+                            {Expr::literal(devices::GpioOutputVal),
+                             randomExpr(Vars, BufVar, 2)});
+    }
+    case 5: { // If.
+      ExprPtr C = randomExpr(Vars, BufVar, 2);
+      return Stmt::ifThenElse(C, randomBlock(Vars, BufVar, Depth - 1,
+                                             CanCall),
+                              randomBlock(Vars, BufVar, Depth - 1, CanCall));
+    }
+    default: { // Bounded while loop. The counter is deliberately kept out
+      // of Vars so the body can neither read nor clobber it — termination
+      // by construction.
+      std::string Counter = "loop" + std::to_string(VarCounter++);
+      bedrock2::StmtPtr Init =
+          Stmt::set(Counter, Expr::literal(Rng.below(8)));
+      bedrock2::StmtPtr Dec = Stmt::set(
+          Counter, Expr::op(BinOp::Sub, Expr::var(Counter),
+                            Expr::literal(1)));
+      bedrock2::StmtPtr Body = Stmt::seq(
+          randomBlock(Vars, BufVar, Depth - 1, CanCall), Dec);
+      return Stmt::seq(Init,
+                       Stmt::whileLoop(Expr::var(Counter), Body));
+    }
+    }
+  }
+
+  bedrock2::StmtPtr randomBlock(std::vector<std::string> &Vars,
+                                const std::string &BufVar, unsigned Depth,
+                                unsigned CanCall) {
+    std::vector<bedrock2::StmtPtr> Stmts;
+    unsigned N = 1 + unsigned(Rng.below(O.MaxStmtsPerBlock));
+    for (unsigned I = 0; I != N; ++I)
+      Stmts.push_back(randomStmt(Vars, BufVar, Depth, CanCall));
+    return bedrock2::Stmt::block(std::move(Stmts));
+  }
+
+  bedrock2::Function makeFunction(const std::string &Name,
+                                  unsigned CanCall) {
+    using namespace bedrock2;
+    CreatedVars.clear();
+    std::vector<std::string> Vars = {"a", "b"};
+    std::string BufVar = "buf" + std::to_string(VarCounter++);
+    StmtPtr Inner = randomBlock(Vars, BufVar, O.MaxDepth, CanCall);
+    // Zero-fill every generated temporary so that no control-flow path
+    // reads an unbound variable (which would be UB and make the
+    // differential comparison vacuous).
+    std::vector<StmtPtr> Prologue;
+    for (const std::string &T : CreatedVars)
+      Prologue.push_back(Stmt::set(T, Expr::literal(0)));
+    Inner = Stmt::seq(Stmt::block(std::move(Prologue)), Inner);
+    // Results must be bound on every path.
+    StmtPtr SetR0 = Stmt::set("r0", randomExpr(Vars, BufVar, 2));
+    StmtPtr SetR1 = Stmt::set("r1", randomExpr(Vars, BufVar, 2));
+    StmtPtr Body = Stmt::stackalloc(
+        BufVar, O.BufferBytes,
+        Stmt::seq(Inner, Stmt::seq(SetR0, SetR1)));
+    Function F;
+    F.Name = Name;
+    F.Params = {"a", "b"};
+    F.Rets = {"r0", "r1"};
+    F.Body = Body;
+    return F;
+  }
+};
+
+} // namespace testing
+} // namespace b2
+
+#endif // B2_TESTS_RANDOMPROGRAM_H

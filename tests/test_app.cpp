@@ -1,0 +1,364 @@
+//===- tests/test_app.cpp - Firmware and lightbulb-spec tests ------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "app/LightbulbSpec.h"
+
+#include "bedrock2/Dsl.h"
+#include "bedrock2/Semantics.h"
+#include "devices/Net.h"
+#include "devices/Platform.h"
+#include "support/Format.h"
+#include "tracespec/Matcher.h"
+#include "verify/CompilerDiff.h"
+
+#include <gtest/gtest.h>
+
+using namespace b2;
+using namespace b2::app;
+using namespace b2::bedrock2;
+using namespace b2::devices;
+using namespace b2::tracespec;
+
+namespace {
+
+/// A firmware interpreter session against a fresh platform.
+struct Session {
+  Program P;
+  Platform Plat;
+  MmioExtSpec Ext;
+  Interp I;
+
+  explicit Session(const FirmwareOptions &O = FirmwareOptions(),
+                   const SpiConfig &Spi = SpiConfig())
+      : P(buildFirmware(O)), Plat(Spi), Ext(Plat, 64 * 1024),
+        I(P, Ext, 50'000'000) {}
+
+  ExecResult call(const std::string &Fn, std::vector<Word> Args = {}) {
+    return I.callFunction(Fn, std::move(Args));
+  }
+};
+
+} // namespace
+
+// -- SPI driver ------------------------------------------------------------------
+
+TEST(Firmware, SpiWriteSucceedsAndMatchesSpec) {
+  Session S;
+  ExecResult R = S.call("spi_write", {0x5A});
+  ASSERT_TRUE(R.ok()) << R.Detail;
+  EXPECT_EQ(R.Rets[0], 0u); // No error.
+  Matcher M(spiWriteSpec([](uint8_t B) { return B == 0x5A; }));
+  EXPECT_TRUE(M.matches(S.Ext.mmioTrace()))
+      << riscv::toString(S.Ext.mmioTrace());
+}
+
+TEST(Firmware, SpiReadAfterWriteReturnsResponse) {
+  Session S;
+  // Write a byte to the NIC (it answers 0xFF outside a transaction).
+  ASSERT_EQ(S.call("spi_write", {0x00}).Rets[0], 0u);
+  ExecResult R = S.call("spi_read");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Rets[1], 0u);    // err
+  EXPECT_EQ(R.Rets[0], 0xFFu); // MISO idles high.
+}
+
+TEST(Firmware, SpiReadTimesOutWhenNoData) {
+  Session S;
+  ExecResult R = S.call("spi_read");
+  ASSERT_TRUE(R.ok()) << R.Detail;
+  EXPECT_EQ(R.Rets[1], 1u); // err: nothing was transmitted first.
+}
+
+TEST(Firmware, SpiXchgRoundTrip) {
+  Session S;
+  ExecResult R = S.call("spi_xchg", {0x0B});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Rets[1], 0u);
+  Matcher M(spiXchgSpec([](uint8_t B) { return B == 0x0B; }, nullptr));
+  EXPECT_TRUE(M.matches(S.Ext.mmioTrace()));
+}
+
+// -- LAN9250 driver ---------------------------------------------------------------
+
+TEST(Firmware, ReadwordReadsByteTest) {
+  Session S;
+  ExecResult R = S.call("lan9250_readword", {lan9250reg::ByteTest});
+  ASSERT_TRUE(R.ok()) << R.Detail;
+  EXPECT_EQ(R.Rets[1], 0u);
+  EXPECT_EQ(R.Rets[0], lan9250reg::ByteTestPattern);
+  Matcher M(lanReadwordExpectSpec(lan9250reg::ByteTest,
+                                  lan9250reg::ByteTestPattern));
+  EXPECT_TRUE(M.matches(S.Ext.mmioTrace()))
+      << riscv::toString(S.Ext.mmioTrace());
+}
+
+TEST(Firmware, WritewordThenReadwordRoundTrips) {
+  Session S;
+  ASSERT_EQ(S.call("lan9250_writeword",
+                   {lan9250reg::TxCfg, 0xCAFEBABE}).Rets[0],
+            0u);
+  ExecResult R = S.call("lan9250_readword", {lan9250reg::TxCfg});
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Rets[0], 0xCAFEBABEu);
+}
+
+TEST(Firmware, InitEnablesRxAndGpio) {
+  Session S;
+  ExecResult R = S.call("lightbulb_init");
+  ASSERT_TRUE(R.ok()) << R.Detail;
+  EXPECT_EQ(R.Rets[0], 0u);
+  EXPECT_TRUE(S.Plat.nic().rxEnabled());
+  // GPIO output enabled for the lightbulb pin.
+  EXPECT_EQ(S.Plat.gpio().read(GpioOutputEn) & (Word(1) << LightbulbPin),
+            Word(1) << LightbulbPin);
+}
+
+TEST(Firmware, InitTraceMatchesBootSeq) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  Matcher M(bootSeqSpec());
+  MatchDiagnosis D = M.diagnose(S.Ext.mmioTrace());
+  EXPECT_TRUE(D.Accepted) << "dead at " << D.DeadAt << " ("
+                          << D.FailingEvent << "), expected "
+                          << support::join(D.ExpectedHere, " | ");
+}
+
+// -- Event loop -------------------------------------------------------------------
+
+TEST(Firmware, LoopWithNoPacketMatchesPollNone) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  size_t BootLen = S.Ext.mmioTrace().size();
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  riscv::MmioTrace Iter(S.Ext.mmioTrace().begin() + BootLen,
+                        S.Ext.mmioTrace().end());
+  Matcher M(pollNoneSpec());
+  EXPECT_TRUE(M.matches(Iter)) << riscv::toString(Iter);
+}
+
+TEST(Firmware, LoopWithValidPacketActuatesAndMatchesRecv) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  S.Plat.injectNow(buildCommandFrame(true));
+  size_t BootLen = S.Ext.mmioTrace().size();
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  EXPECT_TRUE(S.Plat.gpio().lightbulbOn());
+  riscv::MmioTrace Iter(S.Ext.mmioTrace().begin() + BootLen,
+                        S.Ext.mmioTrace().end());
+  Matcher M(recvSpec(true) + lightbulbCmdSpec(true));
+  MatchDiagnosis D = M.diagnose(Iter);
+  EXPECT_TRUE(D.Accepted) << "dead at " << D.DeadAt << " ("
+                          << D.FailingEvent << ")";
+  // And the off-command spec must NOT match this trace.
+  Matcher MOff(recvSpec(false) + lightbulbCmdSpec(false));
+  EXPECT_FALSE(MOff.matches(Iter));
+}
+
+TEST(Firmware, LoopWithInvalidPacketMatchesRecvInvalid) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  std::vector<uint8_t> Bad = buildCommandFrame(true);
+  Bad[23] = 6; // TCP: the driver must ignore it.
+  S.Plat.injectNow(Bad);
+  size_t BootLen = S.Ext.mmioTrace().size();
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  EXPECT_FALSE(S.Plat.gpio().lightbulbOn());
+  riscv::MmioTrace Iter(S.Ext.mmioTrace().begin() + BootLen,
+                        S.Ext.mmioTrace().end());
+  Matcher M(recvInvalidSpec());
+  EXPECT_TRUE(M.matches(Iter));
+}
+
+TEST(Firmware, ErroredFrameIsDrainedNotActuated) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  S.Plat.injectNow(buildCommandFrame(true), /*Errored=*/true);
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  EXPECT_FALSE(S.Plat.gpio().lightbulbOn());
+  EXPECT_EQ(S.Plat.nic().bufferedFrames(), 0u); // Still drained.
+}
+
+TEST(Firmware, GiantFrameIsDrainedWithoutStoring) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  std::vector<uint8_t> Giant(frame::MaxFrameLen + 400, 0xAA);
+  S.Plat.injectNow(Giant);
+  ExecResult R = S.call("lightbulb_loop");
+  ASSERT_TRUE(R.ok()) << R.Detail; // No footprint violation.
+  EXPECT_FALSE(S.Plat.gpio().lightbulbOn());
+  EXPECT_EQ(S.Plat.nic().bufferedFrames(), 0u);
+}
+
+TEST(Firmware, SecondPacketProcessedBySecondIteration) {
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  S.Plat.injectNow(buildCommandFrame(true));
+  S.Plat.injectNow(buildCommandFrame(false));
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  EXPECT_TRUE(S.Plat.gpio().lightbulbOn());
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  EXPECT_FALSE(S.Plat.gpio().lightbulbOn());
+}
+
+// -- The historical buffer-overrun bug (section 3) ---------------------------------
+
+TEST(Firmware, BuggyDriverOverrunsBufferOnLargeFrame) {
+  // "a network interface card receiving a large frame overrunning a
+  // statically allocated buffer in the driver (our initial prototype had
+  // this bug)" — the program logic catches it as a footprint violation.
+  FirmwareOptions Buggy;
+  Buggy.BufferOverrunBug = true;
+  Session S(Buggy);
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  std::vector<uint8_t> Large = buildUdpFrame(std::vector<uint8_t>(800, 1));
+  S.Plat.injectNow(Large);
+  ExecResult R = S.call("lightbulb_loop");
+  EXPECT_EQ(R.F, Fault::StoreOutsideFootprint) << faultName(R.F);
+}
+
+TEST(Firmware, BuggyDriverIsFineOnSmallFrames) {
+  // The bug is silent for small packets — exactly why it survived until
+  // an adversarial input arrived.
+  FirmwareOptions Buggy;
+  Buggy.BufferOverrunBug = true;
+  Session S(Buggy);
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  S.Plat.injectNow(buildCommandFrame(true));
+  ExecResult R = S.call("lightbulb_loop");
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(S.Plat.gpio().lightbulbOn());
+}
+
+// -- Timeouts (section 7.2.1's 1.2x factor) -----------------------------------------
+
+TEST(Firmware, TimeoutsBoundPollingOnDeadDevice) {
+  // An SPI whose responses never become visible: with timeouts the driver
+  // returns an error; without them it would poll forever.
+  SpiConfig Dead;
+  Dead.TransferOps = 1000000; // Effectively never ready.
+  FirmwareOptions WithTimeouts;
+  WithTimeouts.SpiPatience = 64;
+  Session S(WithTimeouts, Dead);
+  ASSERT_EQ(S.call("spi_write", {1}).Rets[0], 0u);
+  ExecResult R = S.call("spi_read");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Rets[1], 1u); // err: timed out.
+}
+
+TEST(Firmware, NoTimeoutVariantDivergesOnDeadDevice) {
+  SpiConfig Dead;
+  Dead.TransferOps = 1000000;
+  FirmwareOptions NoTimeouts;
+  NoTimeouts.Timeouts = false;
+  Program P = buildFirmware(NoTimeouts);
+  Platform Plat(Dead);
+  MmioExtSpec Ext(Plat, 64 * 1024);
+  Interp I(P, Ext, /*Fuel=*/100'000);
+  I.callFunction("spi_write", {1});
+  ExecResult R = I.callFunction("spi_read", {});
+  EXPECT_EQ(R.F, Fault::OutOfFuel); // Would poll forever.
+}
+
+// -- Firmware compiles and matches its source semantics ------------------------------
+
+TEST(Firmware, CompilesWithinRam) {
+  Program P = buildFirmware();
+  compiler::CompileResult C = compiler::compileProgram(
+      P, compiler::CompilerOptions::o0(),
+      compiler::Entry::eventLoop("lightbulb_init", "lightbulb_loop"),
+      64 * 1024);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  EXPECT_GT(C.Prog->CodeBytes, 1000u);
+  EXPECT_GE(C.Prog->MaxStackBytes, RxBufferBytes);
+  EXPECT_LT(C.Prog->CodeBytes + C.Prog->MaxStackBytes, 64u * 1024);
+}
+
+TEST(Firmware, DriverFunctionsDiffCleanAgainstCompiler) {
+  Program P = buildFirmware();
+  verify::DiffOptions DO;
+  for (const char *Fn :
+       {"spi_write", "spi_xchg", "lan9250_readword", "lightbulb_init"}) {
+    std::vector<Word> Args;
+    if (std::string(Fn) == "spi_write" || std::string(Fn) == "spi_xchg")
+      Args = {0x0B};
+    if (std::string(Fn) == "lan9250_readword")
+      Args = {lan9250reg::ByteTest};
+    verify::DiffResult R = verify::diffCompile(
+        P, Fn, Args,
+        [] { return std::make_unique<Platform>(); }, DO);
+    ASSERT_TRUE(R.Ok) << Fn << ": " << R.Error;
+    ASSERT_TRUE(R.Source.ok()) << Fn;
+  }
+}
+
+TEST(Firmware, FullIterationDiffsCleanIncludingPacket) {
+  // lightbulb_init plus one loop iteration with a pending packet, source
+  // vs compiled, trace-for-trace.
+  Program P;
+  {
+    Program FW = buildFirmware();
+    for (const auto &[N, F] : FW.Functions)
+      P.add(F);
+    // A driver wrapping init + one loop call so one entry point covers it.
+    using namespace b2::bedrock2::dsl;
+    V e1("e1"), e2("e2"), r("r");
+    P.add(fn("init_and_step", {}, {"r"},
+             block({
+                 call({"e1"}, "lightbulb_init", {}),
+                 call({"e2"}, "lightbulb_loop", {}),
+                 r = e1 | e2,
+             })));
+  }
+  verify::DiffOptions DO;
+  verify::DiffResult R = verify::diffCompile(
+      P, "init_and_step", {},
+      [] {
+        auto Plat = std::make_unique<Platform>();
+        Plat->scheduleFrame(500, buildCommandFrame(true));
+        return Plat;
+      },
+      DO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Source.ok());
+  EXPECT_EQ(R.MachineRets[0], 0u);
+}
+
+// -- goodHlTrace structure -----------------------------------------------------------
+
+TEST(LightbulbSpec, GoodHlTraceRejectsSpuriousGpioStore) {
+  // The security core of the theorem: no trace with a GPIO actuation that
+  // is not preceded by a matching valid Recv is accepted.
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  riscv::MmioTrace T = S.Ext.mmioTrace();
+  // Forge an attacker-chosen actuation right after boot.
+  T.push_back(riscv::MmioEvent{true, GpioOutputVal,
+                               Word(1) << LightbulbPin, 4});
+  Matcher M(goodHlTrace());
+  EXPECT_FALSE(M.acceptsPrefix(T));
+}
+
+TEST(LightbulbSpec, GoodHlTraceRejectsWrongPolarity) {
+  // Receiving an "off" command but switching the light on is rejected.
+  Session S;
+  ASSERT_EQ(S.call("lightbulb_init").Rets[0], 0u);
+  S.Plat.injectNow(buildCommandFrame(false));
+  ASSERT_EQ(S.call("lightbulb_loop").Rets[0], 0u);
+  riscv::MmioTrace T = S.Ext.mmioTrace();
+  // The trace ends without an actuation (off == initial state writes 0).
+  // Forge the *wrong* actuation.
+  T.push_back(riscv::MmioEvent{true, GpioOutputVal,
+                               Word(1) << LightbulbPin, 4});
+  Matcher M(goodHlTrace());
+  EXPECT_FALSE(M.acceptsPrefix(T));
+}
+
+TEST(LightbulbSpec, MatcherSizeIsManageable) {
+  Matcher M(goodHlTrace());
+  EXPECT_LT(M.numPositions(), 3000u);
+  EXPECT_GT(M.numPositions(), 100u);
+}

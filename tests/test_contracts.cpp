@@ -1,0 +1,260 @@
+//===- tests/test_contracts.cpp - Program-logic annotation tests ---------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// The vcgen-style contract layer (section 4.1): `requires`/`ensures` on
+// functions, `invariant`/`measure` on loops — enforced by the checking
+// interpreter, erased by the compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "bedrock2/Dsl.h"
+#include "bedrock2/Parser.h"
+#include "bedrock2/Semantics.h"
+#include "devices/Net.h"
+#include "devices/Platform.h"
+#include "verify/CompilerDiff.h"
+
+#include <gtest/gtest.h>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::bedrock2::dsl;
+
+namespace {
+
+ExecResult runPure(const Program &P, const std::string &Fn,
+                   const std::vector<Word> &Args) {
+  riscv::NoDevice Dev;
+  MmioExtSpec Ext(Dev, 64 * 1024);
+  Interp I(P, Ext, 1'000'000);
+  return I.callFunction(Fn, Args);
+}
+
+Program parseOrDie(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+} // namespace
+
+TEST(Contracts, PreconditionGuardsEntry) {
+  Program P = parseOrDie(R"(
+    fn half(a) -> (r)
+      requires ((a & 1) == 0)
+      ensures (r + r == a)
+    {
+      r = a / 2;
+    }
+  )");
+  ExecResult Ok = runPure(P, "half", {10});
+  ASSERT_TRUE(Ok.ok()) << faultName(Ok.F);
+  EXPECT_EQ(Ok.Rets[0], 5u);
+  ExecResult Bad = runPure(P, "half", {7});
+  EXPECT_EQ(Bad.F, Fault::PreconditionFailed);
+}
+
+TEST(Contracts, PostconditionCatchesWrongImplementation) {
+  Program P = parseOrDie(R"(
+    fn inc(a) -> (r)
+      ensures (r == a + 1)
+    {
+      r = a + 2; // Wrong on purpose.
+    }
+  )");
+  ExecResult R = runPure(P, "inc", {5});
+  EXPECT_EQ(R.F, Fault::PostconditionFailed);
+}
+
+TEST(Contracts, PostconditionSeesFinalParameterValues) {
+  // The postcondition ranges over the *final* values of locals, like the
+  // paper's Q over (t, m, l).
+  Program P = parseOrDie(R"(
+    fn f(a) -> (r)
+      ensures (r == a)
+    {
+      a = a + 1;
+      r = a;
+    }
+  )");
+  EXPECT_TRUE(runPure(P, "f", {1}).ok());
+}
+
+TEST(Contracts, CalleeContractsCheckedAtEveryCall) {
+  Program P = parseOrDie(R"(
+    fn pos(a) -> (r)
+      requires (0 < a)
+    {
+      r = a;
+    }
+    fn f(n) -> (r) {
+      x = pos(n);
+      y = pos(n - 1); // Violates when n == 1.
+      r = x + y;
+    }
+  )");
+  EXPECT_TRUE(runPure(P, "f", {2}).ok());
+  EXPECT_EQ(runPure(P, "f", {1}).F, Fault::PreconditionFailed);
+}
+
+TEST(Contracts, InvariantHoldsAtEveryTest) {
+  Program P = parseOrDie(R"(
+    fn sum(n) -> (r)
+      requires (n < 1000)
+    {
+      r = 0;
+      i = 0;
+      while (i < n) invariant (i < n + 1) measure (n - i) {
+        r = r + i;
+        i = i + 1;
+      }
+    }
+  )");
+  ExecResult R = runPure(P, "sum", {10});
+  ASSERT_TRUE(R.ok()) << faultName(R.F) << " " << R.Detail;
+  EXPECT_EQ(R.Rets[0], 45u);
+}
+
+TEST(Contracts, BrokenInvariantIsCaught) {
+  Program P = parseOrDie(R"(
+    fn f() -> (r) {
+      i = 0;
+      while (i < 10) invariant (i < 5) {
+        i = i + 1;
+      }
+      r = i;
+    }
+  )");
+  ExecResult R = runPure(P, "f", {});
+  EXPECT_EQ(R.F, Fault::InvariantViolated);
+}
+
+TEST(Contracts, MeasureCatchesNonTerminationEarly) {
+  // Without a measure this loop burns all its fuel; the measure flags it
+  // after two iterations.
+  Program P = parseOrDie(R"(
+    fn f() -> (r) {
+      i = 1;
+      while (i) measure (i) {
+        i = i; // Not decreasing.
+      }
+      r = 0;
+    }
+  )");
+  ExecResult R = runPure(P, "f", {});
+  EXPECT_EQ(R.F, Fault::MeasureNotDecreasing);
+  EXPECT_LT(R.StepsUsed, 100u); // Caught long before the fuel bound.
+}
+
+TEST(Contracts, MeasureMustStrictlyDecrease) {
+  Program P = parseOrDie(R"(
+    fn f(n) -> (r) {
+      i = n;
+      while (i) measure (i) {
+        if (i == 3) { i = i + 1; } else { i = i - 1; } // Bump at 3.
+      }
+      r = 0;
+    }
+  )");
+  EXPECT_TRUE(runPure(P, "f", {2}).ok());
+  EXPECT_EQ(runPure(P, "f", {5}).F, Fault::MeasureNotDecreasing);
+}
+
+TEST(Contracts, CompilerErasesAnnotations) {
+  // Contracts are a program-logic artifact: compiled code is identical
+  // with and without them, and the differential still passes.
+  const char *Annotated = R"(
+    fn gcd(a, b) -> (r)
+      ensures ((r < a + 1) | (a == 0))
+    {
+      while (b != 0) measure (b) {
+        t = b;
+        b = a % b;
+        a = t;
+      }
+      r = a;
+    }
+  )";
+  const char *Plain = R"(
+    fn gcd(a, b) -> (r) {
+      while (b != 0) {
+        t = b;
+        b = a % b;
+        a = t;
+      }
+      r = a;
+    }
+  )";
+  Program PA = parseOrDie(Annotated);
+  Program PP = parseOrDie(Plain);
+  compiler::CompileResult CA = compiler::compileProgram(
+      PA, compiler::CompilerOptions::o0(),
+      compiler::Entry::singleCall("gcd", {1071, 462}), 64 * 1024);
+  compiler::CompileResult CP = compiler::compileProgram(
+      PP, compiler::CompilerOptions::o0(),
+      compiler::Entry::singleCall("gcd", {1071, 462}), 64 * 1024);
+  ASSERT_TRUE(CA.ok() && CP.ok());
+  EXPECT_EQ(CA.Prog->image(), CP.Prog->image());
+
+  verify::DiffResult R = verify::diffCompilePure(PA, "gcd", {1071, 462});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Source.ok());
+  EXPECT_EQ(R.MachineRets[0], 21u);
+}
+
+TEST(Contracts, PrintParseRoundTripKeepsAnnotations) {
+  Program P = parseOrDie(R"(
+    fn f(a) -> (r)
+      requires (a < 100)
+      ensures (r == a * 2)
+    {
+      r = 0;
+      i = 0;
+      while (i < a) invariant (r == i * 2) measure (a - i) {
+        r = r + 2;
+        i = i + 1;
+      }
+    }
+  )");
+  std::string Printed = toString(P);
+  EXPECT_NE(Printed.find("requires"), std::string::npos);
+  EXPECT_NE(Printed.find("ensures"), std::string::npos);
+  EXPECT_NE(Printed.find("invariant"), std::string::npos);
+  EXPECT_NE(Printed.find("measure"), std::string::npos);
+  Program P2 = parseOrDie(Printed.c_str());
+  // The reparsed contract still enforces.
+  EXPECT_TRUE(runPure(P2, "f", {7}).ok());
+  EXPECT_EQ(runPure(P2, "f", {100}).F, Fault::PreconditionFailed);
+}
+
+TEST(Contracts, DslBuildersAttachContracts) {
+  V a("a"), r("r");
+  Program P;
+  P.add(fnContract("sq", {"a"}, {"r"},
+                   /*Pre=*/a < lit(0x10000),
+                   /*Post=*/r == a * a,
+                   block({r = a * a})));
+  EXPECT_TRUE(runPure(P, "sq", {100}).ok());
+  EXPECT_EQ(runPure(P, "sq", {0x10000}).F, Fault::PreconditionFailed);
+}
+
+TEST(Contracts, FirmwareContractsHoldAcrossFuzzedIterations) {
+  // The annotated firmware (spi driver contracts, loop measures) runs the
+  // event loop across fuzzed traffic without tripping any clause.
+  Program P = app::buildFirmware();
+  devices::Platform Plat;
+  MmioExtSpec Ext(Plat, 64 * 1024);
+  Interp I(P, Ext, 200'000'000);
+  ASSERT_EQ(I.callFunction("lightbulb_init", {}).Rets[0], 0u);
+  devices::PacketFuzzer Fuzz(7);
+  for (int K = 0; K != 25; ++K) {
+    if (K % 2 == 0) {
+      auto G = Fuzz.next();
+      Plat.injectNow(G.Frame, G.MarkErrored);
+    }
+    ExecResult R = I.callFunction("lightbulb_loop", {});
+    ASSERT_TRUE(R.ok()) << faultName(R.F) << " " << R.Detail;
+  }
+}

@@ -1,0 +1,240 @@
+//===- tests/test_isa.cpp - ISA encode/decode tests ---------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Build.h"
+#include "isa/Disasm.h"
+#include "isa/Encoding.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace b2;
+using namespace b2::isa;
+
+TEST(Encoding, KnownWords) {
+  // Golden encodings cross-checked against the RISC-V spec examples.
+  EXPECT_EQ(encode(addi(A0, A0, -4)), 0xFFC50513u);
+  EXPECT_EQ(encode(nop()), 0x00000013u);
+  EXPECT_EQ(encode(lui(T0, SWord(0xDEADB000))), 0xDEADB2B7u);
+  EXPECT_EQ(encode(jalr(Zero, RA, 0)), 0x00008067u); // ret
+  EXPECT_EQ(encode(lw(A1, SP, 8)), 0x00812583u);
+  EXPECT_EQ(encode(sw(SP, A1, 8)), 0x00B12423u);
+  EXPECT_EQ(encode(mkR(Opcode::Add, A0, A1, A2)), 0x00C58533u);
+  EXPECT_EQ(encode(mkR(Opcode::Mul, A0, A1, A2)), 0x02C58533u);
+}
+
+TEST(Encoding, DecodeKnownWords) {
+  Instr I = decode(0x00C58533); // add a0, a1, a2
+  EXPECT_EQ(I.Op, Opcode::Add);
+  EXPECT_EQ(I.Rd, A0);
+  EXPECT_EQ(I.Rs1, A1);
+  EXPECT_EQ(I.Rs2, A2);
+
+  I = decode(0xFFC50513); // addi a0, a0, -4
+  EXPECT_EQ(I.Op, Opcode::Addi);
+  EXPECT_EQ(I.Imm, -4);
+
+  I = decode(0x00008067); // jalr zero, 0(ra)
+  EXPECT_EQ(I.Op, Opcode::Jalr);
+  EXPECT_EQ(I.Rd, Zero);
+  EXPECT_EQ(I.Rs1, RA);
+}
+
+TEST(Encoding, IllegalWordsDecodeInvalid) {
+  EXPECT_FALSE(decode(0x00000000).isValid());
+  EXPECT_FALSE(decode(0xFFFFFFFF).isValid());
+  // Branch funct3 2 and 3 are unassigned.
+  EXPECT_FALSE(decode(0x00002063).isValid());
+  EXPECT_FALSE(decode(0x00003063).isValid());
+  // Load funct3 3 is unassigned (ld is RV64).
+  EXPECT_FALSE(decode(0x00003003).isValid());
+  // slli with funct7 != 0.
+  EXPECT_FALSE(decode(0x40001013u | (1u << 7)).isValid());
+  // System: only canonical ecall/ebreak.
+  EXPECT_TRUE(decode(0x00000073).isValid());
+  EXPECT_TRUE(decode(0x00100073).isValid());
+  EXPECT_FALSE(decode(0x00200073).isValid());
+  EXPECT_FALSE(decode(0x30200073).isValid()); // mret: not modeled.
+}
+
+TEST(Encoding, JalImmediateScrambling) {
+  // jal covers the J-type immediate bit scrambling.
+  for (SWord Off : {SWord(0), SWord(4), SWord(-4), SWord(0xFFFFE),
+                    SWord(-0x100000), SWord(0x55554), SWord(-0x55554)}) {
+    Instr I = jal(RA, Off);
+    Instr D = decode(encode(I));
+    EXPECT_EQ(D.Op, Opcode::Jal);
+    EXPECT_EQ(D.Imm, Off) << "offset " << Off;
+  }
+}
+
+TEST(Encoding, BranchImmediateScrambling) {
+  for (SWord Off : {SWord(0), SWord(8), SWord(-8), SWord(4094),
+                    SWord(-4096), SWord(2730)}) {
+    Instr I = mkB(Opcode::Bne, A0, A1, Off);
+    Instr D = decode(encode(I));
+    EXPECT_EQ(D.Op, Opcode::Bne);
+    EXPECT_EQ(D.Imm, Off) << "offset " << Off;
+  }
+}
+
+TEST(Encoding, EncodabilityLimits) {
+  Instr I;
+  I.Op = Opcode::Addi;
+  I.Rd = A0;
+  I.Rs1 = A0;
+  I.Imm = 2047;
+  EXPECT_TRUE(isEncodable(I));
+  I.Imm = 2048;
+  EXPECT_FALSE(isEncodable(I));
+  I.Op = Opcode::Jal;
+  I.Imm = 3; // Odd offsets are not encodable.
+  EXPECT_FALSE(isEncodable(I));
+  I.Op = Opcode::Lui;
+  I.Imm = SWord(0x1000); // Low bits clear: ok.
+  EXPECT_TRUE(isEncodable(I));
+  I.Imm = SWord(0x1001);
+  EXPECT_FALSE(isEncodable(I));
+}
+
+namespace {
+
+/// All opcodes with a random-but-valid instance generator.
+Instr randomValidInstr(support::Rng &Rng) {
+  static const Opcode AllOps[] = {
+      Opcode::Lui,  Opcode::Auipc, Opcode::Jal,   Opcode::Jalr,
+      Opcode::Beq,  Opcode::Bne,   Opcode::Blt,   Opcode::Bge,
+      Opcode::Bltu, Opcode::Bgeu,  Opcode::Lb,    Opcode::Lh,
+      Opcode::Lw,   Opcode::Lbu,   Opcode::Lhu,   Opcode::Sb,
+      Opcode::Sh,   Opcode::Sw,    Opcode::Addi,  Opcode::Slti,
+      Opcode::Sltiu, Opcode::Xori, Opcode::Ori,   Opcode::Andi,
+      Opcode::Slli, Opcode::Srli,  Opcode::Srai,  Opcode::Add,
+      Opcode::Sub,  Opcode::Sll,   Opcode::Slt,   Opcode::Sltu,
+      Opcode::Xor,  Opcode::Srl,   Opcode::Sra,   Opcode::Or,
+      Opcode::And,  Opcode::Ecall, Opcode::Ebreak, Opcode::Mul,
+      Opcode::Mulh, Opcode::Mulhsu, Opcode::Mulhu, Opcode::Div,
+      Opcode::Divu, Opcode::Rem,   Opcode::Remu};
+  Instr I;
+  I.Op = AllOps[Rng.below(std::size(AllOps))];
+  I.Rd = Reg(Rng.below(32));
+  I.Rs1 = Reg(Rng.below(32));
+  I.Rs2 = Reg(Rng.below(32));
+  switch (I.Op) {
+  case Opcode::Lui:
+  case Opcode::Auipc:
+    I.Imm = SWord(Rng.next32() & 0xFFFFF000u);
+    I.Rs1 = I.Rs2 = 0;
+    break;
+  case Opcode::Jal:
+    I.Imm = SWord(support::signExtend(Rng.next32() & 0x1FFFFE, 21));
+    I.Rs1 = I.Rs2 = 0;
+    break;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    I.Imm = SWord(support::signExtend(Rng.next32() & 0x1FFE, 13));
+    I.Rd = 0;
+    break;
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Srai:
+    I.Imm = SWord(Rng.below(32));
+    I.Rs2 = 0;
+    break;
+  case Opcode::Ecall:
+  case Opcode::Ebreak:
+    I.Rd = I.Rs1 = I.Rs2 = 0;
+    I.Imm = 0;
+    break;
+  default:
+    if (isImmAlu(I.Op) || isLoad(I.Op) || I.Op == Opcode::Jalr) {
+      I.Imm = SWord(support::signExtend(Rng.next32() & 0xFFF, 12));
+      I.Rs2 = 0;
+    } else if (isStore(I.Op)) {
+      I.Imm = SWord(support::signExtend(Rng.next32() & 0xFFF, 12));
+      I.Rd = 0;
+    } else {
+      I.Imm = 0; // R-type.
+    }
+    break;
+  }
+  return I;
+}
+
+} // namespace
+
+TEST(Encoding, PropertyDecodeEncodeRoundTrip) {
+  support::Rng Rng(0xB2);
+  for (int K = 0; K != 20000; ++K) {
+    Instr I = randomValidInstr(Rng);
+    ASSERT_TRUE(isEncodable(I)) << disasm(I);
+    Word W = encode(I);
+    Instr D = decode(W);
+    ASSERT_TRUE(D == I) << "round trip failed for " << disasm(I)
+                        << " -> " << support::hex32(W) << " -> "
+                        << disasm(D);
+  }
+}
+
+TEST(Encoding, PropertyEncodeDecodeRandomWords) {
+  // Decoding an arbitrary word and re-encoding (when valid) reproduces it,
+  // except for the non-canonical fence fields we do not model.
+  support::Rng Rng(0x1517);
+  for (int K = 0; K != 20000; ++K) {
+    Word W = Rng.next32();
+    Instr I = decode(W);
+    if (!I.isValid() || I.Op == Opcode::Fence)
+      continue;
+    EXPECT_EQ(encode(I), W) << disasm(I);
+  }
+}
+
+TEST(Encoding, InstrencodeLittleEndian) {
+  std::vector<uint8_t> Image = instrencode({nop()});
+  ASSERT_EQ(Image.size(), 4u);
+  EXPECT_EQ(Image[0], 0x13);
+  EXPECT_EQ(Image[1], 0x00);
+  EXPECT_EQ(Image[2], 0x00);
+  EXPECT_EQ(Image[3], 0x00);
+}
+
+TEST(Build, MaterializeCoversHardImmediates) {
+  for (Word V : {Word(0), Word(1), Word(0x7FF), Word(0x800), Word(0xFFF),
+                 Word(0x1000), Word(0xFFFFF7FF), Word(0x80000000),
+                 Word(0xFFFFFFFF), Word(0xDEADBEEF), Word(0x12345800)}) {
+    std::vector<Instr> Seq;
+    materialize(V, T0, Seq);
+    ASSERT_LE(Seq.size(), 2u);
+    // Interpret the sequence.
+    Word R = 0;
+    for (const Instr &I : Seq) {
+      if (I.Op == Opcode::Lui)
+        R = Word(I.Imm);
+      else
+        R = R + Word(I.Imm); // addi semantics on T0.
+    }
+    EXPECT_EQ(R, V) << support::hex32(V);
+  }
+}
+
+TEST(Disasm, RendersOperands) {
+  EXPECT_EQ(disasm(addi(A0, A1, -4)), "addi a0, a1, -4");
+  EXPECT_EQ(disasm(lw(A0, SP, 12)), "lw a0, 12(sp)");
+  EXPECT_EQ(disasm(sw(SP, A0, 12)), "sw a0, 12(sp)");
+  EXPECT_EQ(disasm(mkB(Opcode::Bne, A0, Zero, -8)), "bne a0, zero, -8");
+  EXPECT_EQ(disasm(jal(RA, 16)), "jal ra, 16");
+}
+
+TEST(Disasm, ListingHasAddresses) {
+  std::string L = disasmListing({nop(), nop()}, 0x100);
+  EXPECT_NE(L.find("0x00000100"), std::string::npos);
+  EXPECT_NE(L.find("0x00000104"), std::string::npos);
+}

@@ -1,0 +1,303 @@
+//===- tests/test_stress.cpp - Stress and negative tests -----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Edge-path stress: large stack frames (sp-relative offsets beyond the
+// 12-bit immediate), spill pressure with calls, branch-relaxation chains,
+// and *negative* specification tests showing goodHlTrace is not
+// vacuously lax.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "app/LightbulbSpec.h"
+#include "bedrock2/Parser.h"
+#include "bedrock2/Semantics.h"
+#include "compiler/Asm.h"
+#include "devices/Net.h"
+#include "devices/Platform.h"
+#include "tracespec/Matcher.h"
+#include "verify/CompilerDiff.h"
+#include "verify/EndToEnd.h"
+
+#include <gtest/gtest.h>
+
+using namespace b2;
+using namespace b2::verify;
+
+namespace {
+
+bedrock2::Program parseOrDie(const std::string &Src) {
+  bedrock2::ParseResult R = bedrock2::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+} // namespace
+
+// -- Large frames: sp-relative offsets beyond +/-2047 ---------------------------
+
+TEST(Stress, HugeStackallocFrameOffsets) {
+  // An 8000-byte buffer forces frame offsets beyond the 12-bit immediate
+  // range, exercising the emitSpPlus / emitFrameLoad large-offset paths.
+  bedrock2::Program P = parseOrDie(R"(
+    fn f(a) -> (r) {
+      stackalloc buf[8000] {
+        store4(buf + 7996, a * 3);
+        store4(buf, a);
+        r = load4(buf + 7996) + load4(buf);
+      }
+    }
+  )");
+  DiffOptions DO;
+  DO.RamBytes = 64 * 1024;
+  DiffResult R = diffCompilePure(P, "f", {11}, DO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Source.ok());
+  EXPECT_EQ(R.MachineRets[0], 44u);
+}
+
+TEST(Stress, SpillSlotsBeyondImmediateRange) {
+  // Dozens of live variables on top of a big buffer: spill slots land at
+  // offsets > 2047 from sp.
+  std::string Src = "fn f(a) -> (r) {\n  r = 0;\n  stackalloc buf[4096] {\n";
+  for (int I = 0; I != 24; ++I)
+    Src += "  v" + std::to_string(I) + " = a + " + std::to_string(I) + ";\n";
+  Src += "  i = 0;\n  while (i < 8) {\n";
+  for (int I = 0; I != 24; ++I)
+    Src += "    r = r + v" + std::to_string(I) + ";\n";
+  Src += "    store4(buf + i * 4, r);\n    i = i + 1;\n  }\n";
+  Src += "  r = r + load4(buf + 28);\n  }\n}\n";
+  bedrock2::Program P = parseOrDie(Src);
+  DiffResult R = diffCompilePure(P, "f", {5});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Source.ok());
+}
+
+TEST(Stress, ManyArgumentsAndResults) {
+  bedrock2::Program P = parseOrDie(R"(
+    fn g(a, b, c, d, e, f, gg, h) -> (r0, r1, r2, r3, r4, r5, r6, r7) {
+      r0 = h; r1 = gg; r2 = f; r3 = e; r4 = d; r5 = c; r6 = b; r7 = a;
+    }
+    fn f(a, b) -> (r) {
+      x0, x1, x2, x3, x4, x5, x6, x7 = g(a, b, a + b, a - b, a * b,
+                                         a ^ b, a & b, a | b);
+      r = x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;
+    }
+  )");
+  DiffResult R = diffCompilePure(P, "f", {100, 7});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Source.ok());
+}
+
+TEST(Stress, NinthArgumentIsRejected) {
+  bedrock2::Program P = parseOrDie(R"(
+    fn g(a1, a2, a3, a4, a5, a6, a7, a8, a9) -> (r) { r = a9; }
+    fn f() -> (r) { r = g(1, 2, 3, 4, 5, 6, 7, 8, 9); }
+  )");
+  compiler::CompileResult C = compiler::compileProgram(
+      P, compiler::CompilerOptions::o0(), compiler::Entry::singleCall("f"),
+      64 * 1024);
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(Stress, DeepCallChainsAccumulateStack) {
+  // A 10-deep call chain, each with its own buffer: the static stack
+  // bound must cover the sum.
+  std::string Src;
+  for (int I = 9; I >= 0; --I) {
+    Src += "fn f" + std::to_string(I) + "(a) -> (r) {\n";
+    Src += "  stackalloc buf[256] { store4(buf, a); ";
+    if (I == 9)
+      Src += "r = load4(buf) + 1; }\n}\n";
+    else
+      Src += "t = f" + std::to_string(I + 1) +
+             "(load4(buf)); r = t + 1; }\n}\n";
+  }
+  bedrock2::Program P = parseOrDie(Src);
+  compiler::CompileResult C = compiler::compileProgram(
+      P, compiler::CompilerOptions::o0(),
+      compiler::Entry::singleCall("f0", {5}), 64 * 1024);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  EXPECT_GE(C.Prog->MaxStackBytes, 10u * 256);
+  DiffResult R = diffCompilePure(P, "f0", {5});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.MachineRets[0], 15u);
+}
+
+// -- Branch relaxation chains -----------------------------------------------------
+
+TEST(Stress, RelaxationCascades) {
+  // Branch A's target is barely in range until branch B (between A and
+  // its target) is relaxed, forcing a second relaxation round.
+  compiler::Asm A;
+  compiler::Label FarA = A.newLabel();
+  compiler::Label FarB = A.newLabel();
+  // Branch A: needs ~4094 bytes of reach.
+  A.emitBranch(isa::Opcode::Beq, isa::A0, isa::Zero, FarA);
+  // Branch B sits just after and must itself be relaxed (target ~4 KiB
+  // away), growing the code between A and FarA.
+  A.emitBranch(isa::Opcode::Bne, isa::A1, isa::Zero, FarB);
+  for (int I = 0; I != 1022; ++I)
+    A.emit(isa::nop());
+  A.bind(FarA); // At instruction 1024 without relaxation: exactly at edge.
+  for (int I = 0; I != 2; ++I)
+    A.emit(isa::nop());
+  A.bind(FarB);
+  A.emit(isa::nop());
+  std::string Err;
+  auto Code = A.finish(Err);
+  ASSERT_TRUE(Code.has_value()) << Err;
+  // Whatever the relaxation decisions, every branch/jump must be
+  // encodable and land on the right instruction; encode() asserts
+  // encodability internally.
+  std::vector<uint8_t> Image = isa::instrencode(*Code);
+  EXPECT_EQ(Image.size(), Code->size() * 4);
+}
+
+TEST(Stress, GiantFunctionCompilesAndRuns) {
+  // ~6000 statements in one function: long-range branches inside while
+  // loops must relax correctly end to end.
+  std::string Src = "fn f(a) -> (r) {\n  r = a;\n";
+  for (int I = 0; I != 1500; ++I)
+    Src += "  if (r & 1) { r = r * 3 + 1; } else { r = r / 2; }\n";
+  Src += "}\n";
+  bedrock2::Program P = parseOrDie(Src);
+  DiffOptions DO;
+  DO.RamBytes = 256 * 1024;
+  DiffResult R = diffCompilePure(P, "f", {27}, DO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Source.ok());
+}
+
+// -- Negative specification tests ---------------------------------------------------
+
+TEST(SpecNegative, PipelinedSpiDriverViolatesGoodHlTrace) {
+  // Section 7.2.1: "we would have needed to include this optimization in
+  // the specification of the system behavior to support it." The
+  // FIFO-pipelined driver produces a different MMIO shape, and the
+  // unchanged goodHlTrace must *reject* it — evidence the spec is not
+  // vacuously lax — while the physical lightbulb behavior stays correct.
+  E2EOptions O;
+  O.Firmware.SpiPipelining = true;
+  O.Spi.FifoDepth = 8;
+  E2EScenario S;
+  S.Frames.push_back({2000, devices::buildCommandFrame(true), false});
+  E2EResult R = runLightbulbEndToEnd(S, O);
+  EXPECT_FALSE(R.PrefixAccepted);
+  EXPECT_TRUE(R.GroundTruthOk) << R.Error;
+  ASSERT_EQ(R.LightHistory.size(), 1u);
+  EXPECT_TRUE(R.LightHistory[0]);
+}
+
+TEST(SpecNegative, BootSeqOrderMatters) {
+  // Swapping two boot writes must be rejected by bootSeqSpec.
+  bedrock2::Program P = app::buildFirmware();
+  devices::Platform Plat;
+  bedrock2::MmioExtSpec Ext(Plat, 64 * 1024);
+  bedrock2::Interp I(P, Ext, 50'000'000);
+  ASSERT_EQ(I.callFunction("lightbulb_init", {}).Rets[0], 0u);
+  riscv::MmioTrace T = Ext.mmioTrace();
+  // Find the final GPIO enable store and move it to the front.
+  ASSERT_TRUE(T.back().IsStore);
+  ASSERT_EQ(T.back().Addr, devices::GpioOutputEn);
+  riscv::MmioTrace Swapped;
+  Swapped.push_back(T.back());
+  Swapped.insert(Swapped.end(), T.begin(), T.end() - 1);
+  tracespec::Matcher M(app::bootSeqSpec());
+  EXPECT_TRUE(M.matches(T));
+  EXPECT_FALSE(M.matches(Swapped));
+  EXPECT_FALSE(M.acceptsPrefix(Swapped));
+}
+
+TEST(SpecNegative, TamperedByteValueRejected) {
+  // Corrupting the byte value of a boot-sequence store (the WRITE command
+  // byte of a lan9250_writeword) must be rejected.
+  bedrock2::Program P = app::buildFirmware();
+  devices::Platform Plat;
+  bedrock2::MmioExtSpec Ext(Plat, 64 * 1024);
+  bedrock2::Interp I(P, Ext, 50'000'000);
+  ASSERT_EQ(I.callFunction("lightbulb_init", {}).Rets[0], 0u);
+  riscv::MmioTrace T = Ext.mmioTrace();
+  // Flip one transmitted byte (an spi txdata store that carries 0x02).
+  bool Flipped = false;
+  for (riscv::MmioEvent &E : T) {
+    if (E.IsStore && E.Addr == devices::SpiTxData && E.Value == 0x02) {
+      E.Value = 0x03;
+      Flipped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(Flipped);
+  tracespec::Matcher M(app::bootSeqSpec());
+  EXPECT_FALSE(M.matches(T));
+}
+
+TEST(SpecNegative, DroppedEventRejected) {
+  // Deleting a single event from a matching boot trace must break it.
+  bedrock2::Program P = app::buildFirmware();
+  devices::Platform Plat;
+  bedrock2::MmioExtSpec Ext(Plat, 64 * 1024);
+  bedrock2::Interp I(P, Ext, 50'000'000);
+  ASSERT_EQ(I.callFunction("lightbulb_init", {}).Rets[0], 0u);
+  riscv::MmioTrace T = Ext.mmioTrace();
+  riscv::MmioTrace Dropped(T.begin(), T.end() - 1);
+  tracespec::Matcher M(app::bootSeqSpec());
+  EXPECT_FALSE(M.matches(Dropped));
+  // But it IS still a prefix (the paper's prefix-closure point).
+  EXPECT_TRUE(M.acceptsPrefix(Dropped));
+}
+
+// -- Event-loop totality (section 5.2's invariant, executably) ---------------------
+
+TEST(EventLoop, EveryIterationTerminates) {
+  // The paper proves total correctness per iteration; here: across many
+  // mixed iterations, each lightbulb_loop call returns within its fuel.
+  bedrock2::Program P = app::buildFirmware();
+  devices::Platform Plat;
+  bedrock2::MmioExtSpec Ext(Plat, 64 * 1024);
+  bedrock2::Interp I(P, Ext, 200'000'000);
+  ASSERT_EQ(I.callFunction("lightbulb_init", {}).Rets[0], 0u);
+  devices::PacketFuzzer Fuzz(99);
+  for (int K = 0; K != 40; ++K) {
+    if (K % 3 == 0) {
+      auto G = Fuzz.next();
+      Plat.injectNow(G.Frame, G.MarkErrored);
+    }
+    bedrock2::ExecResult R = I.callFunction("lightbulb_loop", {});
+    ASSERT_TRUE(R.ok()) << "iteration " << K << ": "
+                        << bedrock2::faultName(R.F) << " " << R.Detail;
+  }
+  tracespec::Matcher M(app::goodHlTrace());
+  EXPECT_TRUE(M.acceptsPrefix(Ext.mmioTrace()));
+}
+
+// -- Whole-firmware print/parse round trip -------------------------------------
+
+TEST(RoundTrip, FirmwarePrintsParsesAndRecompilesIdentically) {
+  // The DSL-built firmware, pretty-printed to the concrete syntax,
+  // reparsed, and recompiled, must produce the identical memory image —
+  // printer, parser, and annotation handling all agree.
+  bedrock2::Program P1 = app::buildFirmware();
+  std::string Printed = bedrock2::toString(P1);
+  bedrock2::ParseResult R = bedrock2::parseProgram(Printed);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  compiler::CompileResult C1 = compiler::compileProgram(
+      P1, compiler::CompilerOptions::o0(),
+      compiler::Entry::eventLoop("lightbulb_init", "lightbulb_loop"),
+      64 * 1024);
+  compiler::CompileResult C2 = compiler::compileProgram(
+      *R.Prog, compiler::CompilerOptions::o0(),
+      compiler::Entry::eventLoop("lightbulb_init", "lightbulb_loop"),
+      64 * 1024);
+  ASSERT_TRUE(C1.ok() && C2.ok()) << C1.Error << C2.Error;
+  EXPECT_EQ(C1.Prog->image(), C2.Prog->image());
+  // And the reparsed firmware still satisfies its contracts end to end.
+  devices::Platform Plat;
+  bedrock2::MmioExtSpec Ext(Plat, 64 * 1024);
+  bedrock2::Interp I(*R.Prog, Ext, 50'000'000);
+  EXPECT_EQ(I.callFunction("lightbulb_init", {}).Rets[0], 0u);
+  Plat.injectNow(devices::buildCommandFrame(true));
+  EXPECT_EQ(I.callFunction("lightbulb_loop", {}).Rets[0], 0u);
+  EXPECT_TRUE(Plat.gpio().lightbulbOn());
+}

@@ -1,0 +1,225 @@
+//===- tests/test_verify.cpp - Verification-harness tests ----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/DecodeConsistency.h"
+#include "verify/Lockstep.h"
+#include "verify/Refinement.h"
+
+#include "bedrock2/Parser.h"
+#include "compiler/Compile.h"
+#include "devices/Platform.h"
+#include "isa/Build.h"
+#include "isa/Encoding.h"
+#include "support/Rng.h"
+
+#include "RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace b2;
+using namespace b2::verify;
+
+namespace {
+
+DeviceFactory noDevice() {
+  return [] { return std::make_unique<riscv::NoDevice>(); };
+}
+
+DeviceFactory platformDevice() {
+  return [] { return std::make_unique<devices::Platform>(); };
+}
+
+std::vector<uint8_t> compileImage(const char *Src, const std::string &Fn,
+                                  std::vector<Word> Args, Word &HaltPc) {
+  bedrock2::ParseResult R = bedrock2::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  compiler::CompileResult C = compiler::compileProgram(
+      *R.Prog, compiler::CompilerOptions::o0(),
+      compiler::Entry::singleCall(Fn, std::move(Args)), 64 * 1024);
+  EXPECT_TRUE(C.ok()) << C.Error;
+  HaltPc = C.Prog->HaltPc;
+  return C.Prog->image();
+}
+
+} // namespace
+
+TEST(DecodeConsistency, AgreesOnCanonicalInstructions) {
+  std::string Error;
+  EXPECT_TRUE(decodeAgrees(0x00000013, Error)) << Error; // nop
+  EXPECT_TRUE(decodeAgrees(0x00C58533, Error)) << Error; // add
+  EXPECT_TRUE(decodeAgrees(0xFFC50513, Error)) << Error; // addi -4
+  EXPECT_TRUE(decodeAgrees(0x00000073, Error)) << Error; // ecall
+  EXPECT_TRUE(decodeAgrees(0xFFFFFFFF, Error)) << Error; // illegal both
+}
+
+TEST(DecodeConsistency, SweepFindsNoDisagreement) {
+  // The paper found real specification bugs this way (section 5.5); this
+  // repository's two decoders must agree everywhere.
+  std::string Report;
+  uint64_t Bad = sweepDecodeConsistency(/*Samples=*/100000, /*Seed=*/7,
+                                        Report);
+  EXPECT_EQ(Bad, 0u) << Report;
+}
+
+TEST(DecodeConsistency, ExecAgreesOnEdgeOperands) {
+  std::string Error;
+  // sra with sign bit, div overflow, shifts by >= 32.
+  Word Sra = isa::encode(isa::mkR(isa::Opcode::Sra, isa::A0, isa::A1,
+                                  isa::A2));
+  EXPECT_TRUE(execAgrees(Sra, 0x80000000, 31, Error)) << Error;
+  EXPECT_TRUE(execAgrees(Sra, 0x80000000, 0, Error)) << Error;
+  EXPECT_TRUE(execAgrees(Sra, 0x80000000, 32, Error)) << Error;
+  Word Div = isa::encode(isa::mkR(isa::Opcode::Div, isa::A0, isa::A1,
+                                  isa::A2));
+  EXPECT_TRUE(execAgrees(Div, 0x80000000, Word(-1), Error)) << Error;
+  EXPECT_TRUE(execAgrees(Div, 5, 0, Error)) << Error;
+}
+
+TEST(Lockstep, StraightLineProgram) {
+  Word HaltPc;
+  std::vector<uint8_t> Image = compileImage(
+      "fn f(a) -> (r) { r = a * 3 + 7; }", "f", {5}, HaltPc);
+  LockstepOptions O;
+  LockstepResult R = lockstep(Image, HaltPc, noDevice(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.SimulatorHitUb);
+  EXPECT_GT(R.Retired, 5u);
+}
+
+TEST(Lockstep, LoopsAndMemory) {
+  Word HaltPc;
+  std::vector<uint8_t> Image = compileImage(R"(
+    fn f() -> (r) {
+      stackalloc buf[64] {
+        i = 0;
+        while (i < 16) { store4(buf + i * 4, i * i); i = i + 1; }
+        r = load4(buf + 60);
+      }
+    }
+  )", "f", {}, HaltPc);
+  LockstepOptions O;
+  O.MemoryCheckEvery = 64;
+  LockstepResult R = lockstep(Image, HaltPc, noDevice(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Lockstep, MmioProgramKeepsTracesEqual) {
+  Word HaltPc;
+  std::vector<uint8_t> Image = compileImage(R"(
+    fn f() -> (r) {
+      extern MMIOWRITE(0x10012008, 0x800000);
+      extern MMIOWRITE(0x1001200C, 0x800000);
+      r = extern MMIOREAD(0x1001200C);
+    }
+  )", "f", {}, HaltPc);
+  LockstepOptions O;
+  LockstepResult R = lockstep(Image, HaltPc, platformDevice(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Lockstep, RandomProgramsStayRelated) {
+  for (uint64_t Seed = 300; Seed <= 320; ++Seed) {
+    b2::testing::RandomProgramGen Gen(Seed);
+    bedrock2::Program P = Gen.generate();
+    compiler::CompileResult C = compiler::compileProgram(
+        P, compiler::CompilerOptions::o0(),
+        compiler::Entry::singleCall("main", {Word(Seed & 0xFF), 3}),
+        64 * 1024);
+    ASSERT_TRUE(C.ok()) << C.Error;
+    LockstepOptions O;
+    O.MemoryCheckEvery = 4096;
+    LockstepResult R = lockstep(C.Prog->image(), C.Prog->HaltPc,
+                                noDevice(), O);
+    ASSERT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error;
+  }
+}
+
+TEST(Lockstep, StopsCleanlyAtSimulatorUb) {
+  // A program that executes an illegal instruction: the simulator flags
+  // UB and the lockstep check is vacuous beyond that point.
+  std::vector<isa::Instr> P = {isa::addi(isa::A0, isa::Zero, 1)};
+  std::vector<uint8_t> Image = isa::instrencode(P);
+  Image.push_back(0xFF); // Garbage word next.
+  Image.push_back(0xFF);
+  Image.push_back(0xFF);
+  Image.push_back(0xFF);
+  LockstepOptions O;
+  LockstepResult R = lockstep(Image, /*HaltPc=*/~Word(0), noDevice(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.SimulatorHitUb);
+  EXPECT_EQ(R.Ub, riscv::UbKind::InvalidInstruction);
+}
+
+TEST(Refinement, RandomInstructionSoup) {
+  // Refinement holds for arbitrary programs — the Kami level has no UB.
+  support::Rng Rng(0xFEED);
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    std::vector<uint8_t> Image;
+    for (int I = 0; I != 256; ++I) {
+      Word W = Rng.flip() ? Rng.next32()
+                          : isa::encode(isa::addi(
+                                isa::Reg(8 + Rng.below(16)),
+                                isa::Reg(8 + Rng.below(16)),
+                                SWord(Rng.below(1024))));
+      for (int B = 0; B != 4; ++B)
+        Image.push_back(uint8_t(W >> (8 * B)));
+    }
+    RefinementOptions O;
+    O.Retirements = 2000;
+    RefinementResult R = checkRefinement(Image, platformDevice(), O);
+    ASSERT_TRUE(R.Ok) << "trial " << Trial << ": " << R.Error;
+  }
+}
+
+TEST(Refinement, SelfModifyingCodeStillRefines) {
+  // Both models fetch from the reset snapshot, so self-modifying code
+  // behaves identically (stale) on both.
+  std::vector<isa::Instr> P = {
+      isa::addi(isa::A0, isa::Zero, 0x55),
+      isa::sw(isa::Zero, isa::A0, 12),
+      isa::nop(),
+      isa::addi(isa::A1, isa::Zero, 7), // Overwritten in memory, stale in I$.
+      isa::jal(isa::Zero, 0),
+  };
+  RefinementOptions O;
+  O.Retirements = 100;
+  RefinementResult R =
+      checkRefinement(isa::instrencode(P), noDevice(), O);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Refinement, PipelineConfigurationsAllRefine) {
+  Word HaltPc;
+  std::vector<uint8_t> Image = compileImage(R"(
+    fn f() -> (r) {
+      r = 0; i = 0;
+      while (i < 50) { r = r + i * i; i = i + 1; }
+    }
+  )", "f", {}, HaltPc);
+  for (bool Btb : {false, true}) {
+    for (unsigned Fill : {0u, 4u}) {
+      RefinementOptions O;
+      O.Pipe.UseBtb = Btb;
+      O.Pipe.ICacheFillWordsPerCycle = Fill;
+      O.Retirements = 3000;
+      RefinementResult R = checkRefinement(Image, noDevice(), O);
+      EXPECT_TRUE(R.Ok) << "btb=" << Btb << " fill=" << Fill << ": "
+                        << R.Error;
+    }
+  }
+}
+
+TEST(Refinement, PipelineIsSlowerThanSpecInCycles) {
+  Word HaltPc;
+  std::vector<uint8_t> Image = compileImage(
+      "fn f() -> (r) { r = 0; i = 0; while (i < 100) { r = r + i; i = i + 1; } }",
+      "f", {}, HaltPc);
+  RefinementOptions O;
+  O.Retirements = 2000;
+  RefinementResult R = checkRefinement(Image, noDevice(), O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.PipelineCycles, R.SpecCycles);
+}
