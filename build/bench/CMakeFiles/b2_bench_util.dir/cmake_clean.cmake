@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_bench_util.dir/LatencyHarness.cpp.o"
+  "CMakeFiles/b2_bench_util.dir/LatencyHarness.cpp.o.d"
+  "libb2_bench_util.a"
+  "libb2_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

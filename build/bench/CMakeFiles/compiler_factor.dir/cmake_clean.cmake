@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_factor.dir/compiler_factor.cpp.o"
+  "CMakeFiles/compiler_factor.dir/compiler_factor.cpp.o.d"
+  "compiler_factor"
+  "compiler_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

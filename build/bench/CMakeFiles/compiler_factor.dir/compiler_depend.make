@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compiler_factor.
+# This may be replaced when dependencies are built.

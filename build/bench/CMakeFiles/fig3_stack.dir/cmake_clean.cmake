@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stack.dir/fig3_stack.cpp.o"
+  "CMakeFiles/fig3_stack.dir/fig3_stack.cpp.o.d"
+  "fig3_stack"
+  "fig3_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pipeline.dir/fig4_pipeline.cpp.o"
+  "CMakeFiles/fig4_pipeline.dir/fig4_pipeline.cpp.o.d"
+  "fig4_pipeline"
+  "fig4_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

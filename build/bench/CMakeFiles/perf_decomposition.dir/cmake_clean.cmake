@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_decomposition.dir/perf_decomposition.cpp.o"
+  "CMakeFiles/perf_decomposition.dir/perf_decomposition.cpp.o.d"
+  "perf_decomposition"
+  "perf_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_factor.dir/processor_factor.cpp.o"
+  "CMakeFiles/processor_factor.dir/processor_factor.cpp.o.d"
+  "processor_factor"
+  "processor_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

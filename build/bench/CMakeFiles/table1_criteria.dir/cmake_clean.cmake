@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_criteria.dir/table1_criteria.cpp.o"
+  "CMakeFiles/table1_criteria.dir/table1_criteria.cpp.o.d"
+  "table1_criteria"
+  "table1_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

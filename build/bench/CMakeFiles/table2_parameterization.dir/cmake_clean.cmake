@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_parameterization.dir/table2_parameterization.cpp.o"
+  "CMakeFiles/table2_parameterization.dir/table2_parameterization.cpp.o.d"
+  "table2_parameterization"
+  "table2_parameterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_parameterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

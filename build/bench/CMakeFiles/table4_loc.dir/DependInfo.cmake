@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_loc.cpp" "bench/CMakeFiles/table4_loc.dir/table4_loc.cpp.o" "gcc" "bench/CMakeFiles/table4_loc.dir/table4_loc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/b2_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/b2_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/b2_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/b2_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock2/CMakeFiles/b2_bedrock2.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracespec/CMakeFiles/b2_tracespec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kami/CMakeFiles/b2_kami.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/b2_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/b2_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/b2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/b2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

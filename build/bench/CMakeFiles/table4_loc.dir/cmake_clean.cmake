@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_loc.dir/table4_loc.cpp.o"
+  "CMakeFiles/table4_loc.dir/table4_loc.cpp.o.d"
+  "table4_loc"
+  "table4_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

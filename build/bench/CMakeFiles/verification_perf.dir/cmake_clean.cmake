@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification_perf.dir/verification_perf.cpp.o"
+  "CMakeFiles/verification_perf.dir/verification_perf.cpp.o.d"
+  "verification_perf"
+  "verification_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

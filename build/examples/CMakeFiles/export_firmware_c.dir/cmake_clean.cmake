@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_firmware_c.dir/export_firmware_c.cpp.o"
+  "CMakeFiles/export_firmware_c.dir/export_firmware_c.cpp.o.d"
+  "export_firmware_c"
+  "export_firmware_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_firmware_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightbulb_demo.dir/lightbulb_demo.cpp.o"
+  "CMakeFiles/lightbulb_demo.dir/lightbulb_demo.cpp.o.d"
+  "lightbulb_demo"
+  "lightbulb_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightbulb_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

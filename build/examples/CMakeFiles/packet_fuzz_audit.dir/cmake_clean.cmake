@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_fuzz_audit.dir/packet_fuzz_audit.cpp.o"
+  "CMakeFiles/packet_fuzz_audit.dir/packet_fuzz_audit.cpp.o.d"
+  "packet_fuzz_audit"
+  "packet_fuzz_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_fuzz_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

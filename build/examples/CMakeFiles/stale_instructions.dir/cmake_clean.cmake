@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stale_instructions.dir/stale_instructions.cpp.o"
+  "CMakeFiles/stale_instructions.dir/stale_instructions.cpp.o.d"
+  "stale_instructions"
+  "stale_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stale_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

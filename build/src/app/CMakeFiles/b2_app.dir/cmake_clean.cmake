@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_app.dir/Firmware.cpp.o"
+  "CMakeFiles/b2_app.dir/Firmware.cpp.o.d"
+  "CMakeFiles/b2_app.dir/LightbulbSpec.cpp.o"
+  "CMakeFiles/b2_app.dir/LightbulbSpec.cpp.o.d"
+  "libb2_app.a"
+  "libb2_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bedrock2/Ast.cpp" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Ast.cpp.o" "gcc" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Ast.cpp.o.d"
+  "/root/repo/src/bedrock2/CExport.cpp" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/CExport.cpp.o" "gcc" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/CExport.cpp.o.d"
+  "/root/repo/src/bedrock2/Dma.cpp" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Dma.cpp.o" "gcc" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Dma.cpp.o.d"
+  "/root/repo/src/bedrock2/Parser.cpp" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Parser.cpp.o" "gcc" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Parser.cpp.o.d"
+  "/root/repo/src/bedrock2/Semantics.cpp" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Semantics.cpp.o" "gcc" "src/bedrock2/CMakeFiles/b2_bedrock2.dir/Semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/b2_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/b2_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/b2_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/b2_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_bedrock2.dir/Ast.cpp.o"
+  "CMakeFiles/b2_bedrock2.dir/Ast.cpp.o.d"
+  "CMakeFiles/b2_bedrock2.dir/CExport.cpp.o"
+  "CMakeFiles/b2_bedrock2.dir/CExport.cpp.o.d"
+  "CMakeFiles/b2_bedrock2.dir/Dma.cpp.o"
+  "CMakeFiles/b2_bedrock2.dir/Dma.cpp.o.d"
+  "CMakeFiles/b2_bedrock2.dir/Parser.cpp.o"
+  "CMakeFiles/b2_bedrock2.dir/Parser.cpp.o.d"
+  "CMakeFiles/b2_bedrock2.dir/Semantics.cpp.o"
+  "CMakeFiles/b2_bedrock2.dir/Semantics.cpp.o.d"
+  "libb2_bedrock2.a"
+  "libb2_bedrock2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_bedrock2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

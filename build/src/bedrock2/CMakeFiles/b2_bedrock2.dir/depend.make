@@ -1,0 +1,2 @@
+# Empty dependencies file for b2_bedrock2.
+# This may be replaced when dependencies are built.

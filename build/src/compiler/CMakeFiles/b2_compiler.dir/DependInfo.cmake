@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/Asm.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/Asm.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/Asm.cpp.o.d"
+  "/root/repo/src/compiler/Codegen.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/Codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/Codegen.cpp.o.d"
+  "/root/repo/src/compiler/Compile.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/Compile.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/Compile.cpp.o.d"
+  "/root/repo/src/compiler/FlatImp.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/FlatImp.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/FlatImp.cpp.o.d"
+  "/root/repo/src/compiler/Flatten.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/Flatten.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/Flatten.cpp.o.d"
+  "/root/repo/src/compiler/Passes.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/Passes.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/Passes.cpp.o.d"
+  "/root/repo/src/compiler/RegAlloc.cpp" "src/compiler/CMakeFiles/b2_compiler.dir/RegAlloc.cpp.o" "gcc" "src/compiler/CMakeFiles/b2_compiler.dir/RegAlloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bedrock2/CMakeFiles/b2_bedrock2.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/b2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/b2_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/b2_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/b2_riscv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_compiler.dir/Asm.cpp.o"
+  "CMakeFiles/b2_compiler.dir/Asm.cpp.o.d"
+  "CMakeFiles/b2_compiler.dir/Codegen.cpp.o"
+  "CMakeFiles/b2_compiler.dir/Codegen.cpp.o.d"
+  "CMakeFiles/b2_compiler.dir/Compile.cpp.o"
+  "CMakeFiles/b2_compiler.dir/Compile.cpp.o.d"
+  "CMakeFiles/b2_compiler.dir/FlatImp.cpp.o"
+  "CMakeFiles/b2_compiler.dir/FlatImp.cpp.o.d"
+  "CMakeFiles/b2_compiler.dir/Flatten.cpp.o"
+  "CMakeFiles/b2_compiler.dir/Flatten.cpp.o.d"
+  "CMakeFiles/b2_compiler.dir/Passes.cpp.o"
+  "CMakeFiles/b2_compiler.dir/Passes.cpp.o.d"
+  "CMakeFiles/b2_compiler.dir/RegAlloc.cpp.o"
+  "CMakeFiles/b2_compiler.dir/RegAlloc.cpp.o.d"
+  "libb2_compiler.a"
+  "libb2_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

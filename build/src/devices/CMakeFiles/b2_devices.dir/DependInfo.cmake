@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/Lan9250.cpp" "src/devices/CMakeFiles/b2_devices.dir/Lan9250.cpp.o" "gcc" "src/devices/CMakeFiles/b2_devices.dir/Lan9250.cpp.o.d"
+  "/root/repo/src/devices/Net.cpp" "src/devices/CMakeFiles/b2_devices.dir/Net.cpp.o" "gcc" "src/devices/CMakeFiles/b2_devices.dir/Net.cpp.o.d"
+  "/root/repo/src/devices/Platform.cpp" "src/devices/CMakeFiles/b2_devices.dir/Platform.cpp.o" "gcc" "src/devices/CMakeFiles/b2_devices.dir/Platform.cpp.o.d"
+  "/root/repo/src/devices/Spi.cpp" "src/devices/CMakeFiles/b2_devices.dir/Spi.cpp.o" "gcc" "src/devices/CMakeFiles/b2_devices.dir/Spi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/b2_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/b2_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/b2_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

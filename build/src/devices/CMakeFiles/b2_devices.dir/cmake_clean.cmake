@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_devices.dir/Lan9250.cpp.o"
+  "CMakeFiles/b2_devices.dir/Lan9250.cpp.o.d"
+  "CMakeFiles/b2_devices.dir/Net.cpp.o"
+  "CMakeFiles/b2_devices.dir/Net.cpp.o.d"
+  "CMakeFiles/b2_devices.dir/Platform.cpp.o"
+  "CMakeFiles/b2_devices.dir/Platform.cpp.o.d"
+  "CMakeFiles/b2_devices.dir/Spi.cpp.o"
+  "CMakeFiles/b2_devices.dir/Spi.cpp.o.d"
+  "libb2_devices.a"
+  "libb2_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

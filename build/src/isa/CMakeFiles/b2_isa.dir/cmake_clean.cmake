@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_isa.dir/Disasm.cpp.o"
+  "CMakeFiles/b2_isa.dir/Disasm.cpp.o.d"
+  "CMakeFiles/b2_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/b2_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/b2_isa.dir/Instr.cpp.o"
+  "CMakeFiles/b2_isa.dir/Instr.cpp.o.d"
+  "libb2_isa.a"
+  "libb2_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

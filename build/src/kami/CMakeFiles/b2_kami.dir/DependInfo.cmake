@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kami/Decode.cpp" "src/kami/CMakeFiles/b2_kami.dir/Decode.cpp.o" "gcc" "src/kami/CMakeFiles/b2_kami.dir/Decode.cpp.o.d"
+  "/root/repo/src/kami/PipelinedCore.cpp" "src/kami/CMakeFiles/b2_kami.dir/PipelinedCore.cpp.o" "gcc" "src/kami/CMakeFiles/b2_kami.dir/PipelinedCore.cpp.o.d"
+  "/root/repo/src/kami/SpecCore.cpp" "src/kami/CMakeFiles/b2_kami.dir/SpecCore.cpp.o" "gcc" "src/kami/CMakeFiles/b2_kami.dir/SpecCore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/b2_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/b2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/b2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

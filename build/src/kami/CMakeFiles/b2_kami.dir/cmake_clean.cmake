@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_kami.dir/Decode.cpp.o"
+  "CMakeFiles/b2_kami.dir/Decode.cpp.o.d"
+  "CMakeFiles/b2_kami.dir/PipelinedCore.cpp.o"
+  "CMakeFiles/b2_kami.dir/PipelinedCore.cpp.o.d"
+  "CMakeFiles/b2_kami.dir/SpecCore.cpp.o"
+  "CMakeFiles/b2_kami.dir/SpecCore.cpp.o.d"
+  "libb2_kami.a"
+  "libb2_kami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_kami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

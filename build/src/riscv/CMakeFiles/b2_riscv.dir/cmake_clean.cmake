@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_riscv.dir/Machine.cpp.o"
+  "CMakeFiles/b2_riscv.dir/Machine.cpp.o.d"
+  "CMakeFiles/b2_riscv.dir/Step.cpp.o"
+  "CMakeFiles/b2_riscv.dir/Step.cpp.o.d"
+  "libb2_riscv.a"
+  "libb2_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

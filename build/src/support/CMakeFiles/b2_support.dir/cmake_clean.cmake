@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_support.dir/Format.cpp.o"
+  "CMakeFiles/b2_support.dir/Format.cpp.o.d"
+  "libb2_support.a"
+  "libb2_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_tracespec.dir/Matcher.cpp.o"
+  "CMakeFiles/b2_tracespec.dir/Matcher.cpp.o.d"
+  "CMakeFiles/b2_tracespec.dir/Spec.cpp.o"
+  "CMakeFiles/b2_tracespec.dir/Spec.cpp.o.d"
+  "libb2_tracespec.a"
+  "libb2_tracespec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_tracespec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2_verify.dir/CompilerDiff.cpp.o"
+  "CMakeFiles/b2_verify.dir/CompilerDiff.cpp.o.d"
+  "CMakeFiles/b2_verify.dir/DecodeConsistency.cpp.o"
+  "CMakeFiles/b2_verify.dir/DecodeConsistency.cpp.o.d"
+  "CMakeFiles/b2_verify.dir/EndToEnd.cpp.o"
+  "CMakeFiles/b2_verify.dir/EndToEnd.cpp.o.d"
+  "CMakeFiles/b2_verify.dir/Lockstep.cpp.o"
+  "CMakeFiles/b2_verify.dir/Lockstep.cpp.o.d"
+  "CMakeFiles/b2_verify.dir/Refinement.cpp.o"
+  "CMakeFiles/b2_verify.dir/Refinement.cpp.o.d"
+  "libb2_verify.a"
+  "libb2_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app.cpp" "tests/CMakeFiles/b2_tests.dir/test_app.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_app.cpp.o.d"
+  "/root/repo/tests/test_bedrock2.cpp" "tests/CMakeFiles/b2_tests.dir/test_bedrock2.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_bedrock2.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/b2_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_contracts.cpp" "tests/CMakeFiles/b2_tests.dir/test_contracts.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_contracts.cpp.o.d"
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/b2_tests.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_dma.cpp" "tests/CMakeFiles/b2_tests.dir/test_dma.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_dma.cpp.o.d"
+  "/root/repo/tests/test_endtoend.cpp" "tests/CMakeFiles/b2_tests.dir/test_endtoend.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_endtoend.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/b2_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_kami.cpp" "tests/CMakeFiles/b2_tests.dir/test_kami.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_kami.cpp.o.d"
+  "/root/repo/tests/test_param.cpp" "tests/CMakeFiles/b2_tests.dir/test_param.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_param.cpp.o.d"
+  "/root/repo/tests/test_riscv.cpp" "tests/CMakeFiles/b2_tests.dir/test_riscv.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_riscv.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/b2_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/b2_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_tracespec.cpp" "tests/CMakeFiles/b2_tests.dir/test_tracespec.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_tracespec.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/b2_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/b2_tests.dir/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/b2_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/b2_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/b2_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/bedrock2/CMakeFiles/b2_bedrock2.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracespec/CMakeFiles/b2_tracespec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kami/CMakeFiles/b2_kami.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/b2_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/b2_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/b2_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/b2_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

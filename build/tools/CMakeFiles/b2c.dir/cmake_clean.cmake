@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2c.dir/b2c.cpp.o"
+  "CMakeFiles/b2c.dir/b2c.cpp.o.d"
+  "b2c"
+  "b2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
