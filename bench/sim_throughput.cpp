@@ -1,0 +1,326 @@
+//===- bench/sim_throughput.cpp - Simulator instructions/second ---------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Raw simulation throughput of each execution substrate (the ROADMAP's
+// "fast as the hardware allows" axis), with the ISA simulator measured
+// both with and without the predecoded-instruction fast path — both paths
+// live in this one binary and are differentially checked against each
+// other (same registers, PC, trace, and UB verdict) before any number is
+// reported. Emits machine-readable BENCH_sim_throughput.json so the perf
+// trajectory is tracked PR over PR.
+//
+// Usage: sim_throughput [--quick]   (--quick shrinks the measurement for
+// CI smoke runs)
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "BenchUtil.h"
+#include "compiler/Compile.h"
+#include "devices/Net.h"
+#include "isa/Build.h"
+#include "isa/Encoding.h"
+#include "kami/PipelinedCore.h"
+#include "kami/SpecCore.h"
+#include "riscv/Machine.h"
+#include "riscv/Step.h"
+#include "support/Json.h"
+#include "verify/EndToEnd.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace b2;
+using namespace b2::isa;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// A self-looping ALU-heavy kernel (never halts, never traps).
+std::vector<uint8_t> aluLoopImage() {
+  std::vector<Instr> P = {
+      addi(A0, Zero, 0),
+      addi(A1, Zero, 1),
+      // loop (pc 8):
+      addi(A0, A0, 1),
+      mkR(Opcode::Xor, A2, A0, A1),
+      mkI(Opcode::Srli, A3, A2, 3),
+      mkR(Opcode::Add, A4, A3, A0),
+      mkR(Opcode::Sltu, A5, A1, A4),
+      jal(Zero, -20),
+  };
+  return instrencode(P);
+}
+
+/// A load/store-heavy kernel over a small data window (all aligned, all
+/// within RAM, never touching the code image so XAddrs stays intact).
+std::vector<uint8_t> memLoopImage() {
+  std::vector<Instr> P = {
+      addi(A0, Zero, 0x400), // data base, clear of the code image
+      addi(A1, Zero, 0),
+      // loop (pc 8):
+      mkI(Opcode::Andi, A2, A1, 0xFC),
+      mkR(Opcode::Add, A3, A0, A2),
+      sw(A3, A1, 0),
+      lw(A4, A3, 0),
+      addi(A1, A1, 4),
+      jal(Zero, -20),
+  };
+  return instrencode(P);
+}
+
+struct Throughput {
+  uint64_t Instructions = 0;
+  double Seconds = 0;
+  double Ips = 0;
+};
+
+/// Steps the ISA simulator in fixed-size batches until \p MinSeconds of
+/// wall time have elapsed.
+Throughput measureIsaSim(const std::vector<uint8_t> &Image, bool Cache,
+                         double MinSeconds) {
+  riscv::Machine M(64 * 1024);
+  M.loadImage(0, Image);
+  M.setDecodeCacheEnabled(Cache);
+  riscv::NoDevice D;
+  const uint64_t Batch = 1'000'000;
+  Throughput T;
+  double Start = now();
+  do {
+    uint64_t N = riscv::run(M, D, Batch);
+    T.Instructions += N;
+    if (N != Batch) {
+      std::fprintf(stderr, "kernel hit UB: %s\n",
+                   riscv::ubKindName(M.ubKind()));
+      break;
+    }
+    T.Seconds = now() - Start;
+  } while (T.Seconds < MinSeconds);
+  T.Ips = T.Instructions / (T.Seconds > 0 ? T.Seconds : 1e-9);
+  return T;
+}
+
+/// Same measurement for the Kami-level cores (retired instructions/sec).
+template <typename Core>
+Throughput measureKamiCore(const std::vector<uint8_t> &Image,
+                           double MinSeconds) {
+  kami::Bram Mem(64 * 1024);
+  Mem.loadImage(Image);
+  riscv::NoDevice D;
+  Core C(Mem, D);
+  const uint64_t Batch = 1'000'000;
+  Throughput T;
+  double Start = now();
+  do {
+    uint64_t Before = C.retired();
+    C.run(Batch);
+    T.Instructions += C.retired() - Before;
+    T.Seconds = now() - Start;
+  } while (T.Seconds < MinSeconds);
+  T.Ips = T.Instructions / (T.Seconds > 0 ? T.Seconds : 1e-9);
+  return T;
+}
+
+/// Differential mode: cached and uncached machines step side by side; any
+/// divergence in architectural state, trace, or UB verdict is a bug in
+/// the fast path.
+bool diffCachedUncached(const std::vector<uint8_t> &Image, uint64_t Steps,
+                        std::string &Error) {
+  riscv::Machine MC(64 * 1024), MU(64 * 1024);
+  MC.loadImage(0, Image);
+  MU.loadImage(0, Image);
+  MC.setDecodeCacheEnabled(true);
+  MU.setDecodeCacheEnabled(false);
+  riscv::NoDevice DC, DU;
+  for (uint64_t I = 0; I != Steps; ++I) {
+    bool SC = riscv::step(MC, DC);
+    bool SU = riscv::step(MU, DU);
+    if (SC != SU) {
+      Error = "step verdict diverged at instruction " + std::to_string(I);
+      return false;
+    }
+    if (!SC)
+      break;
+  }
+  if (MC.ubKind() != MU.ubKind()) {
+    Error = "UB verdicts differ";
+    return false;
+  }
+  if (MC.getPc() != MU.getPc()) {
+    Error = "final PCs differ";
+    return false;
+  }
+  for (unsigned R = 0; R != 32; ++R)
+    if (MC.getReg(R) != MU.getReg(R)) {
+      Error = "register x" + std::to_string(R) + " differs";
+      return false;
+    }
+  if (!(MC.trace() == MU.trace())) {
+    Error = "MMIO traces differ";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+  const double MinSeconds = Quick ? 0.15 : 0.6;
+
+  std::printf("== sim_throughput: instructions/second per substrate ==\n\n");
+
+  struct Row {
+    std::string Kernel;
+    std::string Substrate;
+    Throughput T;
+  };
+  std::vector<Row> Rows;
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> Kernels = {
+      {"alu_loop", aluLoopImage()}, {"mem_loop", memLoopImage()}};
+
+  std::string DiffError;
+  bool DiffOk = true;
+  for (const auto &[Name, Image] : Kernels) {
+    if (!diffCachedUncached(Image, Quick ? 200'000 : 2'000'000, DiffError)) {
+      std::fprintf(stderr, "differential FAILED on %s: %s\n", Name.c_str(),
+                   DiffError.c_str());
+      DiffOk = false;
+    }
+    Rows.push_back({Name, "isa_sim_uncached",
+                    measureIsaSim(Image, false, MinSeconds)});
+    Rows.push_back({Name, "isa_sim_cached",
+                    measureIsaSim(Image, true, MinSeconds)});
+    Rows.push_back({Name, "spec_core",
+                    measureKamiCore<kami::SpecCore>(Image, MinSeconds)});
+    Rows.push_back({Name, "pipelined_core",
+                    measureKamiCore<kami::PipelinedCore>(Image, MinSeconds)});
+  }
+
+  // Firmware end-to-end on the ISA simulator, cached vs. uncached: the
+  // verdict, trace, and lightbulb history must be identical.
+  compiler::CompileResult C = compiler::compileProgram(
+      app::buildFirmware(), compiler::CompilerOptions::o0(),
+      compiler::Entry::eventLoop("lightbulb_init", "lightbulb_loop"),
+      64 * 1024);
+  bool FirmwareDiffOk = false;
+  double FirmwareCachedIps = 0, FirmwareUncachedIps = 0;
+  if (C.ok()) {
+    verify::E2EScenario S;
+    S.Frames.push_back({2000, devices::buildCommandFrame(true), false});
+    verify::E2EOptions O;
+    O.Core = verify::CoreKind::IsaSim;
+    O.MaxCycles = Quick ? 4'000'000 : 20'000'000;
+    // One untimed warmup per mode (allocator, page, and matcher warmup),
+    // then the best of several timed repetitions of each, with every
+    // repetition's observables compared — the differential claim covers
+    // all of them, not just one pair.
+    const int Reps = Quick ? 3 : 8;
+    auto RunMode = [&](bool Cache, verify::E2EResult &Out) {
+      O.SimDecodeCache = Cache;
+      Out = verify::runCompiledEndToEnd(*C.Prog, S, O);
+      double Best = 1e99;
+      for (int I = 0; I != Reps; ++I) {
+        double T0 = now();
+        verify::E2EResult R = verify::runCompiledEndToEnd(*C.Prog, S, O);
+        Best = std::min(Best, now() - T0);
+        if (!(R.Trace == Out.Trace) || R.Retired != Out.Retired ||
+            R.Ok != Out.Ok)
+          return -1.0;
+      }
+      return Best;
+    };
+    verify::E2EResult RC, RU;
+    double CachedSec = RunMode(true, RC);
+    double UncachedSec = RunMode(false, RU);
+    FirmwareDiffOk = CachedSec > 0 && UncachedSec > 0 && RC.Ok == RU.Ok &&
+                     RC.Trace == RU.Trace &&
+                     RC.LightHistory == RU.LightHistory &&
+                     RC.Retired == RU.Retired;
+    FirmwareCachedIps = CachedSec > 0 ? RC.Retired / CachedSec : 0;
+    FirmwareUncachedIps = UncachedSec > 0 ? RU.Retired / UncachedSec : 0;
+    if (!FirmwareDiffOk) {
+      std::fprintf(stderr, "differential FAILED on firmware e2e\n");
+      DiffOk = false;
+    }
+  } else {
+    std::fprintf(stderr, "firmware compile failed: %s\n", C.Error.c_str());
+    DiffOk = false;
+  }
+
+  bench::Table Tab({"kernel", "substrate", "instr/sec", "instructions"});
+  for (const Row &R : Rows)
+    Tab.row({R.Kernel, R.Substrate, bench::fixed(R.T.Ips / 1e6, 2) + " M",
+             std::to_string(R.T.Instructions)});
+  Tab.print();
+
+  auto ipsOf = [&Rows](const std::string &K, const std::string &S) {
+    for (const Row &R : Rows)
+      if (R.Kernel == K && R.Substrate == S)
+        return R.T.Ips;
+    return 0.0;
+  };
+  double AluSpeedup =
+      ipsOf("alu_loop", "isa_sim_cached") / ipsOf("alu_loop", "isa_sim_uncached");
+  double MemSpeedup =
+      ipsOf("mem_loop", "isa_sim_cached") / ipsOf("mem_loop", "isa_sim_uncached");
+  std::printf("\ndecode-cache speedup: alu_loop %s, mem_loop %s, "
+              "firmware e2e %s\n",
+              bench::withTimes(AluSpeedup, 2).c_str(),
+              bench::withTimes(MemSpeedup, 2).c_str(),
+              bench::withTimes(FirmwareCachedIps /
+                                   (FirmwareUncachedIps > 0
+                                        ? FirmwareUncachedIps
+                                        : 1e-9),
+                               2)
+                  .c_str());
+  std::printf("differential (cached vs uncached): %s\n",
+              DiffOk ? "identical" : "DIVERGED");
+
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("sim_throughput");
+  J.key("quick").value(Quick);
+  J.key("kernels").beginArray();
+  for (const Row &R : Rows) {
+    J.beginObject();
+    J.key("kernel").value(R.Kernel);
+    J.key("substrate").value(R.Substrate);
+    J.key("instructions").value(R.T.Instructions);
+    J.key("seconds").value(R.T.Seconds);
+    J.key("instr_per_sec").value(R.T.Ips);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("speedups").beginObject();
+  J.key("alu_loop_cached_vs_uncached").value(AluSpeedup);
+  J.key("mem_loop_cached_vs_uncached").value(MemSpeedup);
+  J.key("firmware_e2e_cached_vs_uncached")
+      .value(FirmwareUncachedIps > 0 ? FirmwareCachedIps / FirmwareUncachedIps
+                                     : 0.0);
+  J.endObject();
+  J.key("differential").beginObject();
+  J.key("kernels_ok").value(DiffOk);
+  J.key("firmware_e2e_ok").value(FirmwareDiffOk);
+  J.endObject();
+  J.endObject();
+  const char *OutPath = "BENCH_sim_throughput.json";
+  if (!support::writeFile(OutPath, J.str()))
+    std::fprintf(stderr, "failed to write %s\n", OutPath);
+  else
+    std::printf("wrote %s\n", OutPath);
+
+  return DiffOk ? 0 : 1;
+}

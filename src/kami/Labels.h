@@ -44,14 +44,25 @@ struct Label {
 
 using LabelTrace = std::vector<Label>;
 
+/// Incremental KamiLabelSeqR: appends the images of Labels[From..) to
+/// \p Out and returns the new conversion watermark. Lets pollers keep a
+/// converted trace up to date without rebuilding it from scratch.
+inline size_t appendKamiLabelSeqR(const LabelTrace &Labels, size_t From,
+                                  riscv::MmioTrace &Out) {
+  Out.reserve(Out.size() + (Labels.size() - From));
+  for (size_t I = From; I < Labels.size(); ++I) {
+    const Label &L = Labels[I];
+    Out.push_back(riscv::MmioEvent{L.MethodKind == Label::Kind::MmioStore,
+                                   L.Addr, L.Value, L.Size});
+  }
+  return Labels.size();
+}
+
 /// The paper's KamiLabelSeqR: maps a Kami label sequence to the ("ld"|"st",
 /// addr, value) triples of the application-level trace predicates.
 inline riscv::MmioTrace kamiLabelSeqR(const LabelTrace &Labels) {
   riscv::MmioTrace Out;
-  Out.reserve(Labels.size());
-  for (const Label &L : Labels)
-    Out.push_back(riscv::MmioEvent{L.MethodKind == Label::Kind::MmioStore,
-                                   L.Addr, L.Value, L.Size});
+  appendKamiLabelSeqR(Labels, 0, Out);
   return Out;
 }
 

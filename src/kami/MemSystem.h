@@ -22,6 +22,7 @@
 #define B2_KAMI_MEMSYSTEM_H
 
 #include "kami/Bram.h"
+#include "kami/Decode.h"
 #include "kami/Labels.h"
 #include "riscv/Mmio.h"
 
@@ -79,20 +80,42 @@ private:
 /// and serves all fetches from the copy (section 5.5). Ordinary stores do
 /// *not* update it — that is the stale-instruction hazard of section 5.6,
 /// which the software side must avoid via the XAddrs discipline.
+///
+/// Because the snapshot never changes after reset, each line's decode is
+/// computed once (lazily, on first fetch from that line) and reused by
+/// every later fetch — a host-simulation fast path with no architectural
+/// effect: fetchDecoded(pc) == decodeInst(fetch(pc)) for every pc, by
+/// construction.
 class ICache {
 public:
   explicit ICache(const Bram &Mem) {
     Lines.resize(Mem.sizeBytes() / 4);
     for (Word I = 0; I != Word(Lines.size()); ++I)
       Lines[I] = Mem.readWord(I * 4);
+    Decoded.resize(Lines.size());
+    DecodedValid.resize(Lines.size(), false);
   }
 
   Word fetch(Word Pc) const { return Lines[(Pc / 4) % Word(Lines.size())]; }
+
+  /// Predecoded fetch for the core models' frontends.
+  const DecodedInst &fetchDecoded(Word Pc) const {
+    Word I = (Pc / 4) % Word(Lines.size());
+    if (!DecodedValid[I]) {
+      Decoded[I] = decodeInst(Lines[I]);
+      DecodedValid[I] = true;
+    }
+    return Decoded[I];
+  }
 
   Word sizeWords() const { return Word(Lines.size()); }
 
 private:
   std::vector<Word> Lines;
+  // Memoized decodes; mutable because filling the memo is not an
+  // architectural state change (the snapshot itself is immutable).
+  mutable std::vector<DecodedInst> Decoded;
+  mutable std::vector<bool> DecodedValid;
 };
 
 } // namespace kami

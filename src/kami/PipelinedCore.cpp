@@ -154,7 +154,9 @@ void PipelinedCore::stageDecode() {
     return;
   FetchOut &F = *F2D;
 
-  DecodedInst D = decodeInst(F.Raw);
+  // Predecoded fetch from the immutable reset snapshot; identical to
+  // decodeInst(F.Raw) by the ICache invariant.
+  const DecodedInst &D = IMem.fetchDecoded(F.Pc);
 
   // Scoreboard with an optional forwarding path: an operand whose only
   // outstanding writer sits in the WB latch with a ready ALU result can

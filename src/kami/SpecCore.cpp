@@ -16,9 +16,9 @@ void SpecCore::tick() {
   ++Cycles;
 
   // Fetch from the reset-time instruction snapshot; low address bits are
-  // dropped and high bits wrap, as in the implementation.
-  Word Raw = IMem.fetch(Pc);
-  DecodedInst D = decodeInst(Raw);
+  // dropped and high bits wrap, as in the implementation. The snapshot is
+  // immutable after reset, so the decode is memoized per line.
+  const DecodedInst &D = IMem.fetchDecoded(Pc);
   Word NextPc = Pc + 4;
   Word A = getReg(D.Rs1);
   Word B = getReg(D.Rs2);

@@ -55,7 +55,9 @@ const char *b2::riscv::ubKindName(UbKind K) {
   return "unknown";
 }
 
-Machine::Machine(Word RamSize) : Ram(RamSize, 0), XAddrs(RamSize, true) {
+Machine::Machine(Word RamSize)
+    : Ram(RamSize, 0), XBits((size_t(RamSize) + 63) / 64, ~uint64_t(0)),
+      DecodeCache(RamSize / 4), DecodeValid((size_t(RamSize) / 4 + 63) / 64, 0) {
   assert(RamSize > 0 && RamSize % 4 == 0 && "RAM size must be a multiple of 4");
 }
 
@@ -71,34 +73,101 @@ void Machine::writeRam(Word Addr, unsigned Size, Word V) {
   assert(inRam(Addr, Size) && "RAM write out of range");
   for (unsigned I = 0; I != Size; ++I)
     Ram[Addr + I] = uint8_t((V >> (8 * I)) & 0xFF);
+  invalidateDecode(Addr, Size);
 }
 
 void Machine::loadImage(Word Addr, const std::vector<uint8_t> &Image) {
   assert(inRam(Addr, Word(Image.size())) && "image does not fit in RAM");
   for (size_t I = 0; I != Image.size(); ++I)
     Ram[Addr + I] = Image[I];
+  invalidateDecode(Addr, Word(Image.size()));
 }
 
-bool Machine::isExecutable(Word Addr) const {
-  if (!inRam(Addr, 4))
+void Machine::storeRam(Word Addr, unsigned Size, Word V) {
+  assert(inRam(Addr, Size) && "RAM store out of range");
+  if (Size == 4 && (Addr & 3) == 0) {
+    uint8_t *P = &Ram[Addr];
+    P[0] = uint8_t(V);
+    P[1] = uint8_t(V >> 8);
+    P[2] = uint8_t(V >> 16);
+    P[3] = uint8_t(V >> 24);
+    // Aligned word: one XAddrs block, one decode-cache word.
+    XBits[Addr >> 6] &= ~(uint64_t(0xF) << (Addr & 63));
+    size_t W = Addr >> 2;
+    uint64_t Bit = uint64_t(1) << (W & 63);
+    if (DecodeValid[W >> 6] & Bit) {
+      DecodeValid[W >> 6] &= ~Bit;
+      ++CacheStats.Invalidations;
+    }
+    return;
+  }
+  for (unsigned I = 0; I != Size; ++I)
+    Ram[Addr + I] = uint8_t((V >> (8 * I)) & 0xFF);
+  removeXAddrs(Addr, Size);
+}
+
+bool Machine::xBitsAllSet(Word Addr, Word Len) const {
+  size_t First = Addr >> 6;
+  size_t Last = (size_t(Addr) + Len - 1) >> 6;
+  uint64_t FirstMask = ~uint64_t(0) << (Addr & 63);
+  uint64_t LastMask =
+      ~uint64_t(0) >> (63 - ((size_t(Addr) + Len - 1) & 63));
+  if (First == Last) {
+    uint64_t Mask = FirstMask & LastMask;
+    return (XBits[First] & Mask) == Mask;
+  }
+  if ((XBits[First] & FirstMask) != FirstMask)
     return false;
-  return XAddrs[Addr] && XAddrs[Addr + 1] && XAddrs[Addr + 2] &&
-         XAddrs[Addr + 3];
+  for (size_t B = First + 1; B != Last; ++B)
+    if (XBits[B] != ~uint64_t(0))
+      return false;
+  return (XBits[Last] & LastMask) == LastMask;
 }
 
 void Machine::removeXAddrs(Word Addr, unsigned Size) {
-  for (unsigned I = 0; I != Size; ++I)
-    if (inRam(Addr + I, 1))
-      XAddrs[Addr + I] = false;
+  // Common case: the whole range is in RAM (no 2^32 wrap-around, no bytes
+  // past the end), so the bits clear with at most two block masks and one
+  // ranged cache invalidation.
+  if (Size != 0 && inRam(Addr, Size)) {
+    size_t First = Addr >> 6;
+    size_t Last = (size_t(Addr) + Size - 1) >> 6;
+    uint64_t FirstMask = ~uint64_t(0) << (Addr & 63);
+    uint64_t LastMask = ~uint64_t(0) >> (63 - ((size_t(Addr) + Size - 1) & 63));
+    if (First == Last) {
+      XBits[First] &= ~(FirstMask & LastMask);
+    } else {
+      XBits[First] &= ~FirstMask;
+      for (size_t B = First + 1; B != Last; ++B)
+        XBits[B] = 0;
+      XBits[Last] &= ~LastMask;
+    }
+    invalidateDecode(Addr, Size);
+    return;
+  }
+  // Rare case: per-byte semantics with address wrap-around (Addr + I
+  // computed in 32-bit arithmetic), matching the original formulation;
+  // bytes outside RAM are ignored.
+  for (unsigned I = 0; I != Size; ++I) {
+    Word A = Addr + Word(I);
+    if (!inRam(A, 1))
+      continue;
+    XBits[A >> 6] &= ~(uint64_t(1) << (A & 63));
+    invalidateDecode(A, 1);
+  }
 }
 
-bool Machine::rangeExecutable(Word Addr, Word Size) const {
-  if (!inRam(Addr, Size))
-    return false;
-  for (Word I = 0; I != Size; ++I)
-    if (!XAddrs[Addr + I])
-      return false;
-  return true;
+void Machine::invalidateDecode(Word Addr, Word Len) {
+  if (Len == 0)
+    return;
+  size_t FirstW = Addr >> 2;
+  size_t LastW = (size_t(Addr) + Len - 1) >> 2;
+  for (size_t W = FirstW; W <= LastW && W < DecodeCache.size(); ++W) {
+    uint64_t Bit = uint64_t(1) << (W & 63);
+    if (DecodeValid[W >> 6] & Bit) {
+      DecodeValid[W >> 6] &= ~Bit;
+      ++CacheStats.Invalidations;
+    }
+  }
 }
 
 void Machine::markUb(UbKind K, std::string Detail) {

@@ -20,11 +20,29 @@
 ///    simulation, never C++ UB: a machine that stepped into UB freezes and
 ///    remembers why.
 ///
+/// XAddrs is stored as a packed bitset (one bit per byte, 64 bytes per
+/// block) so that range queries and removals are word operations rather
+/// than per-byte scans.
+///
+/// The machine also carries a *predecoded-instruction cache*: each 4-byte
+/// word is decoded at most once, and the decoded form is reused on later
+/// fetches from the same address. The invalidation rule is exactly the
+/// XAddrs removal rule of section 5.6 — whenever bytes leave the
+/// executable set, every cache line overlapping them is dropped. A valid
+/// cache line therefore witnesses that its four bytes are still in
+/// XAddrs, in RAM, aligned, and decode to the cached instruction, which
+/// is what lets the fast path skip the fetch checks without changing any
+/// observable behavior (including the `FetchNotExecutable` UB verdict for
+/// stale instructions). Host-level RAM mutations (writeRam/writeByte/
+/// loadImage) invalidate conservatively as well, so direct pokes from
+/// tests cannot desynchronize the cache.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef B2_RISCV_MACHINE_H
 #define B2_RISCV_MACHINE_H
 
+#include "isa/Instr.h"
 #include "riscv/Mmio.h"
 #include "support/Word.h"
 
@@ -53,6 +71,13 @@ enum class UbKind : uint8_t {
 
 /// Human-readable name for a UB kind.
 const char *ubKindName(UbKind K);
+
+/// Hit/miss/invalidation counters of the predecoded-instruction cache.
+struct DecodeCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;        ///< Aligned in-RAM fetches with no valid line.
+  uint64_t Invalidations = 0; ///< Lines dropped by XAddrs removal / pokes.
+};
 
 /// The software-oriented RISC-V machine. The memory footprint never
 /// changes during execution (paper section 6.2: "In our instantiation of
@@ -98,6 +123,7 @@ public:
   void writeByte(Word Addr, uint8_t V) {
     assert(inRam(Addr, 1) && "RAM write out of range");
     Ram[Addr] = V;
+    invalidateDecode(Addr, 1);
   }
 
   /// Little-endian read of \p Size in {1,2,4} bytes.
@@ -109,19 +135,80 @@ public:
   /// Copies \p Image into RAM at \p Addr. Asserts it fits.
   void loadImage(Word Addr, const std::vector<uint8_t> &Image);
 
+  /// The ISA store operation: writes \p Size bytes, removes them from
+  /// XAddrs (section 5.6), and drops overlapping decode-cache lines —
+  /// equivalent to writeRam + removeXAddrs but with a single combined
+  /// invalidation pass.
+  void storeRam(Word Addr, unsigned Size, Word V);
+
   // -- XAddrs (stale-instruction discipline, section 5.6) ------------------
 
   /// True iff all 4 bytes at \p Addr are executable.
-  bool isExecutable(Word Addr) const;
+  bool isExecutable(Word Addr) const {
+    if (!inRam(Addr, 4))
+      return false;
+    return xBitsAllSet(Addr, 4);
+  }
 
   /// Removes [Addr, Addr+Size) from the executable set; called on every
-  /// RAM store.
+  /// RAM store. Addresses wrap modulo 2^32 exactly as a per-byte removal
+  /// would, and bytes outside RAM are ignored. Overlapping decode-cache
+  /// lines are invalidated — the invalidation set IS the removal set.
   void removeXAddrs(Word Addr, unsigned Size);
 
   /// True iff [Addr, Addr+Size) is entirely executable; used by the
   /// compiler-correctness checker to verify the program image stays
   /// executable throughout execution.
-  bool rangeExecutable(Word Addr, Word Size) const;
+  bool rangeExecutable(Word Addr, Word Size) const {
+    if (Size == 0)
+      return inRam(Addr, 0);
+    if (!inRam(Addr, Size))
+      return false;
+    return xBitsAllSet(Addr, Size);
+  }
+
+  // -- Predecoded-instruction cache ----------------------------------------
+
+  /// Enables/disables fast-path lookups (invalidation is maintained either
+  /// way, so toggling mid-run keeps the cache coherent). Enabled by
+  /// default; the uncached mode exists so both paths can be compared in
+  /// one binary (differential mode, bench/sim_throughput).
+  void setDecodeCacheEnabled(bool Enabled) { UseDecodeCache = Enabled; }
+  bool decodeCacheEnabled() const { return UseDecodeCache; }
+
+  /// Fast-path fetch: returns the cached decode of the word at \p Pc, or
+  /// null if the cache is disabled, \p Pc is misaligned or outside RAM, or
+  /// the line is invalid. A non-null result witnesses that the fetch at
+  /// \p Pc passes every slow-path check (alignment, mapping, XAddrs,
+  /// decodability) with the same outcome as an uncached fetch.
+  const isa::Instr *cachedInstr(Word Pc) {
+    if (!UseDecodeCache || (Pc & 3) != 0)
+      return nullptr;
+    Word W = Pc >> 2;
+    if (W >= DecodeCache.size())
+      return nullptr;
+    if (!((DecodeValid[W >> 6] >> (W & 63)) & 1)) {
+      ++CacheStats.Misses;
+      return nullptr;
+    }
+    ++CacheStats.Hits;
+    return &DecodeCache[W];
+  }
+
+  /// Fills the line for \p Pc. Only call after a full slow-path fetch at
+  /// \p Pc succeeded (aligned, in RAM, executable, valid decode) — the
+  /// cache-line invariant depends on it.
+  void fillDecodeCache(Word Pc, const isa::Instr &I) {
+    if (!UseDecodeCache)
+      return;
+    assert((Pc & 3) == 0 && isExecutable(Pc) && I.isValid() &&
+           "decode-cache fill without a successful slow-path fetch");
+    Word W = Pc >> 2;
+    DecodeCache[W] = I;
+    DecodeValid[W >> 6] |= uint64_t(1) << (W & 63);
+  }
+
+  const DecodeCacheStats &decodeCacheStats() const { return CacheStats; }
 
   // -- UB status ------------------------------------------------------------
 
@@ -147,11 +234,28 @@ private:
   Word Regs[32] = {};
   Word Pc = 0;
   std::vector<uint8_t> Ram;
-  std::vector<bool> XAddrs;
+  /// XAddrs, one bit per RAM byte, packed into 64-bit blocks. Trailing
+  /// bits past ramSize() are never consulted (all queries bound-check
+  /// first).
+  std::vector<uint64_t> XBits;
+  /// Predecoded instructions, one per aligned RAM word; validity packed
+  /// into 64-bit blocks alongside.
+  std::vector<isa::Instr> DecodeCache;
+  std::vector<uint64_t> DecodeValid;
+  bool UseDecodeCache = true;
+  DecodeCacheStats CacheStats;
   UbKind Ub = UbKind::None;
   std::string UbMessage;
   MmioTrace Trace;
   uint64_t Retired = 0;
+
+  /// True iff every XAddrs bit in [Addr, Addr+Len) is set. \p Len > 0 and
+  /// the range must be in RAM.
+  bool xBitsAllSet(Word Addr, Word Len) const;
+
+  /// Drops every decode-cache line overlapping [Addr, Addr+Len) (no
+  /// address wrapping; the range must be in RAM).
+  void invalidateDecode(Word Addr, Word Len);
 };
 
 } // namespace riscv

@@ -1,0 +1,161 @@
+//===- support/Json.h - Minimal streaming JSON writer ----------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny dependency-free JSON emitter for the machine-readable
+/// `BENCH_*.json` outputs of the bench binaries (sim_throughput,
+/// verification_perf). Write-only, streaming, with explicit
+/// object/array scopes; no parsing, no DOM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_SUPPORT_JSON_H
+#define B2_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace support {
+
+/// Streaming JSON writer. Usage:
+/// \code
+///   JsonWriter J;
+///   J.beginObject();
+///   J.key("name").value("sim_throughput");
+///   J.key("runs").beginArray();
+///   J.beginObject(); J.key("ips").value(1.5e8); J.endObject();
+///   J.endArray();
+///   J.endObject();
+///   writeFile("BENCH_sim_throughput.json", J.str());
+/// \endcode
+class JsonWriter {
+public:
+  JsonWriter() { Stack.push_back(false); }
+
+  JsonWriter &beginObject() {
+    comma();
+    Out += '{';
+    Stack.push_back(false);
+    return *this;
+  }
+
+  JsonWriter &endObject() {
+    Stack.pop_back();
+    Out += '}';
+    return *this;
+  }
+
+  JsonWriter &beginArray() {
+    comma();
+    Out += '[';
+    Stack.push_back(false);
+    return *this;
+  }
+
+  JsonWriter &endArray() {
+    Stack.pop_back();
+    Out += ']';
+    return *this;
+  }
+
+  /// Emits an object key; follow with exactly one value/begin call.
+  JsonWriter &key(const std::string &K) {
+    comma();
+    quote(K);
+    Out += ':';
+    Stack.back() = false; // The upcoming value needs no comma.
+    return *this;
+  }
+
+  JsonWriter &value(const std::string &V) {
+    comma();
+    quote(V);
+    return *this;
+  }
+  JsonWriter &value(const char *V) { return value(std::string(V)); }
+
+  JsonWriter &value(double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    comma();
+    Out += Buf;
+    return *this;
+  }
+
+  JsonWriter &value(uint64_t V) {
+    comma();
+    Out += std::to_string(V);
+    return *this;
+  }
+  JsonWriter &value(int V) { return value(uint64_t(V < 0 ? 0 : V)); }
+  JsonWriter &value(unsigned V) { return value(uint64_t(V)); }
+
+  JsonWriter &value(bool V) {
+    comma();
+    Out += V ? "true" : "false";
+    return *this;
+  }
+
+  const std::string &str() const { return Out; }
+
+private:
+  std::string Out;
+  /// Per-scope "the next element needs a leading comma" flag.
+  std::vector<bool> Stack;
+
+  void comma() {
+    if (Stack.back())
+      Out += ',';
+    Stack.back() = true;
+  }
+
+  void quote(const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (uint8_t(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  }
+};
+
+/// Writes \p Content to \p Path; returns false on I/O failure.
+inline bool writeFile(const std::string &Path, const std::string &Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
+            Content.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+} // namespace support
+} // namespace b2
+
+#endif // B2_SUPPORT_JSON_H

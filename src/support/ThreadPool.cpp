@@ -1,0 +1,95 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+using namespace b2;
+using namespace b2::support;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+    ++Pending;
+  }
+  TaskReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Pending == 0; });
+}
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskReady.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Stopping and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (--Pending == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+void b2::support::parallelFor(size_t N, unsigned Threads,
+                              const std::function<void(size_t)> &Fn) {
+  if (Threads <= 1 || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  if (Threads > N)
+    Threads = unsigned(N);
+  // Dynamic index distribution: workers claim the next unclaimed index.
+  // Which worker runs which index is scheduling-dependent; what each
+  // index computes is not.
+  std::atomic<size_t> Next{0};
+  ThreadPool Pool(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.submit([&] {
+      for (;;) {
+        size_t I = Next.fetch_add(1);
+        if (I >= N)
+          return;
+        Fn(I);
+      }
+    });
+  Pool.wait();
+}

@@ -1,0 +1,79 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool plus a deterministic parallel-for, used
+/// by the parallel verification driver (verify/ParallelDriver.h) to shard
+/// independent work units (fuzz scenarios, corpus programs, stimulus
+/// seeds) across hardware threads.
+///
+/// Determinism contract: parallelFor(N, T, Fn) invokes Fn(I) exactly once
+/// for every I in [0, N), and workers communicate only through their own
+/// index — so as long as Fn(I) depends only on I (per-shard RNG seeds, no
+/// shared mutable state), the multiset of results is identical for every
+/// thread count, and results indexed by I are bit-identical. T <= 1
+/// degenerates to a plain sequential loop on the calling thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_SUPPORT_THREADPOOL_H
+#define B2_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace b2 {
+namespace support {
+
+/// Fixed-size pool; tasks run in submission order pickup (any worker).
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (at least 1).
+  explicit ThreadPool(unsigned Threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned threadCount() const { return unsigned(Workers.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned defaultThreadCount();
+
+private:
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskReady;  ///< Signals workers: work or stop.
+  std::condition_variable AllIdle;    ///< Signals wait(): everything done.
+  size_t Pending = 0; ///< Queued + currently running tasks.
+  bool Stopping = false;
+
+  void workerLoop();
+};
+
+/// Runs Fn(0) .. Fn(N-1), each exactly once, using up to \p Threads
+/// workers. \p Threads <= 1 runs sequentially on the caller.
+void parallelFor(size_t N, unsigned Threads,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace support
+} // namespace b2
+
+#endif // B2_SUPPORT_THREADPOOL_H

@@ -33,6 +33,7 @@ public:
     case CoreKind::IsaSim:
       Sim = std::make_unique<riscv::Machine>(Options.RamBytes);
       Sim->loadImage(0, Prog.image());
+      Sim->setDecodeCacheEnabled(Options.SimDecodeCache);
       break;
     case CoreKind::SpecCore:
       Mem = std::make_unique<kami::Bram>(Options.RamBytes);
@@ -65,16 +66,24 @@ public:
     return false;
   }
 
-  riscv::MmioTrace trace() const {
+  /// Trace under KamiLabelSeqR, by reference: the ISA simulator's trace
+  /// is already in event form; the Kami cores' label sequences are
+  /// converted incrementally from the last watermark, so polling is O(new
+  /// events) instead of a full rebuild-and-copy per call.
+  const riscv::MmioTrace &trace() {
     switch (Options.Core) {
     case CoreKind::IsaSim:
       return Sim->trace();
     case CoreKind::SpecCore:
-      return kami::kamiLabelSeqR(Spec->labels());
+      Converted = kami::appendKamiLabelSeqR(Spec->labels(), Converted,
+                                            ConvertedTrace);
+      return ConvertedTrace;
     case CoreKind::Pipelined:
-      return kami::kamiLabelSeqR(Pipe->labels());
+      Converted = kami::appendKamiLabelSeqR(Pipe->labels(), Converted,
+                                            ConvertedTrace);
+      return ConvertedTrace;
     }
-    return {};
+    return ConvertedTrace;
   }
 
   uint64_t retired() const {
@@ -107,6 +116,8 @@ private:
   std::unique_ptr<kami::Bram> Mem;
   std::unique_ptr<kami::SpecCore> Spec;
   std::unique_ptr<kami::PipelinedCore> Pipe;
+  riscv::MmioTrace ConvertedTrace; ///< Incremental KamiLabelSeqR image.
+  size_t Converted = 0;            ///< Labels converted so far.
 };
 
 /// Ground truth: the distinct lightbulb states implied by the accepted

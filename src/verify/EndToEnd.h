@@ -60,6 +60,10 @@ struct E2EOptions {
   compiler::CompilerOptions Compiler = compiler::CompilerOptions::o0();
   uint64_t MaxCycles = 400'000'000;
   uint64_t DrainChunk = 200'000;   ///< Cycles per drain-check chunk.
+  /// Predecoded-instruction fast path of the ISA simulator (CoreKind::
+  /// IsaSim only). On by default; the switch exists so cached and
+  /// uncached runs can be compared differentially in one binary.
+  bool SimDecodeCache = true;
 };
 
 /// A packet arrival script (op-count scheduled; see devices/Platform.h).

@@ -7,8 +7,11 @@
 #include "riscv/Machine.h"
 #include "riscv/Step.h"
 
+#include "compiler/Compile.h"
 #include "isa/Build.h"
 #include "isa/Encoding.h"
+
+#include "RandomProgram.h"
 
 #include <gtest/gtest.h>
 
@@ -325,4 +328,189 @@ TEST(Machine, RamBoundsChecking) {
   EXPECT_FALSE(M.inRam(61, 4));
   EXPECT_FALSE(M.inRam(64, 1));
   EXPECT_FALSE(M.inRam(0xFFFFFFFF, 4)); // Overflow-safe.
+}
+
+TEST(Machine, XAddrsRemovalAcrossBlockBoundary) {
+  // XAddrs is stored 64 bits per block; a removal spanning the block
+  // boundary must clear bits on both sides.
+  Machine M(256);
+  M.removeXAddrs(60, 8); // Bytes 60..67: last 4 of block 0, first 4 of block 1.
+  EXPECT_TRUE(M.rangeExecutable(0, 60));
+  EXPECT_TRUE(M.isExecutable(56)); // Bytes 56..59 untouched.
+  EXPECT_FALSE(M.rangeExecutable(56, 8));
+  EXPECT_FALSE(M.isExecutable(60));
+  EXPECT_FALSE(M.isExecutable(64));
+  EXPECT_TRUE(M.isExecutable(68));
+  EXPECT_TRUE(M.rangeExecutable(68, 188));
+  EXPECT_FALSE(M.rangeExecutable(0, 256));
+}
+
+TEST(Machine, XAddrsRemovalSpanningWholeBlocks) {
+  Machine M(512);
+  M.removeXAddrs(32, 192); // Bytes 32..223: partial, two full blocks, partial.
+  EXPECT_TRUE(M.rangeExecutable(0, 32));
+  EXPECT_FALSE(M.rangeExecutable(32, 192));
+  EXPECT_FALSE(M.isExecutable(128));
+  EXPECT_TRUE(M.rangeExecutable(224, 288));
+}
+
+TEST(Machine, RemoveXAddrsWrapsModulo32Bits) {
+  // The per-byte semantics compute Addr + I in 32-bit arithmetic, so a
+  // removal at the top of the address space wraps to low RAM.
+  Machine M(64);
+  M.removeXAddrs(0xFFFFFFFE, 4); // Bytes 0xFFFFFFFE, 0xFFFFFFFF (outside
+                                 // RAM, ignored), then 0 and 1.
+  EXPECT_FALSE(M.isExecutable(0));
+  EXPECT_TRUE(M.isExecutable(4));
+  EXPECT_TRUE(M.rangeExecutable(4, 60));
+  EXPECT_FALSE(M.rangeExecutable(0, 4));
+}
+
+// -- Predecoded-instruction cache ---------------------------------------------
+
+namespace {
+
+/// The self-modifying program of examples/stale_instructions.cpp in
+/// miniature: executes the victim at pc 12 once (so the decode cache
+/// holds it), loops, overwrites it, and jumps back into it.
+std::vector<Instr> selfModifyingProgram() {
+  Word NewInstr = encode(addi(A1, Zero, 99));
+  std::vector<Instr> P;
+  materialize(NewInstr, A0, P);
+  while (P.size() < 2)
+    P.push_back(nop());
+  P.push_back(mkB(Opcode::Bne, A5, Zero, 16)); // pc 8: 2nd pass -> pc 24.
+  P.push_back(addi(A1, Zero, 7));              // pc 12: the victim.
+  P.push_back(addi(A5, Zero, 1));              // pc 16.
+  P.push_back(jal(Zero, -12));                 // pc 20: back to pc 8.
+  P.push_back(sw(Zero, A0, 12));               // pc 24: overwrite pc 12.
+  P.push_back(jal(Zero, -16));                 // pc 28: back into pc 12.
+  return P;
+}
+
+/// Steps \p M until UB or \p MaxSteps; returns steps taken.
+uint64_t runSteps(Machine &M, uint64_t MaxSteps) {
+  NoDevice D;
+  return run(M, D, MaxSteps);
+}
+
+void expectSameArchState(const Machine &A, const Machine &B) {
+  EXPECT_EQ(A.getPc(), B.getPc());
+  EXPECT_EQ(A.ubKind(), B.ubKind());
+  EXPECT_EQ(A.retiredInstructions(), B.retiredInstructions());
+  for (unsigned R = 0; R != 32; ++R)
+    EXPECT_EQ(A.getReg(R), B.getReg(R)) << "register x" << R;
+  EXPECT_TRUE(A.trace() == B.trace());
+}
+
+} // namespace
+
+TEST(DecodeCache, RefetchHitsAndMatchesUncached) {
+  std::vector<Instr> Loop = {
+      addi(A0, Zero, 0),
+      addi(A0, A0, 1), // pc 4: loop body.
+      jal(Zero, -4),   // pc 8: back to pc 4.
+  };
+  Machine MC = machineWith(Loop);
+  Machine MU = machineWith(Loop);
+  MU.setDecodeCacheEnabled(false);
+  runSteps(MC, 1001);
+  runSteps(MU, 1001);
+  expectSameArchState(MC, MU);
+  // 3 distinct words; everything after the first three fetches hits.
+  EXPECT_EQ(MC.decodeCacheStats().Misses, 3u);
+  EXPECT_EQ(MC.decodeCacheStats().Hits, 1001u - 3u);
+  EXPECT_EQ(MU.decodeCacheStats().Hits, 0u);
+  EXPECT_EQ(MU.decodeCacheStats().Misses, 0u);
+}
+
+TEST(DecodeCache, SelfModifyingStoreInvalidatesAndStillTripsUb) {
+  // The regression the cache-invalidation rule exists for: a store over a
+  // *cached* instruction must drop the line AND the refetch must still
+  // report FetchNotExecutable (the XAddrs verdict), not silently execute
+  // either the stale or the new instruction.
+  std::vector<Instr> P = selfModifyingProgram();
+  Machine MC = machineWith(P);
+  Machine MU = machineWith(P);
+  MU.setDecodeCacheEnabled(false);
+  runSteps(MC, 1000);
+  runSteps(MU, 1000);
+
+  EXPECT_EQ(MC.ubKind(), UbKind::FetchNotExecutable);
+  EXPECT_EQ(MC.getPc(), 12u);   // Frozen at the stale fetch.
+  EXPECT_EQ(MC.getReg(A1), 7u); // First-pass execution, never the new 99.
+  expectSameArchState(MC, MU);
+
+  // The victim's line was filled on the first pass and dropped by the
+  // store; the loop head at pc 8 was refetched from the cache.
+  EXPECT_GE(MC.decodeCacheStats().Invalidations, 1u);
+  EXPECT_GE(MC.decodeCacheStats().Hits, 1u);
+}
+
+TEST(DecodeCache, HostPokeInvalidatesWithoutXAddrsRemoval) {
+  // Host-level RAM mutation (loadImage/writeByte) is not an ISA store: it
+  // keeps XAddrs intact but must still drop cached decodes, so the next
+  // fetch sees the new bytes instead of a stale line.
+  std::vector<Instr> P = {addi(A1, Zero, 7), jal(Zero, 0)};
+  Machine M = machineWith(P);
+  NoDevice D;
+  ASSERT_TRUE(step(M, D)); // Fills the line at pc 0.
+  EXPECT_EQ(M.getReg(A1), 7u);
+  M.loadImage(0, instrencode({addi(A1, Zero, 42)}));
+  M.setPc(0);
+  ASSERT_TRUE(step(M, D));
+  EXPECT_EQ(M.getReg(A1), 42u); // New bytes, not the stale decode.
+  EXPECT_FALSE(M.hasUb());      // XAddrs untouched by host pokes.
+}
+
+TEST(DecodeCache, ToggleMidRunStaysCoherent) {
+  // Invalidation is maintained while lookups are disabled, so flipping
+  // the switch mid-run never resurrects a stale line.
+  std::vector<Instr> P = selfModifyingProgram();
+  Machine MC = machineWith(P);
+  Machine MU = machineWith(P);
+  MU.setDecodeCacheEnabled(false);
+  // Warm the cache (5 steps: one full pass incl. the victim), disable,
+  // run the store pass uncached, re-enable for the fatal refetch.
+  runSteps(MC, 5);
+  MC.setDecodeCacheEnabled(false);
+  runSteps(MC, 3);
+  MC.setDecodeCacheEnabled(true);
+  runSteps(MC, 1000);
+  runSteps(MU, 1000);
+  EXPECT_EQ(MC.ubKind(), UbKind::FetchNotExecutable);
+  expectSameArchState(MC, MU);
+}
+
+TEST(DecodeCache, DifferentialOnRandomCompiledPrograms) {
+  // Property: for compiler-generated code, the cached and uncached ISA
+  // simulators are indistinguishable — same halt, registers, trace, and
+  // verdict. (The fuzzed corpus is UB-free by construction, so this also
+  // re-checks that caching never *introduces* a spurious UB.)
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    b2::testing::RandomProgramGen Gen(Seed);
+    bedrock2::Program P = Gen.generate();
+    compiler::CompileResult C = compiler::compileProgram(
+        P, compiler::CompilerOptions::o0(),
+        compiler::Entry::singleCall("main", {Word(Seed * 17), Word(Seed)}),
+        64 * 1024);
+    ASSERT_TRUE(C.ok()) << "seed " << Seed << ": " << C.Error;
+
+    auto RunMode = [&](bool Cache) {
+      Machine M(64 * 1024);
+      M.loadImage(0, C.Prog->image());
+      M.setDecodeCacheEnabled(Cache);
+      NoDevice D;
+      uint64_t Steps = 0;
+      while (Steps < 2'000'000 && M.getPc() != C.Prog->HaltPc &&
+             step(M, D))
+        ++Steps;
+      return M;
+    };
+    Machine MC = RunMode(true);
+    Machine MU = RunMode(false);
+    EXPECT_EQ(MC.getPc(), C.Prog->HaltPc) << "seed " << Seed;
+    expectSameArchState(MC, MU);
+    EXPECT_GT(MC.decodeCacheStats().Hits, 0u) << "seed " << Seed;
+  }
 }
