@@ -1,0 +1,252 @@
+//===- bench/interp_throughput.cpp - Interpreter statements/second ------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Checking-interpreter throughput per execution engine: the reference AST
+// walker, the bytecode fast path, and differential-both (which is also
+// the correctness gate — any divergence between the engines fails the
+// bench). Two workloads: the lightbulb firmware event loop under deviced
+// MMIO traffic, and a corpus of random UB-free programs like the ones the
+// compiler differential checkers run. Emits BENCH_interp.json so the
+// speedup is tracked PR over PR.
+//
+// Usage: interp_throughput [--quick]   (--quick shrinks the measurement
+// for CI smoke runs)
+//
+//===----------------------------------------------------------------------===//
+
+#include "../tests/RandomProgram.h"
+#include "BenchUtil.h"
+#include "app/Firmware.h"
+#include "bedrock2/Semantics.h"
+#include "devices/Net.h"
+#include "devices/Platform.h"
+#include "riscv/Mmio.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace b2;
+using namespace b2::bedrock2;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+struct Throughput {
+  uint64_t Statements = 0;
+  uint64_t Calls = 0;
+  double Seconds = 0;
+  double Sps = 0; ///< Statements (interpreter steps) per second.
+};
+
+/// The firmware event loop under a fixed, deterministic traffic schedule:
+/// a light-toggle command every fourth iteration. Identical across modes,
+/// so the engines see the same work.
+Throughput measureFirmware(const Program &P, ExecMode Mode,
+                           double MinSeconds, bool &DiffOk,
+                           std::string &Error) {
+  // One interpreter for the whole measurement: compile once, run many —
+  // the engine's intended usage (CompilerDiff and the fuzz harnesses all
+  // reuse one Interp across calls).
+  devices::Platform Plat;
+  MmioExtSpec Ext(Plat, 64 * 1024);
+  Interp I(P, Ext, 50'000'000, StackallocPolicy(), Mode);
+  Throughput T;
+  ExecResult R = I.callFunction("lightbulb_init", {});
+  if (!R.ok()) {
+    Error = "lightbulb_init faulted: " + std::string(faultName(R.F));
+    return T;
+  }
+  bool LightOn = true;
+  uint64_t K = 0;
+  double Start = now();
+  do {
+    if (K % 4 == 0) {
+      Plat.injectNow(devices::buildCommandFrame(LightOn));
+      LightOn = !LightOn;
+    }
+    ++K;
+    R = I.callFunction("lightbulb_loop", {});
+    T.Statements += R.StepsUsed;
+    ++T.Calls;
+    if (!R.ok()) {
+      Error = "lightbulb_loop faulted: " + std::string(faultName(R.F));
+      break;
+    }
+    T.Seconds = now() - Start;
+  } while (T.Seconds < MinSeconds);
+  if (I.divergenceCount() != 0) {
+    DiffOk = false;
+    Error = I.divergence();
+  }
+  T.Seconds = now() - Start;
+  T.Sps = T.Statements / (T.Seconds > 0 ? T.Seconds : 1e-9);
+  return T;
+}
+
+/// A corpus of random UB-free programs (the same generator the compiler
+/// differential tests fuzz with), re-run round-robin until the clock
+/// expires.
+Throughput measureCorpus(const std::vector<Program> &Corpus, ExecMode Mode,
+                         double MinSeconds, bool &DiffOk,
+                         std::string &Error) {
+  // One interpreter per corpus program, reused across rounds (compile
+  // once, run many).
+  riscv::NoDevice Dev;
+  MmioExtSpec Ext(Dev, 64 * 1024);
+  std::vector<std::unique_ptr<Interp>> Interps;
+  for (const Program &P : Corpus)
+    Interps.push_back(std::make_unique<Interp>(P, Ext, 10'000'000,
+                                               StackallocPolicy(), Mode));
+  Throughput T;
+  double Start = now();
+  uint64_t Round = 0;
+  do {
+    for (size_t PI = 0; PI != Corpus.size(); ++PI) {
+      Interp &I = *Interps[PI];
+      ExecResult R =
+          I.callFunction("main", {Word(PI * 7 + Round), Word(~Round)});
+      T.Statements += R.StepsUsed;
+      ++T.Calls;
+      if (!R.ok()) {
+        Error = "corpus program " + std::to_string(PI) +
+                " faulted: " + faultName(R.F) + " (" + R.Detail + ")";
+        break;
+      }
+      if (I.divergenceCount() != 0) {
+        DiffOk = false;
+        Error = I.divergence();
+        break;
+      }
+    }
+    ++Round;
+    T.Seconds = now() - Start;
+  } while (Error.empty() && T.Seconds < MinSeconds);
+  T.Seconds = now() - Start;
+  T.Sps = T.Statements / (T.Seconds > 0 ? T.Seconds : 1e-9);
+  return T;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+  const double MinSeconds = Quick ? 0.15 : 0.6;
+
+  std::printf("== interp_throughput: checking-interpreter statements/second "
+              "per engine ==\n\n");
+
+  Program Firmware = app::buildFirmware();
+  std::vector<Program> Corpus;
+  for (uint64_t Seed = 0; Seed != 12; ++Seed)
+    Corpus.push_back(b2::testing::RandomProgramGen(Seed).generate());
+
+  const ExecMode Modes[] = {ExecMode::Reference, ExecMode::Fast,
+                            ExecMode::Differential};
+  struct Row {
+    std::string Workload;
+    std::string Mode;
+    Throughput T;
+  };
+  std::vector<Row> Rows;
+  bool DiffOk = true;
+  // Best-of-N windows per engine: each window is a fresh measurement and
+  // the highest throughput is kept, which rejects one-sided OS noise
+  // (preemption, frequency dips) the same way for every engine.
+  const int Reps = Quick ? 1 : 3;
+  auto bestOf = [Reps](auto Measure) {
+    Throughput Best;
+    for (int K = 0; K != Reps; ++K) {
+      Throughput T = Measure();
+      if (T.Sps > Best.Sps)
+        Best = T;
+    }
+    return Best;
+  };
+  for (ExecMode Mode : Modes) {
+    std::string Error;
+    Rows.push_back({"firmware_loop", execModeName(Mode), bestOf([&] {
+                      return measureFirmware(Firmware, Mode, MinSeconds,
+                                             DiffOk, Error);
+                    })});
+    if (!Error.empty())
+      std::fprintf(stderr, "firmware_loop [%s]: %s\n", execModeName(Mode),
+                   Error.c_str());
+    Error.clear();
+    Rows.push_back({"random_corpus", execModeName(Mode), bestOf([&] {
+                      return measureCorpus(Corpus, Mode, MinSeconds, DiffOk,
+                                           Error);
+                    })});
+    if (!Error.empty())
+      std::fprintf(stderr, "random_corpus [%s]: %s\n", execModeName(Mode),
+                   Error.c_str());
+  }
+
+  bench::Table Tab({"workload", "engine", "stmts/sec", "statements", "calls"});
+  for (const Row &R : Rows)
+    Tab.row({R.Workload, R.Mode, bench::fixed(R.T.Sps / 1e6, 2) + " M",
+             std::to_string(R.T.Statements), std::to_string(R.T.Calls)});
+  Tab.print();
+
+  auto spsOf = [&Rows](const std::string &W, const std::string &M) {
+    for (const Row &R : Rows)
+      if (R.Workload == W && R.Mode == M)
+        return R.T.Sps;
+    return 0.0;
+  };
+  double FwSpeedup =
+      spsOf("firmware_loop", "fast") /
+      std::max(spsOf("firmware_loop", "reference"), 1e-9);
+  double CorpusSpeedup =
+      spsOf("random_corpus", "fast") /
+      std::max(spsOf("random_corpus", "reference"), 1e-9);
+  std::printf("\nbytecode speedup over reference walker: firmware %s, "
+              "corpus %s\n",
+              bench::withTimes(FwSpeedup, 2).c_str(),
+              bench::withTimes(CorpusSpeedup, 2).c_str());
+  std::printf("differential (walker vs bytecode): %s\n",
+              DiffOk ? "identical" : "DIVERGED");
+
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("interp_throughput");
+  J.key("quick").value(Quick);
+  J.key("reps").value(uint64_t(Reps));
+  J.key("workloads").beginArray();
+  for (const Row &R : Rows) {
+    J.beginObject();
+    J.key("workload").value(R.Workload);
+    J.key("engine").value(R.Mode);
+    J.key("statements").value(R.T.Statements);
+    J.key("calls").value(R.T.Calls);
+    J.key("seconds").value(R.T.Seconds);
+    J.key("stmts_per_sec").value(R.T.Sps);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("speedups").beginObject();
+  J.key("firmware_fast_vs_reference").value(FwSpeedup);
+  J.key("corpus_fast_vs_reference").value(CorpusSpeedup);
+  J.endObject();
+  J.key("differential_ok").value(DiffOk);
+  J.endObject();
+  const char *OutPath = "BENCH_interp.json";
+  if (!support::writeFile(OutPath, J.str()))
+    std::fprintf(stderr, "failed to write %s\n", OutPath);
+  else
+    std::printf("wrote %s\n", OutPath);
+
+  return DiffOk ? 0 : 1;
+}

@@ -50,43 +50,6 @@ const char *b2::bedrock2::binOpName(BinOp Op) {
   return "?";
 }
 
-Word b2::bedrock2::evalBinOp(BinOp Op, Word A, Word B) {
-  switch (Op) {
-  case BinOp::Add:
-    return A + B;
-  case BinOp::Sub:
-    return A - B;
-  case BinOp::Mul:
-    return A * B;
-  case BinOp::MulHuu:
-    return mulhuu(A, B);
-  case BinOp::Divu:
-    return divu(A, B);
-  case BinOp::Remu:
-    return remu(A, B);
-  case BinOp::And:
-    return A & B;
-  case BinOp::Or:
-    return A | B;
-  case BinOp::Xor:
-    return A ^ B;
-  case BinOp::Sru:
-    return shiftRL(A, B);
-  case BinOp::Slu:
-    return shiftL(A, B);
-  case BinOp::Srs:
-    return shiftRA(A, B);
-  case BinOp::Lts:
-    return SWord(A) < SWord(B) ? 1 : 0;
-  case BinOp::Ltu:
-    return A < B ? 1 : 0;
-  case BinOp::Eq:
-    return A == B ? 1 : 0;
-  }
-  assert(false && "unreachable: exhaustive BinOp switch");
-  return 0;
-}
-
 ExprPtr Expr::literal(Word V) {
   auto E = std::make_shared<Expr>();
   E->K = Kind::Literal;

@@ -56,8 +56,43 @@ const char *binOpName(BinOp Op);
 
 /// Evaluates \p Op on concrete words. Division by zero follows the RISC-V
 /// convention (the source semantics leave it unspecified; the compiler may
-/// assume RISC-V's choice — paper footnote 3).
-Word evalBinOp(BinOp Op, Word A, Word B);
+/// assume RISC-V's choice — paper footnote 3). Defined inline: this is the
+/// single hottest operation of both checking-interpreter engines.
+constexpr Word evalBinOp(BinOp Op, Word A, Word B) {
+  switch (Op) {
+  case BinOp::Add:
+    return A + B;
+  case BinOp::Sub:
+    return A - B;
+  case BinOp::Mul:
+    return A * B;
+  case BinOp::MulHuu:
+    return support::mulhuu(A, B);
+  case BinOp::Divu:
+    return support::divu(A, B);
+  case BinOp::Remu:
+    return support::remu(A, B);
+  case BinOp::And:
+    return A & B;
+  case BinOp::Or:
+    return A | B;
+  case BinOp::Xor:
+    return A ^ B;
+  case BinOp::Sru:
+    return support::shiftRL(A, B);
+  case BinOp::Slu:
+    return support::shiftL(A, B);
+  case BinOp::Srs:
+    return support::shiftRA(A, B);
+  case BinOp::Lts:
+    return SWord(A) < SWord(B) ? 1 : 0;
+  case BinOp::Ltu:
+    return A < B ? 1 : 0;
+  case BinOp::Eq:
+    return A == B ? 1 : 0;
+  }
+  return 0;
+}
 
 struct Expr;
 using ExprPtr = std::shared_ptr<const Expr>;

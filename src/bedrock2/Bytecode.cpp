@@ -1,0 +1,1782 @@
+//===- bedrock2/Bytecode.cpp - Compiled checking interpreter -----------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Keep this file in lockstep with the reference walker in Semantics.cpp:
+// every check, every evaluation order, every fault Detail string, and the
+// fuel accounting must match bit for bit. ExecMode::Differential and the
+// BytecodeDiff tests enforce the equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock2/Bytecode.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace b2;
+using namespace b2::bedrock2;
+using namespace b2::support;
+
+// Token-threaded dispatch (GNU labels-as-values) when available; define
+// B2_BC_NO_THREADED_DISPATCH to force the portable switch loop (useful
+// for differential-benchmarking the dispatch strategy itself).
+#if defined(__GNUC__) && !defined(B2_BC_NO_THREADED_DISPATCH)
+#define B2_BC_THREADED 1
+#else
+#define B2_BC_THREADED 0
+#endif
+
+#if defined(__GNUC__)
+#define B2_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#define B2_LIKELY(X) __builtin_expect(!!(X), 1)
+#else
+#define B2_UNLIKELY(X) (X)
+#define B2_LIKELY(X) (X)
+#endif
+
+// Dev tooling: -DB2_BC_PROFILE_OPS dumps a dynamic opcode histogram at
+// process exit — the data that decides which superinstructions are worth
+// adding. Off in normal builds (the counter write would pollute timings).
+#if defined(B2_BC_PROFILE_OPS)
+#include <cstdio>
+namespace {
+uint64_t OpCount[128];
+struct OpCountDumper {
+  ~OpCountDumper() {
+    static const char *const Names[] = {
+#define B2_BC_OP_NAME(N) #N,
+        B2_BC_OP_LIST(B2_BC_OP_NAME)
+#undef B2_BC_OP_NAME
+    };
+    for (size_t I = 0; I != sizeof(Names) / sizeof(Names[0]); ++I)
+      if (OpCount[I])
+        std::fprintf(stderr, "%-16s %12llu\n", Names[I],
+                     (unsigned long long)OpCount[I]);
+  }
+} OpCountAtExit;
+} // namespace
+uint64_t DigramCount[128][128];
+struct DigramDumper {
+  ~DigramDumper() {
+    static const char *const Names[] = {
+#define B2_BC_OP_NAME(N) #N,
+        B2_BC_OP_LIST(B2_BC_OP_NAME)
+#undef B2_BC_OP_NAME
+    };
+    const size_t N = sizeof(Names) / sizeof(Names[0]);
+    for (size_t A = 0; A != N; ++A)
+      for (size_t B = 0; B != N; ++B)
+        if (DigramCount[A][B] > 100000)
+          std::fprintf(stderr, "PAIR %-16s %-16s %12llu\n", Names[A],
+                       Names[B], (unsigned long long)DigramCount[A][B]);
+  }
+} DigramAtExit;
+#define B2_COUNT_OP                                                          \
+  do {                                                                       \
+    ++OpCount[size_t(I->K)];                                                 \
+    ++DigramCount[PrevOp][size_t(I->K)];                                     \
+    PrevOp = size_t(I->K);                                                   \
+  } while (0)
+#define B2_PREV_DECL size_t PrevOp = 127;
+#else
+#define B2_PREV_DECL
+#define B2_COUNT_OP ((void)0)
+#endif
+
+// -- Compilation ---------------------------------------------------------------
+
+class BytecodeProgram::Compiler {
+public:
+  Compiler(BytecodeProgram &BP, const Program &P) : BP(BP), P(P) {}
+
+  void compileAll() {
+    // Index every function first so call sites resolve regardless of
+    // definition order (Bedrock2 programs are one compilation unit).
+    for (const auto &[Name, Fn] : P.Functions) {
+      (void)Fn;
+      BP.Index.emplace(Name, uint32_t(BP.Funcs.size()));
+      BP.Funcs.emplace_back();
+      BP.Funcs.back().Name = Name;
+    }
+    for (const auto &[Name, Fn] : P.Functions)
+      compileFunction(BP.Funcs[BP.Index.at(Name)], Fn);
+  }
+
+private:
+  BytecodeProgram &BP;
+  const Program &P;
+
+  BcFunction *F = nullptr;
+  std::map<std::string, uint16_t> SlotOf;
+  uint32_t NumMeasures = 0;
+  int CurDepth = 0; ///< Operand-stack depth at the current emit point.
+  int MaxDepth = 0;
+
+  /// Net operand-stack effect of \p I. The structured control flow makes
+  /// the depth at every program point path-independent, so tracking it
+  /// linearly during emission yields the exact per-frame maximum. Ops
+  /// whose effect depends on a site table (calls, interactions) return 0
+  /// here and are adjusted at their emit site.
+  static int stackDelta(const bc::Insn &I) {
+    switch (I.K) {
+    case bc::Op::PushLit:
+    case bc::Op::PushVar:
+    case bc::Op::CollectRet:
+      return 1;
+    case bc::Op::Binop:
+    case bc::Op::SetVar:
+    case bc::Op::JumpIfZero:
+    case bc::Op::CheckInv:
+    case bc::Op::MeasCheck:
+    case bc::Op::CheckPre:
+    case bc::Op::CheckPost:
+      return -1;
+    case bc::Op::StoreMem:
+      return -2;
+    default:
+      return 0;
+    }
+  }
+
+  uint32_t intern(const std::string &S) {
+    auto It = StrIdx.find(S);
+    if (It != StrIdx.end())
+      return It->second;
+    uint32_t I = uint32_t(BP.Strings.size());
+    BP.Strings.push_back(S);
+    StrIdx.emplace(S, I);
+    return I;
+  }
+  std::map<std::string, uint32_t> StrIdx;
+
+  uint16_t slot(const std::string &Name) {
+    auto It = SlotOf.find(Name);
+    if (It != SlotOf.end())
+      return It->second;
+    assert(SlotOf.size() < 0xFFFF && "too many locals in one function");
+    uint16_t S = uint16_t(SlotOf.size());
+    SlotOf.emplace(Name, S);
+    return S;
+  }
+
+  size_t emit(bc::Insn I) {
+    F->Code.push_back(I);
+    CurDepth += stackDelta(I);
+    MaxDepth = std::max(MaxDepth, CurDepth);
+    return F->Code.size() - 1;
+  }
+  void patchJump(size_t At) { F->Code[At].Arg = uint32_t(F->Code.size()); }
+  uint32_t here() const { return uint32_t(F->Code.size()); }
+
+  void compileFunction(BcFunction &BF, const Function &Fn) {
+    F = &BF;
+    SlotOf.clear();
+    NumMeasures = 0;
+    CurDepth = 0;
+    MaxDepth = 0;
+    for (const std::string &Param : Fn.Params)
+      slot(Param); // Params occupy slots 0..N-1 in declaration order.
+    BF.NumParams = uint32_t(Fn.Params.size());
+    BF.NumRets = uint32_t(Fn.Rets.size());
+    // Mirrors Interp::execCall: precondition, body, return collection,
+    // postcondition (over final parameter values and results).
+    if (Fn.Pre) {
+      compileExpr(*Fn.Pre);
+      emit({bc::Op::CheckPre, 0, 0, 0,
+            intern("requires clause of '" + Fn.Name + "'"), 0});
+    }
+    compileStmt(*Fn.Body);
+    for (const std::string &R : Fn.Rets)
+      emit({bc::Op::CollectRet, 0, slot(R), 0,
+            intern("return variable '" + R + "' of '" + Fn.Name + "'"), 0});
+    if (Fn.Post) {
+      compileExpr(*Fn.Post);
+      emit({bc::Op::CheckPost, 0, 0, 0,
+            intern("ensures clause of '" + Fn.Name + "'"), 0});
+    }
+    emit({bc::Op::Return, 0, 0, 0, 0, 0});
+    BF.NumSlots = uint32_t(SlotOf.size());
+    BF.NumMeasures = NumMeasures;
+    // Code after a StaticFault never runs but is still tracked linearly,
+    // so MaxDepth can over-estimate there; that only costs slack capacity.
+    BF.MaxStack = uint32_t(MaxDepth);
+    fuse(BF);
+  }
+
+  /// True when \p I transfers control to \p I.Arg (so Arg is a code
+  /// index that target-marking and remapping must honor).
+  static bool isJumpy(const bc::Insn &I) {
+    switch (I.K) {
+    case bc::Op::Jump:
+    case bc::Op::JumpIfZero:
+    case bc::Op::StepLoopJump:
+    case bc::Op::StepIncLoopJump:
+    case bc::Op::BrVZStepN:
+    case bc::Op::StepNBrVZ:
+    case bc::Op::BrVZ:
+    case bc::Op::BrVVZ:
+    case bc::Op::BrVIZ:
+    case bc::Op::BrSIZ:
+    case bc::Op::BrSVZ:
+    case bc::Op::BrSSZ:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  using FuseFn = size_t (*)(const std::vector<bc::Insn> &,
+                            const std::vector<uint8_t> &, size_t,
+                            std::vector<bc::Insn> &);
+
+  /// One peephole rewrite over \p BF: \p Fn emits the (possibly fused)
+  /// replacement for each source position and says how many instructions
+  /// it consumed; jump arguments are remapped afterwards. \p Fn only
+  /// fuses when no interior instruction of the pattern is a jump target
+  /// (targets always land on statement or loop-head boundaries, so in
+  /// practice every pattern is eligible).
+  static void rewrite(BcFunction &BF, FuseFn Fn) {
+    const std::vector<bc::Insn> Old = std::move(BF.Code);
+    std::vector<uint8_t> IsTarget(Old.size() + 1, 0);
+    for (const bc::Insn &I : Old)
+      if (isJumpy(I))
+        IsTarget[I.Arg] = 1;
+    std::vector<bc::Insn> New;
+    New.reserve(Old.size());
+    std::vector<uint32_t> Map(Old.size() + 1, ~uint32_t(0));
+    size_t Pc = 0;
+    while (Pc < Old.size()) {
+      Map[Pc] = uint32_t(New.size());
+      Pc += Fn(Old, IsTarget, Pc, New);
+    }
+    Map[Old.size()] = uint32_t(New.size());
+    for (bc::Insn &I : New)
+      if (isJumpy(I)) {
+        assert(Map[I.Arg] != ~uint32_t(0) && "jump into a fused pattern");
+        I.Arg = Map[I.Arg];
+      }
+    BF.Code = std::move(New);
+  }
+
+  /// Peephole passes, each over the previous one's output: the
+  /// expression/assignment superinstructions, then the expression combos
+  /// they expose, then fuel-charge and branch fusion, then charge-run
+  /// and loop-latch collapsing, then constant-assignment pairing, and
+  /// finally in-place loop-head inlining (each pass's patterns only
+  /// exist after the one before). Fusion never increases operand-stack
+  /// depth, so MaxStack stays a valid bound.
+  static void fuse(BcFunction &BF) {
+    rewrite(BF, fuseAt);
+    rewrite(BF, fuseAtExpr);
+    rewrite(BF, fuseAt2);
+    rewrite(BF, fuseAt3);
+    rewrite(BF, fuseAt4);
+    fuseLoopHeads(BF);
+  }
+
+  /// Final pass: inline the loop-head test into each backedge. When a
+  /// StepIncLoopJump's target is a BrVZStepN over the same slot (the
+  /// canonical "while (i) { ...; i = i op k }") and the head's exit is
+  /// the latch's own fall-through — which is how compileStmt lays loops
+  /// out — the latch can run the test itself and skip the bounce through
+  /// the head: jump straight to the body on nonzero (charging the body's
+  /// run), fall through to the exit on zero. The counter was just
+  /// written, so the head's unbound check cannot fire. The head insn
+  /// stays in place for the loop-entry path. This is a pure 1:1
+  /// substitution — no instruction moves — so the packed Arg
+  /// (charges << 24 | body target) needs no remapping, which is also why
+  /// this cannot be a rewrite() pass.
+  static void fuseLoopHeads(BcFunction &BF) {
+    std::vector<bc::Insn> &C = BF.Code;
+    for (size_t P = 0; P + 1 < C.size(); ++P) {
+      bc::Insn &L = C[P];
+      if (L.K != bc::Op::StepIncLoopJump)
+        continue;
+      const bc::Insn &H = C[L.Arg];
+      if (H.K != bc::Op::BrVZStepN || H.A != L.A || H.Arg != P + 1 ||
+          H.Imm > 0xFF || L.Arg + 1 > 0xFFFFFF)
+        continue;
+      L.K = bc::Op::IncLoopBrNZ;
+      L.Arg = uint32_t(H.Imm << 24 | (L.Arg + 1));
+    }
+  }
+
+  /// Emits the (possibly fused) replacement for the sequence starting at
+  /// \p Pc into \p New; returns how many source instructions it consumed.
+  /// Longest match wins. Every fused form preserves the source order of
+  /// unbound-variable, alignment, and footprint checks, and the
+  /// division-by-zero count.
+  static size_t fuseAt(const std::vector<bc::Insn> &Old,
+                       const std::vector<uint8_t> &IsTarget, size_t Pc,
+                       std::vector<bc::Insn> &New) {
+    using bc::Op;
+    const bc::Insn &A = Old[Pc];
+    // Old[Pc+K] may join a pattern only if it exists and no jump lands on
+    // it.
+    auto Free = [&](size_t K) {
+      return Pc + K < Old.size() && !IsTarget[Pc + K];
+    };
+    const bc::Insn *B = Free(1) ? &Old[Pc + 1] : nullptr;
+    const bc::Insn *C = Free(2) ? &Old[Pc + 2] : nullptr;
+    const bc::Insn *D = Free(3) ? &Old[Pc + 3] : nullptr;
+
+    if (A.K == Op::PushVar) {
+      if (B && B->K == Op::PushVar && C && C->K == Op::Binop) {
+        if (D && D->K == Op::SetVar) {
+          New.push_back({Op::BinopVVS, C->U8, A.A,
+                         uint32_t(D->A) << 16 | B->A, A.Str, B->Str});
+          return 4;
+        }
+        New.push_back({Op::BinopVV, C->U8, A.A, B->A, A.Str, B->Str});
+        return 3;
+      }
+      if (B && B->K == Op::PushLit && C && C->K == Op::Binop) {
+        if (D && D->K == Op::SetVar) {
+          New.push_back({Op::BinopVIS, C->U8, A.A, D->A, A.Str, B->Imm});
+          return 4;
+        }
+        New.push_back({Op::BinopVI, C->U8, A.A, 0, A.Str, B->Imm});
+        return 3;
+      }
+      if (B && B->K == Op::PushVar && C && C->K == Op::StoreMem) {
+        New.push_back({Op::StoreVV, C->U8, A.A, B->A, A.Str, B->Str});
+        return 3;
+      }
+      if (B && B->K == Op::PushLit && C && C->K == Op::StoreMem) {
+        New.push_back({Op::StoreVI, C->U8, A.A, 0, A.Str, B->Imm});
+        return 3;
+      }
+      if (B && B->K == Op::LoadMem) {
+        if (C && C->K == Op::SetVar) {
+          New.push_back({Op::LoadVS, B->U8, A.A, C->A, A.Str, 0});
+          return 3;
+        }
+        New.push_back({Op::LoadV, B->U8, A.A, 0, A.Str, 0});
+        return 2;
+      }
+      if (B && B->K == Op::Binop) { // lhs already on the stack
+        if (C && C->K == Op::SetVar) {
+          New.push_back({Op::BinopSVS, B->U8, A.A, C->A, A.Str, 0});
+          return 3;
+        }
+        New.push_back({Op::BinopSV, B->U8, A.A, 0, A.Str, 0});
+        return 2;
+      }
+      if (B && B->K == Op::SetVar) {
+        New.push_back({Op::MoveVar, 0, A.A, B->A, A.Str, 0});
+        return 2;
+      }
+    } else if (A.K == Op::PushLit) {
+      if (B && B->K == Op::Binop) {
+        if (C && C->K == Op::SetVar) {
+          New.push_back({Op::BinopSIS, B->U8, C->A, 0, 0, A.Imm});
+          return 3;
+        }
+        New.push_back({Op::BinopSI, B->U8, 0, 0, 0, A.Imm});
+        return 2;
+      }
+      if (B && B->K == Op::SetVar) {
+        New.push_back({Op::SetLit, 0, B->A, 0, 0, A.Imm});
+        return 2;
+      }
+    } else if (A.K == Op::Binop && B && B->K == Op::SetVar) {
+      New.push_back({Op::BinopSS, A.U8, B->A, 0, 0, 0});
+      return 2;
+    } else if (A.K == Op::LoadMem && B && B->K == Op::SetVar) {
+      New.push_back({Op::LoadS, A.U8, B->A, 0, 0, 0});
+      return 2;
+    }
+    New.push_back(A);
+    return 1;
+  }
+
+  /// Second pass: expression combos over the first pass's output. The
+  /// patterns come from dynamic digram profiling (B2_BC_PROFILE_OPS) of
+  /// the random-program corpus; each packs two BinOp/size nibbles into
+  /// U8 (BinOp tops out at 14 and access sizes at 4, so both always
+  /// fit) and preserves the source evaluation order of every check and
+  /// division-by-zero count.
+  static size_t fuseAtExpr(const std::vector<bc::Insn> &Old,
+                           const std::vector<uint8_t> &IsTarget, size_t Pc,
+                           std::vector<bc::Insn> &New) {
+    using bc::Op;
+    const bc::Insn &A = Old[Pc];
+    const bc::Insn *B =
+        (Pc + 1 < Old.size() && !IsTarget[Pc + 1]) ? &Old[Pc + 1] : nullptr;
+    if (B) {
+      if (A.K == Op::BinopSI && B->K == Op::Binop) {
+        New.push_back(
+            {Op::FoldSI, uint8_t(A.U8 | B->U8 << 4), 0, 0, 0, A.Imm});
+        return 2;
+      }
+      if (A.K == Op::BinopVV && B->K == Op::Binop) {
+        New.push_back(
+            {Op::FoldVV, uint8_t(A.U8 | B->U8 << 4), A.A, A.Arg, A.Str,
+             A.Imm});
+        return 2;
+      }
+      if (A.K == Op::BinopVI && B->K == Op::Binop) {
+        New.push_back(
+            {Op::FoldVI, uint8_t(A.U8 | B->U8 << 4), A.A, 0, A.Str,
+             A.Imm});
+        return 2;
+      }
+      if (A.K == Op::BinopVI && B->K == Op::LoadMem) {
+        New.push_back(
+            {Op::BinopVILoad, uint8_t(A.U8 | B->U8 << 4), A.A, 0, A.Str,
+             A.Imm});
+        return 2;
+      }
+      if (A.K == Op::Binop && B->K == Op::LoadMem) {
+        New.push_back(
+            {Op::BinopLoad, uint8_t(A.U8 | B->U8 << 4), 0, 0, 0, 0});
+        return 2;
+      }
+      if (A.K == Op::PushVar && B->K == Op::PushLit) {
+        New.push_back({Op::Push2VL, 0, A.A, 0, A.Str, B->Imm});
+        return 2;
+      }
+    }
+    New.push_back(A);
+    return 1;
+  }
+
+  /// Third peephole pass, over the output of the second. Two families:
+  ///
+  ///  * StepStmt + X  ->  StepX, and StepLoop + Jump -> StepLoopJump:
+  ///    the per-statement (or per-iteration) fuel charge is absorbed
+  ///    into the following instruction. The charge still happens before
+  ///    anything else that instruction does, with the identical fault
+  ///    detail, so fuel exhaustion is observed at exactly the same
+  ///    point with the same StepsUsed.
+  ///
+  ///  * X + JumpIfZero  ->  BrXZ for the value-producing ops that end
+  ///    loop conditions and if tests: the condition result feeds the
+  ///    branch directly instead of bouncing through the operand stack.
+  ///    BrVVZ needs four operand fields, so the rhs slot and its
+  ///    unbound-detail string share Imm; it is only produced when both
+  ///    fit in 16 bits (they always do in practice — slots are 16-bit
+  ///    by construction and string interning starts from zero).
+  static size_t fuseAt2(const std::vector<bc::Insn> &Old,
+                        const std::vector<uint8_t> &IsTarget, size_t Pc,
+                        std::vector<bc::Insn> &New) {
+    using bc::Op;
+    const bc::Insn &A = Old[Pc];
+    const bc::Insn *B =
+        (Pc + 1 < Old.size() && !IsTarget[Pc + 1]) ? &Old[Pc + 1] : nullptr;
+    if (B && A.K == Op::StepStmt) {
+      Op Stepped = Op::StepStmt;
+      switch (B->K) {
+      case Op::PushLit:    Stepped = Op::StepPushLit; break;
+      case Op::PushVar:    Stepped = Op::StepPushVar; break;
+      case Op::SetLit:     Stepped = Op::StepSetLit; break;
+      case Op::MoveVar:    Stepped = Op::StepMoveVar; break;
+      case Op::BinopVV:    Stepped = Op::StepBinopVV; break;
+      case Op::BinopVVS:   Stepped = Op::StepBinopVVS; break;
+      case Op::BinopVI:    Stepped = Op::StepBinopVI; break;
+      case Op::BinopVIS:   Stepped = Op::StepBinopVIS; break;
+      case Op::LoadV:      Stepped = Op::StepLoadV; break;
+      case Op::LoadVS:     Stepped = Op::StepLoadVS; break;
+      case Op::StoreVV:    Stepped = Op::StepStoreVV; break;
+      case Op::StoreVI:    Stepped = Op::StepStoreVI; break;
+      case Op::EnterAlloc: Stepped = Op::StepEnterAlloc; break;
+      case Op::CallBind:   Stepped = Op::StepCallBind; break;
+      case Op::Push2VL:    Stepped = Op::StepPush2VL; break;
+      default: break;
+      }
+      if (Stepped != Op::StepStmt) {
+        bc::Insn Fused = *B;
+        Fused.K = Stepped;
+        New.push_back(Fused);
+        return 2;
+      }
+    }
+    if (B && A.K == Op::StepLoop && B->K == Op::Jump) {
+      New.push_back({Op::StepLoopJump, 0, 0, B->Arg, 0, 0});
+      return 2;
+    }
+    if (B && B->K == Op::JumpIfZero) {
+      switch (A.K) {
+      case Op::PushVar:
+        New.push_back({Op::BrVZ, 0, A.A, B->Arg, A.Str, 0});
+        return 2;
+      case Op::BinopVV:
+        if (A.Imm <= 0xFFFF && A.Arg <= 0xFFFF) {
+          New.push_back(
+              {Op::BrVVZ, A.U8, A.A, B->Arg, A.Str, A.Imm << 16 | A.Arg});
+          return 2;
+        }
+        break;
+      case Op::BinopVI:
+        New.push_back({Op::BrVIZ, A.U8, A.A, B->Arg, A.Str, A.Imm});
+        return 2;
+      case Op::BinopSI:
+        New.push_back({Op::BrSIZ, A.U8, 0, B->Arg, 0, A.Imm});
+        return 2;
+      case Op::BinopSV:
+        New.push_back({Op::BrSVZ, A.U8, A.A, B->Arg, A.Str, 0});
+        return 2;
+      case Op::Binop:
+        New.push_back({Op::BrSSZ, A.U8, 0, B->Arg, 0, 0});
+        return 2;
+      default:
+        break;
+      }
+    }
+    New.push_back(A);
+    return 1;
+  }
+
+  /// True for the Step<X> ops whose U8 high nibble is free to carry a
+  /// preceding charge-run count (all of them — see Bytecode.h).
+  static bool isStepTarget(bc::Op K) {
+    switch (K) {
+    case bc::Op::StepPushLit:
+    case bc::Op::StepPushVar:
+    case bc::Op::StepSetLit:
+    case bc::Op::StepMoveVar:
+    case bc::Op::StepBinopVV:
+    case bc::Op::StepBinopVVS:
+    case bc::Op::StepBinopVI:
+    case bc::Op::StepBinopVIS:
+    case bc::Op::StepLoadV:
+    case bc::Op::StepLoadVS:
+    case bc::Op::StepStoreVV:
+    case bc::Op::StepStoreVI:
+    case bc::Op::StepEnterAlloc:
+    case bc::Op::StepCallBind:
+    case bc::Op::StepPush2VL:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Fourth peephole pass, collapsing patterns that only exist in the
+  /// third pass's output. The recurring theme is runs of consecutive
+  /// StepStmt charges: nested Seq nodes each charge on entry, and
+  /// fuel-charge fusion has already pulled every charge it can into its
+  /// statement's first real op, so what remains before each statement is
+  /// a pure charge run. Charging a run of m at once is exact: the walker
+  /// stops charging exactly when the budget hits the limit (identical
+  /// StepsUsed) and every charge in the run shares the one detail
+  /// string. A run is absorbed, in order of preference, into
+  ///
+  ///  * a following Step<X> (count in U8's high nibble, so m <= 15),
+  ///    including the StepBinopVIS + StepLoopJump loop-latch pair, which
+  ///    becomes StepIncLoopJump;
+  ///  * a following BrVZ — an if test after its enclosing Seq charges —
+  ///    as StepNBrVZ (count in Imm);
+  ///  * a bare StepN when nothing fusable follows and m >= 2.
+  ///
+  /// Independently, a BrVZ falling through into a charge run (a loop
+  /// head or if test entering its body) becomes BrVZStepN: branch on
+  /// zero with no charge, else charge the run.
+  static size_t fuseAt3(const std::vector<bc::Insn> &Old,
+                        const std::vector<uint8_t> &IsTarget, size_t Pc,
+                        std::vector<bc::Insn> &New) {
+    using bc::Op;
+    const bc::Insn &A = Old[Pc];
+    auto Free = [&](size_t K) {
+      return Pc + K < Old.size() && !IsTarget[Pc + K];
+    };
+    // The "i = i op k" latch: StepBinopVIS whose destination is its own
+    // lhs slot, followed by the backedge.
+    auto IsLatch = [&](size_t At) {
+      return Old[At].K == Op::StepBinopVIS &&
+             uint16_t(Old[At].Arg) == Old[At].A && At + 1 < Old.size() &&
+             !IsTarget[At + 1] && Old[At + 1].K == Op::StepLoopJump;
+    };
+    if (A.K == Op::BrVZ) {
+      size_t M = 0;
+      while (M < 0xFFFF && Free(1 + M) && Old[Pc + 1 + M].K == Op::StepStmt)
+        ++M;
+      if (M >= 1) {
+        New.push_back({Op::BrVZStepN, 0, A.A, A.Arg, A.Str, Word(M)});
+        return 1 + M;
+      }
+    }
+    if (A.K == Op::StepStmt) {
+      size_t M = 1;
+      while (M < 0xFFFF && Free(M) && Old[Pc + M].K == Op::StepStmt)
+        ++M;
+      if (M < 0xFFFF && Free(M)) {
+        const bc::Insn &T = Old[Pc + M];
+        if (T.K == Op::BrVZ) {
+          New.push_back({Op::StepNBrVZ, 0, T.A, T.Arg, T.Str, Word(M)});
+          return M + 1;
+        }
+        if (M <= 15) {
+          if (IsLatch(Pc + M)) {
+            New.push_back({Op::StepIncLoopJump, uint8_t(T.U8 | M << 4),
+                           T.A, Old[Pc + M + 1].Arg, T.Str, T.Imm});
+            return M + 2;
+          }
+          if (isStepTarget(T.K)) {
+            bc::Insn F = T;
+            F.U8 = uint8_t(F.U8 | M << 4);
+            New.push_back(F);
+            return M + 1;
+          }
+        }
+      }
+      if (M >= 2) {
+        New.push_back({Op::StepN, 0, uint16_t(M), 0, 0, 0});
+        return M;
+      }
+    }
+    if (IsLatch(Pc)) {
+      New.push_back(
+          {Op::StepIncLoopJump, A.U8, A.A, Old[Pc + 1].Arg, A.Str, A.Imm});
+      return 2;
+    }
+    New.push_back(A);
+    return 1;
+  }
+
+  /// Fifth pass: consecutive constant assignments — whose charge counts
+  /// the fourth pass already folded into U8's high nibble — collapse
+  /// into one StepSet2Lit. The second literal rides in Str (SetLit has
+  /// no fault detail) and the second charge count in Arg's high half.
+  static size_t fuseAt4(const std::vector<bc::Insn> &Old,
+                        const std::vector<uint8_t> &IsTarget, size_t Pc,
+                        std::vector<bc::Insn> &New) {
+    using bc::Op;
+    const bc::Insn &A = Old[Pc];
+    if (A.K == Op::StepSetLit && Pc + 1 < Old.size() && !IsTarget[Pc + 1] &&
+        Old[Pc + 1].K == Op::StepSetLit) {
+      const bc::Insn &B = Old[Pc + 1];
+      New.push_back({Op::StepSet2Lit, A.U8, A.A,
+                     uint32_t(B.U8 >> 4) << 16 | B.A, B.Imm, A.Imm});
+      return 2;
+    }
+    New.push_back(A);
+    return 1;
+  }
+
+  /// Evaluates \p E at compile time when it is built purely from
+  /// literals, so runtime evaluation could not observably differ: literal
+  /// subtrees cannot fault and consume no fuel. The one observable effect
+  /// they can have is the division-by-zero count, so a Divu/Remu whose
+  /// rhs folds to zero blocks folding of its whole enclosing tree.
+  static bool foldConst(const Expr &E, Word &V) {
+    switch (E.K) {
+    case Expr::Kind::Literal:
+      V = E.Lit;
+      return true;
+    case Expr::Kind::Op: {
+      Word A, B;
+      if (!foldConst(*E.A, A) || !foldConst(*E.B, B))
+        return false;
+      if ((E.Op == BinOp::Divu || E.Op == BinOp::Remu) && B == 0)
+        return false;
+      V = evalBinOp(E.Op, A, B);
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+
+  void compileExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::Literal:
+      emit({bc::Op::PushLit, 0, 0, 0, 0, E.Lit});
+      return;
+    case Expr::Kind::Var:
+      emit({bc::Op::PushVar, 0, slot(E.Name), 0,
+            intern("variable '" + E.Name + "'"), 0});
+      return;
+    case Expr::Kind::Load:
+      compileExpr(*E.A);
+      emit({bc::Op::LoadMem, uint8_t(E.Size), 0, 0, 0, 0});
+      return;
+    case Expr::Kind::Op: {
+      Word V;
+      if (foldConst(E, V)) {
+        emit({bc::Op::PushLit, 0, 0, 0, 0, V});
+        return;
+      }
+      compileExpr(*E.A);
+      compileExpr(*E.B);
+      emit({bc::Op::Binop, uint8_t(E.Op), 0, 0, 0, 0});
+      return;
+    }
+    }
+    assert(false && "unreachable: exhaustive expression kinds");
+  }
+
+  void emitStaticFault(Fault Kind, const std::string &Detail) {
+    emit({bc::Op::StaticFault, uint8_t(Kind), 0, 0, intern(Detail), 0});
+  }
+
+  void compileStmt(const Stmt &S) {
+    // Every statement node consumes one fuel step on entry, exactly as
+    // the top of Interp::execStmt does.
+    emit({bc::Op::StepStmt, 0, 0, 0, intern("statement budget exhausted"),
+          0});
+    switch (S.K) {
+    case Stmt::Kind::Skip:
+      return;
+    case Stmt::Kind::Set:
+      compileExpr(*S.Value);
+      emit({bc::Op::SetVar, 0, slot(S.Var), 0, 0, 0});
+      return;
+    case Stmt::Kind::Store:
+      compileExpr(*S.Addr);
+      compileExpr(*S.Value);
+      emit({bc::Op::StoreMem, uint8_t(S.Size), 0, 0, 0, 0});
+      return;
+    case Stmt::Kind::If: {
+      compileExpr(*S.Cond);
+      size_t ToElse = emit({bc::Op::JumpIfZero, 0, 0, 0, 0, 0});
+      compileStmt(*S.S1);
+      size_t ToEnd = emit({bc::Op::Jump, 0, 0, 0, 0, 0});
+      patchJump(ToElse);
+      compileStmt(*S.S2);
+      patchJump(ToEnd);
+      return;
+    }
+    case Stmt::Kind::While: {
+      // Per iteration: invariant, condition, measure, body, then the
+      // walker's extra per-iteration fuel charge.
+      uint16_t Meas = 0;
+      if (S.Measure) {
+        Meas = uint16_t(NumMeasures++);
+        emit({bc::Op::MeasReset, 0, Meas, 0, 0, 0});
+      }
+      uint32_t Head = here();
+      if (S.Invariant) {
+        compileExpr(*S.Invariant);
+        emit({bc::Op::CheckInv, 0, 0, 0, intern("loop invariant"), 0});
+      }
+      compileExpr(*S.Cond);
+      size_t ToExit = emit({bc::Op::JumpIfZero, 0, 0, 0, 0, 0});
+      if (S.Measure) {
+        compileExpr(*S.Measure);
+        emit({bc::Op::MeasCheck, 0, Meas, 0, 0, 0});
+      }
+      compileStmt(*S.S1);
+      emit({bc::Op::StepLoop, 0, 0, 0, intern("loop budget exhausted"), 0});
+      emit({bc::Op::Jump, 0, 0, Head, 0, 0});
+      patchJump(ToExit);
+      return;
+    }
+    case Stmt::Kind::Seq:
+      compileStmt(*S.S1);
+      compileStmt(*S.S2);
+      return;
+    case Stmt::Kind::Call: {
+      // Arguments evaluate before any callee checking (so an argument
+      // fault wins over an unknown-callee fault), like execStmt.
+      for (const ExprPtr &A : S.Args)
+        compileExpr(*A);
+      const Function *Callee = P.find(S.Callee);
+      if (!Callee) {
+        emitStaticFault(Fault::UnknownFunction,
+                        "function '" + S.Callee + "'");
+        return;
+      }
+      if (Callee->Params.size() != S.Args.size()) {
+        emitStaticFault(Fault::ArityMismatch,
+                        "call to '" + S.Callee + "' with " +
+                            std::to_string(S.Args.size()) +
+                            " args, expected " +
+                            std::to_string(Callee->Params.size()));
+        return;
+      }
+      uint32_t FnIdx = BP.Index.at(S.Callee);
+      if (Callee->Rets.size() != S.Dsts.size()) {
+        // The callee still runs to completion first — the walker only
+        // reports the result-binding mismatch after a successful call.
+        emit({bc::Op::CallDrop, 0, 0, FnIdx, 0, 0});
+        CurDepth -= int(S.Args.size());
+        emitStaticFault(Fault::ArityMismatch,
+                        "call to '" + S.Callee + "' binds " +
+                            std::to_string(S.Dsts.size()) +
+                            " results, returns " +
+                            std::to_string(Callee->Rets.size()));
+        return;
+      }
+      bc::CallSite Site;
+      Site.Fn = FnIdx;
+      Site.Dsts.reserve(S.Dsts.size());
+      for (const std::string &D : S.Dsts)
+        Site.Dsts.push_back(slot(D));
+      uint32_t SiteIdx = uint32_t(BP.Calls.size());
+      BP.Calls.push_back(std::move(Site));
+      emit({bc::Op::CallBind, 0, 0, SiteIdx, 0, 0});
+      CurDepth -= int(S.Args.size());
+      return;
+    }
+    case Stmt::Kind::Interact: {
+      for (const ExprPtr &A : S.Args)
+        compileExpr(*A);
+      bc::InteractSite Site;
+      Site.Action = S.Callee;
+      Site.NumArgs = uint32_t(S.Args.size());
+      for (const std::string &D : S.Dsts)
+        Site.Dsts.push_back(slot(D));
+      Site.BindDetail = intern("external '" + S.Callee + "' binds " +
+                               std::to_string(S.Dsts.size()) + " results");
+      uint32_t SiteIdx = uint32_t(BP.Interacts.size());
+      BP.Interacts.push_back(std::move(Site));
+      emit({bc::Op::InteractExt, 0, 0, SiteIdx, 0, 0});
+      CurDepth -= int(S.Args.size());
+      return;
+    }
+    case Stmt::Kind::Stackalloc: {
+      if (S.NBytes == 0 || S.NBytes % 4 != 0) {
+        emitStaticFault(Fault::StackallocMisuse,
+                        "size " + std::to_string(S.NBytes));
+        return;
+      }
+      uint32_t SiteIdx = uint32_t(BP.Allocs.size());
+      BP.Allocs.push_back({slot(S.Var), S.NBytes});
+      emit({bc::Op::EnterAlloc, 0, 0, SiteIdx, 0, 0});
+      compileStmt(*S.S1);
+      emit({bc::Op::LeaveAlloc, 0, 0, SiteIdx, 0, 0});
+      return;
+    }
+    }
+    assert(false && "unreachable: exhaustive statement kinds");
+  }
+};
+
+BytecodeProgram::BytecodeProgram(const Program &P) {
+  Compiler(*this, P).compileAll();
+}
+
+size_t BytecodeProgram::numInstructions() const {
+  size_t N = 0;
+  for (const BcFunction &F : Funcs)
+    N += F.Code.size();
+  return N;
+}
+
+// -- Execution ---------------------------------------------------------------
+
+struct BytecodeProgram::Exec {
+  const BytecodeProgram &BP;
+  ExtSpec &Ext;
+  Footprint &Mem;
+  uint64_t Fuel;
+  Word StackNext;
+  /// Arenas live in the caller-provided scratch so their capacity
+  /// survives across calls; only the tops below are per-call state.
+  ExecScratch &Sc;
+  ExecResult R = {};
+  /// Operand stack shared by all frames, raw-pointer discipline: a frame
+  /// reserves its whole window (MaxStack, known at compile time) once on
+  /// entry, then pushes and pops through a local Word* with no per-op
+  /// bookkeeping. Top is the live depth, synced only around recursion.
+  std::vector<Word> &Stack = Sc.Stack;
+  size_t Top = 0;
+  std::vector<Word> &Slots = Sc.Slots; ///< Frame-slot arena (explicit top).
+  std::vector<uint8_t> &Bound =
+      Sc.Bound; ///< Per-slot definedness (UnboundVariable).
+  size_t SlotTop = 0;
+  std::vector<Word> &MeasVal =
+      Sc.MeasVal; ///< Per-loop-activation previous measure.
+  std::vector<uint8_t> &MeasHave = Sc.MeasHave;
+  size_t MeasTop = 0;
+  /// Live stackalloc scopes of all frames; each frame unwinds down to its
+  /// entry size on both exit paths (ownership ends with the block even
+  /// when a fault sticks).
+  std::vector<std::pair<Word, Word>> &AllocScopes = Sc.AllocScopes;
+
+  bool fault(Fault F, std::string D) {
+    if (R.F == Fault::None) {
+      R.F = F;
+      R.Detail = std::move(D);
+    }
+    return false;
+  }
+
+  /// Runs one activation. Arguments sit at Stack[ArgBase..); on success
+  /// the results are left at Stack[ArgBase..) with Top = ArgBase+NumRets.
+  bool runFunction(uint32_t FnIdx, size_t ArgBase);
+};
+
+bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
+  const BcFunction &F = BP.Funcs[FnIdx];
+
+  // Frame setup: grow each arena at most once, so the hot loop can run on
+  // raw pointers. Only Bound/MeasHave need (re)zeroing — slot values are
+  // never read before their definedness bit is set.
+  const size_t NeedStack = ArgBase + F.NumParams + F.MaxStack;
+  if (Stack.size() < NeedStack)
+    Stack.resize(std::max(Stack.size() * 2, NeedStack));
+  const size_t SlotBase = SlotTop;
+  SlotTop += F.NumSlots;
+  if (Slots.size() < SlotTop) {
+    Slots.resize(std::max(Slots.size() * 2, SlotTop));
+    Bound.resize(Slots.size());
+  }
+  if (F.NumSlots)
+    std::memset(Bound.data() + SlotBase, 0, F.NumSlots);
+  for (uint32_t I = 0; I != F.NumParams; ++I) {
+    Slots[SlotBase + I] = Stack[ArgBase + I];
+    Bound[SlotBase + I] = 1;
+  }
+  const size_t MeasBase = MeasTop;
+  MeasTop += F.NumMeasures;
+  if (MeasVal.size() < MeasTop) {
+    MeasVal.resize(std::max(MeasVal.size() * 2, MeasTop));
+    MeasHave.resize(MeasVal.size());
+  }
+  if (F.NumMeasures)
+    std::memset(MeasHave.data() + MeasBase, 0, F.NumMeasures);
+  const size_t AllocBase = AllocScopes.size();
+
+  // Hot-loop registers. Sp points one past the operand-stack top (the
+  // frame reuses the argument window — params were just consumed into
+  // slots); Sl/Bd are this frame's slot windows; Steps shadows
+  // R.StepsUsed. All are re-derived after a recursive call, which may
+  // reallocate the arenas.
+  const bc::Insn *Code = F.Code.data();
+  const uint64_t FuelLim = Fuel;
+  Word *Sp = Stack.data() + ArgBase;
+  Word *Sl = Slots.data() + SlotBase;
+  uint8_t *Bd = Bound.data() + SlotBase;
+  uint64_t Steps = R.StepsUsed;
+  bool Ok = true;
+  uint32_t Pc = 0;
+  const bc::Insn *I;
+  B2_PREV_DECL
+
+  // Dispatch. On GNU-compatible compilers each handler ends by jumping
+  // through a label table indexed by the next opcode (token-threaded
+  // dispatch): the indirect branch is replicated per handler, so the
+  // branch predictor learns per-opcode successor patterns instead of
+  // sharing one mispredicting switch branch. The portable fallback is
+  // the same handlers inside a switch. Both variants share one handler
+  // body via these macros; Step* fuel-charge variants charge and then
+  // jump into the plain op's body.
+#define B2_FAULT(KIND, DETAIL)                                               \
+  do {                                                                       \
+    Ok = fault(Fault::KIND, DETAIL);                                         \
+    goto Exit;                                                               \
+  } while (0)
+#define B2_CHARGE(DETAIL)                                                    \
+  do {                                                                       \
+    if (B2_UNLIKELY(Steps >= FuelLim))                                       \
+      B2_FAULT(OutOfFuel, DETAIL);                                           \
+    ++Steps;                                                                 \
+  } while (0)
+// Step<X> statement charge: 1 plus the preceding-run count in U8's high
+// nibble. Pinning Steps to the limit on exhaustion matches the walker,
+// which charges one at a time and stops exactly at the limit.
+#define B2_STEP_CHARGE                                                       \
+  do {                                                                       \
+    const uint64_t NCh = 1 + uint64_t(I->U8 >> 4);                           \
+    if (B2_UNLIKELY(Steps + NCh > FuelLim)) {                                \
+      Steps = FuelLim;                                                       \
+      B2_FAULT(OutOfFuel, "statement budget exhausted");                     \
+    }                                                                        \
+    Steps += NCh;                                                            \
+  } while (0)
+#if B2_BC_THREADED
+#define B2_BC_LABEL(N) &&Op_##N,
+  static const void *const JT[] = {B2_BC_OP_LIST(B2_BC_LABEL)};
+#undef B2_BC_LABEL
+#define B2_OP(N) Op_##N:
+#define B2_NEXT                                                              \
+  do {                                                                       \
+    I = &Code[Pc++];                                                         \
+    B2_COUNT_OP;                                                             \
+    goto *JT[size_t(I->K)];                                                  \
+  } while (0)
+  B2_NEXT;
+#else
+#define B2_OP(N) case bc::Op::N:
+#define B2_NEXT continue
+  for (;;) {
+    I = &Code[Pc++];
+    B2_COUNT_OP;
+    switch (I->K) {
+#endif
+
+  B2_OP(StepPushLit)
+    B2_STEP_CHARGE;
+    goto Body_PushLit;
+  B2_OP(PushLit)
+  Body_PushLit:
+    *Sp++ = I->Imm;
+    B2_NEXT;
+
+  B2_OP(StepPushVar)
+    B2_STEP_CHARGE;
+    goto Body_PushVar;
+  B2_OP(PushVar)
+  Body_PushVar:
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    *Sp++ = Sl[I->A];
+    B2_NEXT;
+
+  B2_OP(LoadMem) {
+    const Word Addr = Sp[-1];
+    if (B2_UNLIKELY(!isAligned(Addr, I->U8)))
+      B2_FAULT(MisalignedAccess,
+               "load" + std::to_string(I->U8) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, I->U8)))
+      B2_FAULT(LoadOutsideFootprint,
+               "load" + std::to_string(I->U8) + " at " + hex32(Addr));
+    Sp[-1] = Mem.readLe(Addr, I->U8);
+    B2_NEXT;
+  }
+
+  B2_OP(Binop) {
+    const Word BV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    Sp[-1] = evalBinOp(O, Sp[-1], BV);
+    B2_NEXT;
+  }
+
+  B2_OP(SetVar)
+    Sl[I->A] = *--Sp;
+    Bd[I->A] = 1;
+    B2_NEXT;
+
+  B2_OP(StoreMem) {
+    const Word V = *--Sp, Addr = *--Sp;
+    if (B2_UNLIKELY(!isAligned(Addr, I->U8)))
+      B2_FAULT(MisalignedAccess,
+               "store" + std::to_string(I->U8) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, I->U8)))
+      B2_FAULT(StoreOutsideFootprint,
+               "store" + std::to_string(I->U8) + " at " + hex32(Addr));
+    Mem.writeLe(Addr, I->U8, V);
+    B2_NEXT;
+  }
+
+  B2_OP(Jump)
+    Pc = I->Arg;
+    B2_NEXT;
+
+  B2_OP(JumpIfZero)
+    if (*--Sp == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+
+  B2_OP(StepStmt)
+  B2_OP(StepLoop)
+    B2_CHARGE(BP.Strings[I->Str]);
+    B2_NEXT;
+
+  B2_OP(StepN)
+    // A consecutive statement charges at once. On exhaustion mid-run the
+    // walker has charged exactly up to the limit before faulting, so
+    // StepsUsed pins to FuelLim either way.
+    if (B2_UNLIKELY(Steps + I->A > FuelLim)) {
+      Steps = FuelLim;
+      B2_FAULT(OutOfFuel, "statement budget exhausted");
+    }
+    Steps += I->A;
+    B2_NEXT;
+
+  B2_OP(StepLoopJump)
+    B2_CHARGE("loop budget exhausted");
+    Pc = I->Arg;
+    B2_NEXT;
+
+  B2_OP(BrVZStepN)
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    if (Sl[I->A] == 0) {
+      Pc = I->Arg;
+    } else {
+      // Fall-through enters the body: Imm statement charges (StepN).
+      if (B2_UNLIKELY(Steps + I->Imm > FuelLim)) {
+        Steps = FuelLim;
+        B2_FAULT(OutOfFuel, "statement budget exhausted");
+      }
+      Steps += I->Imm;
+    }
+    B2_NEXT;
+
+  B2_OP(StepNBrVZ)
+    if (B2_UNLIKELY(Steps + I->Imm > FuelLim)) {
+      Steps = FuelLim;
+      B2_FAULT(OutOfFuel, "statement budget exhausted");
+    }
+    Steps += I->Imm;
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    if (Sl[I->A] == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+
+  B2_OP(StepIncLoopJump)
+    // "i = i op k" latch plus backedge: statement charge(s), the update
+    // (dst == lhs slot, so one bound check covers both), loop charge,
+    // jump — in the walker's exact order.
+    B2_STEP_CHARGE;
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    {
+      const BinOp O = BinOp(I->U8 & 0xF);
+      if (B2_LIKELY(O == BinOp::Add)) { // Counting latches dominate.
+        Sl[I->A] += I->Imm;
+      } else {
+        if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+          ++R.DivByZeroCount;
+        Sl[I->A] = evalBinOp(O, Sl[I->A], I->Imm);
+      }
+    }
+    B2_CHARGE("loop budget exhausted");
+    Pc = I->Arg;
+    B2_NEXT;
+
+  B2_OP(IncLoopBrNZ)
+    // StepIncLoopJump plus the head test it jumps to (same slot; the
+    // head's unbound check cannot fire — the counter was just written).
+    // Nonzero: charge the body-entry run and enter the body. Zero: fall
+    // through, which is the loop exit.
+    B2_STEP_CHARGE;
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    {
+      const BinOp O = BinOp(I->U8 & 0xF);
+      if (B2_LIKELY(O == BinOp::Add)) { // Counting latches dominate.
+        Sl[I->A] += I->Imm;
+      } else {
+        if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+          ++R.DivByZeroCount;
+        Sl[I->A] = evalBinOp(O, Sl[I->A], I->Imm);
+      }
+    }
+    B2_CHARGE("loop budget exhausted");
+    if (Sl[I->A] != 0) {
+      const uint64_t NB = I->Arg >> 24;
+      if (B2_UNLIKELY(Steps + NB > FuelLim)) {
+        Steps = FuelLim;
+        B2_FAULT(OutOfFuel, "statement budget exhausted");
+      }
+      Steps += NB;
+      Pc = I->Arg & 0xFFFFFF;
+    }
+    B2_NEXT;
+
+  B2_OP(CheckInv)
+    if (B2_UNLIKELY(*--Sp == 0))
+      B2_FAULT(InvariantViolated, BP.Strings[I->Str]);
+    B2_NEXT;
+
+  B2_OP(MeasReset)
+    MeasHave[MeasBase + I->A] = 0;
+    B2_NEXT;
+
+  B2_OP(MeasCheck) {
+    const Word M = *--Sp;
+    Word &Prev = MeasVal[MeasBase + I->A];
+    uint8_t &Have = MeasHave[MeasBase + I->A];
+    if (B2_UNLIKELY(Have && M >= Prev))
+      B2_FAULT(MeasureNotDecreasing, "measure " + std::to_string(M) +
+                                         " after " + std::to_string(Prev));
+    Prev = M;
+    Have = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(StepCallBind)
+    B2_STEP_CHARGE;
+    goto Body_CallBind;
+  B2_OP(CallBind)
+  Body_CallBind: {
+    const bc::CallSite &Site = BP.Calls[I->Arg];
+    const BcFunction &CF = BP.Funcs[Site.Fn];
+    const size_t CalleeBase = size_t(Sp - Stack.data()) - CF.NumParams;
+    Top = CalleeBase + CF.NumParams;
+    R.StepsUsed = Steps;
+    const bool CalleeOk = runFunction(Site.Fn, CalleeBase);
+    Steps = R.StepsUsed;
+    Sl = Slots.data() + SlotBase;
+    Bd = Bound.data() + SlotBase;
+    Sp = Stack.data() + CalleeBase;
+    if (!CalleeOk) {
+      Ok = false;
+      goto Exit;
+    }
+    for (size_t K = 0; K != Site.Dsts.size(); ++K) {
+      Sl[Site.Dsts[K]] = Sp[K]; // The callee left its results here.
+      Bd[Site.Dsts[K]] = 1;
+    }
+    B2_NEXT;
+  }
+
+  B2_OP(CallDrop) {
+    // Rets are discarded: a StaticFault (result-binding arity mismatch)
+    // follows immediately — but the callee still runs first, exactly as
+    // the walker only reports that mismatch after a successful call.
+    const BcFunction &CF = BP.Funcs[I->Arg];
+    const size_t CalleeBase = size_t(Sp - Stack.data()) - CF.NumParams;
+    Top = CalleeBase + CF.NumParams;
+    R.StepsUsed = Steps;
+    const bool CalleeOk = runFunction(I->Arg, CalleeBase);
+    Steps = R.StepsUsed;
+    Sl = Slots.data() + SlotBase;
+    Bd = Bound.data() + SlotBase;
+    Sp = Stack.data() + CalleeBase;
+    if (!CalleeOk) {
+      Ok = false;
+      goto Exit;
+    }
+    B2_NEXT;
+  }
+
+  B2_OP(InteractExt) {
+    {
+      const bc::InteractSite &Site = BP.Interacts[I->Arg];
+      Sp -= Site.NumArgs;
+      std::vector<Word> ArgVals(Sp, Sp + Site.NumArgs);
+      ExtSpec::Outcome Out = Ext.call(Site.Action, ArgVals, Mem);
+      if (!Out.Ok)
+        B2_FAULT(ExtContractViolation,
+                 "'" + Site.Action + "': " + Out.Error);
+      if (Out.Rets.size() != Site.Dsts.size())
+        B2_FAULT(ArityMismatch, BP.Strings[Site.BindDetail]);
+      R.Trace.push_back(IoEvent{Site.Action, std::move(ArgVals), Out.Rets});
+      for (size_t K = 0; K != Out.Rets.size(); ++K) {
+        Sl[Site.Dsts[K]] = Out.Rets[K];
+        Bd[Site.Dsts[K]] = 1;
+      }
+    } // Non-trivial locals die here, before the (computed) goto.
+    B2_NEXT;
+  }
+
+  B2_OP(StepEnterAlloc)
+    B2_STEP_CHARGE;
+    goto Body_EnterAlloc;
+  B2_OP(EnterAlloc)
+  Body_EnterAlloc: {
+    const bc::AllocSite &Site = BP.Allocs[I->Arg];
+    StackNext -= Site.NBytes;
+    const Word Addr = StackNext;
+    Mem.own(Addr, Site.NBytes);
+    Sl[Site.VarSlot] = Addr;
+    Bd[Site.VarSlot] = 1;
+    AllocScopes.push_back({Addr, Site.NBytes});
+    B2_NEXT;
+  }
+
+  B2_OP(LeaveAlloc) {
+    const auto [Addr, NBytes] = AllocScopes.back();
+    AllocScopes.pop_back();
+    Mem.disown(Addr, NBytes);
+    StackNext += NBytes;
+    B2_NEXT;
+  }
+
+  B2_OP(StaticFault)
+    Ok = fault(Fault(I->U8), BP.Strings[I->Str]);
+    goto Exit;
+
+  B2_OP(CheckPre)
+    if (B2_UNLIKELY(*--Sp == 0))
+      B2_FAULT(PreconditionFailed, BP.Strings[I->Str]);
+    B2_NEXT;
+
+  B2_OP(CheckPost)
+    if (B2_UNLIKELY(*--Sp == 0))
+      B2_FAULT(PostconditionFailed, BP.Strings[I->Str]);
+    B2_NEXT;
+
+  B2_OP(CollectRet)
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    *Sp++ = Sl[I->A];
+    B2_NEXT;
+
+  B2_OP(Return)
+    goto Exit;
+
+  B2_OP(StepSetLit)
+    B2_STEP_CHARGE;
+    goto Body_SetLit;
+  B2_OP(SetLit)
+  Body_SetLit:
+    Sl[I->A] = I->Imm;
+    Bd[I->A] = 1;
+    B2_NEXT;
+
+  B2_OP(StepMoveVar)
+    B2_STEP_CHARGE;
+    goto Body_MoveVar;
+  B2_OP(MoveVar)
+  Body_MoveVar: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const uint16_t Dst = uint16_t(I->Arg);
+    Sl[Dst] = Sl[I->A];
+    Bd[Dst] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(StepBinopVV)
+    B2_STEP_CHARGE;
+    goto Body_BinopVV;
+  B2_OP(BinopVV)
+  Body_BinopVV: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const uint16_t BSlot = uint16_t(I->Arg);
+    if (B2_UNLIKELY(!Bd[BSlot]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Imm]);
+    const Word BV = Sl[BSlot];
+    const BinOp O = BinOp(I->U8 & 0xF);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    *Sp++ = evalBinOp(O, Sl[I->A], BV);
+    B2_NEXT;
+  }
+
+  B2_OP(StepBinopVVS)
+    B2_STEP_CHARGE;
+    goto Body_BinopVVS;
+  B2_OP(BinopVVS)
+  Body_BinopVVS: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const uint16_t BSlot = uint16_t(I->Arg);
+    if (B2_UNLIKELY(!Bd[BSlot]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Imm]);
+    const Word BV = Sl[BSlot];
+    const BinOp O = BinOp(I->U8 & 0xF);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    const uint16_t Dst = uint16_t(I->Arg >> 16);
+    Sl[Dst] = evalBinOp(O, Sl[I->A], BV);
+    Bd[Dst] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(StepBinopVI)
+    B2_STEP_CHARGE;
+    goto Body_BinopVI;
+  B2_OP(BinopVI)
+  Body_BinopVI: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const BinOp O = BinOp(I->U8 & 0xF);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    *Sp++ = evalBinOp(O, Sl[I->A], I->Imm);
+    B2_NEXT;
+  }
+
+  B2_OP(StepBinopVIS)
+    B2_STEP_CHARGE;
+    goto Body_BinopVIS;
+  B2_OP(BinopVIS)
+  Body_BinopVIS: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const BinOp O = BinOp(I->U8 & 0xF);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    const uint16_t Dst = uint16_t(I->Arg);
+    Sl[Dst] = evalBinOp(O, Sl[I->A], I->Imm);
+    Bd[Dst] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(BinopSI) {
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    *Sp++ = evalBinOp(O, AV, I->Imm);
+    B2_NEXT;
+  }
+
+  B2_OP(StepPush2VL)
+    B2_STEP_CHARGE;
+    goto Body_Push2VL;
+  B2_OP(Push2VL)
+  Body_Push2VL:
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    *Sp++ = Sl[I->A];
+    *Sp++ = I->Imm;
+    B2_NEXT;
+
+  B2_OP(FoldSI) {
+    // (pop op Imm), then fold that into the new top with op' — both
+    // division-by-zero counts in evaluation order.
+    const Word AV = *--Sp;
+    const BinOp OIn = BinOp(I->U8 & 0xF), OOut = BinOp(I->U8 >> 4);
+    if ((OIn == BinOp::Divu || OIn == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    const Word RV = evalBinOp(OIn, AV, I->Imm);
+    if ((OOut == BinOp::Divu || OOut == BinOp::Remu) && RV == 0)
+      ++R.DivByZeroCount;
+    Sp[-1] = evalBinOp(OOut, Sp[-1], RV);
+    B2_NEXT;
+  }
+
+  B2_OP(FoldVV) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const uint16_t BSlot = uint16_t(I->Arg);
+    if (B2_UNLIKELY(!Bd[BSlot]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Imm]);
+    const Word BV = Sl[BSlot];
+    const BinOp OIn = BinOp(I->U8 & 0xF), OOut = BinOp(I->U8 >> 4);
+    if ((OIn == BinOp::Divu || OIn == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    const Word RV = evalBinOp(OIn, Sl[I->A], BV);
+    if ((OOut == BinOp::Divu || OOut == BinOp::Remu) && RV == 0)
+      ++R.DivByZeroCount;
+    Sp[-1] = evalBinOp(OOut, Sp[-1], RV);
+    B2_NEXT;
+  }
+
+  B2_OP(FoldVI) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const BinOp OIn = BinOp(I->U8 & 0xF), OOut = BinOp(I->U8 >> 4);
+    if ((OIn == BinOp::Divu || OIn == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    const Word RV = evalBinOp(OIn, Sl[I->A], I->Imm);
+    if ((OOut == BinOp::Divu || OOut == BinOp::Remu) && RV == 0)
+      ++R.DivByZeroCount;
+    Sp[-1] = evalBinOp(OOut, Sp[-1], RV);
+    B2_NEXT;
+  }
+
+  B2_OP(BinopVILoad) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const BinOp O = BinOp(I->U8 & 0xF);
+    const unsigned Size = I->U8 >> 4;
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    const Word Addr = evalBinOp(O, Sl[I->A], I->Imm);
+    if (B2_UNLIKELY(!isAligned(Addr, Size)))
+      B2_FAULT(MisalignedAccess,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, Size)))
+      B2_FAULT(LoadOutsideFootprint,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    *Sp++ = Mem.readLe(Addr, Size);
+    B2_NEXT;
+  }
+
+  B2_OP(StepSet2Lit) {
+    B2_STEP_CHARGE;
+    Sl[I->A] = I->Imm;
+    Bd[I->A] = 1;
+    // Second assignment's charge(s); the literal rides in Str.
+    const uint64_t N2 = 1 + uint64_t(I->Arg >> 16);
+    if (B2_UNLIKELY(Steps + N2 > FuelLim)) {
+      Steps = FuelLim;
+      B2_FAULT(OutOfFuel, "statement budget exhausted");
+    }
+    Steps += N2;
+    const uint16_t SlotB = uint16_t(I->Arg);
+    Sl[SlotB] = I->Str;
+    Bd[SlotB] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(BinopLoad) {
+    const Word BV = *--Sp;
+    const BinOp O = BinOp(I->U8 & 0xF);
+    const unsigned Size = I->U8 >> 4;
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    const Word Addr = evalBinOp(O, Sp[-1], BV);
+    if (B2_UNLIKELY(!isAligned(Addr, Size)))
+      B2_FAULT(MisalignedAccess,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, Size)))
+      B2_FAULT(LoadOutsideFootprint,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    Sp[-1] = Mem.readLe(Addr, Size);
+    B2_NEXT;
+  }
+
+  B2_OP(BinopSIS) {
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    Sl[I->A] = evalBinOp(O, AV, I->Imm);
+    Bd[I->A] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(BinopSV) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const Word BV = Sl[I->A];
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    *Sp++ = evalBinOp(O, AV, BV);
+    B2_NEXT;
+  }
+
+  B2_OP(BinopSVS) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const Word BV = Sl[I->A];
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    const uint16_t Dst = uint16_t(I->Arg);
+    Sl[Dst] = evalBinOp(O, AV, BV);
+    Bd[Dst] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(BinopSS) {
+    const Word BV = *--Sp;
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    Sl[I->A] = evalBinOp(O, AV, BV);
+    Bd[I->A] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(StepLoadV)
+    B2_STEP_CHARGE;
+    goto Body_LoadV;
+  B2_OP(LoadV)
+  Body_LoadV: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const unsigned Size = I->U8 & 0xF;
+    const Word Addr = Sl[I->A];
+    if (B2_UNLIKELY(!isAligned(Addr, Size)))
+      B2_FAULT(MisalignedAccess,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, Size)))
+      B2_FAULT(LoadOutsideFootprint,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    *Sp++ = Mem.readLe(Addr, Size);
+    B2_NEXT;
+  }
+
+  B2_OP(StepLoadVS)
+    B2_STEP_CHARGE;
+    goto Body_LoadVS;
+  B2_OP(LoadVS)
+  Body_LoadVS: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const unsigned Size = I->U8 & 0xF;
+    const Word Addr = Sl[I->A];
+    if (B2_UNLIKELY(!isAligned(Addr, Size)))
+      B2_FAULT(MisalignedAccess,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, Size)))
+      B2_FAULT(LoadOutsideFootprint,
+               "load" + std::to_string(Size) + " at " + hex32(Addr));
+    const uint16_t Dst = uint16_t(I->Arg);
+    Sl[Dst] = Mem.readLe(Addr, Size);
+    Bd[Dst] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(LoadS) {
+    const Word Addr = *--Sp;
+    if (B2_UNLIKELY(!isAligned(Addr, I->U8)))
+      B2_FAULT(MisalignedAccess,
+               "load" + std::to_string(I->U8) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, I->U8)))
+      B2_FAULT(LoadOutsideFootprint,
+               "load" + std::to_string(I->U8) + " at " + hex32(Addr));
+    Sl[I->A] = Mem.readLe(Addr, I->U8);
+    Bd[I->A] = 1;
+    B2_NEXT;
+  }
+
+  B2_OP(StepStoreVV)
+    B2_STEP_CHARGE;
+    goto Body_StoreVV;
+  B2_OP(StoreVV)
+  Body_StoreVV: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const uint16_t VSlot = uint16_t(I->Arg);
+    if (B2_UNLIKELY(!Bd[VSlot]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Imm]);
+    const unsigned Size = I->U8 & 0xF;
+    const Word Addr = Sl[I->A];
+    if (B2_UNLIKELY(!isAligned(Addr, Size)))
+      B2_FAULT(MisalignedAccess,
+               "store" + std::to_string(Size) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, Size)))
+      B2_FAULT(StoreOutsideFootprint,
+               "store" + std::to_string(Size) + " at " + hex32(Addr));
+    Mem.writeLe(Addr, Size, Sl[VSlot]);
+    B2_NEXT;
+  }
+
+  B2_OP(StepStoreVI)
+    B2_STEP_CHARGE;
+    goto Body_StoreVI;
+  B2_OP(StoreVI)
+  Body_StoreVI: {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const unsigned Size = I->U8 & 0xF;
+    const Word Addr = Sl[I->A];
+    if (B2_UNLIKELY(!isAligned(Addr, Size)))
+      B2_FAULT(MisalignedAccess,
+               "store" + std::to_string(Size) + " at " + hex32(Addr));
+    if (B2_UNLIKELY(!Mem.owns(Addr, Size)))
+      B2_FAULT(StoreOutsideFootprint,
+               "store" + std::to_string(Size) + " at " + hex32(Addr));
+    Mem.writeLe(Addr, Size, I->Imm);
+    B2_NEXT;
+  }
+
+  B2_OP(BrVZ)
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    if (Sl[I->A] == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+
+  B2_OP(BrVVZ) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const uint16_t BSlot = uint16_t(I->Imm & 0xFFFF);
+    if (B2_UNLIKELY(!Bd[BSlot]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Imm >> 16]);
+    const Word BV = Sl[BSlot];
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    if (evalBinOp(O, Sl[I->A], BV) == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+  }
+
+  B2_OP(BrVIZ) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    if (evalBinOp(O, Sl[I->A], I->Imm) == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+  }
+
+  B2_OP(BrSIZ) {
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
+      ++R.DivByZeroCount;
+    if (evalBinOp(O, AV, I->Imm) == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+  }
+
+  B2_OP(BrSVZ) {
+    if (B2_UNLIKELY(!Bd[I->A]))
+      B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
+    const Word BV = Sl[I->A];
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    if (evalBinOp(O, AV, BV) == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+  }
+
+  B2_OP(BrSSZ) {
+    const Word BV = *--Sp;
+    const Word AV = *--Sp;
+    const BinOp O = BinOp(I->U8);
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+      ++R.DivByZeroCount;
+    if (evalBinOp(O, AV, BV) == 0)
+      Pc = I->Arg;
+    B2_NEXT;
+  }
+
+#if !B2_BC_THREADED
+    }
+  }
+#endif
+#undef B2_OP
+#undef B2_NEXT
+#undef B2_STEP_CHARGE
+#undef B2_CHARGE
+#undef B2_FAULT
+
+Exit:
+
+  // Unwind live stackalloc scopes innermost-first, exactly as the
+  // walker's recursion does when a fault propagates.
+  for (size_t K = AllocScopes.size(); K-- > AllocBase;) {
+    Mem.disown(AllocScopes[K].first, AllocScopes[K].second);
+    StackNext += AllocScopes[K].second;
+  }
+  AllocScopes.resize(AllocBase);
+  R.StepsUsed = Steps;
+  SlotTop = SlotBase;
+  MeasTop = MeasBase;
+  if (Ok) {
+    // The results sit on top of the stack (pushed by CollectRet, below
+    // any already-popped postcondition temporaries); move them down to
+    // the frame base where the caller binds them.
+    std::memmove(Stack.data() + ArgBase, Sp - F.NumRets,
+                 F.NumRets * sizeof(Word));
+    Top = ArgBase + F.NumRets;
+  } else {
+    Top = ArgBase;
+  }
+  return Ok;
+}
+
+ExecResult BytecodeProgram::run(const std::string &Fn,
+                                const std::vector<Word> &Args, ExtSpec &Ext,
+                                Footprint &Mem, uint64_t Fuel,
+                                const StackallocPolicy &Policy,
+                                ExecScratch *Scratch) const {
+  ExecScratch Local;
+  ExecScratch &Sc = Scratch ? *Scratch : Local;
+  Sc.AllocScopes.clear(); // Frames unwind on exit; clear defensively.
+  Exec E{*this, Ext, Mem, Fuel, Word(Policy.Base - (Policy.Salt & ~Word(3))),
+         Sc};
+  auto It = Index.find(Fn);
+  if (It == Index.end()) {
+    E.fault(Fault::UnknownFunction, "function '" + Fn + "'");
+    return std::move(E.R);
+  }
+  const BcFunction &F = Funcs[It->second];
+  if (F.NumParams != Args.size()) {
+    E.fault(Fault::ArityMismatch,
+            "call to '" + Fn + "' with " + std::to_string(Args.size()) +
+                " args, expected " + std::to_string(F.NumParams));
+    return std::move(E.R);
+  }
+  // Copy args in place without shrinking: the stack keeps its high-water
+  // size so runFunction's grow check is a no-op on steady-state calls.
+  // Stale words beyond Top are never read (pushes always write first).
+  if (E.Stack.size() < Args.size())
+    E.Stack.resize(Args.size());
+  std::copy(Args.begin(), Args.end(), E.Stack.begin());
+  E.Top = Args.size();
+  if (E.runFunction(It->second, 0))
+    E.R.Rets.assign(E.Stack.begin(), E.Stack.begin() + F.NumRets);
+  return std::move(E.R);
+}

@@ -40,6 +40,10 @@ struct IoEvent {
   std::vector<Word> Rets;
 };
 
+inline bool operator==(const IoEvent &A, const IoEvent &B) {
+  return A.Action == B.Action && A.Args == B.Args && A.Rets == B.Rets;
+}
+
 using IoTrace = std::vector<IoEvent>;
 
 class Footprint;

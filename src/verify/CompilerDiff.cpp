@@ -48,10 +48,17 @@ DiffResult b2::verify::diffCompile(const Program &P, const std::string &Fn,
     MmioExtSpec Ext(*Dev, Options.RamBytes);
     StackallocPolicy Policy;
     Policy.Salt = Salt;
-    Interp I(P, Ext, Options.SourceFuel, Policy);
+    Interp I(P, Ext, Options.SourceFuel, Policy, Options.SourceMode);
     for (const auto &[Addr, Len] : Options.OwnRegions)
       I.ownMemory(Addr, Len);
     ExecResult Src = I.callFunction(Fn, Args);
+    if (I.divergenceCount() != 0) {
+      // Differential source mode: the two semantics engines disagreed,
+      // which is a checker bug regardless of what the machine side does.
+      R.Error = "source interpreter divergence: " + I.divergence();
+      R.Source = std::move(Src);
+      return R;
+    }
     if (!Src.ok()) {
       // The compiler promises nothing for UB sources; report and stop.
       R.Source = std::move(Src);

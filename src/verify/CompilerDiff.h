@@ -59,6 +59,12 @@ struct DiffOptions {
   /// machine side needs no grant: the regions are ordinary zeroed RAM.
   /// Callers must keep them clear of the code image and the stack.
   std::vector<std::pair<Word, Word>> OwnRegions;
+  /// Engine for the source-side runs. Fast is the default: correctness of
+  /// the bytecode engine is guarded by ExecMode::Differential fuzzing in
+  /// the test suite, and the machine diff below independently cross-checks
+  /// every run's trace and results. Differential here makes each source
+  /// run itself a two-engine comparison (any divergence fails the diff).
+  bedrock2::ExecMode SourceMode = bedrock2::ExecMode::Fast;
 };
 
 struct DiffResult {

@@ -27,8 +27,12 @@ ExecResult runPure(const Program &P, const std::string &Fn,
                    const StackallocPolicy &Policy = StackallocPolicy()) {
   riscv::NoDevice Dev;
   MmioExtSpec Ext(Dev, 64 * 1024);
-  Interp I(P, Ext, 1'000'000, Policy);
-  return I.callFunction(Fn, Args);
+  // Differential mode: every semantics test exercises the AST walker and
+  // the bytecode engine and demands bit-identical results.
+  Interp I(P, Ext, 1'000'000, Policy, ExecMode::Differential);
+  ExecResult R = I.callFunction(Fn, Args);
+  EXPECT_EQ(I.divergenceCount(), 0u) << I.divergence();
+  return R;
 }
 
 Program progWith(Function F) {

@@ -28,8 +28,11 @@ ExecResult runPure(const Program &P, const std::string &Fn,
                    const std::vector<Word> &Args) {
   riscv::NoDevice Dev;
   MmioExtSpec Ext(Dev, 64 * 1024);
-  Interp I(P, Ext, 1'000'000);
-  return I.callFunction(Fn, Args);
+  // Differential mode: contract checks run on both engines and must agree.
+  Interp I(P, Ext, 1'000'000, StackallocPolicy(), ExecMode::Differential);
+  ExecResult R = I.callFunction(Fn, Args);
+  EXPECT_EQ(I.divergenceCount(), 0u) << I.divergence();
+  return R;
 }
 
 Program parseOrDie(const char *Src) {
