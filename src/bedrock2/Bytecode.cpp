@@ -12,6 +12,7 @@
 #include "bedrock2/Bytecode.h"
 
 #include "support/Format.h"
+#include "verify/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -1034,7 +1035,8 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
   B2_OP(Binop) {
     const Word BV = *--Sp;
     const BinOp O = BinOp(I->U8);
-    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0)
+    if ((O == BinOp::Divu || O == BinOp::Remu) && BV == 0 &&
+        !fi::on(fi::Fault::BcDivCountSkip))
       ++R.DivByZeroCount;
     Sp[-1] = evalBinOp(O, Sp[-1], BV);
     B2_NEXT;
@@ -1090,7 +1092,7 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
   B2_OP(BrVZStepN)
     if (B2_UNLIKELY(!Bd[I->A]))
       B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
-    if (Sl[I->A] == 0) {
+    if ((Sl[I->A] == 0) != fi::on(fi::Fault::BcBrVZInverted)) {
       Pc = I->Arg;
     } else {
       // Fall-through enters the body: Imm statement charges (StepN).
@@ -1110,7 +1112,7 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
     Steps += I->Imm;
     if (B2_UNLIKELY(!Bd[I->A]))
       B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
-    if (Sl[I->A] == 0)
+    if ((Sl[I->A] == 0) != fi::on(fi::Fault::BcBrVZInverted))
       Pc = I->Arg;
     B2_NEXT;
 
@@ -1123,7 +1125,8 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
       B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
     {
       const BinOp O = BinOp(I->U8 & 0xF);
-      if (B2_LIKELY(O == BinOp::Add)) { // Counting latches dominate.
+      if (B2_LIKELY(O == BinOp::Add) ||
+          fi::on(fi::Fault::BcLatchOpAsAdd)) { // Counting latches dominate.
         Sl[I->A] += I->Imm;
       } else {
         if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
@@ -1145,7 +1148,8 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
       B2_FAULT(UnboundVariable, BP.Strings[I->Str]);
     {
       const BinOp O = BinOp(I->U8 & 0xF);
-      if (B2_LIKELY(O == BinOp::Add)) { // Counting latches dominate.
+      if (B2_LIKELY(O == BinOp::Add) ||
+          fi::on(fi::Fault::BcLatchOpAsAdd)) { // Counting latches dominate.
         Sl[I->A] += I->Imm;
       } else {
         if ((O == BinOp::Divu || O == BinOp::Remu) && I->Imm == 0)
@@ -1155,7 +1159,9 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
     }
     B2_CHARGE("loop budget exhausted");
     if (Sl[I->A] != 0) {
-      const uint64_t NB = I->Arg >> 24;
+      uint64_t NB = I->Arg >> 24;
+      if (NB > 0 && fi::on(fi::Fault::BcLoopChargeMiscount))
+        --NB; // Seeded bug: body entry charged one statement short.
       if (B2_UNLIKELY(Steps + NB > FuelLim)) {
         Steps = FuelLim;
         B2_FAULT(OutOfFuel, "statement budget exhausted");
@@ -1261,7 +1267,8 @@ bool BytecodeProgram::Exec::runFunction(uint32_t FnIdx, size_t ArgBase) {
     StackNext -= Site.NBytes;
     const Word Addr = StackNext;
     Mem.own(Addr, Site.NBytes);
-    Sl[Site.VarSlot] = Addr;
+    Sl[Site.VarSlot] =
+        fi::on(fi::Fault::BcAllocSkew) ? Addr + 4 : Addr;
     Bd[Site.VarSlot] = 1;
     AllocScopes.push_back({Addr, Site.NBytes});
     B2_NEXT;

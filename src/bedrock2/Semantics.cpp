@@ -9,6 +9,7 @@
 #include "bedrock2/Bytecode.h"
 #include "devices/MemoryMap.h"
 #include "support/Format.h"
+#include "verify/FaultInjection.h"
 
 #include <algorithm>
 #include <cassert>
@@ -216,6 +217,8 @@ void Footprint::ownRange(uint64_t Start, uint64_t End) {
     ++It;
   }
   if (First != It) {
+    if (NewE - NewS > 1 && fi::on(fi::Fault::FootprintCoalesceDropByte))
+      --NewE; // Seeded bug: the merged union loses its last byte.
     *First = {NewS, NewE};
     Intervals.erase(First + 1, It);
   } else {

@@ -7,6 +7,7 @@
 #include "compiler/Asm.h"
 
 #include "support/Word.h"
+#include "verify/FaultInjection.h"
 
 #include <cassert>
 
@@ -53,6 +54,8 @@ void Asm::emitJal(Reg Rd, Label Target) {
 }
 
 void Asm::emitLoadImm(Reg Rd, Word Value) {
+  if (fi::on(fi::Fault::CompilerImmTruncate))
+    Value = support::signExtend(Value & 0xFFF, 12);
   std::vector<Instr> Seq;
   materialize(Value, Rd, Seq);
   for (const Instr &I : Seq)
@@ -159,6 +162,8 @@ std::optional<std::vector<Instr>> Asm::finish(std::string &Error) {
       size_t T = Offsets[*LabelPositions[It.Target]];
       if (!It.Relaxed) {
         int64_t Delta = (int64_t(T) - int64_t(Here)) * 4;
+        if (fi::on(fi::Fault::CompilerBranchOffByOne))
+          Delta += 4;
         Out.push_back(mkB(It.I.Op, It.I.Rs1, It.I.Rs2, SWord(Delta)));
       } else {
         // Inverted branch skips the jal that performs the far jump.

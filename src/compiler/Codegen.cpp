@@ -7,6 +7,7 @@
 #include "compiler/Codegen.h"
 
 #include "support/Word.h"
+#include "verify/FaultInjection.h"
 
 #include <cassert>
 
@@ -213,6 +214,8 @@ private:
       Opcode Op = S.Size == 4   ? Opcode::Lw
                   : S.Size == 2 ? Opcode::Lhu
                                 : Opcode::Lbu;
+      if (Op == Opcode::Lbu && fi::on(fi::Fault::CompilerLoadNoZeroExtend))
+        Op = Opcode::Lb;
       A.emit(mkI(Op, Rd, Ra, 0));
       defCommit(S.Dst, Rd);
       return true;
@@ -298,13 +301,15 @@ private:
       // This dialect defines stackalloc memory as zero-initialized (the
       // checking interpreter hands out fresh zeroed bytes, so the machine
       // level must match). Emit a descending zero-fill loop.
-      A.emitLoadImm(T0, S.NBytes);
-      Label ZeroLoop = A.newLabel();
-      A.bind(ZeroLoop);
-      A.emit(addi(T0, T0, -4));
-      A.emit(mkR(Opcode::Add, T1, Rd, T0));
-      A.emit(sw(T1, Zero, 0));
-      A.emitBranch(Opcode::Bne, T0, Zero, ZeroLoop);
+      if (!fi::on(fi::Fault::CompilerStackallocNoZero)) {
+        A.emitLoadImm(T0, S.NBytes);
+        Label ZeroLoop = A.newLabel();
+        A.bind(ZeroLoop);
+        A.emit(addi(T0, T0, -4));
+        A.emit(mkR(Opcode::Add, T1, Rd, T0));
+        A.emit(sw(T1, Zero, 0));
+        A.emitBranch(Opcode::Bne, T0, Zero, ZeroLoop);
+      }
       defCommit(S.Dst, Rd);
       return genStmt(*S.S1, Error);
     }
@@ -465,8 +470,11 @@ private:
     Word Off = SaveBase;
     emitFrameStore(RA, Off, T2);
     Off += 4;
+    bool SkipFirst = fi::on(fi::Fault::CompilerCalleeSavedSkip);
     for (Reg R : Alloc.UsedCalleeSaved) {
-      emitFrameStore(R, Off, T2);
+      if (!SkipFirst)
+        emitFrameStore(R, Off, T2);
+      SkipFirst = false;
       Off += 4;
     }
     // Move incoming arguments from a-registers to their homes.
@@ -486,8 +494,11 @@ private:
     Word Off = SaveBase;
     emitFrameLoad(RA, Off);
     Off += 4;
+    bool SkipFirst = fi::on(fi::Fault::CompilerCalleeSavedSkip);
     for (Reg R : Alloc.UsedCalleeSaved) {
-      emitFrameLoad(R, Off);
+      if (!SkipFirst)
+        emitFrameLoad(R, Off);
+      SkipFirst = false;
       Off += 4;
     }
     emitFrameAdjust(/*Enter=*/false);

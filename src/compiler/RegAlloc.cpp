@@ -6,6 +6,8 @@
 
 #include "compiler/RegAlloc.h"
 
+#include "verify/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -271,5 +273,22 @@ Allocation b2::compiler::allocateRegisters(const FlatFunction &F,
   for (unsigned R = 0; R != NumRegs; ++R)
     if (CalleeUsed[R])
       Out.UsedCalleeSaved.push_back(Reg(R));
+  if (fi::on(fi::Fault::CompilerRegallocWrongReg)) {
+    // Seeded bug: the second register-allocated variable is folded onto
+    // the first one's register, aliasing two live values.
+    int FirstVar = -1;
+    for (size_t V = 0; V != Out.VarLoc.size(); ++V) {
+      if (Out.VarLoc[V].K != Location::Kind::Register)
+        continue;
+      if (FirstVar < 0) {
+        FirstVar = int(V);
+        continue;
+      }
+      if (Out.VarLoc[V].R != Out.VarLoc[size_t(FirstVar)].R) {
+        Out.VarLoc[V].R = Out.VarLoc[size_t(FirstVar)].R;
+        break;
+      }
+    }
+  }
   return Out;
 }

@@ -6,6 +6,8 @@
 
 #include "devices/Lan9250.h"
 
+#include "verify/FaultInjection.h"
+
 using namespace b2;
 using namespace b2::devices;
 using namespace b2::devices::lan9250reg;
@@ -92,7 +94,10 @@ uint8_t Lan9250::exchange(uint8_t Mosi) {
 }
 
 Word Lan9250::statusWordFor(const PendingFrame &F) const {
-  Word Sts = (Word(F.Data.size()) & RxStsLengthMask) << RxStsLengthShift;
+  Word Len = Word(F.Data.size());
+  if (fi::on(fi::Fault::DevLanRxLengthOffByOne))
+    ++Len; // Seeded bug: status over-reports the frame length.
+  Word Sts = (Len & RxStsLengthMask) << RxStsLengthShift;
   if (F.Errored)
     Sts |= RxStsErrorSummary;
   return Sts;
@@ -127,10 +132,11 @@ Word Lan9250::popRxData() {
   if (!F.StatusConsumed)
     return 0; // Data before status: undefined per datasheet; return 0.
   Word V = 0;
+  bool BigEndian = fi::on(fi::Fault::DevLanRxByteOrder);
   for (unsigned I = 0; I != 4; ++I) {
     Word Idx = F.ReadOffset + I;
     if (Idx < F.Data.size())
-      V |= Word(F.Data[Idx]) << (8 * I);
+      V |= Word(F.Data[Idx]) << (8 * (BigEndian ? 3 - I : I));
   }
   F.ReadOffset += 4;
   if (F.ReadOffset >= paddedLen(Word(F.Data.size())))

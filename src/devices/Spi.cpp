@@ -6,6 +6,8 @@
 
 #include "devices/Spi.h"
 
+#include "verify/FaultInjection.h"
+
 using namespace b2;
 using namespace b2::devices;
 
@@ -42,10 +44,15 @@ Word Spi::read(Word Addr) {
     return RxFifo.size() >= Config.FifoDepth ? SpiFlagBit : 0;
   case SpiRxData: {
     // Bit 31 set = FIFO empty, or the head byte still in the shifter.
-    if (RxFifo.empty() || OpClock < RxFifo.front().ReadyAt)
+    if (RxFifo.empty() || OpClock < RxFifo.front().ReadyAt) {
+      if (fi::on(fi::Fault::DevSpiStaleRead))
+        return LastPopped; // Seeded bug: replays old data, never signals
+                           // empty, so the driver consumes garbage.
       return SpiFlagBit;
+    }
     Word V = RxFifo.front().Byte;
     RxFifo.pop_front();
+    LastPopped = V;
     return V;
   }
   default:

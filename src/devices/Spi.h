@@ -101,6 +101,8 @@ private:
   uint64_t Exchanges = 0;
   uint64_t OpClock = 0;       ///< SPI MMIO operations observed.
   uint64_t ShifterFreeAt = 0; ///< OpClock at which the shifter idles.
+  Word LastPopped = 0;        ///< Last byte read out of the RX FIFO
+                              ///< (replayed by the DevSpiStaleRead fault).
 
   void setCsMode(Word Value);
 };

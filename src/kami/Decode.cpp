@@ -6,6 +6,8 @@
 
 #include "kami/Decode.h"
 
+#include "verify/FaultInjection.h"
+
 #include <cassert>
 
 using namespace b2;
@@ -95,7 +97,8 @@ DecodedInst b2::kami::decodeInst(Word Raw) {
     if (D.Funct3 == 5 && Funct7 != 0 && Funct7 != 0x20)
       D.Cls = InstClass::Illegal;
     // Shift amounts are the 5-bit rs2 field, zero-extended.
-    if (D.Funct3 == 1 || D.Funct3 == 5)
+    if ((D.Funct3 == 1 || D.Funct3 == 5) &&
+        !fi::on(fi::Fault::KamiDecodeShamtWide))
       D.Imm = (Raw >> 20) & 0x1F;
     break;
   case 0x33:
@@ -248,6 +251,8 @@ Word b2::kami::execAlu(const DecodedInst &D, Word A, Word B) {
   case 1:
     return A << (B & 31);
   case 2:
+    if (fi::on(fi::Fault::KamiSltAsUnsigned))
+      return A < B ? 1 : 0;
     return SWord(A) < SWord(B) ? 1 : 0;
   case 3:
     return A < B ? 1 : 0;
@@ -293,6 +298,8 @@ bool b2::kami::execBranchTaken(uint8_t Funct3, Word A, Word B) {
 Word b2::kami::execLoadExtend(uint8_t Funct3, Word Raw) {
   switch (Funct3) {
   case 0:
+    if (fi::on(fi::Fault::KamiLoadNoSignExtend))
+      return Raw & 0xFF;
     return signExtend(Raw & 0xFF, 8);
   case 1:
     return signExtend(Raw & 0xFFFF, 16);

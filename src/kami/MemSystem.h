@@ -25,6 +25,7 @@
 #include "kami/Decode.h"
 #include "kami/Labels.h"
 #include "riscv/Mmio.h"
+#include "verify/FaultInjection.h"
 
 #include <cstdint>
 #include <vector>
@@ -57,8 +58,10 @@ public:
   void store(Word Addr, unsigned Size, Word Value, uint64_t Cycle,
              LabelTrace &Labels) {
     if (!isExternal(Addr)) {
-      Mem.writeWord(Addr, byteEnableFor(Addr, Size),
-                    laneAlign(Addr, Size, Value));
+      uint8_t Be = byteEnableFor(Addr, Size);
+      if (fi::on(fi::Fault::KamiMemWrongByteEnable))
+        Be = 0xF; // Seeded bug: sub-word stores clobber the whole word.
+      Mem.writeWord(Addr, Be, laneAlign(Addr, Size, Value));
       return;
     }
     Word Sent = Size == 4 ? Value : (Value & ((Word(1) << (8 * Size)) - 1));
@@ -90,7 +93,11 @@ class ICache {
 public:
   explicit ICache(const Bram &Mem) {
     Lines.resize(Mem.sizeBytes() / 4);
-    for (Word I = 0; I != Word(Lines.size()); ++I)
+    Word Fill = Word(Lines.size());
+    if (fi::on(fi::Fault::KamiIcacheFillTruncated))
+      Fill /= 2; // Seeded bug: the reset fill stops halfway; the upper
+                 // lines keep their power-on zeros.
+    for (Word I = 0; I != Fill; ++I)
       Lines[I] = Mem.readWord(I * 4);
     Decoded.resize(Lines.size());
     DecodedValid.resize(Lines.size(), false);

@@ -6,6 +6,8 @@
 
 #include "kami/PipelinedCore.h"
 
+#include "verify/FaultInjection.h"
+
 #include <cassert>
 
 using namespace b2;
@@ -135,7 +137,8 @@ void PipelinedCore::stageExecute() {
   // redirect a non-control instruction.
   if (Out.NextPc != X.PredictedNext) {
     ++Stats.Mispredicts;
-    F2D.reset(); // Squash the younger wrong-path instruction.
+    if (!fi::on(fi::Fault::KamiBtbNoSquash))
+      F2D.reset(); // Squash the younger wrong-path instruction.
     FetchPc = Out.NextPc;
   }
   trainBtb(X.Pc, Out.NextPc);
@@ -168,7 +171,9 @@ void PipelinedCore::stageDecode() {
     }
     if (Config.EnableForwarding && Pending[R] == 1 && E2W &&
         E2W->D.writesRd() && E2W->D.Rd == R &&
-        E2W->D.Cls != InstClass::Load && E2W->D.Cls != InstClass::Store) {
+        (fi::on(fi::Fault::KamiForwardLoadStale) ||
+         (E2W->D.Cls != InstClass::Load &&
+          E2W->D.Cls != InstClass::Store))) {
       Value = E2W->AluResult;
       ++Stats.Forwards;
       return;

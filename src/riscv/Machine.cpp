@@ -7,6 +7,7 @@
 #include "riscv/Machine.h"
 
 #include "support/Format.h"
+#include "verify/FaultInjection.h"
 
 using namespace b2;
 using namespace b2::riscv;
@@ -91,8 +92,12 @@ void Machine::storeRam(Word Addr, unsigned Size, Word V) {
     P[1] = uint8_t(V >> 8);
     P[2] = uint8_t(V >> 16);
     P[3] = uint8_t(V >> 24);
+    if (fi::on(fi::Fault::SimStoreKeepsXAddrs))
+      return; // Seeded bug: the section-5.6 discipline is forgotten.
     // Aligned word: one XAddrs block, one decode-cache word.
     XBits[Addr >> 6] &= ~(uint64_t(0xF) << (Addr & 63));
+    if (fi::on(fi::Fault::SimDecodeCacheNoInvalidate))
+      return; // Seeded bug: removal without line invalidation.
     size_t W = Addr >> 2;
     uint64_t Bit = uint64_t(1) << (W & 63);
     if (DecodeValid[W >> 6] & Bit) {
@@ -103,6 +108,8 @@ void Machine::storeRam(Word Addr, unsigned Size, Word V) {
   }
   for (unsigned I = 0; I != Size; ++I)
     Ram[Addr + I] = uint8_t((V >> (8 * I)) & 0xFF);
+  if (fi::on(fi::Fault::SimStoreKeepsXAddrs))
+    return; // Seeded bug: the section-5.6 discipline is forgotten.
   removeXAddrs(Addr, Size);
 }
 
@@ -159,6 +166,8 @@ void Machine::removeXAddrs(Word Addr, unsigned Size) {
 void Machine::invalidateDecode(Word Addr, Word Len) {
   if (Len == 0)
     return;
+  if (fi::on(fi::Fault::SimDecodeCacheNoInvalidate))
+    return; // Seeded bug: removal without line invalidation.
   size_t FirstW = Addr >> 2;
   size_t LastW = (size_t(Addr) + Len - 1) >> 2;
   for (size_t W = FirstW; W <= LastW && W < DecodeCache.size(); ++W) {

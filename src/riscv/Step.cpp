@@ -8,6 +8,7 @@
 
 #include "isa/Encoding.h"
 #include "support/Format.h"
+#include "verify/FaultInjection.h"
 
 using namespace b2;
 using namespace b2::isa;
@@ -44,6 +45,8 @@ Word alu(Opcode Op, Word A, Word B) {
     return shiftRL(A, B);
   case Opcode::Sra:
   case Opcode::Srai:
+    if (fi::on(fi::Fault::SimSraLogicalShift))
+      return shiftRL(A, B);
     return shiftRA(A, B);
   case Opcode::Or:
   case Opcode::Ori:
@@ -80,6 +83,8 @@ bool branchTaken(Opcode Op, Word A, Word B) {
   case Opcode::Bne:
     return A != B;
   case Opcode::Blt:
+    if (fi::on(fi::Fault::SimBranchLtAsGe))
+      return SWord(A) >= SWord(B);
     return SWord(A) < SWord(B);
   case Opcode::Bge:
     return SWord(A) >= SWord(B);
@@ -99,6 +104,8 @@ Word extendLoad(Opcode Op, Word Raw) {
   case Opcode::Lb:
     return signExtend(Raw, 8);
   case Opcode::Lh:
+    if (fi::on(fi::Fault::SimLhWrongWidth))
+      return signExtend(Raw & 0xFF, 8);
     return signExtend(Raw, 16);
   case Opcode::Lbu:
     return Raw & 0xFF;

@@ -1,0 +1,847 @@
+//===- verify/Adequacy.cpp - Checker-adequacy campaign ----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Each checker column below carries a small battery of *directed* stimuli:
+// programs, images, or scenarios constructed so that every fault owned by
+// that column changes an observable the column compares. The batteries
+// double as the baseline row — with no fault armed, every stimulus must
+// pass on the same binary, which is the no-false-positive property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Adequacy.h"
+
+#include "bedrock2/ExtSpec.h"
+#include "bedrock2/Parser.h"
+#include "bedrock2/Semantics.h"
+#include "devices/Net.h"
+#include "devices/Platform.h"
+#include "isa/Build.h"
+#include "isa/Encoding.h"
+#include "riscv/Machine.h"
+#include "riscv/Step.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+#include "verify/CompilerDiff.h"
+#include "verify/DecodeConsistency.h"
+#include "verify/EndToEnd.h"
+#include "verify/Lockstep.h"
+#include "verify/Refinement.h"
+
+#include <array>
+#include <functional>
+
+using namespace b2;
+using namespace b2::verify;
+
+// -- Checker names -----------------------------------------------------------
+
+const char *b2::verify::checkerName(Checker C) {
+  switch (C) {
+  case Checker::CompilerDiff:
+    return "CompilerDiff";
+  case Checker::InterpDiff:
+    return "InterpDiff";
+  case Checker::Lockstep:
+    return "Lockstep";
+  case Checker::Refinement:
+    return "Refinement";
+  case Checker::EndToEnd:
+    return "EndToEnd";
+  case Checker::DecodeConsistency:
+    return "DecodeConsistency";
+  case Checker::SimCacheDiff:
+    return "SimCacheDiff";
+  case Checker::NumCheckers:
+    break;
+  }
+  return "?";
+}
+
+bool b2::verify::checkerByName(const std::string &Name, Checker &Out) {
+  for (unsigned I = 0; I != NumCheckers; ++I)
+    if (Name == checkerName(Checker(I))) {
+      Out = Checker(I);
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+/// One directed stimulus: Run returns true iff the checker *failed* on it
+/// (a kill when a fault is armed; a false positive when none is).
+struct Stim {
+  const char *Name;
+  std::function<bool(std::string &Detail)> Run;
+};
+
+std::string truncated(std::string S) {
+  constexpr size_t Max = 200;
+  if (S.size() > Max) {
+    S.resize(Max);
+    S += "...";
+  }
+  return S;
+}
+
+DeviceFactory noDev() {
+  return [] { return std::make_unique<riscv::NoDevice>(); };
+}
+
+// -- CompilerDiff column -----------------------------------------------------
+//
+// Kill criterion: the diff fails outright, OR the source side faults on a
+// program that is UB-free by construction (diffCompile treats source UB as
+// vacuous, so footprint-accounting faults surface through Source.ok()).
+
+bool compilerDiffFails(const char *Src, const char *Fn,
+                       const std::vector<Word> &Args, std::string &Detail,
+                       std::vector<std::pair<Word, Word>> OwnRegions = {}) {
+  bedrock2::ParseResult P = bedrock2::parseProgram(Src);
+  if (!P.ok()) {
+    Detail = "stimulus parse error: " + P.Error;
+    return true;
+  }
+  DiffOptions O;
+  O.OwnRegions = std::move(OwnRegions);
+  DiffResult D = diffCompilePure(*P.Prog, Fn, Args, O);
+  if (!D.Ok) {
+    Detail = D.Error;
+    return true;
+  }
+  if (!D.Source.ok()) {
+    Detail = "source-side fault on UB-free stimulus: " + D.Source.Detail;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> compilerDiffStims() {
+  return {
+      // Several simultaneously live register-allocated variables whose
+      // values must stay distinct (regalloc aliasing).
+      {"live-vars", [](std::string &D) {
+         return compilerDiffFails(
+             "fn f(a, b) -> (r) { x = a + 1; y = b + 2; z = x ^ y;"
+             "  w = x + y; r = z * 31 + w * 7 + x * 3 + y; }",
+             "f", {5, 9}, D);
+       }},
+      // A byte load of a value with bit 7 set (lbu vs. lb).
+      {"byte-load", [](std::string &D) {
+         return compilerDiffFails(
+             "fn f() -> (r) { stackalloc b[4] {"
+             "  store4(b, 0x9C); r = load1(b); } }",
+             "f", {}, D);
+       }},
+      // A counted loop (conditional-branch offsets).
+      {"loop-branches", [](std::string &D) {
+         return compilerDiffFails(
+             "fn f(n) -> (r) { r = 0; i = 0;"
+             "  while (i < n) { r = r + i * i; i = i + 1; } }",
+             "f", {6}, D);
+       }},
+      // Dirty stack reuse: g1 scribbles a 64-byte stretch of stack that a
+      // later same-depth call's (smaller, differently-placed) stackalloc
+      // frame falls inside; g2 must still read the zeros the source
+      // semantics guarantee.
+      {"stackalloc-zeroing", [](std::string &D) {
+         return compilerDiffFails(
+             "fn g1() -> (r) { stackalloc b[64] { i = 0;"
+             "  while (i < 64) { store4(b + i, 0x5A5A5A5A); i = i + 4; }"
+             "  r = load4(b); } }"
+             "fn g2() -> (r) { stackalloc c[16] {"
+             "  r = load4(c) + load4(c + 4) + load4(c + 8) + load4(c + 12);"
+             "} }"
+             "fn f() -> (r) { a = g1(); b = g2(); r = b; }",
+             "f", {}, D);
+       }},
+      // A value live across a call, with a callee that needs the same
+      // callee-saved register (prologue/epilogue save discipline).
+      {"live-across-call", [](std::string &D) {
+         return compilerDiffFails(
+             "fn bottom(x) -> (r) { r = x * 2 + 1; }"
+             "fn mid(x) -> (r) { m = x * 7 + 5; u = bottom(x);"
+             "  r = m + u * 3; }"
+             "fn f(a) -> (r) { s = a * 5 + 1; t = mid(a);"
+             "  r = s * 100 + t; }",
+             "f", {3}, D);
+       }},
+      // A constant needing the full lui+addi pair (immediate truncation).
+      {"wide-immediate", [](std::string &D) {
+         return compilerDiffFails("fn f(a) -> (r) { r = a + 0x12345678; }",
+                                  "f", {1}, D);
+       }},
+      // Two adjacent static grants (OwnRegions pairs are {addr, len})
+      // that must coalesce into one interval: the store touches the
+      // union's last byte, so a merge that drops it faults the source
+      // side of a UB-free program.
+      {"adjacent-grants", [](std::string &D) {
+         return compilerDiffFails(
+             "fn f() -> (r) { store4(0x8004, 7); r = load4(0x8004); }", "f",
+             {}, D, {{0x8000, 4}, {0x8004, 4}});
+       }},
+  };
+}
+
+// -- InterpDiff column -------------------------------------------------------
+//
+// Runs each program in ExecMode::Differential: the AST walker and the
+// bytecode engine must produce bit-identical ExecResults (returns, trace,
+// fault, StepsUsed, DivByZeroCount). Kill criterion: any divergence.
+
+bool interpDiffFails(const char *Src, const char *Fn,
+                     const std::vector<Word> &Args, std::string &Detail) {
+  bedrock2::ParseResult P = bedrock2::parseProgram(Src);
+  if (!P.ok()) {
+    Detail = "stimulus parse error: " + P.Error;
+    return true;
+  }
+  riscv::NoDevice Dev;
+  bedrock2::MmioExtSpec Ext(Dev, 64 * 1024);
+  // Modest fuel: latch faults turn countdown loops into runaways, and the
+  // resulting OutOfFuel-vs-done divergence should surface quickly.
+  bedrock2::Interp I(*P.Prog, Ext, /*Fuel=*/200'000, {},
+                     bedrock2::ExecMode::Differential);
+  (void)I.callFunction(Fn, Args);
+  if (I.divergenceCount() != 0) {
+    Detail = I.divergence();
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> interpDiffStims() {
+  return {
+      // Countdown loop: fuses to IncLoopBrNZ with a Sub latch, covering
+      // the latch-op, loop-head-branch, and body-entry-charge fast paths.
+      {"countdown-loop", [](std::string &D) {
+         return interpDiffFails(
+             "fn f() -> (r) { r = 0; i = 8;"
+             "  while (i) { r = r + i; i = i - 1; } }",
+             "f", {}, D);
+       }},
+      // Comparison-headed loop (BrVZ over a temporary, StepN charges).
+      {"counted-loop", [](std::string &D) {
+         return interpDiffFails(
+             "fn f() -> (r) { r = 0; i = 0;"
+             "  while (i < 10) { r = r + 2; i = i + 1; } }",
+             "f", {}, D);
+       }},
+      // Division and remainder by zero (DivByZeroCount bookkeeping).
+      // Covers both the fused variable-variable fast path (a / b) and the
+      // generic stack Binop op: a load-result divisor defeats the
+      // peephole fusion, so `a / load4(p)` divides on the plain Binop.
+      {"div-by-zero", [](std::string &D) {
+         return interpDiffFails(
+             "fn f(a, b) -> (r) { stackalloc p[4] {"
+             "  r = a / load4(p) + a % load4(p) + a / b + a % b; } }",
+             "f", {7, 0}, D);
+       }},
+      // Last word of an 8-byte stackalloc: a skewed base faults the
+      // bytecode engine's store while the walker succeeds.
+      {"alloc-edge", [](std::string &D) {
+         return interpDiffFails("fn f() -> (r) { stackalloc p[8] {"
+                                "  store4(p + 4, 9); r = load4(p + 4); } }",
+                                "f", {}, D);
+       }},
+      // Nested control flow inside a counting loop (charge accounting on
+      // both if-branch shapes).
+      {"nested-if-loop", [](std::string &D) {
+         return interpDiffFails(
+             "fn f(n) -> (r) { r = 0; i = n;"
+             "  while (i) { if (i & 1) { r = r + 3; } i = i - 1; } }",
+             "f", {9}, D);
+       }},
+  };
+}
+
+// -- Lockstep column ---------------------------------------------------------
+//
+// Hand-assembled images (no compiler in the loop, so compiler faults
+// cannot blur attribution). Every stimulus is UB-free by construction:
+// simulator UB counts as a kill alongside any lockstep mismatch.
+
+bool lockstepFails(const std::vector<isa::Instr> &P, std::string &Detail,
+                   uint64_t MaxRetired = 10'000) {
+  std::vector<uint8_t> Image = isa::instrencode(P);
+  LockstepOptions O;
+  O.MaxRetired = MaxRetired;
+  O.MemoryCheckEvery = 16;
+  LockstepResult R = lockstep(Image, Word(Image.size()), noDev(), O);
+  if (!R.Ok) {
+    Detail = R.Error;
+    return true;
+  }
+  if (R.SimulatorHitUb) {
+    Detail = std::string("simulator UB on a UB-free stimulus: ") +
+             riscv::ubKindName(R.Ub);
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> lockstepStims() {
+  using namespace isa;
+  return {
+      // Arithmetic right shifts of a negative value (sra and srai).
+      {"shifts", [](std::string &D) {
+         std::vector<Instr> P;
+         materialize(0x80000000, A1, P);
+         P.push_back(mkI(Opcode::Srai, A2, A1, 4));
+         P.push_back(addi(A4, Zero, 9));
+         P.push_back(mkR(Opcode::Sra, A3, A1, A4));
+         return lockstepFails(P, D);
+       }},
+      // Signed branch on mixed-sign operands.
+      {"signed-branch", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A1, Zero, -1));
+         P.push_back(addi(A2, Zero, 1));
+         P.push_back(mkB(Opcode::Blt, A1, A2, 8)); // Skip the next instr.
+         P.push_back(addi(A3, Zero, 111));
+         P.push_back(addi(A4, Zero, 222));
+         return lockstepFails(P, D);
+       }},
+      // Sign-extending loads of negative halfword and byte values.
+      {"signed-loads", [](std::string &D) {
+         std::vector<Instr> P;
+         materialize(0x00008180, A1, P);
+         P.push_back(sw(Zero, A1, 0x200));
+         P.push_back(mkI(Opcode::Lh, A2, Zero, 0x200));
+         P.push_back(mkI(Opcode::Lb, A3, Zero, 0x201)); // Byte 0x81.
+         P.push_back(mkI(Opcode::Lbu, A4, Zero, 0x201));
+         return lockstepFails(P, D);
+       }},
+      // Signed set-less-than on mixed-sign operands.
+      {"signed-slt", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A1, Zero, -1));
+         P.push_back(addi(A2, Zero, 1));
+         P.push_back(mkR(Opcode::Slt, A3, A1, A2));
+         P.push_back(mkI(Opcode::Slti, A4, A1, 1));
+         return lockstepFails(P, D);
+       }},
+      // A byte store into a word that already holds other live bytes.
+      {"subword-store", [](std::string &D) {
+         std::vector<Instr> P;
+         materialize(0x11223344, A1, P);
+         P.push_back(sw(Zero, A1, 0x100));
+         P.push_back(addi(A2, Zero, 0x5A));
+         P.push_back(mkS(Opcode::Sb, Zero, A2, 0x100));
+         P.push_back(lw(A3, Zero, 0x100));
+         return lockstepFails(P, D);
+       }},
+      // Code living in the upper half of RAM (reset-time I$ fill reach).
+      {"upper-half-code", [](std::string &D) {
+         std::vector<Instr> P;
+         constexpr Word High = 48 * 1024;
+         P.push_back(jal(Zero, High));
+         P.resize(High / 4, nop());
+         P.push_back(addi(A0, Zero, 41));
+         P.push_back(addi(A0, A0, 1));
+         return lockstepFails(P, D);
+       }},
+  };
+}
+
+// -- Refinement column -------------------------------------------------------
+
+bool refinementFails(const std::vector<isa::Instr> &P,
+                     const kami::PipeConfig &Pipe, uint64_t Retirements,
+                     std::string &Detail) {
+  RefinementOptions O;
+  O.Pipe = Pipe;
+  O.Retirements = Retirements;
+  RefinementResult R = checkRefinement(isa::instrencode(P), noDev(), O);
+  if (!R.Ok) {
+    Detail = R.Error;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> refinementStims() {
+  using namespace isa;
+  return {
+      // A tight counted loop: every backward branch the BTB has not yet
+      // learned mispredicts, putting a wrong-path instruction in the
+      // decode latch that must be squashed.
+      {"btb-mispredicts", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A0, Zero, 0));
+         P.push_back(addi(A1, Zero, 6));
+         P.push_back(addi(A0, A0, 1));              // Loop head.
+         P.push_back(mkB(Opcode::Blt, A0, A1, -4)); // Back to the head.
+         P.push_back(addi(A2, Zero, 55));           // Wrong-path fodder.
+         P.push_back(addi(A3, Zero, 66));
+         kami::PipeConfig Pipe;
+         return refinementFails(P, Pipe, /*Retirements=*/24, D);
+       }},
+      // Load-use sequences under the forwarding network: a load result
+      // must come from memory, never from the stale WB ALU latch.
+      {"load-use-forwarding", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A1, Zero, 0x300));
+         materialize(0x5A5A, A2, P);
+         P.push_back(sw(A1, A2, 0));
+         P.push_back(addi(A6, Zero, 99)); // Refresh the ALU latch.
+         P.push_back(lw(A3, A1, 0));
+         P.push_back(mkR(Opcode::Add, A4, A3, A3)); // Back-to-back use.
+         P.push_back(lw(A5, A1, 0));
+         P.push_back(nop());
+         P.push_back(mkR(Opcode::Add, A7, A5, A5)); // One-gap use.
+         kami::PipeConfig Pipe;
+         Pipe.EnableForwarding = true;
+         return refinementFails(P, Pipe, /*Retirements=*/16, D);
+       }},
+  };
+}
+
+// -- EndToEnd column ---------------------------------------------------------
+//
+// The ISA-simulator substrate keeps the column fast; the device models and
+// the firmware — where this column's owned faults live — are identical
+// across substrates.
+
+bool e2eFails(const E2EScenario &S, std::string &Detail) {
+  E2EOptions O;
+  O.Core = CoreKind::IsaSim;
+  O.MaxCycles = 60'000'000;
+  E2EResult R = runLightbulbEndToEnd(S, O);
+  if (!R.Ok) {
+    Detail = R.Error.empty() ? "end-to-end check failed" : R.Error;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> endToEndStims() {
+  using namespace devices;
+  return {
+      // One valid ON command, then a headers-only 42-byte frame: exactly
+      // one byte short of carrying a command, so a length overcount makes
+      // the firmware actuate on it while the ground truth says ignore.
+      {"on-then-runt", [](std::string &D) {
+         E2EScenario S;
+         S.Frames.push_back(ScheduledFrame{4000, buildCommandFrame(true)});
+         S.Frames.push_back(ScheduledFrame{14000, buildUdpFrame({})});
+         return e2eFails(S, D);
+       }},
+      // A maximum-length valid command frame (1536 bytes): one byte of
+      // reported overcount crosses the driver's acceptance bound.
+      {"max-length-frame", [](std::string &D) {
+         std::vector<uint8_t> Payload(frame::MaxFrameLen - frame::CmdOffset);
+         Payload[0] = 1; // Command: on.
+         for (size_t I = 1; I != Payload.size(); ++I)
+           Payload[I] = uint8_t(I * 7);
+         E2EScenario S;
+         S.Frames.push_back(ScheduledFrame{4000, buildUdpFrame(Payload)});
+         return e2eFails(S, D);
+       }},
+      // Adversarial mix from the packet fuzzer.
+      {"fuzz-mix", [](std::string &D) {
+         return e2eFails(fuzzScenario(/*Seed=*/0xADE4, /*NumFrames=*/5), D);
+       }},
+  };
+}
+
+// -- DecodeConsistency column ------------------------------------------------
+
+std::vector<Stim> decodeConsistencyStims() {
+  using namespace isa;
+  return {
+      // Directed instruction words; srai is the one whose I-immediate and
+      // 5-bit shamt differ (funct7 = 0100000 rides in the upper bits).
+      {"directed-raws", [](std::string &D) {
+         const Word Raws[] = {
+             0x00000013, // nop
+             encode(mkI(Opcode::Srai, A0, A0, 31)),
+             encode(mkI(Opcode::Srli, A0, A0, 31)),
+             encode(mkI(Opcode::Slli, A0, A0, 17)),
+             encode(mkR(Opcode::Sra, A0, A1, A2)),
+             encode(mkR(Opcode::Slt, A0, A1, A2)),
+             encode(mkI(Opcode::Lb, A0, A1, -4)),
+             encode(mkS(Opcode::Sb, A0, A1, 12)),
+             encode(mkB(Opcode::Blt, A0, A1, -8)),
+         };
+         for (Word Raw : Raws)
+           if (!decodeAgrees(Raw, D))
+             return true;
+         return false;
+       }},
+      // Shared execute logic on edge operands (sign bits, shift ranges).
+      {"exec-edges", [](std::string &D) {
+         const Word Sra = encode(mkR(Opcode::Sra, A0, A1, A2));
+         const Word Slt = encode(mkR(Opcode::Slt, A0, A1, A2));
+         const Word Lb = encode(mkI(Opcode::Lb, A0, A1, 0));
+         return !execAgrees(Sra, 0x80000000, 31, D) ||
+                !execAgrees(Sra, 0x80000000, 1, D) ||
+                !execAgrees(Slt, Word(-1), 1, D) ||
+                !execAgrees(Slt, 1, Word(-1), D) ||
+                !execAgrees(Lb, 0x80, 0, D) || !execAgrees(Lb, 0x7F, 0, D);
+       }},
+      // Randomized sweep (seeded; includes the exhaustive opcode pass).
+      {"sweep", [](std::string &D) {
+         std::string Report;
+         uint64_t Bad = sweepDecodeConsistency(/*Samples=*/20'000,
+                                               /*Seed=*/7, Report);
+         if (Bad != 0) {
+           D = Report;
+           return true;
+         }
+         return false;
+       }},
+  };
+}
+
+// -- SimCacheDiff column -----------------------------------------------------
+//
+// The adequacy campaign's own checker: the same image runs on two ISA
+// simulators, predecoded fast path on vs. off, and the architectural
+// outcome (registers, PC, UB verdict, trace, retirement count) must be
+// identical — the executable form of the fast path's "no architectural
+// effect" claim, and the only column that can own the decode-cache
+// invalidation discipline.
+
+struct SimRun {
+  std::array<Word, 32> Regs{};
+  Word Pc = 0;
+  riscv::UbKind Ub = riscv::UbKind::None;
+  uint64_t Retired = 0;
+  riscv::MmioTrace Trace;
+};
+
+SimRun runSimOnce(const std::vector<uint8_t> &Image, Word HaltPc, bool Cache,
+                  uint64_t MaxRetired) {
+  riscv::Machine M(64 * 1024);
+  M.setDecodeCacheEnabled(Cache);
+  M.loadImage(0, Image);
+  riscv::NoDevice Dev;
+  while (!M.hasUb() && M.getPc() != HaltPc &&
+         M.retiredInstructions() < MaxRetired)
+    if (!riscv::step(M, Dev))
+      break;
+  SimRun R;
+  for (unsigned I = 0; I != 32; ++I)
+    R.Regs[I] = M.getReg(I);
+  R.Pc = M.getPc();
+  R.Ub = M.ubKind();
+  R.Retired = M.retiredInstructions();
+  R.Trace = M.trace();
+  return R;
+}
+
+bool simCacheDiffFails(const std::vector<isa::Instr> &P, std::string &Detail,
+                       uint64_t MaxRetired = 10'000) {
+  std::vector<uint8_t> Image = isa::instrencode(P);
+  Word HaltPc = Word(Image.size());
+  SimRun A = runSimOnce(Image, HaltPc, /*Cache=*/true, MaxRetired);
+  SimRun B = runSimOnce(Image, HaltPc, /*Cache=*/false, MaxRetired);
+  if (A.Ub != B.Ub) {
+    Detail = std::string("UB verdict differs: cached ") +
+             riscv::ubKindName(A.Ub) + " vs uncached " +
+             riscv::ubKindName(B.Ub);
+    return true;
+  }
+  if (A.Pc != B.Pc || A.Regs != B.Regs) {
+    Detail = "architectural state differs between cached and uncached runs";
+    return true;
+  }
+  if (A.Retired != B.Retired) {
+    Detail = "retirement counts differ: cached " +
+             std::to_string(A.Retired) + " vs uncached " +
+             std::to_string(B.Retired);
+    return true;
+  }
+  if (!(A.Trace == B.Trace)) {
+    Detail = "MMIO traces differ between cached and uncached runs";
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> simCacheDiffStims() {
+  using namespace isa;
+  return {
+      // The section-5.6 hazard, in miniature: execute an instruction (so
+      // its decode is cached), overwrite it with a store, branch back to
+      // it. Both runs must reach the same verdict — with the discipline
+      // intact, FetchNotExecutable at the patched PC.
+      {"patch-refetch", [](std::string &D) {
+         std::vector<Instr> P;
+         Word NewWord = encode(addi(A0, A0, 2));
+         materialize(NewWord, A4, P);   // 2 instructions.
+         P.push_back(addi(A5, Zero, 0));
+         P.push_back(addi(A5, A5, 1));  // Loop head, index 3.
+         P.push_back(addi(A0, A0, 1));  // Victim, index 4 (address 16).
+         P.push_back(sw(Zero, A4, 16)); // Patch the victim.
+         P.push_back(addi(A6, Zero, 2));
+         P.push_back(mkB(Opcode::Blt, A5, A6, -16)); // Back to the head.
+         return simCacheDiffFails(P, D);
+       }},
+      // Plain straight-line-plus-loop code (no self-modification): the
+      // fast path must be invisible here too.
+      {"plain-loop", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A0, Zero, 0));
+         P.push_back(addi(A1, Zero, 12));
+         P.push_back(addi(A0, A0, 3));
+         P.push_back(mkB(Opcode::Blt, A0, A1, -4));
+         P.push_back(sw(Zero, A0, 0x400));
+         P.push_back(lw(A2, Zero, 0x400));
+         return simCacheDiffFails(P, D);
+       }},
+  };
+}
+
+std::vector<Stim> columnStims(Checker C) {
+  switch (C) {
+  case Checker::CompilerDiff:
+    return compilerDiffStims();
+  case Checker::InterpDiff:
+    return interpDiffStims();
+  case Checker::Lockstep:
+    return lockstepStims();
+  case Checker::Refinement:
+    return refinementStims();
+  case Checker::EndToEnd:
+    return endToEndStims();
+  case Checker::DecodeConsistency:
+    return decodeConsistencyStims();
+  case Checker::SimCacheDiff:
+    return simCacheDiffStims();
+  case Checker::NumCheckers:
+    break;
+  }
+  return {};
+}
+
+// -- Campaign driver ---------------------------------------------------------
+
+CellResult runCell(const fi::FaultInfo *F, Checker C) {
+  CellResult R;
+  R.FaultId = F ? F->Id : fi::Fault::NumFaults;
+  R.Col = C;
+  fi::FaultPlan Plan;
+  if (F)
+    Plan.enable(F->Id);
+  fi::FaultScope Scope(Plan);
+  for (const Stim &S : columnStims(C)) {
+    ++R.StimuliRun;
+    std::string Detail;
+    if (S.Run(Detail)) {
+      R.Killed = true;
+      R.TimeToKill = R.StimuliRun;
+      R.Detail = std::string(S.Name) + ": " + truncated(std::move(Detail));
+      break;
+    }
+  }
+  return R;
+}
+
+const fi::FaultInfo *infoFor(fi::Fault F) {
+  for (const fi::FaultInfo &I : fi::faultRegistry())
+    if (I.Id == F)
+      return &I;
+  return nullptr;
+}
+
+} // namespace
+
+std::vector<fi::Fault> b2::verify::quickFaultSet() {
+  // One or two faults per layer; all seven owner columns exercised.
+  return {
+      fi::Fault::CompilerImmTruncate,
+      fi::Fault::CompilerStackallocNoZero,
+      fi::Fault::SimSraLogicalShift,
+      fi::Fault::SimDecodeCacheNoInvalidate,
+      fi::Fault::KamiBtbNoSquash,
+      fi::Fault::KamiMemWrongByteEnable,
+      fi::Fault::KamiDecodeShamtWide,
+      fi::Fault::DevLanRxByteOrder,
+      fi::Fault::BcBrVZInverted,
+      fi::Fault::BcAllocSkew,
+  };
+}
+
+AdequacyReport b2::verify::runAdequacy(const AdequacyOptions &Options) {
+  AdequacyReport Rep;
+  Rep.Quick = Options.Quick;
+
+  // Faults in scope, in registry order.
+  std::vector<const fi::FaultInfo *> Faults;
+  if (!Options.OnlyFault.empty()) {
+    if (const fi::FaultInfo *F = fi::findFault(Options.OnlyFault))
+      Faults.push_back(F);
+  } else if (Options.Quick) {
+    for (fi::Fault F : quickFaultSet())
+      Faults.push_back(infoFor(F));
+  } else {
+    for (const fi::FaultInfo &F : fi::faultRegistry())
+      Faults.push_back(&F);
+  }
+
+  struct CellSpec {
+    const fi::FaultInfo *F;
+    Checker C;
+  };
+  std::vector<CellSpec> Specs;
+  // Baseline row first: every column with an empty plan.
+  for (unsigned C = 0; C != NumCheckers; ++C)
+    Specs.push_back({nullptr, Checker(C)});
+  for (const fi::FaultInfo *F : Faults) {
+    if (Options.Quick) {
+      Checker Owner;
+      if (checkerByName(F->Owner, Owner))
+        Specs.push_back({F, Owner});
+    } else {
+      for (unsigned C = 0; C != NumCheckers; ++C)
+        Specs.push_back({F, Checker(C)});
+    }
+  }
+
+  // Every cell is a pure function of its (fault, checker) pair, and
+  // results land in a pre-sized slot by index: bit-identical reports for
+  // every thread count.
+  std::vector<CellResult> Out(Specs.size());
+  support::parallelFor(Specs.size(), Options.Threads, [&](size_t I) {
+    Out[I] = runCell(Specs[I].F, Specs[I].C);
+  });
+
+  Rep.Baseline.assign(Out.begin(), Out.begin() + NumCheckers);
+  Rep.Cells.assign(Out.begin() + NumCheckers, Out.end());
+  return Rep;
+}
+
+bool AdequacyReport::noFalsePositives() const {
+  for (const CellResult &C : Baseline)
+    if (C.Killed)
+      return false;
+  return !Baseline.empty();
+}
+
+const CellResult *AdequacyReport::ownerCell(fi::Fault F) const {
+  const fi::FaultInfo *Info = infoFor(F);
+  Checker Owner;
+  if (!Info || !checkerByName(Info->Owner, Owner))
+    return nullptr;
+  for (const CellResult &C : Cells)
+    if (C.FaultId == F && C.Col == Owner)
+      return &C;
+  return nullptr;
+}
+
+bool AdequacyReport::allKilledByOwner() const {
+  // Over the faults present in this report's cells.
+  bool Any = false;
+  for (const CellResult &C : Cells) {
+    Any = true;
+    const CellResult *Owner = ownerCell(C.FaultId);
+    if (!Owner || !Owner->Killed)
+      return false;
+  }
+  return Any;
+}
+
+std::string AdequacyReport::firstViolation() const {
+  for (const CellResult &C : Baseline)
+    if (C.Killed)
+      return std::string("false positive: ") + checkerName(C.Col) +
+             " failed with no fault armed (" + C.Detail + ")";
+  std::vector<fi::Fault> Seen;
+  for (const CellResult &C : Cells) {
+    bool New = true;
+    for (fi::Fault F : Seen)
+      if (F == C.FaultId)
+        New = false;
+    if (!New)
+      continue;
+    Seen.push_back(C.FaultId);
+    const fi::FaultInfo *Info = infoFor(C.FaultId);
+    const CellResult *Owner = ownerCell(C.FaultId);
+    if (Info && (!Owner || !Owner->Killed))
+      return std::string("fault not killed by its owner: ") + Info->Name +
+             " (owner " + Info->Owner + ")";
+  }
+  return "";
+}
+
+std::string b2::verify::adequacyJson(const AdequacyReport &Report) {
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("schema").value("b2stack-adequacy-v1");
+  J.key("quick").value(Report.Quick);
+  J.key("no_false_positives").value(Report.noFalsePositives());
+  J.key("all_killed_by_owner").value(Report.allKilledByOwner());
+
+  J.key("checkers").beginArray();
+  for (unsigned C = 0; C != NumCheckers; ++C)
+    J.value(checkerName(Checker(C)));
+  J.endArray();
+
+  J.key("baseline").beginArray();
+  for (const CellResult &C : Report.Baseline) {
+    J.beginObject();
+    J.key("checker").value(checkerName(C.Col));
+    J.key("ok").value(!C.Killed);
+    J.key("stimuli").value(C.StimuliRun);
+    if (C.Killed)
+      J.key("detail").value(C.Detail);
+    J.endObject();
+  }
+  J.endArray();
+
+  // Fault-major rendering, in registry order of the cells present.
+  J.key("faults").beginArray();
+  size_t I = 0;
+  uint64_t KilledByOwner = 0, TotalKills = 0, NumFaults = 0;
+  while (I != Report.Cells.size()) {
+    fi::Fault F = Report.Cells[I].FaultId;
+    const fi::FaultInfo *Info = infoFor(F);
+    ++NumFaults;
+    J.beginObject();
+    if (Info) {
+      J.key("name").value(Info->Name);
+      J.key("layer").value(Info->Layer);
+      J.key("owner").value(Info->Owner);
+      J.key("summary").value(Info->Summary);
+    }
+    const CellResult *Owner = Report.ownerCell(F);
+    J.key("killed_by_owner").value(Owner && Owner->Killed);
+    if (Owner && Owner->Killed) {
+      ++KilledByOwner;
+      J.key("owner_time_to_kill").value(Owner->TimeToKill);
+    }
+    J.key("cells").beginArray();
+    for (; I != Report.Cells.size() && Report.Cells[I].FaultId == F; ++I) {
+      const CellResult &C = Report.Cells[I];
+      TotalKills += C.Killed ? 1 : 0;
+      J.beginObject();
+      J.key("checker").value(checkerName(C.Col));
+      J.key("killed").value(C.Killed);
+      J.key("stimuli").value(C.StimuliRun);
+      if (C.Killed) {
+        J.key("time_to_kill").value(C.TimeToKill);
+        J.key("detail").value(C.Detail);
+      }
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+
+  J.key("totals").beginObject();
+  J.key("faults").value(NumFaults);
+  J.key("cells").value(uint64_t(Report.Cells.size()));
+  J.key("killed_by_owner").value(KilledByOwner);
+  J.key("total_kills").value(TotalKills);
+  J.endObject();
+
+  J.endObject();
+  return J.str();
+}

@@ -1,0 +1,110 @@
+//===- verify/FaultInjection.cpp - Seeded-fault registry metadata -----------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/FaultInjection.h"
+
+using namespace b2;
+using namespace b2::fi;
+
+const std::vector<FaultInfo> &b2::fi::faultRegistry() {
+  static const std::vector<FaultInfo> Registry = {
+      // -- Compiler ----------------------------------------------------------
+      {Fault::CompilerRegallocWrongReg, "compiler-regalloc-wrong-reg",
+       "compiler", "CompilerDiff",
+       "register allocator assigns two simultaneously live variables to "
+       "the same register"},
+      {Fault::CompilerLoadNoZeroExtend, "compiler-load-no-zero-extend",
+       "compiler", "CompilerDiff",
+       "1-byte loads compile to lb (sign-extending) instead of lbu"},
+      {Fault::CompilerBranchOffByOne, "compiler-branch-off-by-one",
+       "compiler", "CompilerDiff",
+       "short conditional branches resolve one instruction past their "
+       "target"},
+      {Fault::CompilerStackallocNoZero, "compiler-stackalloc-no-zero",
+       "compiler", "CompilerDiff",
+       "stackalloc omits the zero-fill loop, exposing stale stack bytes"},
+      {Fault::CompilerCalleeSavedSkip, "compiler-callee-saved-skip",
+       "compiler", "CompilerDiff",
+       "prologue/epilogue skip the first used callee-saved register"},
+      {Fault::CompilerImmTruncate, "compiler-imm-truncate", "compiler",
+       "CompilerDiff",
+       "constant materialization truncates immediates to 12 signed bits"},
+      // -- ISA simulator -----------------------------------------------------
+      {Fault::SimSraLogicalShift, "sim-sra-logical-shift", "sim", "Lockstep",
+       "sra/srai executes as a logical right shift"},
+      {Fault::SimBranchLtAsGe, "sim-branch-lt-as-ge", "sim", "Lockstep",
+       "blt takes the bge condition"},
+      {Fault::SimLhWrongWidth, "sim-lh-wrong-width", "sim", "Lockstep",
+       "lh sign-extends from bit 7 instead of bit 15"},
+      {Fault::SimStoreKeepsXAddrs, "sim-store-keeps-xaddrs", "sim",
+       "SimCacheDiff",
+       "stores skip the section-5.6 discipline: stored bytes stay in "
+       "XAddrs and stale decode-cache lines survive"},
+      {Fault::SimDecodeCacheNoInvalidate, "sim-decode-cache-no-invalidate",
+       "sim", "SimCacheDiff",
+       "XAddrs removal no longer drops overlapping decode-cache lines "
+       "(invalidation set != removal set)"},
+      // -- Kami processors ---------------------------------------------------
+      {Fault::KamiBtbNoSquash, "kami-btb-no-squash", "kami", "Refinement",
+       "a detected misprediction redirects fetch but does not squash the "
+       "wrong-path instruction in the decode latch"},
+      {Fault::KamiForwardLoadStale, "kami-forward-load-stale", "kami",
+       "Refinement",
+       "WB->ID forwarding also fires for loads, forwarding the stale ALU "
+       "latch instead of the loaded value"},
+      {Fault::KamiMemWrongByteEnable, "kami-mem-wrong-byte-enable", "kami",
+       "Lockstep",
+       "sub-word BRAM stores assert all four byte-enable lanes"},
+      {Fault::KamiLoadNoSignExtend, "kami-load-no-sign-extend", "kami",
+       "Lockstep", "lb zero-extends the loaded byte"},
+      {Fault::KamiSltAsUnsigned, "kami-slt-as-unsigned", "kami", "Lockstep",
+       "slt/slti compare unsigned"},
+      {Fault::KamiDecodeShamtWide, "kami-decode-shamt-wide", "kami",
+       "DecodeConsistency",
+       "shift-immediate decode keeps the whole I-immediate instead of "
+       "masking to the 5-bit shamt"},
+      {Fault::KamiIcacheFillTruncated, "kami-icache-fill-truncated", "kami",
+       "Lockstep",
+       "the reset-time I$ fill copies only the lower half of BRAM; upper "
+       "fetches read zero words"},
+      // -- Devices -----------------------------------------------------------
+      {Fault::DevLanRxByteOrder, "dev-lan-rx-byte-order", "devices",
+       "EndToEnd",
+       "LAN9250 RX data FIFO assembles its 32-bit words big-endian"},
+      {Fault::DevLanRxLengthOffByOne, "dev-lan-rx-length-off-by-one",
+       "devices", "EndToEnd",
+       "LAN9250 RX status words report the frame length plus one"},
+      {Fault::DevSpiStaleRead, "dev-spi-stale-read", "devices", "EndToEnd",
+       "SPI rxdata returns the previously popped byte instead of the "
+       "FIFO-empty flag"},
+      // -- Interpreter / bytecode --------------------------------------------
+      {Fault::BcLoopChargeMiscount, "bc-loop-charge-miscount", "interp",
+       "InterpDiff",
+       "the fused whole-loop-iteration op charges one statement too few "
+       "on body entry"},
+      {Fault::BcLatchOpAsAdd, "bc-latch-op-as-add", "interp", "InterpDiff",
+       "fused 'i = i op k' latches execute op as addition"},
+      {Fault::BcBrVZInverted, "bc-brvz-inverted", "interp", "InterpDiff",
+       "fused loop-head branches exit on nonzero instead of zero"},
+      {Fault::BcDivCountSkip, "bc-div-count-skip", "interp", "InterpDiff",
+       "the bytecode Binop handler does not count divisions by zero"},
+      {Fault::BcAllocSkew, "bc-alloc-skew", "interp", "InterpDiff",
+       "bytecode stackalloc binds the pointer 4 bytes past the owned "
+       "base"},
+      {Fault::FootprintCoalesceDropByte, "footprint-coalesce-drop-byte",
+       "interp", "CompilerDiff",
+       "merging overlapping ownership intervals drops the last byte of "
+       "the union"},
+  };
+  return Registry;
+}
+
+const FaultInfo *b2::fi::findFault(const std::string &Name) {
+  for (const FaultInfo &F : faultRegistry())
+    if (Name == F.Name)
+      return &F;
+  return nullptr;
+}

@@ -1,0 +1,167 @@
+//===- verify/FaultInjection.h - Seeded-fault registry ---------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime fault injection for checker-adequacy testing (the mutation
+/// adequacy campaign of verify/Adequacy.h). Every layer of the stack
+/// carries a small set of named, individually switchable seeded bugs —
+/// compiler miscompilations, ISA-simulator semantic bugs, pipeline bugs,
+/// device-model bugs, interpreter/bytecode bugs. A bug is *armed* by
+/// installing a FaultPlan for the current thread (RAII FaultScope); with
+/// no plan installed every hook compiles down to one thread-local load
+/// and a predicted-untaken branch, and behavior is bit-identical to the
+/// unhooked code. There are deliberately no #ifdef forks: the shipped
+/// binary IS the testable binary, which is what lets the adequacy driver
+/// assert the no-false-positive property (zero kills under an empty plan)
+/// on the exact code the rest of the suite runs.
+///
+/// The plan is thread-local so the sharded campaign driver
+/// (verify/ParallelDriver.h) can arm a different fault on every shard:
+/// support::parallelFor runs each shard as one task on one worker thread,
+/// so a FaultScope installed inside the shard body scopes exactly that
+/// shard's work.
+///
+/// This header is include-only (C++17 inline thread_local) so that every
+/// layer library (compiler, riscv, kami, devices, bedrock2) can hook
+/// without linking against b2_verify; the registry *metadata* (names,
+/// owning checkers) lives in FaultInjection.cpp inside b2_verify, where
+/// only the adequacy tooling needs it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VERIFY_FAULTINJECTION_H
+#define B2_VERIFY_FAULTINJECTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace fi {
+
+/// Every seeded fault in the stack. Grouped by layer; the registry in
+/// FaultInjection.cpp carries the per-fault metadata (layer, owning
+/// checker, summary). Keep in sync with faultRegistry().
+enum class Fault : uint8_t {
+  // -- Compiler miscompilations (owned by CompilerDiff) --------------------
+  CompilerRegallocWrongReg,   ///< Two live variables share one register.
+  CompilerLoadNoZeroExtend,   ///< 1-byte loads emit lb instead of lbu.
+  CompilerBranchOffByOne,     ///< Short branches land one instruction late.
+  CompilerStackallocNoZero,   ///< stackalloc skips the zero-fill loop.
+  CompilerCalleeSavedSkip,    ///< First used s-register not saved/restored.
+  CompilerImmTruncate,        ///< Constants materialize truncated to 12 bits.
+  // -- ISA-simulator semantic bugs (owned by Lockstep / SimCacheDiff) ------
+  SimSraLogicalShift,         ///< sra/srai shift in zeros, not sign bits.
+  SimBranchLtAsGe,            ///< blt takes the bge condition.
+  SimLhWrongWidth,            ///< lh sign-extends from 8 bits, not 16.
+  SimStoreKeepsXAddrs,        ///< Stores forget the stale-instruction
+                              ///< discipline: XAddrs and decode lines
+                              ///< survive the overwrite (section 5.6).
+  SimDecodeCacheNoInvalidate, ///< XAddrs removal keeps decode-cache lines
+                              ///< (invalidation set != removal set).
+  // -- Kami processor bugs (owned by Refinement / Lockstep / Decode) -------
+  KamiBtbNoSquash,            ///< Mispredicted wrong-path instr not squashed.
+  KamiForwardLoadStale,       ///< WB forwarding bypasses load results too,
+                              ///< handing ID a stale ALU latch.
+  KamiMemWrongByteEnable,     ///< Sub-word stores drive all 4 byte enables.
+  KamiLoadNoSignExtend,       ///< lb zero-extends.
+  KamiSltAsUnsigned,          ///< slt compares unsigned.
+  KamiDecodeShamtWide,        ///< Shift-immediate decode skips the 5-bit
+                              ///< shamt mask (full I-imm leaks through).
+  KamiIcacheFillTruncated,    ///< Reset fill copies only half the BRAM.
+  // -- Device-model bugs (owned by EndToEnd) -------------------------------
+  DevLanRxByteOrder,          ///< RX FIFO assembles words big-endian.
+  DevLanRxLengthOffByOne,     ///< RX status reports length + 1.
+  DevSpiStaleRead,            ///< rxdata replays the last byte instead of
+                              ///< signaling empty.
+  // -- Interpreter / bytecode bugs (owned by InterpDiff / CompilerDiff) ----
+  BcLoopChargeMiscount,       ///< Fused loop op undercharges body entry.
+  BcLatchOpAsAdd,             ///< Fused "i = i op k" latch always adds.
+  BcBrVZInverted,             ///< Fused loop-head branch tests != 0.
+  BcDivCountSkip,             ///< Bytecode Binop forgets DivByZeroCount.
+  BcAllocSkew,                ///< stackalloc hands out base + 4.
+  FootprintCoalesceDropByte,  ///< Interval merge in the ownership set
+                              ///< loses the last byte of the union.
+
+  NumFaults, ///< Count sentinel; not a fault.
+};
+
+static_assert(unsigned(Fault::NumFaults) <= 64,
+              "FaultPlan packs the plan into one 64-bit word");
+
+/// The set of armed faults. Cheap value type; campaigns arm exactly one
+/// fault per plan, but the representation allows any subset.
+class FaultPlan {
+public:
+  constexpr FaultPlan() = default;
+
+  void enable(Fault F) { Bits |= uint64_t(1) << unsigned(F); }
+  void disable(Fault F) { Bits &= ~(uint64_t(1) << unsigned(F)); }
+  bool enabled(Fault F) const {
+    return (Bits >> unsigned(F)) & 1;
+  }
+  bool empty() const { return Bits == 0; }
+
+  static FaultPlan single(Fault F) {
+    FaultPlan P;
+    P.enable(F);
+    return P;
+  }
+
+private:
+  uint64_t Bits = 0;
+};
+
+/// The plan armed on this thread, or null (the common case: nothing
+/// armed, all hooks dormant). Installed only via FaultScope.
+inline thread_local const FaultPlan *ActivePlan = nullptr;
+
+/// The hook predicate every injection site evaluates. One thread-local
+/// load and a branch when dormant.
+inline bool on(Fault F) {
+  const FaultPlan *P = ActivePlan;
+  return P != nullptr && P->enabled(F);
+}
+
+/// RAII installer: arms \p Plan for the current thread for the scope's
+/// lifetime, restoring whatever was armed before (scopes nest). The plan
+/// must outlive the scope.
+class FaultScope {
+public:
+  explicit FaultScope(const FaultPlan &Plan) : Prev(ActivePlan) {
+    ActivePlan = &Plan;
+  }
+  ~FaultScope() { ActivePlan = Prev; }
+
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+
+private:
+  const FaultPlan *Prev;
+};
+
+// -- Registry metadata (defined in FaultInjection.cpp, linked into
+// b2_verify; only the adequacy tooling needs these) -----------------------
+
+/// Static description of one seeded fault.
+struct FaultInfo {
+  Fault Id;
+  const char *Name;    ///< Stable kebab-case identifier (CLI / JSON).
+  const char *Layer;   ///< compiler / sim / kami / devices / interp.
+  const char *Owner;   ///< The checker column that must kill it.
+  const char *Summary; ///< One-line description of the seeded bug.
+};
+
+/// All registered faults, ordered by Fault enumerator.
+const std::vector<FaultInfo> &faultRegistry();
+
+/// Looks up a fault by its stable name; null if unknown.
+const FaultInfo *findFault(const std::string &Name);
+
+} // namespace fi
+} // namespace b2
+
+#endif // B2_VERIFY_FAULTINJECTION_H

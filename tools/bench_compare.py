@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for the b2stack CI.
+
+Compares the throughput JSON emitted by bench/sim_throughput
+(BENCH_sim_throughput.json) and bench/interp_throughput
+(BENCH_interp.json) against a baseline from a previous main-branch run,
+and fails when any per-row throughput regresses by more than the allowed
+fraction (default 25%).
+
+Rows are keyed by their identity fields (kernel+substrate for the
+simulator bench, workload+engine for the interpreter bench), so adding
+or removing rows never trips the guard — only a matched row that got
+slower does. A missing baseline (first run, expired cache) is reported
+and skipped rather than failed, so the guard can bootstrap itself.
+
+Usage:
+  bench_compare.py --baseline DIR --current DIR [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# file name -> (array key, identity fields, throughput field)
+BENCH_FILES = {
+    "BENCH_sim_throughput.json": ("kernels", ("kernel", "substrate"),
+                                  "instr_per_sec"),
+    "BENCH_interp.json": ("workloads", ("workload", "engine"),
+                          "stmts_per_sec"),
+}
+
+
+def load_rows(path, array_key, id_fields, value_field):
+    """Returns {identity tuple: throughput} for one bench JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get(array_key, []):
+        ident = tuple(row.get(k) for k in id_fields)
+        value = row.get(value_field)
+        if None in ident or not isinstance(value, (int, float)) or value <= 0:
+            continue
+        rows[ident] = float(value)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="directory holding the previous main-branch JSON")
+    ap.add_argument("--current", required=True,
+                    help="directory holding this run's JSON")
+    ap.add_argument("--max-regression", type=float, default=0.25,
+                    help="allowed fractional slowdown per row (default 0.25)")
+    args = ap.parse_args()
+
+    failures = []
+    compared = 0
+    for name, (array_key, id_fields, value_field) in BENCH_FILES.items():
+        base_path = os.path.join(args.baseline, name)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(cur_path):
+            print(f"bench_compare: {name}: no current file, skipping")
+            continue
+        if not os.path.exists(base_path):
+            print(f"bench_compare: {name}: no baseline (first run or "
+                  f"expired cache), skipping")
+            continue
+        base = load_rows(base_path, array_key, id_fields, value_field)
+        cur = load_rows(cur_path, array_key, id_fields, value_field)
+        for ident, base_value in sorted(base.items()):
+            label = f"{name}:" + "/".join(str(p) for p in ident)
+            if ident not in cur:
+                print(f"bench_compare: {label}: row gone from current run "
+                      f"(renamed?), skipping")
+                continue
+            compared += 1
+            ratio = cur[ident] / base_value
+            verdict = "OK"
+            if ratio < 1.0 - args.max_regression:
+                verdict = "REGRESSION"
+                failures.append(label)
+            print(f"bench_compare: {label}: {base_value:.3e} -> "
+                  f"{cur[ident]:.3e} ({ratio:.1%} of baseline) {verdict}")
+
+    print(f"bench_compare: {compared} rows compared, "
+          f"{len(failures)} regressed beyond "
+          f"{args.max_regression:.0%}")
+    if failures:
+        for label in failures:
+            print(f"bench_compare: FAILED: {label}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
