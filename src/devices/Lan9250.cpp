@@ -219,6 +219,12 @@ bool Lan9250::injectFrame(std::vector<uint8_t> Frame, bool Errored) {
     return false;
   if (RxQueue.size() >= Cfg.MaxBufferedFrames)
     return false;
+  // A zero-byte frame cannot exist on the wire (nothing between SFD and
+  // CRC would frame it); the MAC never forwards one. Modeling it as
+  // bufferable would also wedge the driver: a status word with length 0
+  // prompts zero data-FIFO reads, so the frame would never pop.
+  if (Frame.empty())
+    return false;
   PendingFrame F;
   F.Data = std::move(Frame);
   F.Errored = Errored;

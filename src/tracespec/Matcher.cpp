@@ -103,104 +103,111 @@ Matcher::Matcher(const Spec &S) {
                  FirstSet.end());
 }
 
-std::vector<bool> Matcher::simulate(const Trace &T, size_t &Consumed) const {
-  // The live set is over positions; the start state is represented
-  // implicitly by seeding with FirstSet on the first event.
-  std::vector<bool> Live(Positions.size(), false);
-  std::vector<uint32_t> Current = FirstSet;
+// -- Online simulation -------------------------------------------------------
+//
+// The batch queries below are thin wrappers over Stream, so the online and
+// whole-trace paths cannot drift apart: there is exactly one simulation.
 
+Matcher::Stream::Stream(const Matcher &M) : M(&M) { reset(); }
+
+void Matcher::Stream::reset() {
+  // The start state is represented implicitly by seeding the frontier
+  // with FirstSet before the first event.
+  Current = M->FirstSet;
+  Matched.clear();
+  InFrontier.assign(M->Positions.size(), false);
   Consumed = 0;
-  for (const Event &E : T) {
-    std::vector<bool> Next(Positions.size(), false);
-    bool Any = false;
-    for (uint32_t P : Current) {
-      if (!Positions[P].Pred(E))
-        continue;
-      // This occurrence matched; mark it so acceptance and the next
-      // frontier can be read off.
-      Next[P] = true;
-      Any = true;
-    }
-    if (!Any) {
-      // Dead: no live position can consume this event.
-      std::vector<bool> Result(Positions.size(), false);
-      for (uint32_t P : Current)
-        Result[P] = true;
-      return Result; // Live set *before* the failing event, Consumed set.
-    }
-    // Build the next frontier: followers of every just-matched position.
-    std::vector<uint32_t> Frontier;
-    std::vector<bool> InFrontier(Positions.size(), false);
-    for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P) {
-      if (!Next[P])
-        continue;
-      for (uint32_t Q : Positions[P].Follow) {
-        if (!InFrontier[Q]) {
-          InFrontier[Q] = true;
-          Frontier.push_back(Q);
-        }
-      }
-    }
-    Live = Next;
-    Current = std::move(Frontier);
-    ++Consumed;
-  }
-
-  // All events consumed: return the just-matched set (or a marker for the
-  // empty trace).
-  return Live;
+  Dead = false;
 }
 
-bool Matcher::matches(const Trace &T) const {
-  if (T.empty())
-    return Nullable;
-  size_t Consumed = 0;
-  std::vector<bool> Final = simulate(T, Consumed);
-  if (Consumed != T.size())
+bool Matcher::Stream::feed(const Event &E) {
+  if (Dead)
     return false;
-  for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P)
-    if (Final[P] && Positions[P].Accepting)
+  // The scratch vectors are members so a long-running stream feeds
+  // without per-event allocation. Current is dup-free by construction
+  // (FirstSet is deduplicated, and frontiers are built through the
+  // InFrontier filter), so Matched is dup-free too.
+  Matched.clear();
+  for (uint32_t P : Current)
+    if (M->Positions[P].Pred(E))
+      Matched.push_back(P);
+  if (Matched.empty()) {
+    // Dead: no live position can consume this event. Current is left at
+    // the pre-event frontier so expectedHere() reports the point of
+    // death.
+    Dead = true;
+    return false;
+  }
+  // Build the next frontier: followers of every just-matched position.
+  Current.clear();
+  for (uint32_t P : Matched)
+    for (uint32_t Q : M->Positions[P].Follow)
+      if (!InFrontier[Q]) {
+        InFrontier[Q] = true;
+        Current.push_back(Q);
+      }
+  for (uint32_t Q : Current)
+    InFrontier[Q] = false;
+  ++Consumed;
+  return true;
+}
+
+bool Matcher::Stream::accepted() const {
+  if (Dead)
+    return false;
+  if (Consumed == 0)
+    return M->Nullable;
+  for (uint32_t P : Matched)
+    if (M->Positions[P].Accepting)
       return true;
   return false;
 }
 
+std::vector<std::string> Matcher::Stream::expectedHere() const {
+  std::vector<std::string> Out;
+  std::map<std::string, bool> Seen;
+  for (uint32_t P : Current)
+    if (!Seen[M->Positions[P].Name]) {
+      Seen[M->Positions[P].Name] = true;
+      Out.push_back(M->Positions[P].Name);
+    }
+  return Out;
+}
+
+// -- Batch queries ------------------------------------------------------------
+
+bool Matcher::matches(const Trace &T) const {
+  Stream S(*this);
+  for (const Event &E : T)
+    if (!S.feed(E))
+      return false;
+  return S.accepted();
+}
+
 bool Matcher::acceptsPrefix(const Trace &T) const {
-  if (T.empty())
-    return true; // Every language here is non-empty, so eps is a prefix.
-  size_t Consumed = 0;
-  simulate(T, Consumed);
   // Because every subterm's language is non-empty and every position can
   // complete to an accepted trace, consuming the whole trace (live set
   // nonempty along the way) is exactly prefix membership.
-  return Consumed == T.size();
+  Stream S(*this);
+  for (const Event &E : T)
+    if (!S.feed(E))
+      return false;
+  return true;
 }
 
 MatchDiagnosis Matcher::diagnose(const Trace &T) const {
   MatchDiagnosis D;
-  size_t Consumed = 0;
-  std::vector<bool> Final = simulate(T, Consumed);
-  D.DeadAt = Consumed;
-  D.PrefixAccepted = Consumed == T.size();
-  D.Accepted = false;
-  if (T.empty()) {
-    D.Accepted = Nullable;
-    D.PrefixAccepted = true;
-    return D;
+  Stream S(*this);
+  for (const Event &E : T)
+    if (!S.feed(E))
+      break;
+  D.DeadAt = S.consumed();
+  D.PrefixAccepted = S.alive();
+  D.Accepted = S.accepted();
+  if (!D.PrefixAccepted) {
+    // Report what the spec was willing to accept at the point of death.
+    D.ExpectedHere = S.expectedHere();
+    D.FailingEvent = riscv::toString(T[S.consumed()]);
   }
-  if (D.PrefixAccepted) {
-    for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P)
-      if (Final[P] && Positions[P].Accepting)
-        D.Accepted = true;
-    return D;
-  }
-  // Report what the spec was willing to accept at the point of death. The
-  // returned set is the frontier before the failing event.
-  std::map<std::string, bool> Seen;
-  for (uint32_t P = 0; P != uint32_t(Positions.size()); ++P)
-    if (Final[P] && !Seen[Positions[P].Name]) {
-      Seen[Positions[P].Name] = true;
-      D.ExpectedHere.push_back(Positions[P].Name);
-    }
-  D.FailingEvent = riscv::toString(T[Consumed]);
   return D;
 }

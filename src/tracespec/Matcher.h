@@ -62,6 +62,56 @@ public:
   /// Number of automaton positions (for tests and benches).
   size_t numPositions() const { return Positions.size(); }
 
+  /// Incremental (online) NFA simulation over one growing trace. The
+  /// streaming monitors feed events as they are produced by a running
+  /// machine, so a spec violation is pinned to the exact offending event
+  /// while the run is still in flight — instead of re-matching the whole
+  /// trace after the fact. One Stream holds the live-position frontier
+  /// for one trace; many Streams can share one compiled Matcher (which
+  /// they never mutate).
+  ///
+  /// Invariant tying the two APIs together: after feeding the events of
+  /// T in order, alive() == acceptsPrefix(T), accepted() == matches(T),
+  /// and on the first rejected event consumed() equals the whole-trace
+  /// diagnosis's DeadAt.
+  class Stream {
+  public:
+    explicit Stream(const Matcher &M);
+
+    /// Consumes one event. Returns false — and leaves the frontier at
+    /// the pre-event state, for expectedHere() — iff no live position
+    /// can consume it (the fed trace stops being a prefix of L(Spec)).
+    /// Once dead, a stream stays dead; feeding more events is a no-op.
+    bool feed(const Event &E);
+
+    /// The fed trace is still a prefix of some accepted trace.
+    bool alive() const { return !Dead; }
+
+    /// The fed trace is itself a member of L(Spec).
+    bool accepted() const;
+
+    /// Events successfully consumed so far (== the index of the
+    /// offending event once dead).
+    size_t consumed() const { return Consumed; }
+
+    /// Leaf names the spec would have accepted at the current point
+    /// (after death: at the point of death). Deduplicated, in position
+    /// order, like MatchDiagnosis::ExpectedHere.
+    std::vector<std::string> expectedHere() const;
+
+    /// Forgets everything and rewinds to the empty trace.
+    void reset();
+
+  private:
+    const Matcher *M;
+    std::vector<uint32_t> Current; ///< Live frontier (position indices).
+    std::vector<uint32_t> Matched; ///< Positions that consumed the last
+                                   ///< event (acceptance is read here).
+    std::vector<bool> InFrontier;  ///< Scratch for frontier dedup.
+    size_t Consumed = 0;
+    bool Dead = false;
+  };
+
 private:
   struct Position {
     EventPred Pred;
@@ -73,10 +123,6 @@ private:
   std::vector<Position> Positions;
   std::vector<uint32_t> FirstSet; ///< Positions reachable from the start.
   bool Nullable = false;          ///< Empty trace accepted.
-
-  /// Runs the simulation, returning the live set after the longest
-  /// consumable prefix and reporting how many events were consumed.
-  std::vector<bool> simulate(const Trace &T, size_t &Consumed) const;
 };
 
 } // namespace tracespec

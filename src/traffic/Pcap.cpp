@@ -1,0 +1,191 @@
+//===- traffic/Pcap.cpp - Classic libpcap corpus files -----------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "traffic/Pcap.h"
+
+#include "verify/FaultInjection.h"
+
+#include <cstdio>
+
+using namespace b2;
+using namespace b2::traffic;
+
+namespace {
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(uint8_t(V));
+  Out.push_back(uint8_t(V >> 8));
+  Out.push_back(uint8_t(V >> 16));
+  Out.push_back(uint8_t(V >> 24));
+}
+
+void put16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(uint8_t(V));
+  Out.push_back(uint8_t(V >> 8));
+}
+
+/// Cursor with optional byte-swapping (captures written big-endian).
+struct Reader {
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+  bool Swapped = false;
+
+  bool has(size_t N) const { return Bytes.size() - Pos >= N; }
+
+  uint32_t get32() {
+    uint32_t V = uint32_t(Bytes[Pos]) | (uint32_t(Bytes[Pos + 1]) << 8) |
+                 (uint32_t(Bytes[Pos + 2]) << 16) |
+                 (uint32_t(Bytes[Pos + 3]) << 24);
+    Pos += 4;
+    if (Swapped)
+      V = ((V & 0xFF) << 24) | ((V & 0xFF00) << 8) | ((V >> 8) & 0xFF00) |
+          (V >> 24);
+    return V;
+  }
+
+  uint16_t get16() {
+    uint16_t V = uint16_t(Bytes[Pos]) | uint16_t(Bytes[Pos + 1]) << 8;
+    Pos += 2;
+    if (Swapped)
+      V = uint16_t((V << 8) | (V >> 8));
+    return V;
+  }
+};
+
+} // namespace
+
+std::vector<uint8_t>
+b2::traffic::encodePcap(const std::vector<devices::ScheduledFrame> &Frames) {
+  std::vector<uint8_t> Out;
+  size_t Total = 24;
+  for (const devices::ScheduledFrame &F : Frames)
+    Total += 16 + F.Frame.size();
+  Out.reserve(Total);
+
+  put32(Out, pcap::MagicUsec);
+  put16(Out, pcap::VersionMajor);
+  put16(Out, pcap::VersionMinor);
+  put32(Out, 0); // thiszone
+  put32(Out, 0); // sigfigs
+  put32(Out, pcap::SnapLen);
+  put32(Out, pcap::LinkTypeEthernet);
+
+  for (const devices::ScheduledFrame &F : Frames) {
+    uint32_t Sec = uint32_t(F.AtOp / 1'000'000);
+    if (F.Errored)
+      Sec |= pcap::ErroredBit;
+    put32(Out, Sec);
+    put32(Out, uint32_t(F.AtOp % 1'000'000));
+    uint32_t Len = uint32_t(F.Frame.size());
+    // Seeded corpus bug for the adequacy campaign: long frames are
+    // written one byte short, so a pcap round trip no longer preserves
+    // the stream.
+    uint32_t Incl = Len;
+    if (fi::on(fi::Fault::TrafficPcapTruncateWrite) && Len > 64)
+      Incl = Len - 1;
+    put32(Out, Incl);
+    put32(Out, Len);
+    Out.insert(Out.end(), F.Frame.begin(), F.Frame.begin() + Incl);
+  }
+  return Out;
+}
+
+bool b2::traffic::decodePcap(const std::vector<uint8_t> &Bytes,
+                             std::vector<devices::ScheduledFrame> &Out,
+                             std::string &Error) {
+  Reader R{Bytes};
+  if (!R.has(24)) {
+    Error = "pcap: file shorter than the 24-byte global header";
+    return false;
+  }
+  uint32_t Magic = R.get32();
+  if (Magic == pcap::MagicUsecSwapped) {
+    R.Swapped = true;
+  } else if (Magic != pcap::MagicUsec) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "pcap: bad magic 0x%08x", Magic);
+    Error = Buf;
+    return false;
+  }
+  uint16_t Major = R.get16();
+  R.get16();   // minor: accept any
+  R.get32();   // thiszone
+  R.get32();   // sigfigs
+  R.get32();   // snaplen
+  uint32_t LinkType = R.get32();
+  if (Major != pcap::VersionMajor) {
+    Error = "pcap: unsupported major version " + std::to_string(Major);
+    return false;
+  }
+  if (LinkType != pcap::LinkTypeEthernet) {
+    Error = "pcap: unsupported link type " + std::to_string(LinkType) +
+            " (want Ethernet)";
+    return false;
+  }
+
+  std::vector<devices::ScheduledFrame> Frames;
+  while (R.Pos != Bytes.size()) {
+    if (!R.has(16)) {
+      Error = "pcap: truncated record header at offset " +
+              std::to_string(R.Pos);
+      return false;
+    }
+    uint32_t Sec = R.get32();
+    uint32_t Usec = R.get32();
+    uint32_t Incl = R.get32();
+    R.get32(); // orig_len: informational
+    if (!R.has(Incl)) {
+      Error = "pcap: record body truncated at offset " + std::to_string(R.Pos);
+      return false;
+    }
+    devices::ScheduledFrame F;
+    F.Errored = (Sec & pcap::ErroredBit) != 0;
+    F.AtOp = uint64_t(Sec & ~pcap::ErroredBit) * 1'000'000 + Usec;
+    F.Frame.assign(Bytes.begin() + R.Pos, Bytes.begin() + R.Pos + Incl);
+    R.Pos += Incl;
+    Frames.push_back(std::move(F));
+  }
+  Out = std::move(Frames);
+  return true;
+}
+
+bool b2::traffic::writePcap(const std::string &Path,
+                            const std::vector<devices::ScheduledFrame> &Frames,
+                            std::string &Error) {
+  std::vector<uint8_t> Bytes = encodePcap(Frames);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "pcap: cannot open " + Path + " for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok)
+    Error = "pcap: short write to " + Path;
+  return Ok;
+}
+
+bool b2::traffic::readPcap(const std::string &Path,
+                           std::vector<devices::ScheduledFrame> &Out,
+                           std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "pcap: cannot open " + Path;
+    return false;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) != 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  bool ReadOk = !std::ferror(F);
+  std::fclose(F);
+  if (!ReadOk) {
+    Error = "pcap: read error on " + Path;
+    return false;
+  }
+  return decodePcap(Bytes, Out, Error);
+}

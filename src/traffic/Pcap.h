@@ -1,0 +1,79 @@
+//===- traffic/Pcap.h - Classic libpcap corpus files -----------*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader/writer for the classic libpcap capture format (the 24-byte
+/// global header with magic 0xa1b2c3d4, LINKTYPE_ETHERNET records), so
+/// traffic workloads can be recorded, replayed, and shipped as ordinary
+/// corpus files — including the shrunk counterexamples the soak harness
+/// writes on a spec violation. No external dependencies: the format is
+/// simple enough to encode byte-by-byte.
+///
+/// Mapping between pcap records and this repository's scheduled frames:
+///
+///  * Arrival time is op-count-based (devices/Platform.h), never
+///    wall-clock, so a capture stays deterministic under replay. AtOp is
+///    stored as the record timestamp with one MMIO op per microsecond:
+///    ts_sec = AtOp / 1e6, ts_usec = AtOp % 1e6.
+///  * The PHY error-summary flag (ScheduledFrame::Errored — a frame
+///    delivered with the RX status error bit, as after a CRC failure)
+///    has no pcap field; it rides in bit 30 of ts_sec. Foreign tools
+///    still parse such files; they merely show a far-future timestamp
+///    for the few errored frames.
+///
+/// Reading accepts both byte orders of the microsecond magic (a capture
+/// written on a big-endian machine byte-swaps every header field).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_TRAFFIC_PCAP_H
+#define B2_TRAFFIC_PCAP_H
+
+#include "devices/Platform.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace traffic {
+
+namespace pcap {
+constexpr uint32_t MagicUsec = 0xa1b2c3d4;      ///< Host-order capture.
+constexpr uint32_t MagicUsecSwapped = 0xd4c3b2a1;
+constexpr uint16_t VersionMajor = 2;
+constexpr uint16_t VersionMinor = 4;
+constexpr uint32_t LinkTypeEthernet = 1;
+constexpr uint32_t SnapLen = 65535;
+/// ts_sec bit carrying ScheduledFrame::Errored (see file comment).
+constexpr uint32_t ErroredBit = uint32_t(1) << 30;
+} // namespace pcap
+
+/// Encodes \p Frames as a complete pcap file image (global header plus
+/// one record per frame, little-endian).
+std::vector<uint8_t> encodePcap(const std::vector<devices::ScheduledFrame> &Frames);
+
+/// Decodes a pcap file image. Returns false (with \p Error set) on a bad
+/// magic, a truncated header, or a truncated record; \p Out receives the
+/// frames decoded so far only on success.
+bool decodePcap(const std::vector<uint8_t> &Bytes,
+                std::vector<devices::ScheduledFrame> &Out,
+                std::string &Error);
+
+/// Writes \p Frames to \p Path as a pcap file. False on I/O failure.
+bool writePcap(const std::string &Path,
+               const std::vector<devices::ScheduledFrame> &Frames,
+               std::string &Error);
+
+/// Reads a pcap file from \p Path. False on I/O or format failure.
+bool readPcap(const std::string &Path,
+              std::vector<devices::ScheduledFrame> &Out,
+              std::string &Error);
+
+} // namespace traffic
+} // namespace b2
+
+#endif // B2_TRAFFIC_PCAP_H

@@ -1,0 +1,490 @@
+//===- traffic/Soak.cpp - Sharded pcap-driven soak harness -------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "traffic/Soak.h"
+
+#include "app/Firmware.h"
+#include "app/LightbulbSpec.h"
+#include "devices/Net.h"
+#include "kami/PipelinedCore.h"
+#include "kami/SpecCore.h"
+#include "riscv/Machine.h"
+#include "riscv/Step.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+#include "traffic/Monitor.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+using namespace b2;
+using namespace b2::traffic;
+using namespace b2::devices;
+
+const char *b2::traffic::soakCoreName(SoakCore C) {
+  switch (C) {
+  case SoakCore::Pipelined:
+    return "pipelined";
+  case SoakCore::IsaSim:
+    return "isa-sim";
+  case SoakCore::SpecCore:
+    return "spec-core";
+  }
+  return "?";
+}
+
+namespace {
+
+/// FNV-1a over an MMIO trace (the same construction as streamDigest;
+/// local so b2_traffic stays independent of b2_verify's traceDigest).
+uint64_t traceHash(const riscv::MmioTrace &T) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (I * 8)) & 0xFF;
+      H *= 0x100000001b3ull;
+    }
+  };
+  Mix(T.size());
+  for (const riscv::MmioEvent &E : T) {
+    Mix(E.IsStore ? 1 : 0);
+    Mix(E.Addr);
+    Mix(E.Value);
+    Mix(E.Size);
+  }
+  return H;
+}
+
+/// Ground truth, as in the end-to-end checker: the distinct lightbulb
+/// states implied by the accepted frames (initial state off).
+std::vector<bool>
+expectedLightSequence(const std::vector<ScheduledFrame> &Accepted) {
+  std::vector<bool> Out;
+  bool Light = false;
+  for (const ScheduledFrame &F : Accepted) {
+    if (F.Errored)
+      continue;
+    FrameClass C = classifyFrame(F.Frame);
+    if (!C.Valid)
+      continue;
+    if (C.CommandBit != Light) {
+      Light = C.CommandBit;
+      Out.push_back(Light);
+    }
+  }
+  return Out;
+}
+
+/// Uniform driver over the three execution substrates (the soak-side
+/// sibling of the end-to-end checker's SystemRunner).
+class ShardRunner {
+public:
+  ShardRunner(const compiler::CompiledProgram &Prog, SoakCore Core,
+              Word RamBytes)
+      : Core(Core) {
+    switch (Core) {
+    case SoakCore::IsaSim:
+      Sim = std::make_unique<riscv::Machine>(RamBytes);
+      Sim->loadImage(0, Prog.image());
+      break;
+    case SoakCore::SpecCore:
+      Mem = std::make_unique<kami::Bram>(RamBytes);
+      Mem->loadImage(Prog.image());
+      Spec = std::make_unique<kami::SpecCore>(*Mem, Plat);
+      break;
+    case SoakCore::Pipelined:
+      Mem = std::make_unique<kami::Bram>(RamBytes);
+      Mem->loadImage(Prog.image());
+      Pipe = std::make_unique<kami::PipelinedCore>(*Mem, Plat,
+                                                   kami::PipeConfig());
+      break;
+    }
+  }
+
+  bool run(uint64_t Cycles) {
+    switch (Core) {
+    case SoakCore::IsaSim:
+      riscv::run(*Sim, Plat, Cycles);
+      return !Sim->hasUb();
+    case SoakCore::SpecCore:
+      Spec->run(Cycles);
+      return true;
+    case SoakCore::Pipelined:
+      Pipe->run(Cycles);
+      return true;
+    }
+    return false;
+  }
+
+  /// Trace under KamiLabelSeqR, converted incrementally (O(new events)
+  /// per call, which is what keeps per-chunk monitor polling cheap).
+  const riscv::MmioTrace &trace() {
+    switch (Core) {
+    case SoakCore::IsaSim:
+      return Sim->trace();
+    case SoakCore::SpecCore:
+      Converted =
+          kami::appendKamiLabelSeqR(Spec->labels(), Converted, ConvertedTrace);
+      return ConvertedTrace;
+    case SoakCore::Pipelined:
+      Converted =
+          kami::appendKamiLabelSeqR(Pipe->labels(), Converted, ConvertedTrace);
+      return ConvertedTrace;
+    }
+    return ConvertedTrace;
+  }
+
+  uint64_t retired() const {
+    switch (Core) {
+    case SoakCore::IsaSim:
+      return Sim->retiredInstructions();
+    case SoakCore::SpecCore:
+      return Spec->retired();
+    case SoakCore::Pipelined:
+      return Pipe->retired();
+    }
+    return 0;
+  }
+
+  std::string simUbDetail() const {
+    return std::string(riscv::ubKindName(Sim->ubKind())) + ": " +
+           Sim->ubDetail();
+  }
+
+  Platform &platform() { return Plat; }
+
+private:
+  SoakCore Core;
+  Platform Plat;
+  std::unique_ptr<riscv::Machine> Sim;
+  std::unique_ptr<kami::Bram> Mem;
+  std::unique_ptr<kami::SpecCore> Spec;
+  std::unique_ptr<kami::PipelinedCore> Pipe;
+  riscv::MmioTrace ConvertedTrace;
+  size_t Converted = 0;
+};
+
+ShardStats runShardRange(const compiler::CompiledProgram &Prog,
+                         const ScheduledFrame *Begin, const ScheduledFrame *End,
+                         const SoakOptions &Options) {
+  ShardStats S;
+  // Arm the requested plan, if any. When none is requested the ambient
+  // thread-local plan (e.g. one the adequacy driver armed around this
+  // call) is left in place rather than masked with an empty scope.
+  std::optional<fi::FaultScope> Scope;
+  if (Options.Plan)
+    Scope.emplace(*Options.Plan);
+
+  ShardRunner Runner(Prog, Options.Core, Options.RamBytes);
+  Platform &Plat = Runner.platform();
+  TraceMonitor Mon;
+
+  const size_t NumFrames = size_t(End - Begin);
+  size_t NextFrame = 0;
+  std::vector<ScheduledFrame> Delivered;
+
+  if (Options.HonorSchedule)
+    for (const ScheduledFrame *F = Begin; F != End; ++F)
+      Plat.scheduleFrame(F->AtOp, F->Frame, F->Errored);
+
+  uint64_t Elapsed = 0;
+  bool Drained = false;
+  bool Violated = false;
+  while (Elapsed < Options.MaxCyclesPerShard) {
+    if (!Runner.run(Options.ChunkCycles)) {
+      S.HitUb = true;
+      S.Error = "ISA simulator hit UB: " + Runner.simUbDetail();
+      break;
+    }
+    Elapsed += Options.ChunkCycles;
+
+    // The streaming check: feed only the events this chunk produced.
+    if (!Mon.pollTrace(Runner.trace())) {
+      Violated = true;
+      break;
+    }
+
+    if (Options.HonorSchedule) {
+      uint64_t LastAt = NumFrames == 0 ? 0 : (End - 1)->AtOp;
+      if (Plat.opCount() > LastAt + 100 && Plat.nic().bufferedFrames() == 0) {
+        if (Drained)
+          break;
+        Drained = true;
+      }
+      continue;
+    }
+
+    // Backpressure delivery: top the NIC FIFO back up to the budget.
+    // Gated on rxEnabled so nothing is lost to the pre-init window, and
+    // on FIFO headroom so nothing is lost to queue overflow — delivery
+    // paces itself to the firmware's drain rate.
+    while (NextFrame < NumFrames && Plat.nic().rxEnabled() &&
+           Plat.nic().bufferedFrames() < Options.FrameBudget) {
+      const ScheduledFrame &F = Begin[NextFrame];
+      Plat.injectNow(F.Frame, F.Errored);
+      Delivered.push_back(ScheduledFrame{Plat.opCount(), F.Frame, F.Errored});
+      ++NextFrame;
+    }
+
+    if (NextFrame == NumFrames && Plat.nic().bufferedFrames() == 0) {
+      if (Drained)
+        break;
+      Drained = true; // One settle chunk for the final frame's iteration.
+    }
+  }
+
+  const riscv::MmioTrace &Trace = Runner.trace();
+  S.FramesDelivered = Options.HonorSchedule
+                          ? uint64_t(std::count_if(
+                                Begin, End,
+                                [&Plat](const ScheduledFrame &F) {
+                                  return F.AtOp <= Plat.opCount();
+                                }))
+                          : NextFrame;
+  S.FramesAccepted = Plat.acceptedFrames().size();
+  for (const ScheduledFrame &F : Plat.acceptedFrames())
+    if (!F.Errored && classifyFrame(F.Frame).Valid)
+      ++S.ValidCommands;
+  S.MmioEvents = Trace.size();
+  S.MonitorEventsSeen = Mon.eventsSeen();
+  S.LightTransitions = Plat.gpio().lightHistory().size();
+  S.Cycles = Elapsed;
+  S.Retired = Runner.retired();
+  S.TraceHash = traceHash(Trace);
+
+  S.MonitorOk = !Mon.violated();
+  S.Drained = Drained;
+
+  // Keeps the delivered prefix for the shrinker (only called on
+  // frame-dependent failures).
+  auto KeepDelivered = [&] {
+    if (Options.HonorSchedule) {
+      for (const ScheduledFrame *F = Begin; F != End; ++F)
+        if (F->AtOp <= Plat.opCount())
+          S.DeliveredFrames.push_back(*F);
+    } else {
+      S.DeliveredFrames = std::move(Delivered);
+    }
+  };
+
+  if (Violated) {
+    S.ViolationIndex = Mon.violationIndex();
+    S.Error = "goodHlTrace violated at event " +
+              std::to_string(S.ViolationIndex) + "; expected one of: " +
+              support::join(Mon.expectedAtViolation(), " | ");
+    KeepDelivered();
+    return S;
+  }
+  if (S.HitUb) {
+    KeepDelivered();
+    return S;
+  }
+  if (!S.Error.empty())
+    return S;
+  if (!Drained && NumFrames != 0) {
+    S.Error = "cycle budget exhausted before the shard drained (" +
+              std::to_string(S.FramesDelivered) + "/" +
+              std::to_string(NumFrames) + " frames delivered)";
+    return S;
+  }
+
+  S.GroundTruthOk =
+      Plat.gpio().lightHistory() == expectedLightSequence(Plat.acceptedFrames());
+  if (!S.GroundTruthOk) {
+    S.Error = "lightbulb state history does not match the accepted valid "
+              "commands";
+    KeepDelivered();
+    return S;
+  }
+
+  if (Options.CrossCheck) {
+    SoakOptions Other = Options;
+    Other.CrossCheck = false;
+    Other.Core = Options.Core == SoakCore::IsaSim ? SoakCore::SpecCore
+                                                  : SoakCore::IsaSim;
+    ShardStats O = runShardRange(Prog, Begin, End, Other);
+    // Traces are not compared verbatim: delivery points fall on chunk
+    // boundaries, which land on different op counts across substrates.
+    // What must agree is everything op-sequence-determined: the accepted
+    // frames, the valid commands, and the lightbulb history.
+    S.CrossCheckOk = O.MonitorOk && O.GroundTruthOk &&
+                     O.FramesAccepted == S.FramesAccepted &&
+                     O.ValidCommands == S.ValidCommands &&
+                     O.LightTransitions == S.LightTransitions;
+    if (!S.CrossCheckOk) {
+      S.Error = "cross-check on " + std::string(soakCoreName(Other.Core)) +
+                " disagrees: " +
+                (O.Error.empty() ? std::string("accepted/commands/lights "
+                                               "counters differ")
+                                 : O.Error);
+      return S;
+    }
+  }
+
+  S.Ok = S.MonitorOk && S.GroundTruthOk && S.CrossCheckOk;
+  return S;
+}
+
+} // namespace
+
+ShardStats
+b2::traffic::runSoakShard(const compiler::CompiledProgram &Prog,
+                          const std::vector<ScheduledFrame> &Frames,
+                          const SoakOptions &Options) {
+  return runShardRange(Prog, Frames.data(), Frames.data() + Frames.size(),
+                       Options);
+}
+
+const ShardStats *SoakReport::firstFailure() const {
+  for (const ShardStats &S : Shards)
+    if (!S.Ok)
+      return &S;
+  return nullptr;
+}
+
+compiler::CompileResult b2::traffic::compileSoakFirmware(Word RamBytes) {
+  bedrock2::Program P = app::buildFirmware(app::FirmwareOptions());
+  return compiler::compileProgram(
+      P, compiler::CompilerOptions::o0(),
+      compiler::Entry::eventLoop("lightbulb_init", "lightbulb_loop"),
+      RamBytes);
+}
+
+SoakReport b2::traffic::runSoak(const TrafficStream &Stream,
+                                const SoakOptions &Options,
+                                const std::string &Scenario, uint64_t Seed) {
+  compiler::CompileResult C = compileSoakFirmware(Options.RamBytes);
+  if (!C.ok()) {
+    SoakReport R;
+    R.Scenario = Scenario;
+    R.Seed = Seed;
+    R.Core = Options.Core;
+    R.TotalFrames = Stream.Frames.size();
+    ShardStats S;
+    S.Error = "firmware compilation failed: " + C.Error;
+    R.Shards.push_back(std::move(S));
+    return R;
+  }
+  return runSoak(*C.Prog, Stream, Options, Scenario, Seed);
+}
+
+SoakReport b2::traffic::runSoak(const compiler::CompiledProgram &Prog,
+                                const TrafficStream &Stream,
+                                const SoakOptions &Options,
+                                const std::string &Scenario, uint64_t Seed) {
+  SoakReport R;
+  R.Scenario = Scenario;
+  R.Seed = Seed;
+  R.Core = Options.Core;
+  R.TotalFrames = Stream.Frames.size();
+
+  // Build the shared goodHlTrace automaton before fanning out, so the
+  // workers never contend on its one-time construction.
+  (void)goodHlMatcher();
+
+  const size_t N = Stream.Frames.size();
+  size_t ShardCount =
+      Options.Shards
+          ? Options.Shards
+          : std::max<size_t>(1, (N + Options.FramesPerShard - 1) /
+                                    std::max<uint64_t>(1, Options.FramesPerShard));
+  ShardCount = std::min(ShardCount, std::max<size_t>(1, N));
+
+  // Contiguous balanced slices; the shard count is a function of the
+  // stream and options only (never the thread count), and results land
+  // in pre-sized slots, so the report is thread-count invariant.
+  R.Shards.resize(ShardCount);
+  const size_t Base = N / ShardCount, Rem = N % ShardCount;
+  const ScheduledFrame *Data = Stream.Frames.data();
+  support::parallelFor(ShardCount, Options.Threads, [&](size_t I) {
+    size_t Lo = I * Base + std::min(I, Rem);
+    size_t Len = Base + (I < Rem ? 1 : 0);
+    R.Shards[I] = runShardRange(Prog, Data + Lo, Data + Lo + Len, Options);
+  });
+
+  R.Ok = true;
+  for (const ShardStats &S : R.Shards)
+    R.Ok = R.Ok && S.Ok;
+  return R;
+}
+
+std::string b2::traffic::soakJson(const SoakReport &Report) {
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("schema").value("b2stack-soak-v1");
+  J.key("scenario").value(Report.Scenario);
+  J.key("seed").value(Report.Seed);
+  J.key("core").value(soakCoreName(Report.Core));
+  J.key("frames").value(Report.TotalFrames);
+  J.key("shard_count").value(uint64_t(Report.Shards.size()));
+  J.key("ok").value(Report.Ok);
+
+  uint64_t Delivered = 0, Accepted = 0, Commands = 0, Events = 0, Lights = 0,
+           Cycles = 0, Retired = 0;
+  for (const ShardStats &S : Report.Shards) {
+    Delivered += S.FramesDelivered;
+    Accepted += S.FramesAccepted;
+    Commands += S.ValidCommands;
+    Events += S.MmioEvents;
+    Lights += S.LightTransitions;
+    Cycles += S.Cycles;
+    Retired += S.Retired;
+  }
+  J.key("aggregate").beginObject();
+  J.key("frames_delivered").value(Delivered);
+  J.key("frames_accepted").value(Accepted);
+  J.key("valid_commands").value(Commands);
+  J.key("mmio_events").value(Events);
+  J.key("light_transitions").value(Lights);
+  J.key("cycles").value(Cycles);
+  J.key("retired").value(Retired);
+  // Deterministic throughput figure (model cycles, not wall-clock, so
+  // the file stays bit-identical at any thread count).
+  J.key("frames_per_mcycle")
+      .value(Cycles ? double(Delivered) * 1e6 / double(Cycles) : 0.0);
+  J.endObject();
+
+  J.key("violations").beginArray();
+  for (size_t I = 0; I != Report.Shards.size(); ++I) {
+    const ShardStats &S = Report.Shards[I];
+    if (S.MonitorOk)
+      continue;
+    J.beginObject();
+    J.key("shard").value(uint64_t(I));
+    J.key("violation_index").value(S.ViolationIndex);
+    J.key("error").value(S.Error);
+    J.endObject();
+  }
+  J.endArray();
+
+  J.key("shards").beginArray();
+  for (const ShardStats &S : Report.Shards) {
+    J.beginObject();
+    J.key("ok").value(S.Ok);
+    J.key("monitor_ok").value(S.MonitorOk);
+    J.key("ground_truth_ok").value(S.GroundTruthOk);
+    J.key("cross_check_ok").value(S.CrossCheckOk);
+    J.key("drained").value(S.Drained);
+    J.key("frames_delivered").value(S.FramesDelivered);
+    J.key("frames_accepted").value(S.FramesAccepted);
+    J.key("valid_commands").value(S.ValidCommands);
+    J.key("mmio_events").value(S.MmioEvents);
+    J.key("monitor_events_seen").value(S.MonitorEventsSeen);
+    J.key("light_transitions").value(S.LightTransitions);
+    J.key("cycles").value(S.Cycles);
+    J.key("retired").value(S.Retired);
+    J.key("trace_hash").value(S.TraceHash);
+    if (!S.Error.empty())
+      J.key("error").value(S.Error);
+    J.endObject();
+  }
+  J.endArray();
+
+  J.endObject();
+  return J.str();
+}

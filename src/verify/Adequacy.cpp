@@ -25,6 +25,9 @@
 #include "riscv/Step.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
+#include "traffic/Pcap.h"
+#include "traffic/Scenario.h"
+#include "traffic/Soak.h"
 #include "verify/CompilerDiff.h"
 #include "verify/DecodeConsistency.h"
 #include "verify/EndToEnd.h"
@@ -55,6 +58,8 @@ const char *b2::verify::checkerName(Checker C) {
     return "DecodeConsistency";
   case Checker::SimCacheDiff:
     return "SimCacheDiff";
+  case Checker::SoakMonitor:
+    return "SoakMonitor";
   case Checker::NumCheckers:
     break;
   }
@@ -598,6 +603,96 @@ std::vector<Stim> simCacheDiffStims() {
   };
 }
 
+// -- SoakMonitor column ------------------------------------------------------
+//
+// The traffic layer's own checks: seeded scenario generation must be
+// reproducible, the pcap codec must round-trip byte-exactly, and the
+// streaming goodHlTrace monitor must consume exactly the events the
+// machine produced. Each stim is an executable statement of a property
+// the soak harness's results silently depend on.
+
+std::vector<Stim> soakMonitorStims() {
+  return {
+      // Same seed, same scenario options — the generated stream must be
+      // identical. TrafficGenUnseededFrame taints generation with a
+      // process-global counter, so the second stream diverges.
+      {"stream-determinism", [](std::string &D) {
+         traffic::ScenarioOptions O;
+         O.Seed = 11;
+         O.Frames = 24;
+         uint64_t A = traffic::streamDigest(
+             traffic::generateScenario("valid-mix", O));
+         uint64_t B = traffic::streamDigest(
+             traffic::generateScenario("valid-mix", O));
+         if (A != B) {
+           D = "same-seed valid-mix streams have different digests";
+           return true;
+         }
+         return false;
+       }},
+      // Encode then decode a stream whose largest frame exceeds 64 bytes
+      // (TrafficPcapTruncateWrite short-writes exactly those), and whose
+      // schedule exercises both the timestamp mapping and the Errored
+      // side-channel bit.
+      {"pcap-roundtrip", [](std::string &D) {
+         std::vector<devices::ScheduledFrame> In;
+         In.push_back({2000, devices::buildCommandFrame(true), false});
+         In.push_back(
+             {5'000'000, devices::buildUdpFrame(std::vector<uint8_t>(40, 0xab)),
+              false});
+         In.push_back({8000, devices::buildCommandFrame(false), true});
+         std::vector<devices::ScheduledFrame> Out;
+         std::string Err;
+         if (!traffic::decodePcap(traffic::encodePcap(In), Out, Err)) {
+           D = "decode failed: " + Err;
+           return true;
+         }
+         if (Out.size() != In.size()) {
+           D = "frame count changed across the pcap round trip";
+           return true;
+         }
+         for (size_t I = 0; I != In.size(); ++I)
+           if (Out[I].AtOp != In[I].AtOp || Out[I].Errored != In[I].Errored ||
+               Out[I].Frame != In[I].Frame) {
+             D = "frame " + std::to_string(I) +
+                 " changed across the pcap round trip";
+             return true;
+           }
+         return false;
+       }},
+      // A short healthy soak on the ISA simulator: the run must pass, and
+      // the streaming monitor must have consumed every MMIO event the
+      // machine emitted. TrafficMonitorDropEvent silently skips events,
+      // which either desynchronizes the counts or trips a spurious
+      // violation — both are kills.
+      {"monitor-offline-agreement", [](std::string &D) {
+         compiler::CompileResult C = traffic::compileSoakFirmware();
+         if (!C.ok()) {
+           D = "firmware compilation failed: " + C.Error;
+           return true;
+         }
+         traffic::ScenarioOptions G;
+         G.Seed = 5;
+         G.Frames = 8;
+         traffic::TrafficStream S = traffic::generateScenario("valid-mix", G);
+         traffic::SoakOptions O;
+         O.Core = traffic::SoakCore::IsaSim;
+         traffic::ShardStats R = traffic::runSoakShard(*C.Prog, S.Frames, O);
+         if (!R.Ok) {
+           D = R.Error.empty() ? "soak shard failed" : R.Error;
+           return true;
+         }
+         if (R.MonitorEventsSeen != R.MmioEvents) {
+           D = "streaming monitor consumed " +
+               std::to_string(R.MonitorEventsSeen) + " of " +
+               std::to_string(R.MmioEvents) + " trace events";
+           return true;
+         }
+         return false;
+       }},
+  };
+}
+
 std::vector<Stim> columnStims(Checker C) {
   switch (C) {
   case Checker::CompilerDiff:
@@ -614,6 +709,8 @@ std::vector<Stim> columnStims(Checker C) {
     return decodeConsistencyStims();
   case Checker::SimCacheDiff:
     return simCacheDiffStims();
+  case Checker::SoakMonitor:
+    return soakMonitorStims();
   case Checker::NumCheckers:
     break;
   }
@@ -653,7 +750,7 @@ const fi::FaultInfo *infoFor(fi::Fault F) {
 } // namespace
 
 std::vector<fi::Fault> b2::verify::quickFaultSet() {
-  // One or two faults per layer; all seven owner columns exercised.
+  // One or two faults per layer; all eight owner columns exercised.
   return {
       fi::Fault::CompilerImmTruncate,
       fi::Fault::CompilerStackallocNoZero,
@@ -665,6 +762,7 @@ std::vector<fi::Fault> b2::verify::quickFaultSet() {
       fi::Fault::DevLanRxByteOrder,
       fi::Fault::BcBrVZInverted,
       fi::Fault::BcAllocSkew,
+      fi::Fault::TrafficGenUnseededFrame,
   };
 }
 
@@ -675,8 +773,15 @@ AdequacyReport b2::verify::runAdequacy(const AdequacyOptions &Options) {
   // Faults in scope, in registry order.
   std::vector<const fi::FaultInfo *> Faults;
   if (!Options.OnlyFault.empty()) {
-    if (const fi::FaultInfo *F = fi::findFault(Options.OnlyFault))
-      Faults.push_back(F);
+    const fi::FaultInfo *F = fi::findFault(Options.OnlyFault);
+    if (!F) {
+      // An unknown name must not masquerade as an empty-but-green
+      // campaign; record the error and run nothing.
+      Rep.Error = "unknown fault '" + Options.OnlyFault +
+                  "'; valid names are: " + fi::faultNameList();
+      return Rep;
+    }
+    Faults.push_back(F);
   } else if (Options.Quick) {
     for (fi::Fault F : quickFaultSet())
       Faults.push_back(infoFor(F));
@@ -748,6 +853,8 @@ bool AdequacyReport::allKilledByOwner() const {
 }
 
 std::string AdequacyReport::firstViolation() const {
+  if (!Error.empty())
+    return Error;
   for (const CellResult &C : Baseline)
     if (C.Killed)
       return std::string("false positive: ") + checkerName(C.Col) +
@@ -775,6 +882,8 @@ std::string b2::verify::adequacyJson(const AdequacyReport &Report) {
   J.beginObject();
   J.key("schema").value("b2stack-adequacy-v1");
   J.key("quick").value(Report.Quick);
+  if (!Report.Error.empty())
+    J.key("error").value(Report.Error);
   J.key("no_false_positives").value(Report.noFalsePositives());
   J.key("all_killed_by_owner").value(Report.allKilledByOwner());
 

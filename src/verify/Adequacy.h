@@ -46,7 +46,10 @@ namespace verify {
 /// The checker columns of the kill matrix. Six are the fleet's standing
 /// checkers; SimCacheDiff is the adequacy campaign's own column, comparing
 /// the ISA simulator with its predecoded fast path enabled vs. disabled
-/// (the only checker that can own the decode-cache discipline faults).
+/// (the only checker that can own the decode-cache discipline faults);
+/// SoakMonitor covers the traffic layer — scenario determinism, pcap
+/// round-trips, and the streaming goodHlTrace monitor's agreement with
+/// the offline matcher.
 enum class Checker : uint8_t {
   CompilerDiff,     ///< Source semantics vs. compiled machine code.
   InterpDiff,       ///< Reference AST walker vs. bytecode engine.
@@ -55,6 +58,7 @@ enum class Checker : uint8_t {
   EndToEnd,         ///< The end2end_lightbulb theorem, executably.
   DecodeConsistency,///< Kami decoder vs. riscv-coq-style decoder.
   SimCacheDiff,     ///< ISA simulator: decode cache on vs. off.
+  SoakMonitor,      ///< Traffic soak harness and streaming monitor.
   NumCheckers,      ///< Count sentinel; not a checker.
 };
 
@@ -90,6 +94,9 @@ struct AdequacyOptions {
 
 struct AdequacyReport {
   bool Quick = false;
+  /// Nonempty iff the campaign could not run as requested (e.g. an
+  /// unknown OnlyFault name). A report with an Error is never green.
+  std::string Error;
   /// The baseline (no fault armed) cells, one per checker column.
   std::vector<CellResult> Baseline;
   /// Fault cells, fault-major in registry order, checker-minor.

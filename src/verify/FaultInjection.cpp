@@ -98,6 +98,19 @@ const std::vector<FaultInfo> &b2::fi::faultRegistry() {
        "interp", "CompilerDiff",
        "merging overlapping ownership intervals drops the last byte of "
        "the union"},
+      // -- Traffic subsystem ---------------------------------------------------
+      {Fault::TrafficMonitorDropEvent, "traffic-monitor-drop-event",
+       "traffic", "SoakMonitor",
+       "the streaming trace monitor silently skips every 64th event it "
+       "is fed"},
+      {Fault::TrafficGenUnseededFrame, "traffic-gen-unseeded-frame",
+       "traffic", "SoakMonitor",
+       "the scenario generator derives one payload byte from hidden "
+       "global state instead of the seed"},
+      {Fault::TrafficPcapTruncateWrite, "traffic-pcap-truncate-write",
+       "traffic", "SoakMonitor",
+       "the pcap writer drops the last byte of frames longer than 64 "
+       "bytes"},
   };
   return Registry;
 }
@@ -107,4 +120,14 @@ const FaultInfo *b2::fi::findFault(const std::string &Name) {
     if (Name == F.Name)
       return &F;
   return nullptr;
+}
+
+std::string b2::fi::faultNameList() {
+  std::string Out;
+  for (const FaultInfo &F : faultRegistry()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += F.Name;
+  }
+  return Out;
 }

@@ -85,6 +85,14 @@ enum class Fault : uint8_t {
   BcAllocSkew,                ///< stackalloc hands out base + 4.
   FootprintCoalesceDropByte,  ///< Interval merge in the ownership set
                               ///< loses the last byte of the union.
+  // -- Traffic subsystem bugs (owned by SoakMonitor) -----------------------
+  TrafficMonitorDropEvent,    ///< The streaming trace monitor silently
+                              ///< skips every 64th event it is fed.
+  TrafficGenUnseededFrame,    ///< The scenario generator derives one
+                              ///< payload byte from hidden global state
+                              ///< instead of the seed.
+  TrafficPcapTruncateWrite,   ///< The pcap writer drops the last byte of
+                              ///< frames longer than 64 bytes.
 
   NumFaults, ///< Count sentinel; not a fault.
 };
@@ -160,6 +168,10 @@ const std::vector<FaultInfo> &faultRegistry();
 
 /// Looks up a fault by its stable name; null if unknown.
 const FaultInfo *findFault(const std::string &Name);
+
+/// All registered fault names, comma-joined in registry order — the
+/// "valid names are:" list for CLI rejections of unknown fault names.
+std::string faultNameList();
 
 } // namespace fi
 } // namespace b2

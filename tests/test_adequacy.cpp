@@ -7,7 +7,7 @@
 // Tier-1 coverage for the fault-injection adequacy campaign itself: the
 // injection kernel, the no-false-positive baseline, one representative
 // seeded fault per stack layer killed by its owning checker, and
-// bit-identical reports at every thread count. The full 27-fault matrix
+// bit-identical reports at every thread count. The full 30-fault matrix
 // runs as the `adequacy` CI tier (tools/adequacy).
 //
 //===----------------------------------------------------------------------===//
@@ -86,7 +86,7 @@ TEST(Adequacy, QuickFaultSetSpansEveryLayer) {
     Owners.insert(Info->Owner);
   }
   EXPECT_EQ(Layers, (std::set<std::string>{"compiler", "sim", "kami",
-                                           "devices", "interp"}));
+                                           "devices", "interp", "traffic"}));
   EXPECT_EQ(Owners.size(), size_t(NumCheckers))
       << "every checker column should own at least one quick-set fault";
 }
@@ -95,7 +95,7 @@ namespace {
 
 // One representative per layer, disjoint from quickFaultSet() where
 // possible so tier-1 plus the CI quick gate together cover more of the
-// matrix. Runs the fault's full row (all seven columns).
+// matrix. Runs the fault's full row (all eight columns).
 void expectOwnerKills(const char *Name) {
   AdequacyOptions O;
   O.OnlyFault = Name;
@@ -132,6 +132,35 @@ TEST(Adequacy, DeviceLayerFaultKilled) {
 
 TEST(Adequacy, InterpLayerFaultKilled) {
   expectOwnerKills("bc-latch-op-as-add");
+}
+
+TEST(Adequacy, TrafficLayerFaultKilled) {
+  expectOwnerKills("traffic-pcap-truncate-write");
+}
+
+// -- Error handling ----------------------------------------------------------
+
+TEST(Adequacy, UnknownOnlyFaultIsAnError) {
+  AdequacyOptions O;
+  O.OnlyFault = "no-such-fault";
+  AdequacyReport R = runAdequacy(O);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_NE(R.Error.find("no-such-fault"), std::string::npos);
+  // The error must list the valid names, not leave the user guessing.
+  EXPECT_NE(R.Error.find("traffic-monitor-drop-event"), std::string::npos);
+  // An errored report is never green: no cells ran, firstViolation leads
+  // with the error, and the JSON carries it.
+  EXPECT_TRUE(R.Baseline.empty());
+  EXPECT_TRUE(R.Cells.empty());
+  EXPECT_FALSE(R.noFalsePositives());
+  EXPECT_EQ(R.firstViolation(), R.Error);
+  EXPECT_NE(adequacyJson(R).find("\"error\""), std::string::npos);
+}
+
+TEST(Adequacy, FaultNameListCoversTheRegistry) {
+  std::string Names = fi::faultNameList();
+  for (const fi::FaultInfo &F : fi::faultRegistry())
+    EXPECT_NE(Names.find(F.Name), std::string::npos) << F.Name;
 }
 
 // -- Determinism -------------------------------------------------------------

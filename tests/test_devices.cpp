@@ -165,6 +165,17 @@ TEST(Lan9250, RxRequiresMacEnable) {
   EXPECT_EQ(Nic.bufferedFrames(), 1u);
 }
 
+TEST(Lan9250, ZeroByteFrameIsNeverBuffered) {
+  // Nothing on the wire can frame a zero-byte packet, and buffering one
+  // would wedge the driver: a length-0 status word prompts zero data
+  // reads, so the frame would never pop from the RX FIFO.
+  Lan9250 Nic;
+  Spi S(Nic);
+  enableRx(S);
+  EXPECT_FALSE(Nic.injectFrame({}));
+  EXPECT_EQ(Nic.bufferedFrames(), 0u);
+}
+
 TEST(Lan9250, RxFifoInfCountsFramesAndBytes) {
   Lan9250 Nic;
   Spi S(Nic);

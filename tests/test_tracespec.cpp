@@ -157,6 +157,116 @@ TEST(Matcher, DiagnosisOnAcceptedTrace) {
   EXPECT_TRUE(D.PrefixAccepted);
 }
 
+// -- Streaming (online) matching ---------------------------------------------
+
+TEST(MatcherStream, EmptyTraceState) {
+  // Before any event: alive always; accepted iff the spec is nullable.
+  Matcher Star(Spec::star(sym(0)));
+  Matcher::Stream S1(Star);
+  EXPECT_TRUE(S1.alive());
+  EXPECT_TRUE(S1.accepted());
+  EXPECT_EQ(S1.consumed(), 0u);
+
+  Matcher One(sym(1));
+  Matcher::Stream S2(One);
+  EXPECT_TRUE(S2.alive());
+  EXPECT_FALSE(S2.accepted());
+  EXPECT_FALSE(S2.expectedHere().empty());
+}
+
+TEST(MatcherStream, ViolationAtFirstEvent) {
+  Matcher M(sym(0) + sym(1));
+  Matcher::Stream S(M);
+  EXPECT_FALSE(S.feed(ldEv(2, 0)));
+  EXPECT_FALSE(S.alive());
+  EXPECT_EQ(S.consumed(), 0u);
+  ASSERT_FALSE(S.expectedHere().empty());
+  EXPECT_EQ(S.expectedHere()[0], "sym0");
+  // Dead streams stay dead; feeding the event that would have been legal
+  // from the start must not revive them.
+  EXPECT_FALSE(S.feed(ldEv(0, 0)));
+  EXPECT_EQ(S.consumed(), 0u);
+}
+
+TEST(MatcherStream, PrefixClosureAtEveryCutPoint) {
+  // The shape of goodHlTrace's body: iterated alternation. Feeding an
+  // accepted word event by event must keep the stream alive at every cut
+  // point and agree with the batch API at each one.
+  Spec Body = Spec::star((sym(0) + sym(1)) | sym(2));
+  Matcher M(Body);
+  Trace T = word({2, 0, 1, 2, 0, 1, 0, 1, 2});
+  Matcher::Stream S(M);
+  for (size_t K = 0; K != T.size(); ++K) {
+    ASSERT_TRUE(S.feed(T[K])) << "died at event " << K;
+    Trace P(T.begin(), T.begin() + K + 1);
+    ASSERT_TRUE(S.alive());
+    ASSERT_EQ(S.accepted(), M.matches(P)) << "cut point " << K + 1;
+    ASSERT_TRUE(M.acceptsPrefix(P));
+    ASSERT_EQ(S.consumed(), K + 1);
+  }
+  EXPECT_TRUE(S.accepted());
+}
+
+TEST(MatcherStream, ResetRewindsToEmptyTrace) {
+  Matcher M(sym(0) + sym(1));
+  Matcher::Stream S(M);
+  EXPECT_FALSE(S.feed(ldEv(1, 0)));
+  S.reset();
+  EXPECT_TRUE(S.alive());
+  EXPECT_EQ(S.consumed(), 0u);
+  EXPECT_TRUE(S.feed(ldEv(0, 0)));
+  EXPECT_TRUE(S.feed(ldEv(1, 0)));
+  EXPECT_TRUE(S.accepted());
+}
+
+TEST(MatcherStream, FuzzedAgreesWithBatchApis) {
+  // Random specs, random traces: after feeding any trace, the stream's
+  // verdicts must equal the batch matcher's on the same prefix, and the
+  // death point must equal the whole-trace diagnosis's DeadAt.
+  support::Rng Rng(0x57AE);
+  std::function<Spec(unsigned)> Gen = [&](unsigned Depth) -> Spec {
+    if (Depth == 0)
+      return sym(unsigned(Rng.below(3)));
+    switch (Rng.below(5)) {
+    case 0:
+      return sym(unsigned(Rng.below(3)));
+    case 1:
+      return Spec::eps();
+    case 2:
+      return Gen(Depth - 1) + Gen(Depth - 1);
+    case 3:
+      return Gen(Depth - 1) | Gen(Depth - 1);
+    default:
+      return Spec::star(Gen(Depth - 1));
+    }
+  };
+  for (int Round = 0; Round != 60; ++Round) {
+    Spec S = Gen(3);
+    Matcher M(S);
+    Trace T;
+    size_t Len = Rng.below(8);
+    for (size_t I = 0; I != Len; ++I)
+      T.push_back(ldEv(Word(Rng.below(3)), 0));
+
+    Matcher::Stream St(M);
+    for (size_t K = 0; K != T.size(); ++K) {
+      bool Fed = St.feed(T[K]);
+      Trace P(T.begin(), T.begin() + K + 1);
+      ASSERT_EQ(St.alive(), M.acceptsPrefix(P)) << "round " << Round;
+      ASSERT_EQ(Fed, St.alive()) << "round " << Round;
+      if (St.alive())
+        ASSERT_EQ(St.accepted(), M.matches(P)) << "round " << Round;
+    }
+    MatchDiagnosis D = M.diagnose(T);
+    ASSERT_EQ(St.alive(), D.PrefixAccepted) << "round " << Round;
+    ASSERT_EQ(St.consumed(), D.DeadAt) << "round " << Round;
+    if (St.alive())
+      ASSERT_EQ(St.accepted(), D.Accepted) << "round " << Round;
+    else
+      ASSERT_EQ(St.expectedHere(), D.ExpectedHere) << "round " << Round;
+  }
+}
+
 namespace {
 
 /// Brute-force reference: enumerate all traces of length <= N over the

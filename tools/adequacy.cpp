@@ -77,8 +77,9 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--only-fault" && I + 1 < Argc) {
       Options.OnlyFault = Argv[++I];
       if (!fi::findFault(Options.OnlyFault)) {
-        std::fprintf(stderr, "adequacy: unknown fault '%s' (try --list)\n",
-                     Options.OnlyFault.c_str());
+        std::fprintf(stderr,
+                     "adequacy: unknown fault '%s'; valid names are: %s\n",
+                     Options.OnlyFault.c_str(), fi::faultNameList().c_str());
         return 2;
       }
     } else if (Arg == "--list") {

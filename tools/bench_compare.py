@@ -28,6 +28,8 @@ BENCH_FILES = {
                                   "instr_per_sec"),
     "BENCH_interp.json": ("workloads", ("workload", "engine"),
                           "stmts_per_sec"),
+    "BENCH_soak.json": ("scenarios", ("scenario", "core"),
+                        "frames_per_sec"),
 }
 
 
