@@ -1,0 +1,243 @@
+//===- bench/shrink_throughput.cpp - Checkpointed vs cold-replay shrink ------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Measures ddmin counterexample shrinking two ways over the same seeded
+// failing scenario: the cold-replay oracle (every candidate re-simulated
+// from reset) and the checkpoint-tree oracle (every candidate resumed
+// from the deepest checkpoint of its shared delivered prefix).
+//
+// Scenario: a 200+-frame stream of UDP chaff with one valid ON command
+// early and one valid OFF command late, run under the seeded
+// dev-lan-rx-cross-frame-latch fault — the LAN9250 RX engine leaks a
+// marker latch across frames, so the ON corrupts the later OFF and the
+// drained run misses a lightbulb toggle. The minimal counterexample is
+// the {ON, OFF} pair; ddmin has to strip ~218 chaff frames to find it.
+//
+// Accounting: both shrinkers receive the failing scenario from a soak
+// shard whose own simulation is sunk cost. The checkpointed oracle
+// replays it once to build its tree (the "prime" handoff — in the
+// deployed pipeline the failing shard runs under the checkpoint layer,
+// so the tree is a byproduct of discovery); after that, probe_cycles
+// counts the cycles each shrinker's ddmin loop actually simulates. The
+// bench asserts the checkpointed probe loop runs >= 3x fewer simulated
+// cycles than cold replay (>= 2x for the smaller --quick scenario) AND
+// that the two paths are bit-identical: same shrunk frame bytes, same
+// oracle verdict trajectory, same violation index. A speedup bought by
+// diverging verdicts would be a correctness bug, so identity failures
+// fail the bench.
+//
+// Usage: shrink_throughput [--quick]   (--quick shrinks the scenario for
+// CI smoke runs)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "devices/Net.h"
+#include "support/Json.h"
+#include "support/Rng.h"
+#include "traffic/Shrink.h"
+#include "traffic/Soak.h"
+#include "verify/FaultInjection.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace b2;
+using namespace b2::traffic;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// The seeded failing stream: deterministic UDP chaff (first payload
+/// byte forced even so no chaff frame is ever a valid command) with one
+/// ON command at \p OnAt and one OFF command at \p OffAt.
+std::vector<devices::ScheduledFrame> pairScenario(uint64_t Seed, size_t Frames,
+                                                  size_t OnAt, size_t OffAt) {
+  support::Rng R(Seed);
+  std::vector<devices::ScheduledFrame> Out;
+  Out.reserve(Frames);
+  for (size_t I = 0; I != Frames; ++I) {
+    devices::ScheduledFrame S;
+    S.AtOp = 2000 * (I + 1);
+    if (I == OnAt) {
+      S.Frame = devices::buildCommandFrame(true);
+    } else if (I == OffAt) {
+      S.Frame = devices::buildCommandFrame(false);
+    } else {
+      std::vector<uint8_t> Payload(1 + R.below(48));
+      Payload[0] = uint8_t(R.next32() & 0xFE);
+      for (size_t J = 1; J != Payload.size(); ++J)
+        Payload[J] = uint8_t(R.next32());
+      S.Frame = devices::buildUdpFrame(Payload);
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// FNV-1a over the shrunk frames' bytes — one number that changes if the
+/// two shrinkers disagree on anything the counterexample contains.
+uint64_t framesHash(const std::vector<devices::ScheduledFrame> &Frames) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  for (const devices::ScheduledFrame &F : Frames) {
+    Mix(F.Frame.size());
+    for (uint8_t B : F.Frame)
+      Mix(B);
+    Mix(F.Errored ? 1 : 0);
+  }
+  return H;
+}
+
+struct Leg {
+  std::string Oracle;
+  ShrunkCounterexample Shrunk;
+  double Seconds = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+
+  std::printf("== shrink_throughput: checkpointed vs cold-replay ddmin ==\n\n");
+
+  compiler::CompileResult C = compileSoakFirmware();
+  if (!C.ok()) {
+    std::fprintf(stderr, "firmware compile failed: %s\n", C.Error.c_str());
+    return 1;
+  }
+
+  const size_t Frames = Quick ? 60 : 220;
+  const size_t OnAt = Quick ? 5 : 15;
+  const size_t OffAt = Quick ? 50 : 205;
+  const double MinSpeedup = Quick ? 2.0 : 3.0;
+  std::vector<devices::ScheduledFrame> Stream =
+      pairScenario(7, Frames, OnAt, OffAt);
+
+  SoakOptions Warm;
+  Warm.Core = SoakCore::IsaSim;
+  fi::FaultPlan Plan = fi::FaultPlan::single(fi::Fault::DevLanRxCrossFrameLatch);
+  Warm.Plan = &Plan;
+  SoakOptions Cold = Warm;
+  Cold.Checkpoint = false;
+
+  // Discovery: one cold soak shard must fail frame-attributably. Its
+  // cycles are sunk cost for both shrinkers.
+  ShardStats Seeded = runSoakShard(*C.Prog, Stream, Cold);
+  if (Seeded.Ok || Seeded.DeliveredFrames.empty()) {
+    std::fprintf(stderr, "seeded scenario did not fail: %s\n",
+                 Seeded.Error.c_str());
+    return 1;
+  }
+
+  std::vector<Leg> Legs(2);
+  Legs[0].Oracle = "cold";
+  Legs[1].Oracle = "checkpointed";
+  for (Leg &L : Legs) {
+    double T0 = now();
+    L.Shrunk = shrinkSoakFailure(*C.Prog, Seeded.DeliveredFrames,
+                                 L.Oracle == "cold" ? Cold : Warm);
+    L.Seconds = now() - T0;
+  }
+
+  const Leg &LC = Legs[0], &LW = Legs[1];
+  bool AllOk = true;
+  auto Check = [&AllOk](bool Cond, const char *What) {
+    if (!Cond) {
+      std::fprintf(stderr, "FAIL: %s\n", What);
+      AllOk = false;
+    }
+  };
+  Check(LC.Shrunk.Result.Reproduced && LW.Shrunk.Result.Reproduced,
+        "both shrinkers reproduce the seeded failure");
+  Check(framesHash(LC.Shrunk.Result.Frames) ==
+            framesHash(LW.Shrunk.Result.Frames),
+        "shrunk counterexamples bit-identical");
+  Check(LC.Shrunk.Result.OracleRuns == LW.Shrunk.Result.OracleRuns,
+        "oracle verdict trajectories identical (same ddmin path)");
+  Check(LC.Shrunk.ViolationIndex == LW.Shrunk.ViolationIndex,
+        "violation index identical");
+  Check(LW.Shrunk.Result.Frames.size() == 2,
+        "minimal counterexample is the {ON, OFF} pair");
+
+  const double Speedup =
+      LW.Shrunk.Work.SimulatedCycles
+          ? double(LC.Shrunk.Work.SimulatedCycles) /
+                double(LW.Shrunk.Work.SimulatedCycles)
+          : 0;
+  const uint64_t WarmTotal =
+      LW.Shrunk.Work.SimulatedCycles + LW.Shrunk.Work.PrimeCycles;
+  const double EndToEnd =
+      WarmTotal ? double(LC.Shrunk.Work.SimulatedCycles) / double(WarmTotal)
+                : 0;
+  char What[96];
+  std::snprintf(What, sizeof What,
+                "probe speedup %.2fx >= %.1fx (checkpointed vs cold)", Speedup,
+                MinSpeedup);
+  Check(Speedup >= MinSpeedup, What);
+
+  bench::Table Tab({"oracle", "oracle runs", "probe cycles", "skipped",
+                    "prime cycles", "shrunk", "seconds"});
+  for (const Leg &L : Legs)
+    Tab.row({L.Oracle, std::to_string(L.Shrunk.Result.OracleRuns),
+             std::to_string(L.Shrunk.Work.SimulatedCycles),
+             std::to_string(L.Shrunk.Work.SkippedCycles),
+             std::to_string(L.Shrunk.Work.PrimeCycles),
+             std::to_string(L.Shrunk.Result.Frames.size()),
+             bench::fixed(L.Seconds, 3)});
+  Tab.print();
+  std::printf("\nprobe speedup: %.2fx (threshold %.1fx); end-to-end incl. "
+              "handoff replay: %.2fx\n",
+              Speedup, MinSpeedup, EndToEnd);
+
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("shrink_throughput");
+  J.key("quick").value(Quick);
+  J.key("scenario_frames").value(uint64_t(Frames));
+  J.key("shrinks").beginArray();
+  for (const Leg &L : Legs) {
+    const ShrunkCounterexample &S = L.Shrunk;
+    J.beginObject();
+    J.key("scenario").value("cross-frame-latch-pair");
+    J.key("oracle").value(L.Oracle);
+    J.key("oracle_runs").value(S.Result.OracleRuns);
+    J.key("resumed_runs").value(S.Work.ResumedRuns);
+    J.key("probe_cycles").value(S.Work.SimulatedCycles);
+    J.key("skipped_cycles").value(S.Work.SkippedCycles);
+    J.key("prime_cycles").value(S.Work.PrimeCycles);
+    J.key("checkpoints").value(S.Work.Checkpoints);
+    J.key("shrunk_frames").value(uint64_t(S.Result.Frames.size()));
+    J.key("shrunk_hash").value(framesHash(S.Result.Frames));
+    J.key("seconds").value(L.Seconds);
+    J.key("speedup_vs_cold").value(L.Oracle == "cold" ? 1.0 : Speedup);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("probe_speedup").value(Speedup);
+  J.key("end_to_end_speedup").value(EndToEnd);
+  J.key("all_ok").value(AllOk);
+  J.endObject();
+  const char *OutPath = "BENCH_shrink.json";
+  if (!support::writeFile(OutPath, J.str()))
+    std::fprintf(stderr, "failed to write %s\n", OutPath);
+  else
+    std::printf("wrote %s\n", OutPath);
+
+  return AllOk ? 0 : 1;
+}

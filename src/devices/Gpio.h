@@ -77,6 +77,28 @@ public:
   /// end-to-end checker).
   const std::vector<bool> &lightHistory() const { return LightHistory; }
 
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Block checkpoint, including the light-transition ground truth so a
+  /// restored run reports the identical history.
+  struct Snapshot {
+    Word OutputEn;
+    Word OutputVal;
+    bool LastLight;
+    std::vector<bool> LightHistory;
+  };
+
+  Snapshot snapshot() const {
+    return Snapshot{OutputEn, OutputVal, LastLight, LightHistory};
+  }
+
+  void restore(const Snapshot &S) {
+    OutputEn = S.OutputEn;
+    OutputVal = S.OutputVal;
+    LastLight = S.LastLight;
+    LightHistory = S.LightHistory;
+  }
+
 private:
   Word OutputEn = 0;
   Word OutputVal = 0;

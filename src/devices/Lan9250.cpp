@@ -6,7 +6,10 @@
 
 #include "devices/Lan9250.h"
 
+#include "devices/Net.h"
 #include "verify/FaultInjection.h"
+
+#include <algorithm>
 
 using namespace b2;
 using namespace b2::devices;
@@ -228,6 +231,49 @@ bool Lan9250::injectFrame(std::vector<uint8_t> Frame, bool Errored) {
   PendingFrame F;
   F.Data = std::move(Frame);
   F.Errored = Errored;
+  // Seeded bug: the RX engine's frame-boundary reset forgets a marker
+  // latch, so an earlier ON command corrupts every later OFF command (the
+  // IPv4 version byte is flipped, making the frame invalid to the
+  // firmware while the wire-level ground truth still expects a toggle).
+  if (fi::on(fi::Fault::DevLanRxCrossFrameLatch)) {
+    FrameClass C = classifyFrame(F.Data);
+    if (C.Valid && C.CommandBit)
+      CrossFrameOnSeen = true;
+    else if (C.Valid && !C.CommandBit && CrossFrameOnSeen)
+      F.Data[frame::EthHeaderLen] ^= 0x40;
+  }
   RxQueue.push_back(F);
   return true;
+}
+
+Lan9250::Snapshot Lan9250::snapshot() const {
+  Snapshot S;
+  S.State = State;
+  S.Command = Command;
+  S.Address = Address;
+  S.Assembly = Assembly;
+  S.ByteCount = ByteCount;
+  S.ReadLatch = ReadLatch;
+  S.Regs = Regs;
+  std::copy(std::begin(MacRegs), std::end(MacRegs), std::begin(S.MacRegs));
+  S.MacCsrDataReg = MacCsrDataReg;
+  S.NotReadyLeft = NotReadyLeft;
+  S.RxQueue = RxQueue;
+  S.CrossFrameOnSeen = CrossFrameOnSeen;
+  return S;
+}
+
+void Lan9250::restore(const Snapshot &S) {
+  State = S.State;
+  Command = S.Command;
+  Address = S.Address;
+  Assembly = S.Assembly;
+  ByteCount = S.ByteCount;
+  ReadLatch = S.ReadLatch;
+  Regs = S.Regs;
+  std::copy(std::begin(S.MacRegs), std::end(S.MacRegs), std::begin(MacRegs));
+  MacCsrDataReg = S.MacCsrDataReg;
+  NotReadyLeft = S.NotReadyLeft;
+  RxQueue = S.RxQueue;
+  CrossFrameOnSeen = S.CrossFrameOnSeen;
 }

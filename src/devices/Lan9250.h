@@ -141,6 +141,10 @@ private:
   Word MacCsrDataReg = 0;
   unsigned NotReadyLeft;
   std::deque<PendingFrame> RxQueue;
+  /// Carrier for the seeded dev-lan-rx-cross-frame-latch fault: set once
+  /// an ON command frame is accepted. Architectural state (it persists
+  /// across frames by design of the bug), so it snapshots like any latch.
+  bool CrossFrameOnSeen = false;
 
   Word readRegister(Word Addr);
   void writeRegister(Word Addr, Word Value);
@@ -149,6 +153,30 @@ private:
   Word rxFifoInf() const;
   Word statusWordFor(const PendingFrame &F) const;
   static Word paddedLen(Word Bytes) { return (Bytes + 3) & ~Word(3); }
+
+public:
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Controller checkpoint: the SPI transaction state machine, register
+  /// file, MAC CSR block, bring-up countdown, and the buffered RX frames
+  /// with their read cursors. All plain values — a copy is exact.
+  struct Snapshot {
+    SpiState State;
+    uint8_t Command;
+    Word Address;
+    Word Assembly;
+    unsigned ByteCount;
+    Word ReadLatch;
+    std::unordered_map<Word, Word> Regs;
+    Word MacRegs[16];
+    Word MacCsrDataReg;
+    unsigned NotReadyLeft;
+    std::deque<PendingFrame> RxQueue;
+    bool CrossFrameOnSeen;
+  };
+
+  Snapshot snapshot() const;
+  void restore(const Snapshot &S);
 };
 
 } // namespace devices

@@ -56,3 +56,25 @@ void Platform::store(Word Addr, unsigned Size, Word Value) {
     return;
   }
 }
+
+Platform::Snapshot Platform::snapshot() {
+  Snapshot S;
+  S.Nic = Nic.snapshot();
+  S.SpiCtrl = SpiCtrl.snapshot();
+  S.GpioBlock = GpioBlock.snapshot();
+  S.OpCount = OpCount;
+  S.Pending = Pending;
+  S.NextPending = NextPending;
+  S.Accepted = AcceptedChain.snapshot(Accepted_);
+  return S;
+}
+
+void Platform::restore(const Snapshot &S) {
+  Nic.restore(S.Nic);
+  SpiCtrl.restore(S.SpiCtrl);
+  GpioBlock.restore(S.GpioBlock);
+  OpCount = S.OpCount;
+  Pending = S.Pending;
+  NextPending = S.NextPending;
+  AcceptedChain.restore(Accepted_, S.Accepted);
+}

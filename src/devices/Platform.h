@@ -28,6 +28,7 @@
 #include "devices/MemoryMap.h"
 #include "devices/Spi.h"
 #include "riscv/Mmio.h"
+#include "support/Snapshot.h"
 
 #include <cstdint>
 #include <vector>
@@ -88,6 +89,26 @@ public:
   Lan9250 &nic() { return Nic; }
   Spi &spi() { return SpiCtrl; }
 
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Whole-platform checkpoint: every device plus the op counter and the
+  /// delivery schedule cursor. The accepted-frame ground truth is kept
+  /// as an append-only delta chain so frequent checkpoints stay O(new
+  /// frames); the pending schedule (set up once per run) is copied flat
+  /// and is empty in backpressure mode.
+  struct Snapshot {
+    Lan9250::Snapshot Nic;
+    Spi::Snapshot SpiCtrl;
+    Gpio::Snapshot GpioBlock;
+    uint64_t OpCount;
+    std::vector<ScheduledFrame> Pending;
+    size_t NextPending;
+    support::ChainTracker<ScheduledFrame>::Snap Accepted;
+  };
+
+  Snapshot snapshot();
+  void restore(const Snapshot &S);
+
 private:
   Lan9250 Nic;
   Spi SpiCtrl;
@@ -97,6 +118,7 @@ private:
                                        ///< to back.
   size_t NextPending = 0;
   std::vector<ScheduledFrame> Accepted_; ///< Frames the NIC accepted.
+  support::ChainTracker<ScheduledFrame> AcceptedChain;
 
   void deliverDue();
 };

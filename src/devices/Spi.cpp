@@ -100,3 +100,30 @@ void Spi::write(Word Addr, Word Value) {
     return; // Unmodeled SPI registers ignore writes.
   }
 }
+
+Spi::Snapshot Spi::snapshot() const {
+  return Snapshot{RxFifo,     CsModeReg, SckDivReg,     CsIdReg,
+                  CsDefReg,   CsAsserted, Exchanges,    OpClock,
+                  ShifterFreeAt, LastPopped};
+}
+
+void Spi::restore(const Snapshot &S) {
+  RxFifo = S.RxFifo;
+  CsModeReg = S.CsModeReg;
+  SckDivReg = S.SckDivReg;
+  CsIdReg = S.CsIdReg;
+  CsDefReg = S.CsDefReg;
+  CsAsserted = S.CsAsserted;
+  Exchanges = S.Exchanges;
+  OpClock = S.OpClock;
+  ShifterFreeAt = S.ShifterFreeAt;
+  if (fi::on(fi::Fault::SnapStateStaleLatch))
+    ShifterFreeAt = OpClock + Config.TransferOps; // Seeded bug: the restored
+                                                  // shifter-busy latch claims
+                                                  // an in-flight transfer, so
+                                                  // the resumed run delays the
+                                                  // next byte and sees busy
+                                                  // polls the straight-through
+                                                  // run never did.
+  LastPopped = S.LastPopped;
+}

@@ -105,6 +105,33 @@ private:
                               ///< (replayed by the DevSpiStaleRead fault).
 
   void setCsMode(Word Value);
+
+public:
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Controller checkpoint: registers, the op-clock, and the in-flight
+  /// RX FIFO with its readiness deadlines. Everything is op-sequence
+  /// state (the determinism contract above), so a plain copy restores
+  /// the exact reply schedule.
+  struct Snapshot {
+    std::deque<PendingRx> RxFifo;
+    Word CsModeReg;
+    Word SckDivReg;
+    Word CsIdReg;
+    Word CsDefReg;
+    bool CsAsserted;
+    uint64_t Exchanges;
+    uint64_t OpClock;
+    uint64_t ShifterFreeAt;
+    Word LastPopped;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Restores \p S. Under the seeded SnapStateStaleLatch fault the
+  /// restored shifter-busy latch is corrupted — the bug class the
+  /// snapshot-differential gate exists to catch.
+  void restore(const Snapshot &S);
 };
 
 } // namespace devices

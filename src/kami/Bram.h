@@ -22,6 +22,7 @@
 #ifndef B2_KAMI_BRAM_H
 #define B2_KAMI_BRAM_H
 
+#include "support/Snapshot.h"
 #include "support/Word.h"
 
 #include <cassert>
@@ -49,13 +50,15 @@ public:
   /// Writes bytes of \p Data selected by \p ByteEnable (bit i enables byte
   /// lane i) into the aligned word containing \p Addr.
   void writeWord(Word Addr, uint8_t ByteEnable, Word Data) {
-    Word &W = Words[wordIndex(Addr)];
+    Word Index = wordIndex(Addr);
+    Word &W = Words[Index];
     for (unsigned Lane = 0; Lane != 4; ++Lane) {
       if (!(ByteEnable & (1u << Lane)))
         continue;
       Word Mask = Word(0xFF) << (8 * Lane);
       W = (W & ~Mask) | (Data & Mask);
     }
+    Cow.markDirty(Index);
   }
 
   /// Copies \p Image into the BRAM starting at byte 0 (system bring-up:
@@ -75,6 +78,17 @@ public:
     return uint8_t((W >> (8 * (Addr & 3))) & 0xFF);
   }
 
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Copy-on-write checkpoint of the word array: O(words dirtied since
+  /// the previous checkpoint), not O(BRAM size).
+  struct Snapshot {
+    support::CowTracker<Word>::Snap Words;
+  };
+
+  Snapshot snapshot() { return Snapshot{Cow.snapshot(Words)}; }
+  void restore(const Snapshot &S) { Cow.restore(Words, S.Words); }
+
 private:
   Word wordIndex(Word Addr) const {
     // Hardware truncates the address to the BRAM's index width: high bits
@@ -83,6 +97,7 @@ private:
   }
 
   std::vector<Word> Words;
+  support::CowTracker<Word> Cow;
 };
 
 /// Computes the byte-enable mask for a \p Size-byte access at \p Addr

@@ -248,3 +248,35 @@ void PipelinedCore::run(uint64_t N) {
   for (uint64_t I = 0; I != N; ++I)
     tick();
 }
+
+PipelinedCore::Snapshot PipelinedCore::snapshot() {
+  Snapshot S;
+  S.Stats = Stats;
+  std::copy(std::begin(Regs), std::end(Regs), std::begin(S.Regs));
+  S.FetchPc = FetchPc;
+  S.CommitPc = CommitPc;
+  S.F2D = F2D;
+  S.D2E = D2E;
+  S.E2W = E2W;
+  std::copy(std::begin(Pending), std::end(Pending), std::begin(S.Pending));
+  S.Btb = Btb;
+  S.MmioStallLeft = MmioStallLeft;
+  S.FillCyclesLeft = FillCyclesLeft;
+  S.Labels = LabelChain.snapshot(Labels);
+  return S;
+}
+
+void PipelinedCore::restore(const Snapshot &S) {
+  Stats = S.Stats;
+  std::copy(std::begin(S.Regs), std::end(S.Regs), std::begin(Regs));
+  FetchPc = S.FetchPc;
+  CommitPc = S.CommitPc;
+  F2D = S.F2D;
+  D2E = S.D2E;
+  E2W = S.E2W;
+  std::copy(std::begin(S.Pending), std::end(S.Pending), std::begin(Pending));
+  Btb = S.Btb;
+  MmioStallLeft = S.MmioStallLeft;
+  FillCyclesLeft = S.FillCyclesLeft;
+  LabelChain.restore(Labels, S.Labels);
+}

@@ -31,6 +31,7 @@
 #include "kami/Labels.h"
 #include "kami/MemSystem.h"
 #include "riscv/Mmio.h"
+#include "support/Snapshot.h"
 
 #include <cstdint>
 #include <optional>
@@ -153,7 +154,35 @@ private:
   unsigned MmioStallLeft = 0;
   uint64_t FillCyclesLeft = 0;
   LabelTrace Labels;
+  support::ChainTracker<Label> LabelChain;
 
+public:
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Whole-core checkpoint: committed architectural state plus every
+  /// piece of timing state — pipeline latches, scoreboard, BTB, MMIO
+  /// and I$-fill stall counters — so a restored core replays the exact
+  /// same cycle-level schedule. The label trace rides along as a delta
+  /// chain; the BRAM is checkpointed by its owner.
+  struct Snapshot {
+    PipeStats Stats;
+    Word Regs[32];
+    Word FetchPc;
+    Word CommitPc;
+    std::optional<FetchOut> F2D;
+    std::optional<DecodeOut> D2E;
+    std::optional<ExecOut> E2W;
+    uint8_t Pending[32];
+    std::vector<BtbEntry> Btb;
+    unsigned MmioStallLeft;
+    uint64_t FillCyclesLeft;
+    support::ChainTracker<Label>::Snap Labels;
+  };
+
+  Snapshot snapshot();
+  void restore(const Snapshot &S);
+
+private:
   void setReg(unsigned R, Word V) {
     if (R != 0)
       Regs[R] = V;

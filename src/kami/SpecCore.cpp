@@ -75,3 +75,21 @@ void SpecCore::run(uint64_t N) {
   for (uint64_t I = 0; I != N; ++I)
     tick();
 }
+
+SpecCore::Snapshot SpecCore::snapshot() {
+  Snapshot S;
+  std::copy(std::begin(Regs), std::end(Regs), std::begin(S.Regs));
+  S.Pc = Pc;
+  S.Cycles = Cycles;
+  S.Retired = Retired;
+  S.Labels = LabelChain.snapshot(Labels);
+  return S;
+}
+
+void SpecCore::restore(const Snapshot &S) {
+  std::copy(std::begin(S.Regs), std::end(S.Regs), std::begin(Regs));
+  Pc = S.Pc;
+  Cycles = S.Cycles;
+  Retired = S.Retired;
+  LabelChain.restore(Labels, S.Labels);
+}

@@ -38,6 +38,7 @@
 #include "kami/Labels.h"
 #include "kami/MemSystem.h"
 #include "riscv/Mmio.h"
+#include "support/Snapshot.h"
 
 #include <cstdint>
 
@@ -65,6 +66,23 @@ public:
   const LabelTrace &labels() const { return Labels; }
   const ICache &icache() const { return IMem; }
 
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Core-private checkpoint: architectural registers plus the label
+  /// trace as a delta chain. The ICache is reset-time-immutable (its
+  /// decode memos are behavior-neutral) and the BRAM is checkpointed by
+  /// its owner, so neither appears here.
+  struct Snapshot {
+    Word Regs[32];
+    Word Pc;
+    uint64_t Cycles;
+    uint64_t Retired;
+    support::ChainTracker<Label>::Snap Labels;
+  };
+
+  Snapshot snapshot();
+  void restore(const Snapshot &S);
+
 private:
   MemPort Port;
   ICache IMem;
@@ -73,6 +91,7 @@ private:
   uint64_t Cycles = 0;
   uint64_t Retired = 0;
   LabelTrace Labels;
+  support::ChainTracker<Label> LabelChain;
 
   void setReg(unsigned R, Word V) {
     if (R != 0)

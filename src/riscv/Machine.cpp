@@ -74,6 +74,7 @@ void Machine::writeRam(Word Addr, unsigned Size, Word V) {
   assert(inRam(Addr, Size) && "RAM write out of range");
   for (unsigned I = 0; I != Size; ++I)
     Ram[Addr + I] = uint8_t((V >> (8 * I)) & 0xFF);
+  RamCow.markDirtyRange(Addr, size_t(Addr) + Size);
   invalidateDecode(Addr, Size);
 }
 
@@ -81,6 +82,7 @@ void Machine::loadImage(Word Addr, const std::vector<uint8_t> &Image) {
   assert(inRam(Addr, Word(Image.size())) && "image does not fit in RAM");
   for (size_t I = 0; I != Image.size(); ++I)
     Ram[Addr + I] = Image[I];
+  RamCow.markDirtyRange(Addr, size_t(Addr) + Image.size());
   invalidateDecode(Addr, Word(Image.size()));
 }
 
@@ -92,6 +94,7 @@ void Machine::storeRam(Word Addr, unsigned Size, Word V) {
     P[1] = uint8_t(V >> 8);
     P[2] = uint8_t(V >> 16);
     P[3] = uint8_t(V >> 24);
+    RamCow.markDirty(Addr);
     if (fi::on(fi::Fault::SimStoreKeepsXAddrs))
       return; // Seeded bug: the section-5.6 discipline is forgotten.
     // Aligned word: one XAddrs block, one decode-cache word.
@@ -108,6 +111,7 @@ void Machine::storeRam(Word Addr, unsigned Size, Word V) {
   }
   for (unsigned I = 0; I != Size; ++I)
     Ram[Addr + I] = uint8_t((V >> (8 * I)) & 0xFF);
+  RamCow.markDirtyRange(Addr, size_t(Addr) + Size);
   if (fi::on(fi::Fault::SimStoreKeepsXAddrs))
     return; // Seeded bug: the section-5.6 discipline is forgotten.
   removeXAddrs(Addr, Size);
@@ -184,4 +188,34 @@ void Machine::markUb(UbKind K, std::string Detail) {
     return;
   Ub = K;
   UbMessage = std::move(Detail);
+}
+
+Machine::Snapshot Machine::snapshot() {
+  Snapshot S;
+  std::copy(std::begin(Regs), std::end(Regs), std::begin(S.Regs));
+  S.Pc = Pc;
+  S.Ram = RamCow.snapshot(Ram);
+  S.XBits = XBits;
+  S.DecodeCache = DecodeCow.snapshot(DecodeCache);
+  S.DecodeValid = DecodeValid;
+  S.CacheStats = CacheStats;
+  S.Ub = Ub;
+  S.UbMessage = UbMessage;
+  S.Trace = TraceChain.snapshot(Trace);
+  S.Retired = Retired;
+  return S;
+}
+
+void Machine::restore(const Snapshot &S) {
+  std::copy(std::begin(S.Regs), std::end(S.Regs), std::begin(Regs));
+  Pc = S.Pc;
+  RamCow.restore(Ram, S.Ram);
+  XBits = S.XBits;
+  DecodeCow.restore(DecodeCache, S.DecodeCache);
+  DecodeValid = S.DecodeValid;
+  CacheStats = S.CacheStats;
+  Ub = S.Ub;
+  UbMessage = S.UbMessage;
+  TraceChain.restore(Trace, S.Trace);
+  Retired = S.Retired;
 }

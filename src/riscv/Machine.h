@@ -44,6 +44,7 @@
 
 #include "isa/Instr.h"
 #include "riscv/Mmio.h"
+#include "support/Snapshot.h"
 #include "support/Word.h"
 
 #include <cassert>
@@ -123,6 +124,7 @@ public:
   void writeByte(Word Addr, uint8_t V) {
     assert(inRam(Addr, 1) && "RAM write out of range");
     Ram[Addr] = V;
+    RamCow.markDirty(Addr);
     invalidateDecode(Addr, 1);
   }
 
@@ -205,10 +207,42 @@ public:
            "decode-cache fill without a successful slow-path fetch");
     Word W = Pc >> 2;
     DecodeCache[W] = I;
+    DecodeCow.markDirty(W);
     DecodeValid[W >> 6] |= uint64_t(1) << (W & 63);
   }
 
   const DecodeCacheStats &decodeCacheStats() const { return CacheStats; }
+
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Whole-machine checkpoint. RAM and the predecoded-instruction cache
+  /// are captured copy-on-write (O(pages dirtied since the last
+  /// checkpoint)); the MMIO trace as an append-only delta chain; the
+  /// rest (registers, XAddrs bitset, UB status, counters) flat. The
+  /// decode cache is snapshotted *as state* — including any staleness a
+  /// seeded invalidation fault left behind — so a restored machine is
+  /// bit-identical to the original even under active fault plans.
+  struct Snapshot {
+    Word Regs[32];
+    Word Pc;
+    support::CowTracker<uint8_t>::Snap Ram;
+    std::vector<uint64_t> XBits;
+    support::CowTracker<isa::Instr>::Snap DecodeCache;
+    std::vector<uint64_t> DecodeValid;
+    DecodeCacheStats CacheStats;
+    UbKind Ub;
+    std::string UbMessage;
+    support::ChainTracker<MmioEvent>::Snap Trace;
+    uint64_t Retired;
+  };
+
+  /// Captures the complete architectural + cache state.
+  Snapshot snapshot();
+
+  /// Rewinds the machine to \p S (which must come from this machine's
+  /// snapshot()). Pure state copy: no fault hooks run, no statistics
+  /// change beyond being restored themselves.
+  void restore(const Snapshot &S);
 
   // -- UB status ------------------------------------------------------------
 
@@ -248,6 +282,9 @@ private:
   std::string UbMessage;
   MmioTrace Trace;
   uint64_t Retired = 0;
+  support::CowTracker<uint8_t> RamCow;
+  support::CowTracker<isa::Instr> DecodeCow;
+  support::ChainTracker<MmioEvent> TraceChain;
 
   /// True iff every XAddrs bit in [Addr, Addr+Len) is set. \p Len > 0 and
   /// the range must be in RAM.

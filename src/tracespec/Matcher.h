@@ -102,6 +102,29 @@ public:
     /// Forgets everything and rewinds to the empty trace.
     void reset();
 
+    // -- Snapshot/restore ----------------------------------------------------
+
+    /// Frontier checkpoint. InFrontier is pure scratch (all-false
+    /// between feeds), so the live and last-matched position sets plus
+    /// the progress counters capture the stream exactly.
+    struct Snapshot {
+      std::vector<uint32_t> Current;
+      std::vector<uint32_t> Matched;
+      size_t Consumed;
+      bool Dead;
+    };
+
+    Snapshot snapshot() const {
+      return Snapshot{Current, Matched, Consumed, Dead};
+    }
+
+    void restore(const Snapshot &S) {
+      Current = S.Current;
+      Matched = S.Matched;
+      Consumed = S.Consumed;
+      Dead = S.Dead;
+    }
+
   private:
     const Matcher *M;
     std::vector<uint32_t> Current; ///< Live frontier (position indices).

@@ -71,6 +71,30 @@ public:
   /// Restarts the monitor for a fresh trace.
   void reset();
 
+  // -- Snapshot/restore ------------------------------------------------------
+
+  /// Monitor checkpoint: the NFA frontier plus the watermark and both
+  /// event counters. Offered is included deliberately — the seeded
+  /// drop-event fault keys off its cadence, so a resumed run under that
+  /// fault must resume the cadence, not restart it.
+  struct Snapshot {
+    tracespec::Matcher::Stream::Snapshot Stream;
+    size_t Watermark;
+    size_t Offered;
+    size_t Seen;
+  };
+
+  Snapshot snapshot() const {
+    return Snapshot{Stream.snapshot(), Watermark, Offered, Seen};
+  }
+
+  void restore(const Snapshot &S) {
+    Stream.restore(S.Stream);
+    Watermark = S.Watermark;
+    Offered = S.Offered;
+    Seen = S.Seen;
+  }
+
 private:
   tracespec::Matcher::Stream Stream;
   size_t Watermark = 0; ///< Next trace index pollTrace will feed.

@@ -6,6 +6,8 @@
 
 #include "traffic/Shrink.h"
 
+#include "traffic/Checkpoint.h"
+
 #include <algorithm>
 
 using namespace b2;
@@ -46,11 +48,18 @@ b2::traffic::shrinkFrames(const std::vector<ScheduledFrame> &Failing,
   // Classic ddmin: try dropping each of N chunks; on success restart at
   // the coarsest granularity, otherwise refine N until chunks are single
   // frames and no single-frame removal still fails — 1-minimality.
+  //
+  // Chunks are probed trailing-first: dropping a late chunk yields a
+  // candidate that is a long prefix of the current base, so successive
+  // candidates share delivered prefixes. The result set is 1-minimal
+  // either way; the order only decides how much of each oracle run the
+  // checkpointed oracle can resume instead of re-simulate.
   size_t N = 2;
   while (R.Frames.size() >= 2) {
     N = std::min(N, R.Frames.size());
     bool Reduced = false;
-    for (size_t C = 0; C != N; ++C) {
+    for (size_t I = N; I != 0; --I) {
+      const size_t C = I - 1;
       std::vector<ScheduledFrame> Candidate = dropChunk(R.Frames, N, C);
       ++R.OracleRuns;
       if (Oracle(Candidate)) {
@@ -90,7 +99,41 @@ b2::traffic::shrinkSoakFailure(const compiler::CompiledProgram &Prog,
                                const std::vector<ScheduledFrame> &Failing,
                                const SoakOptions &Options) {
   ShrunkCounterexample Out;
-  Out.Result = shrinkFrames(Failing, soakOracle(Prog, Options));
+  if (Options.Checkpoint && !Options.HonorSchedule) {
+    // Prefix-reuse oracle: ddmin candidates share long delivered
+    // prefixes, so each run resumes from the deepest checkpoint of the
+    // shared prefix instead of re-simulating boot + prefix. Verdicts
+    // are identical to the cold oracle's (same formula, bit-identical
+    // resumed state). The prime replay hands the failing run's tree to
+    // the shrinker; ddmin's own reproduce run then resumes from its
+    // deepest node instead of simulating the scenario a second time.
+    CheckpointedOracle Oracle(Prog, Options);
+    Oracle.prime(Failing);
+    Out.Result = shrinkFrames(
+        Failing, [&Oracle](const std::vector<ScheduledFrame> &Frames) {
+          return Oracle.failing(Frames);
+        });
+    const CheckpointedOracle::RunStats &S = Oracle.stats();
+    Out.Work.Checkpointed = true;
+    Out.Work.SimulatedCycles = S.SimulatedCycles;
+    Out.Work.SkippedCycles = S.SkippedCycles;
+    Out.Work.ResumedRuns = S.ResumedRuns;
+    Out.Work.Checkpoints = S.Checkpoints;
+    Out.Work.PrimeCycles = S.PrimeCycles;
+  } else {
+    // Cold replay, with the same verdict formula as soakOracle, plus
+    // cycle accounting so callers can compare the two paths.
+    SoakOptions O = Options;
+    O.CrossCheck = false;
+    uint64_t Cycles = 0;
+    Out.Result = shrinkFrames(
+        Failing, [&](const std::vector<ScheduledFrame> &Frames) {
+          ShardStats S = runSoakShard(Prog, Frames, O);
+          Cycles += S.Cycles;
+          return !S.MonitorOk || S.HitUb || (S.Drained && !S.GroundTruthOk);
+        });
+    Out.Work.SimulatedCycles = Cycles;
+  }
   if (Out.Result.Reproduced) {
     SoakOptions O = Options;
     O.CrossCheck = false;

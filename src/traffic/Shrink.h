@@ -61,9 +61,29 @@ ShrinkOracle soakOracle(const compiler::CompiledProgram &Prog,
 
 /// Convenience driver: shrinks \p Failing against the soak oracle and
 /// fills in the violation index of the minimized run.
+///
+/// When \p Options.Checkpoint is set (and the schedule is backpressure),
+/// the oracle is the checkpoint-tree oracle: the failing scenario is
+/// replayed once to hand the tree over (Work.PrimeCycles), and every
+/// ddmin probe then resumes from the deepest checkpoint of its shared
+/// prefix. Work.SimulatedCycles counts only the probe phase — the
+/// quantity a cold-replay shrinker pays in full — so it is the number
+/// to compare against a cold run's oracle cycles.
 struct ShrunkCounterexample {
   ShrinkResult Result;
   uint64_t ViolationIndex = 0; ///< Of the minimized run's monitor.
+
+  /// Oracle work, both paths. Cold runs leave the checkpoint-only
+  /// fields (Skipped/Resumed/Checkpoints/Prime*) zero.
+  struct ShrinkWork {
+    bool Checkpointed = false;    ///< Which oracle ran.
+    uint64_t SimulatedCycles = 0; ///< Cycles the shrink phase executed.
+    uint64_t SkippedCycles = 0;   ///< Cycles resumed from checkpoints.
+    uint64_t ResumedRuns = 0;     ///< Probes resumed past boot.
+    uint64_t Checkpoints = 0;     ///< Tree nodes created.
+    uint64_t PrimeCycles = 0;     ///< Handoff replay (tree build).
+  };
+  ShrinkWork Work;
 };
 ShrunkCounterexample
 shrinkSoakFailure(const compiler::CompiledProgram &Prog,

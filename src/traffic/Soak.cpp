@@ -8,15 +8,9 @@
 
 #include "app/Firmware.h"
 #include "app/LightbulbSpec.h"
-#include "devices/Net.h"
-#include "kami/PipelinedCore.h"
-#include "kami/SpecCore.h"
-#include "riscv/Machine.h"
-#include "riscv/Step.h"
-#include "support/Format.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
-#include "traffic/Monitor.h"
+#include "traffic/Checkpoint.h"
 
 #include <algorithm>
 #include <memory>
@@ -40,269 +34,42 @@ const char *b2::traffic::soakCoreName(SoakCore C) {
 
 namespace {
 
-/// FNV-1a over an MMIO trace (the same construction as streamDigest;
-/// local so b2_traffic stays independent of b2_verify's traceDigest).
-uint64_t traceHash(const riscv::MmioTrace &T) {
-  uint64_t H = 0xcbf29ce484222325ull;
-  auto Mix = [&H](uint64_t V) {
-    for (int I = 0; I < 8; ++I) {
-      H ^= (V >> (I * 8)) & 0xFF;
-      H *= 0x100000001b3ull;
-    }
-  };
-  Mix(T.size());
-  for (const riscv::MmioEvent &E : T) {
-    Mix(E.IsStore ? 1 : 0);
-    Mix(E.Addr);
-    Mix(E.Value);
-    Mix(E.Size);
-  }
-  return H;
-}
-
-/// Ground truth, as in the end-to-end checker: the distinct lightbulb
-/// states implied by the accepted frames (initial state off).
-std::vector<bool>
-expectedLightSequence(const std::vector<ScheduledFrame> &Accepted) {
-  std::vector<bool> Out;
-  bool Light = false;
-  for (const ScheduledFrame &F : Accepted) {
-    if (F.Errored)
-      continue;
-    FrameClass C = classifyFrame(F.Frame);
-    if (!C.Valid)
-      continue;
-    if (C.CommandBit != Light) {
-      Light = C.CommandBit;
-      Out.push_back(Light);
-    }
-  }
-  return Out;
-}
-
-/// Uniform driver over the three execution substrates (the soak-side
-/// sibling of the end-to-end checker's SystemRunner).
-class ShardRunner {
-public:
-  ShardRunner(const compiler::CompiledProgram &Prog, SoakCore Core,
-              Word RamBytes)
-      : Core(Core) {
-    switch (Core) {
-    case SoakCore::IsaSim:
-      Sim = std::make_unique<riscv::Machine>(RamBytes);
-      Sim->loadImage(0, Prog.image());
-      break;
-    case SoakCore::SpecCore:
-      Mem = std::make_unique<kami::Bram>(RamBytes);
-      Mem->loadImage(Prog.image());
-      Spec = std::make_unique<kami::SpecCore>(*Mem, Plat);
-      break;
-    case SoakCore::Pipelined:
-      Mem = std::make_unique<kami::Bram>(RamBytes);
-      Mem->loadImage(Prog.image());
-      Pipe = std::make_unique<kami::PipelinedCore>(*Mem, Plat,
-                                                   kami::PipeConfig());
-      break;
-    }
-  }
-
-  bool run(uint64_t Cycles) {
-    switch (Core) {
-    case SoakCore::IsaSim:
-      riscv::run(*Sim, Plat, Cycles);
-      return !Sim->hasUb();
-    case SoakCore::SpecCore:
-      Spec->run(Cycles);
-      return true;
-    case SoakCore::Pipelined:
-      Pipe->run(Cycles);
-      return true;
-    }
-    return false;
-  }
-
-  /// Trace under KamiLabelSeqR, converted incrementally (O(new events)
-  /// per call, which is what keeps per-chunk monitor polling cheap).
-  const riscv::MmioTrace &trace() {
-    switch (Core) {
-    case SoakCore::IsaSim:
-      return Sim->trace();
-    case SoakCore::SpecCore:
-      Converted =
-          kami::appendKamiLabelSeqR(Spec->labels(), Converted, ConvertedTrace);
-      return ConvertedTrace;
-    case SoakCore::Pipelined:
-      Converted =
-          kami::appendKamiLabelSeqR(Pipe->labels(), Converted, ConvertedTrace);
-      return ConvertedTrace;
-    }
-    return ConvertedTrace;
-  }
-
-  uint64_t retired() const {
-    switch (Core) {
-    case SoakCore::IsaSim:
-      return Sim->retiredInstructions();
-    case SoakCore::SpecCore:
-      return Spec->retired();
-    case SoakCore::Pipelined:
-      return Pipe->retired();
-    }
-    return 0;
-  }
-
-  std::string simUbDetail() const {
-    return std::string(riscv::ubKindName(Sim->ubKind())) + ": " +
-           Sim->ubDetail();
-  }
-
-  Platform &platform() { return Plat; }
-
-private:
-  SoakCore Core;
-  Platform Plat;
-  std::unique_ptr<riscv::Machine> Sim;
-  std::unique_ptr<kami::Bram> Mem;
-  std::unique_ptr<kami::SpecCore> Spec;
-  std::unique_ptr<kami::PipelinedCore> Pipe;
-  riscv::MmioTrace ConvertedTrace;
-  size_t Converted = 0;
-};
-
 ShardStats runShardRange(const compiler::CompiledProgram &Prog,
                          const ScheduledFrame *Begin, const ScheduledFrame *End,
                          const SoakOptions &Options) {
-  ShardStats S;
   // Arm the requested plan, if any. When none is requested the ambient
   // thread-local plan (e.g. one the adequacy driver armed around this
-  // call) is left in place rather than masked with an empty scope.
+  // call) is left in place rather than masked with an empty scope. The
+  // warm-boot cache keys on whatever plan ends up armed, so arming must
+  // precede the machine lookup.
   std::optional<fi::FaultScope> Scope;
   if (Options.Plan)
     Scope.emplace(*Options.Plan);
 
-  ShardRunner Runner(Prog, Options.Core, Options.RamBytes);
-  Platform &Plat = Runner.platform();
-  TraceMonitor Mon;
-
   const size_t NumFrames = size_t(End - Begin);
-  size_t NextFrame = 0;
-  std::vector<ScheduledFrame> Delivered;
+
+  // Warm-boot fleet: fork this shard's machine from the cached
+  // post-init snapshot instead of re-simulating the boot sequence.
+  // Empty shards run cold (the warm path's budget math assumes at least
+  // one injection), as does everything when the boot never reaches
+  // injection readiness (warmBootMachine returns null).
+  std::unique_ptr<SoakMachine> M;
+  if (Options.Checkpoint && !Options.HonorSchedule && NumFrames > 0)
+    M = warmBootMachine(Prog, Options);
+  if (!M)
+    M = std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes);
 
   if (Options.HonorSchedule)
     for (const ScheduledFrame *F = Begin; F != End; ++F)
-      Plat.scheduleFrame(F->AtOp, F->Frame, F->Errored);
+      M->platform().scheduleFrame(F->AtOp, F->Frame, F->Errored);
 
-  uint64_t Elapsed = 0;
-  bool Drained = false;
-  bool Violated = false;
-  while (Elapsed < Options.MaxCyclesPerShard) {
-    if (!Runner.run(Options.ChunkCycles)) {
-      S.HitUb = true;
-      S.Error = "ISA simulator hit UB: " + Runner.simUbDetail();
-      break;
-    }
-    Elapsed += Options.ChunkCycles;
+  ShardExit Exit = runShardLoop(*M, Begin, End, Options);
+  ShardStats S = collectShardStats(*M, Exit, Begin, End, Options);
 
-    // The streaming check: feed only the events this chunk produced.
-    if (!Mon.pollTrace(Runner.trace())) {
-      Violated = true;
-      break;
-    }
-
-    if (Options.HonorSchedule) {
-      uint64_t LastAt = NumFrames == 0 ? 0 : (End - 1)->AtOp;
-      if (Plat.opCount() > LastAt + 100 && Plat.nic().bufferedFrames() == 0) {
-        if (Drained)
-          break;
-        Drained = true;
-      }
-      continue;
-    }
-
-    // Backpressure delivery: top the NIC FIFO back up to the budget.
-    // Gated on rxEnabled so nothing is lost to the pre-init window, and
-    // on FIFO headroom so nothing is lost to queue overflow — delivery
-    // paces itself to the firmware's drain rate.
-    while (NextFrame < NumFrames && Plat.nic().rxEnabled() &&
-           Plat.nic().bufferedFrames() < Options.FrameBudget) {
-      const ScheduledFrame &F = Begin[NextFrame];
-      Plat.injectNow(F.Frame, F.Errored);
-      Delivered.push_back(ScheduledFrame{Plat.opCount(), F.Frame, F.Errored});
-      ++NextFrame;
-    }
-
-    if (NextFrame == NumFrames && Plat.nic().bufferedFrames() == 0) {
-      if (Drained)
-        break;
-      Drained = true; // One settle chunk for the final frame's iteration.
-    }
-  }
-
-  const riscv::MmioTrace &Trace = Runner.trace();
-  S.FramesDelivered = Options.HonorSchedule
-                          ? uint64_t(std::count_if(
-                                Begin, End,
-                                [&Plat](const ScheduledFrame &F) {
-                                  return F.AtOp <= Plat.opCount();
-                                }))
-                          : NextFrame;
-  S.FramesAccepted = Plat.acceptedFrames().size();
-  for (const ScheduledFrame &F : Plat.acceptedFrames())
-    if (!F.Errored && classifyFrame(F.Frame).Valid)
-      ++S.ValidCommands;
-  S.MmioEvents = Trace.size();
-  S.MonitorEventsSeen = Mon.eventsSeen();
-  S.LightTransitions = Plat.gpio().lightHistory().size();
-  S.Cycles = Elapsed;
-  S.Retired = Runner.retired();
-  S.TraceHash = traceHash(Trace);
-
-  S.MonitorOk = !Mon.violated();
-  S.Drained = Drained;
-
-  // Keeps the delivered prefix for the shrinker (only called on
-  // frame-dependent failures).
-  auto KeepDelivered = [&] {
-    if (Options.HonorSchedule) {
-      for (const ScheduledFrame *F = Begin; F != End; ++F)
-        if (F->AtOp <= Plat.opCount())
-          S.DeliveredFrames.push_back(*F);
-    } else {
-      S.DeliveredFrames = std::move(Delivered);
-    }
-  };
-
-  if (Violated) {
-    S.ViolationIndex = Mon.violationIndex();
-    S.Error = "goodHlTrace violated at event " +
-              std::to_string(S.ViolationIndex) + "; expected one of: " +
-              support::join(Mon.expectedAtViolation(), " | ");
-    KeepDelivered();
-    return S;
-  }
-  if (S.HitUb) {
-    KeepDelivered();
-    return S;
-  }
-  if (!S.Error.empty())
-    return S;
-  if (!Drained && NumFrames != 0) {
-    S.Error = "cycle budget exhausted before the shard drained (" +
-              std::to_string(S.FramesDelivered) + "/" +
-              std::to_string(NumFrames) + " frames delivered)";
-    return S;
-  }
-
-  S.GroundTruthOk =
-      Plat.gpio().lightHistory() == expectedLightSequence(Plat.acceptedFrames());
-  if (!S.GroundTruthOk) {
-    S.Error = "lightbulb state history does not match the accepted valid "
-              "commands";
-    KeepDelivered();
-    return S;
-  }
-
-  if (Options.CrossCheck) {
+  // GroundTruthOk is true exactly when every earlier gate (monitor, UB,
+  // drain) passed — the point where the original inline loop reached
+  // its cross-check.
+  if (Options.CrossCheck && S.GroundTruthOk) {
     SoakOptions Other = Options;
     Other.CrossCheck = false;
     Other.Core = Options.Core == SoakCore::IsaSim ? SoakCore::SpecCore
@@ -316,17 +83,15 @@ ShardStats runShardRange(const compiler::CompiledProgram &Prog,
                      O.FramesAccepted == S.FramesAccepted &&
                      O.ValidCommands == S.ValidCommands &&
                      O.LightTransitions == S.LightTransitions;
-    if (!S.CrossCheckOk) {
+    if (!S.CrossCheckOk)
       S.Error = "cross-check on " + std::string(soakCoreName(Other.Core)) +
                 " disagrees: " +
                 (O.Error.empty() ? std::string("accepted/commands/lights "
                                                "counters differ")
                                  : O.Error);
-      return S;
-    }
+    S.Ok = S.MonitorOk && S.GroundTruthOk && S.CrossCheckOk;
   }
 
-  S.Ok = S.MonitorOk && S.GroundTruthOk && S.CrossCheckOk;
   return S;
 }
 

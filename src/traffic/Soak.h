@@ -80,6 +80,14 @@ struct SoakOptions {
   /// Fault plan armed (via fi::FaultScope) inside every shard body; null
   /// arms nothing. Must outlive runSoak.
   const fi::FaultPlan *Plan = nullptr;
+  /// Use the whole-machine checkpoint layer (traffic/Checkpoint.h):
+  /// backpressure shards fork from a cached post-boot snapshot instead
+  /// of re-simulating firmware init, and the shrinker resumes ddmin
+  /// candidates from prefix checkpoints. Results are bit-identical
+  /// either way (that identity is itself fuzz- and adequacy-tested);
+  /// off = always run cold, for differential debugging and the bench's
+  /// cold baseline.
+  bool Checkpoint = true;
 };
 
 /// Everything one shard produced. All fields are deterministic

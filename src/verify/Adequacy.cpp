@@ -25,6 +25,7 @@
 #include "riscv/Step.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
+#include "traffic/Checkpoint.h"
 #include "traffic/Pcap.h"
 #include "traffic/Scenario.h"
 #include "traffic/Soak.h"
@@ -60,6 +61,8 @@ const char *b2::verify::checkerName(Checker C) {
     return "SimCacheDiff";
   case Checker::SoakMonitor:
     return "SoakMonitor";
+  case Checker::SnapDiff:
+    return "SnapDiff";
   case Checker::NumCheckers:
     break;
   }
@@ -447,6 +450,15 @@ std::vector<Stim> endToEndStims() {
          S.Frames.push_back(ScheduledFrame{4000, buildUdpFrame(Payload)});
          return e2eFails(S, D);
        }},
+      // ON then OFF: the minimal cross-frame sequence. Kills bugs whose
+      // trigger is state leaked between frames (the cross-frame RX latch
+      // eats the OFF, so the light never turns back off).
+      {"on-then-off", [](std::string &D) {
+         E2EScenario S;
+         S.Frames.push_back(ScheduledFrame{4000, buildCommandFrame(true)});
+         S.Frames.push_back(ScheduledFrame{14000, buildCommandFrame(false)});
+         return e2eFails(S, D);
+       }},
       // Adversarial mix from the packet fuzzer.
       {"fuzz-mix", [](std::string &D) {
          return e2eFails(fuzzScenario(/*Seed=*/0xADE4, /*NumFrames=*/5), D);
@@ -693,6 +705,58 @@ std::vector<Stim> soakMonitorStims() {
   };
 }
 
+// -- SnapDiff column ---------------------------------------------------------
+//
+// The checkpoint layer's bit-identity contract, checked directly: run a
+// short soak straight through, snapshot the whole machine at a chosen
+// injection depth, restore the snapshot into a fresh machine, resume,
+// and demand identical stats, trace hash, light history, and delivered
+// frames. A deterministic fault in the *simulated system* perturbs both
+// runs equally and never trips this column; only a fault in the
+// checkpoint layer itself (SnapStateStaleLatch corrupts one restored SPI
+// latch) makes the resumed run diverge. Kept on the ISA simulator so the
+// full 32-fault matrix stays cheap; the fuzz tests cover all three cores.
+
+bool snapDiffFails(uint64_t Seed, uint64_t Frames, size_t Depth,
+                   std::string &Detail) {
+  compiler::CompileResult C = traffic::compileSoakFirmware();
+  if (!C.ok()) {
+    Detail = "firmware compilation failed: " + C.Error;
+    return true;
+  }
+  traffic::ScenarioOptions G;
+  G.Seed = Seed;
+  G.Frames = Frames;
+  traffic::TrafficStream S = traffic::generateScenario("valid-mix", G);
+  traffic::SoakOptions O;
+  O.Core = traffic::SoakCore::IsaSim;
+  traffic::SnapshotDifferential D =
+      traffic::runSnapshotDifferential(*C.Prog, S.Frames, O, Depth);
+  if (!D.Identical) {
+    Detail = "snapshot-resumed run diverged at depth " +
+             std::to_string(Depth) + ": " + D.Detail;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> snapDiffStims() {
+  return {
+      // Restore immediately after the first injection: the longest
+      // resumed tail, so any restored-state corruption has maximal time
+      // to surface.
+      {"resume-after-first-inject", [](std::string &D) {
+         return snapDiffFails(/*Seed=*/21, /*Frames=*/8, /*Depth=*/1, D);
+       }},
+      // Mid-stream and late checkpoints on a different seed (latch
+      // timing at the snapshot point differs per depth).
+      {"resume-depth-sweep", [](std::string &D) {
+         return snapDiffFails(/*Seed=*/77, /*Frames=*/8, /*Depth=*/4, D) ||
+                snapDiffFails(/*Seed=*/77, /*Frames=*/8, /*Depth=*/7, D);
+       }},
+  };
+}
+
 std::vector<Stim> columnStims(Checker C) {
   switch (C) {
   case Checker::CompilerDiff:
@@ -711,6 +775,8 @@ std::vector<Stim> columnStims(Checker C) {
     return simCacheDiffStims();
   case Checker::SoakMonitor:
     return soakMonitorStims();
+  case Checker::SnapDiff:
+    return snapDiffStims();
   case Checker::NumCheckers:
     break;
   }
@@ -750,7 +816,7 @@ const fi::FaultInfo *infoFor(fi::Fault F) {
 } // namespace
 
 std::vector<fi::Fault> b2::verify::quickFaultSet() {
-  // One or two faults per layer; all eight owner columns exercised.
+  // One or two faults per layer; all nine owner columns exercised.
   return {
       fi::Fault::CompilerImmTruncate,
       fi::Fault::CompilerStackallocNoZero,
@@ -763,6 +829,7 @@ std::vector<fi::Fault> b2::verify::quickFaultSet() {
       fi::Fault::BcBrVZInverted,
       fi::Fault::BcAllocSkew,
       fi::Fault::TrafficGenUnseededFrame,
+      fi::Fault::SnapStateStaleLatch,
   };
 }
 

@@ -49,7 +49,10 @@ namespace verify {
 /// (the only checker that can own the decode-cache discipline faults);
 /// SoakMonitor covers the traffic layer — scenario determinism, pcap
 /// round-trips, and the streaming goodHlTrace monitor's agreement with
-/// the offline matcher.
+/// the offline matcher; SnapDiff is the checkpoint layer's bit-identity
+/// differential — a snapshot-resumed soak run must match the
+/// straight-through run exactly, so it is the column that owns
+/// checkpoint/restore faults.
 enum class Checker : uint8_t {
   CompilerDiff,     ///< Source semantics vs. compiled machine code.
   InterpDiff,       ///< Reference AST walker vs. bytecode engine.
@@ -59,6 +62,7 @@ enum class Checker : uint8_t {
   DecodeConsistency,///< Kami decoder vs. riscv-coq-style decoder.
   SimCacheDiff,     ///< ISA simulator: decode cache on vs. off.
   SoakMonitor,      ///< Traffic soak harness and streaming monitor.
+  SnapDiff,         ///< Snapshot-resume vs. straight-through identity.
   NumCheckers,      ///< Count sentinel; not a checker.
 };
 

@@ -80,6 +80,11 @@ const std::vector<FaultInfo> &b2::fi::faultRegistry() {
       {Fault::DevSpiStaleRead, "dev-spi-stale-read", "devices", "EndToEnd",
        "SPI rxdata returns the previously popped byte instead of the "
        "FIFO-empty flag"},
+      {Fault::DevLanRxCrossFrameLatch, "dev-lan-rx-cross-frame-latch",
+       "devices", "EndToEnd",
+       "LAN9250 RX leaks a marker latch across frame boundaries: after an "
+       "ON command is buffered, later OFF commands are corrupted in the "
+       "FIFO"},
       // -- Interpreter / bytecode --------------------------------------------
       {Fault::BcLoopChargeMiscount, "bc-loop-charge-miscount", "interp",
        "InterpDiff",
@@ -111,6 +116,10 @@ const std::vector<FaultInfo> &b2::fi::faultRegistry() {
        "traffic", "SoakMonitor",
        "the pcap writer drops the last byte of frames longer than 64 "
        "bytes"},
+      {Fault::SnapStateStaleLatch, "snap-state-stale-latch", "traffic",
+       "SnapDiff",
+       "checkpoint restore leaves the SPI shifter-busy latch stale, so "
+       "a snapshot-resumed run diverges from the straight-through run"},
   };
   return Registry;
 }

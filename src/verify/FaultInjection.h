@@ -77,6 +77,11 @@ enum class Fault : uint8_t {
   DevLanRxLengthOffByOne,     ///< RX status reports length + 1.
   DevSpiStaleRead,            ///< rxdata replays the last byte instead of
                               ///< signaling empty.
+  DevLanRxCrossFrameLatch,    ///< The RX engine's frame-boundary reset
+                              ///< leaks a marker latch across frames:
+                              ///< once an ON command has been buffered,
+                              ///< every later OFF command is corrupted
+                              ///< in the FIFO (header byte flipped).
   // -- Interpreter / bytecode bugs (owned by InterpDiff / CompilerDiff) ----
   BcLoopChargeMiscount,       ///< Fused loop op undercharges body entry.
   BcLatchOpAsAdd,             ///< Fused "i = i op k" latch always adds.
@@ -93,6 +98,9 @@ enum class Fault : uint8_t {
                               ///< instead of the seed.
   TrafficPcapTruncateWrite,   ///< The pcap writer drops the last byte of
                               ///< frames longer than 64 bytes.
+  SnapStateStaleLatch,        ///< Checkpoint restore leaves the SPI
+                              ///< shifter-busy latch stale, so a resumed
+                              ///< run diverges from straight-through.
 
   NumFaults, ///< Count sentinel; not a fault.
 };
@@ -112,6 +120,11 @@ public:
     return (Bits >> unsigned(F)) & 1;
   }
   bool empty() const { return Bits == 0; }
+
+  /// The packed plan word — a stable identity for cache keys (e.g. the
+  /// warm-boot snapshot cache keys on it so a snapshot taken under one
+  /// plan is never resumed under another).
+  uint64_t bits() const { return Bits; }
 
   static FaultPlan single(Fault F) {
     FaultPlan P;

@@ -30,6 +30,8 @@ BENCH_FILES = {
                           "stmts_per_sec"),
     "BENCH_soak.json": ("scenarios", ("scenario", "core"),
                         "frames_per_sec"),
+    "BENCH_shrink.json": ("shrinks", ("scenario", "oracle"),
+                          "speedup_vs_cold"),
 }
 
 

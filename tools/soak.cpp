@@ -43,8 +43,9 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [--frames N] [--threads K] [--seed S] [--scenario NAME]\n"
       "          [--core pipelined|isa|spec] [--shards N] [--cross-check]\n"
-      "          [--honor-schedule] [--pcap-in PATH] [--pcap-out PATH]\n"
-      "          [--report PATH] [--fault NAME] [--list-scenarios]\n"
+      "          [--honor-schedule] [--no-checkpoint] [--pcap-in PATH]\n"
+      "          [--pcap-out PATH] [--report PATH] [--fault NAME]\n"
+      "          [--list-scenarios]\n"
       "\n"
       "  --frames N        frames to generate (default 10000)\n"
       "  --threads K       worker threads (default: hardware concurrency;\n"
@@ -57,6 +58,10 @@ int usage(const char *Argv0) {
       "  --cross-check     rerun every shard on a second substrate\n"
       "  --honor-schedule  deliver at recorded AtOp instead of\n"
       "                    backpressure injection (pcap replay fidelity)\n"
+      "  --no-checkpoint   disable the warm-boot/checkpoint layer: boot\n"
+      "                    every shard cold and shrink with cold replays\n"
+      "                    (results are bit-identical; this is the\n"
+      "                    differential-debugging and baseline mode)\n"
       "  --pcap-in PATH    replay a recorded corpus instead of generating\n"
       "  --pcap-out PATH   record the stream (or, on a violation, the\n"
       "                    shrunk counterexample) as a pcap file\n"
@@ -128,6 +133,8 @@ int main(int Argc, char **Argv) {
       Options.CrossCheck = true;
     } else if (Arg == "--honor-schedule") {
       Options.HonorSchedule = true;
+    } else if (Arg == "--no-checkpoint") {
+      Options.Checkpoint = false;
     } else if (Arg == "--pcap-in" && I + 1 < Argc) {
       PcapIn = Argv[++I];
     } else if (Arg == "--pcap-out" && I + 1 < Argc) {
@@ -235,6 +242,13 @@ int main(int Argc, char **Argv) {
                 Fail->DeliveredFrames.size());
     ShrunkCounterexample Shrunk =
         shrinkSoakFailure(*Compiled.Prog, Fail->DeliveredFrames, Options);
+    if (Shrunk.Work.Checkpointed)
+      std::printf("soak: checkpointed oracle: %llu cycles simulated, "
+                  "%llu resumed from %llu checkpoints (+%llu handoff)\n",
+                  (unsigned long long)Shrunk.Work.SimulatedCycles,
+                  (unsigned long long)Shrunk.Work.SkippedCycles,
+                  (unsigned long long)Shrunk.Work.Checkpoints,
+                  (unsigned long long)Shrunk.Work.PrimeCycles);
     if (Shrunk.Result.Reproduced) {
       std::string CexPath = PcapOut.empty() ? "counterexample.pcap" : PcapOut;
       std::string Error;
