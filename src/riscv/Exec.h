@@ -1,0 +1,188 @@
+//===- riscv/Exec.h - Shared instruction-semantics helpers -----*- C++ -*-===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-opcode semantic kernels of the software-oriented RISC-V
+/// semantics, shared between the reference stepper (riscv/Step.cpp) and
+/// the superblock trace engine (riscv/BlockEngine.cpp). Keeping exactly
+/// one definition of the ALU, the branch predicate, load extension, and
+/// the platform's nonmem MMIO rules is what makes the two engines
+/// semantically identical by construction — including the seeded
+/// fault-injection hooks, which must keep firing inside translated
+/// traces just as they do in the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_RISCV_EXEC_H
+#define B2_RISCV_EXEC_H
+
+#include "isa/Instr.h"
+#include "riscv/Machine.h"
+#include "riscv/Mmio.h"
+#include "support/Format.h"
+#include "support/Word.h"
+#include "verify/FaultInjection.h"
+
+namespace b2 {
+namespace riscv {
+namespace exec {
+
+/// ALU for register-register and register-immediate operations. This is
+/// the semantics the compiler is tested against; the Kami model has an
+/// independently written ALU (kami/Exec.cpp) and the two are checked
+/// against each other by verify/DecodeConsistency.
+inline Word alu(isa::Opcode Op, Word A, Word B) {
+  using isa::Opcode;
+  using namespace support;
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Addi:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Sll:
+  case Opcode::Slli:
+    return shiftL(A, B);
+  case Opcode::Slt:
+  case Opcode::Slti:
+    return SWord(A) < SWord(B) ? 1 : 0;
+  case Opcode::Sltu:
+  case Opcode::Sltiu:
+    return A < B ? 1 : 0;
+  case Opcode::Xor:
+  case Opcode::Xori:
+    return A ^ B;
+  case Opcode::Srl:
+  case Opcode::Srli:
+    return shiftRL(A, B);
+  case Opcode::Sra:
+  case Opcode::Srai:
+    if (fi::on(fi::Fault::SimSraLogicalShift))
+      return shiftRL(A, B);
+    return shiftRA(A, B);
+  case Opcode::Or:
+  case Opcode::Ori:
+    return A | B;
+  case Opcode::And:
+  case Opcode::Andi:
+    return A & B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::Mulh:
+    return Word((SDWord(SWord(A)) * SDWord(SWord(B))) >> 32);
+  case Opcode::Mulhsu:
+    return Word((SDWord(SWord(A)) * SDWord(DWord(B))) >> 32);
+  case Opcode::Mulhu:
+    return mulhuu(A, B);
+  case Opcode::Div:
+    return divs(A, B);
+  case Opcode::Divu:
+    return divu(A, B);
+  case Opcode::Rem:
+    return rems(A, B);
+  case Opcode::Remu:
+    return remu(A, B);
+  default:
+    assert(false && "alu called on a non-ALU opcode");
+    return 0;
+  }
+}
+
+inline bool branchTaken(isa::Opcode Op, Word A, Word B) {
+  using isa::Opcode;
+  switch (Op) {
+  case Opcode::Beq:
+    return A == B;
+  case Opcode::Bne:
+    return A != B;
+  case Opcode::Blt:
+    if (fi::on(fi::Fault::SimBranchLtAsGe))
+      return SWord(A) >= SWord(B);
+    return SWord(A) < SWord(B);
+  case Opcode::Bge:
+    return SWord(A) >= SWord(B);
+  case Opcode::Bltu:
+    return A < B;
+  case Opcode::Bgeu:
+    return A >= B;
+  default:
+    assert(false && "branchTaken called on a non-branch opcode");
+    return false;
+  }
+}
+
+/// Sign- or zero-extends a loaded value according to the load opcode.
+inline Word extendLoad(isa::Opcode Op, Word Raw) {
+  using isa::Opcode;
+  using support::signExtend;
+  switch (Op) {
+  case Opcode::Lb:
+    return signExtend(Raw, 8);
+  case Opcode::Lh:
+    if (fi::on(fi::Fault::SimLhWrongWidth))
+      return signExtend(Raw & 0xFF, 8);
+    return signExtend(Raw, 16);
+  case Opcode::Lbu:
+    return Raw & 0xFF;
+  case Opcode::Lhu:
+    return Raw & 0xFFFF;
+  case Opcode::Lw:
+    return Raw;
+  default:
+    assert(false && "extendLoad called on a non-load opcode");
+    return 0;
+  }
+}
+
+/// The nonmem_load instance for the lightbulb platform (paper section
+/// 6.2): the access must be an MMIO address, naturally aligned, and
+/// word-sized; the read value is recorded in the I/O trace.
+inline bool nonmemLoad(Machine &M, MmioDevice &Device, Word Addr,
+                       unsigned Size, Word &Out) {
+  using support::hex32;
+  if (!Device.isMmio(Addr, Size)) {
+    M.markUb(UbKind::LoadUnmapped, "load at " + hex32(Addr));
+    return false;
+  }
+  if (Size != 4) {
+    M.markUb(UbKind::MmioBadSize, "non-word MMIO load at " + hex32(Addr));
+    return false;
+  }
+  if (!support::isAligned(Addr, Size)) {
+    M.markUb(UbKind::LoadMisaligned, "MMIO load at " + hex32(Addr));
+    return false;
+  }
+  Out = Device.load(Addr, Size);
+  M.appendEvent(MmioEvent{/*IsStore=*/false, Addr, Out, uint8_t(Size)});
+  return true;
+}
+
+/// The nonmem_store instance for the lightbulb platform.
+inline bool nonmemStore(Machine &M, MmioDevice &Device, Word Addr,
+                        unsigned Size, Word Value) {
+  using support::hex32;
+  if (!Device.isMmio(Addr, Size)) {
+    M.markUb(UbKind::StoreUnmapped, "store at " + hex32(Addr));
+    return false;
+  }
+  if (Size != 4) {
+    M.markUb(UbKind::MmioBadSize, "non-word MMIO store at " + hex32(Addr));
+    return false;
+  }
+  if (!support::isAligned(Addr, Size)) {
+    M.markUb(UbKind::StoreMisaligned, "MMIO store at " + hex32(Addr));
+    return false;
+  }
+  Device.store(Addr, Size, Value);
+  M.appendEvent(MmioEvent{/*IsStore=*/true, Addr, Value, uint8_t(Size)});
+  return true;
+}
+
+} // namespace exec
+} // namespace riscv
+} // namespace b2
+
+#endif // B2_RISCV_EXEC_H

@@ -89,24 +89,10 @@ void Machine::loadImage(Word Addr, const std::vector<uint8_t> &Image) {
 void Machine::storeRam(Word Addr, unsigned Size, Word V) {
   assert(inRam(Addr, Size) && "RAM store out of range");
   if (Size == 4 && (Addr & 3) == 0) {
-    uint8_t *P = &Ram[Addr];
-    P[0] = uint8_t(V);
-    P[1] = uint8_t(V >> 8);
-    P[2] = uint8_t(V >> 16);
-    P[3] = uint8_t(V >> 24);
-    RamCow.markDirty(Addr);
-    if (fi::on(fi::Fault::SimStoreKeepsXAddrs))
-      return; // Seeded bug: the section-5.6 discipline is forgotten.
-    // Aligned word: one XAddrs block, one decode-cache word.
-    XBits[Addr >> 6] &= ~(uint64_t(0xF) << (Addr & 63));
-    if (fi::on(fi::Fault::SimDecodeCacheNoInvalidate))
-      return; // Seeded bug: removal without line invalidation.
-    size_t W = Addr >> 2;
-    uint64_t Bit = uint64_t(1) << (W & 63);
-    if (DecodeValid[W >> 6] & Bit) {
-      DecodeValid[W >> 6] &= ~Bit;
-      ++CacheStats.Invalidations;
-    }
+    // Superblocks may cover words that never had a decode line, so the
+    // listener fires on the removal set itself, not on dropped lines.
+    if (storeWordNoNotify(Addr, V) && Listener)
+      Listener->onInvalidate(Addr >> 2, Addr >> 2);
     return;
   }
   for (unsigned I = 0; I != Size; ++I)
@@ -181,6 +167,11 @@ void Machine::invalidateDecode(Word Addr, Word Len) {
       ++CacheStats.Invalidations;
     }
   }
+  // Superblocks may cover words that never had a decode line, so the
+  // listener fires on the removal set itself, not on dropped lines.
+  if (Listener && FirstW < DecodeCache.size())
+    Listener->onInvalidate(
+        FirstW, LastW < DecodeCache.size() ? LastW : DecodeCache.size() - 1);
 }
 
 void Machine::markUb(UbKind K, std::string Detail) {
@@ -218,4 +209,8 @@ void Machine::restore(const Snapshot &S) {
   UbMessage = S.UbMessage;
   TraceChain.restore(Trace, S.Trace);
   Retired = S.Retired;
+  // Restore replaces the whole architectural state; derived structures
+  // (translated superblocks, differential shadows) must resynchronize.
+  if (Listener)
+    Listener->onRestore();
 }

@@ -46,6 +46,7 @@
 #include "riscv/Mmio.h"
 #include "support/Snapshot.h"
 #include "support/Word.h"
+#include "verify/FaultInjection.h"
 
 #include <cassert>
 #include <cstdint>
@@ -78,6 +79,27 @@ struct DecodeCacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;        ///< Aligned in-RAM fetches with no valid line.
   uint64_t Invalidations = 0; ///< Lines dropped by XAddrs removal / pokes.
+};
+
+/// Observer of the machine's derived-state invalidation events, wired up
+/// by the superblock trace engine (riscv/BlockEngine.h). The machine
+/// notifies it whenever instruction words leave the decode-valid set —
+/// i.e. on exactly the XAddrs-removal invalidation set of section 5.6,
+/// plus host-level RAM pokes — and on whole-machine restore, where every
+/// derived structure must be considered stale. The listener is runtime
+/// wiring, not architectural state: it is not part of Snapshot and never
+/// changes observable behavior by itself.
+class InvalidationListener {
+public:
+  virtual ~InvalidationListener() = default;
+
+  /// Instruction words [\p FirstWord, \p LastWord] (inclusive, in units
+  /// of aligned 4-byte words) were invalidated.
+  virtual void onInvalidate(size_t FirstWord, size_t LastWord) = 0;
+
+  /// The whole machine state was replaced by restore(); all derived
+  /// state (translated superblocks, shadow copies) is stale.
+  virtual void onRestore() = 0;
 };
 
 /// The software-oriented RISC-V machine. The memory footprint never
@@ -142,6 +164,49 @@ public:
   /// equivalent to writeRam + removeXAddrs but with a single combined
   /// invalidation pass.
   void storeRam(Word Addr, unsigned Size, Word V);
+
+  /// Aligned-word RAM read with no bounds handling: \p Addr must be
+  /// 4-aligned and in RAM. This is readRam's word case, inlined for the
+  /// trace engine's guarded fast path.
+  Word loadWordFast(Word Addr) const {
+    assert((Addr & 3) == 0 && inRam(Addr, 4) && "unguarded word read");
+    const uint8_t *P = &Ram[Addr];
+    return Word(P[0]) | Word(P[1]) << 8 | Word(P[2]) << 16 | Word(P[3]) << 24;
+  }
+
+  /// The aligned-word case of storeRam, minus the listener notification:
+  /// writes the word, applies the section-5.6 XAddrs removal and the
+  /// decode-line invalidation (seeded store faults included — this IS
+  /// storeRam's aligned path, which delegates here). Returns true iff the
+  /// invalidation discipline ran to completion, i.e. iff storeRam would
+  /// have notified the invalidation listener; the caller owns delivering
+  /// that notification. \p Addr must be 4-aligned and in RAM.
+  bool storeWordNoNotify(Word Addr, Word V) {
+    assert((Addr & 3) == 0 && inRam(Addr, 4) && "unguarded word store");
+    uint8_t *P = &Ram[Addr];
+    P[0] = uint8_t(V);
+    P[1] = uint8_t(V >> 8);
+    P[2] = uint8_t(V >> 16);
+    P[3] = uint8_t(V >> 24);
+    RamCow.markDirty(Addr);
+    if (fi::on(fi::Fault::SimStoreKeepsXAddrs))
+      return false; // Seeded bug: the section-5.6 discipline is forgotten.
+    // Aligned word: one XAddrs block, one decode-cache word. Data words
+    // lose their X bits on the first store and never regain them, so
+    // test before clearing to spare the steady-state read-modify-write.
+    uint64_t XMask = uint64_t(0xF) << (Addr & 63);
+    if (XBits[Addr >> 6] & XMask)
+      XBits[Addr >> 6] &= ~XMask;
+    if (fi::on(fi::Fault::SimDecodeCacheNoInvalidate))
+      return false; // Seeded bug: removal without line invalidation.
+    size_t W = Addr >> 2;
+    uint64_t Bit = uint64_t(1) << (W & 63);
+    if (DecodeValid[W >> 6] & Bit) {
+      DecodeValid[W >> 6] &= ~Bit;
+      ++CacheStats.Invalidations;
+    }
+    return true;
+  }
 
   // -- XAddrs (stale-instruction discipline, section 5.6) ------------------
 
@@ -213,6 +278,12 @@ public:
 
   const DecodeCacheStats &decodeCacheStats() const { return CacheStats; }
 
+  /// Installs (or clears, with null) the invalidation listener. At most
+  /// one listener is supported; the superblock trace engine owns it for
+  /// the machine it drives.
+  void setInvalidationListener(InvalidationListener *L) { Listener = L; }
+  InvalidationListener *invalidationListener() const { return Listener; }
+
   // -- Snapshot/restore ------------------------------------------------------
 
   /// Whole-machine checkpoint. RAM and the predecoded-instruction cache
@@ -265,6 +336,9 @@ public:
   void countRetired() { ++Retired; }
 
 private:
+  friend class BlockEngine; ///< The superblock trace engine executes
+                            ///< micro-ops directly on this state.
+
   Word Regs[32] = {};
   Word Pc = 0;
   std::vector<uint8_t> Ram;
@@ -285,6 +359,7 @@ private:
   support::CowTracker<uint8_t> RamCow;
   support::CowTracker<isa::Instr> DecodeCow;
   support::ChainTracker<MmioEvent> TraceChain;
+  InvalidationListener *Listener = nullptr;
 
   /// True iff every XAddrs bit in [Addr, Addr+Len) is set. \p Len > 0 and
   /// the range must be in RAM.

@@ -7,6 +7,7 @@
 #include "riscv/Step.h"
 
 #include "isa/Encoding.h"
+#include "riscv/Exec.h"
 #include "support/Format.h"
 #include "verify/FaultInjection.h"
 
@@ -15,153 +16,10 @@ using namespace b2::isa;
 using namespace b2::riscv;
 using namespace b2::support;
 
-namespace {
-
-/// ALU for register-register and register-immediate operations. This is
-/// the semantics the compiler is tested against; the Kami model has an
-/// independently written ALU (kami/Exec.cpp) and the two are checked
-/// against each other by verify/DecodeConsistency.
-Word alu(Opcode Op, Word A, Word B) {
-  switch (Op) {
-  case Opcode::Add:
-  case Opcode::Addi:
-    return A + B;
-  case Opcode::Sub:
-    return A - B;
-  case Opcode::Sll:
-  case Opcode::Slli:
-    return shiftL(A, B);
-  case Opcode::Slt:
-  case Opcode::Slti:
-    return SWord(A) < SWord(B) ? 1 : 0;
-  case Opcode::Sltu:
-  case Opcode::Sltiu:
-    return A < B ? 1 : 0;
-  case Opcode::Xor:
-  case Opcode::Xori:
-    return A ^ B;
-  case Opcode::Srl:
-  case Opcode::Srli:
-    return shiftRL(A, B);
-  case Opcode::Sra:
-  case Opcode::Srai:
-    if (fi::on(fi::Fault::SimSraLogicalShift))
-      return shiftRL(A, B);
-    return shiftRA(A, B);
-  case Opcode::Or:
-  case Opcode::Ori:
-    return A | B;
-  case Opcode::And:
-  case Opcode::Andi:
-    return A & B;
-  case Opcode::Mul:
-    return A * B;
-  case Opcode::Mulh:
-    return Word((SDWord(SWord(A)) * SDWord(SWord(B))) >> 32);
-  case Opcode::Mulhsu:
-    return Word((SDWord(SWord(A)) * SDWord(DWord(B))) >> 32);
-  case Opcode::Mulhu:
-    return mulhuu(A, B);
-  case Opcode::Div:
-    return divs(A, B);
-  case Opcode::Divu:
-    return divu(A, B);
-  case Opcode::Rem:
-    return rems(A, B);
-  case Opcode::Remu:
-    return remu(A, B);
-  default:
-    assert(false && "alu called on a non-ALU opcode");
-    return 0;
-  }
-}
-
-bool branchTaken(Opcode Op, Word A, Word B) {
-  switch (Op) {
-  case Opcode::Beq:
-    return A == B;
-  case Opcode::Bne:
-    return A != B;
-  case Opcode::Blt:
-    if (fi::on(fi::Fault::SimBranchLtAsGe))
-      return SWord(A) >= SWord(B);
-    return SWord(A) < SWord(B);
-  case Opcode::Bge:
-    return SWord(A) >= SWord(B);
-  case Opcode::Bltu:
-    return A < B;
-  case Opcode::Bgeu:
-    return A >= B;
-  default:
-    assert(false && "branchTaken called on a non-branch opcode");
-    return false;
-  }
-}
-
-/// Sign- or zero-extends a loaded value according to the load opcode.
-Word extendLoad(Opcode Op, Word Raw) {
-  switch (Op) {
-  case Opcode::Lb:
-    return signExtend(Raw, 8);
-  case Opcode::Lh:
-    if (fi::on(fi::Fault::SimLhWrongWidth))
-      return signExtend(Raw & 0xFF, 8);
-    return signExtend(Raw, 16);
-  case Opcode::Lbu:
-    return Raw & 0xFF;
-  case Opcode::Lhu:
-    return Raw & 0xFFFF;
-  case Opcode::Lw:
-    return Raw;
-  default:
-    assert(false && "extendLoad called on a non-load opcode");
-    return 0;
-  }
-}
-
-/// The nonmem_load instance for the lightbulb platform (paper section
-/// 6.2): the access must be an MMIO address, naturally aligned, and
-/// word-sized; the read value is recorded in the I/O trace.
-bool nonmemLoad(Machine &M, MmioDevice &Device, Word Addr, unsigned Size,
-                Word &Out) {
-  if (!Device.isMmio(Addr, Size)) {
-    M.markUb(UbKind::LoadUnmapped, "load at " + hex32(Addr));
-    return false;
-  }
-  if (Size != 4) {
-    M.markUb(UbKind::MmioBadSize, "non-word MMIO load at " + hex32(Addr));
-    return false;
-  }
-  if (!isAligned(Addr, Size)) {
-    M.markUb(UbKind::LoadMisaligned, "MMIO load at " + hex32(Addr));
-    return false;
-  }
-  Out = Device.load(Addr, Size);
-  M.appendEvent(MmioEvent{/*IsStore=*/false, Addr, Out, uint8_t(Size)});
-  return true;
-}
-
-/// The nonmem_store instance for the lightbulb platform.
-bool nonmemStore(Machine &M, MmioDevice &Device, Word Addr, unsigned Size,
-                 Word Value) {
-  if (!Device.isMmio(Addr, Size)) {
-    M.markUb(UbKind::StoreUnmapped, "store at " + hex32(Addr));
-    return false;
-  }
-  if (Size != 4) {
-    M.markUb(UbKind::MmioBadSize, "non-word MMIO store at " + hex32(Addr));
-    return false;
-  }
-  if (!isAligned(Addr, Size)) {
-    M.markUb(UbKind::StoreMisaligned, "MMIO store at " + hex32(Addr));
-    return false;
-  }
-  Device.store(Addr, Size, Value);
-  M.appendEvent(MmioEvent{/*IsStore=*/true, Addr, Value, uint8_t(Size)});
-  return true;
-}
-
-} // namespace
+// The per-opcode semantic kernels (ALU, branch predicate, load
+// extension, the platform's nonmem MMIO rules) live in riscv/Exec.h so
+// the superblock trace engine executes the exact same code — fault
+// hooks included.
 
 bool b2::riscv::step(Machine &M, MmioDevice &Device) {
   if (M.hasUb())
@@ -229,7 +87,7 @@ bool b2::riscv::step(Machine &M, MmioDevice &Device) {
   case Opcode::Bge:
   case Opcode::Bltu:
   case Opcode::Bgeu:
-    if (branchTaken(I.Op, M.getReg(I.Rs1), M.getReg(I.Rs2)))
+    if (exec::branchTaken(I.Op, M.getReg(I.Rs1), M.getReg(I.Rs2)))
       NextPc = Pc + Word(I.Imm);
     break;
   case Opcode::Lb:
@@ -246,10 +104,10 @@ bool b2::riscv::step(Machine &M, MmioDevice &Device) {
         return false;
       }
       Raw2 = M.readRam(Addr, Size);
-    } else if (!nonmemLoad(M, Device, Addr, Size, Raw2)) {
+    } else if (!exec::nonmemLoad(M, Device, Addr, Size, Raw2)) {
       return false;
     }
-    M.setReg(I.Rd, extendLoad(I.Op, Raw2));
+    M.setReg(I.Rd, exec::extendLoad(I.Op, Raw2));
     break;
   }
   case Opcode::Sb:
@@ -264,7 +122,7 @@ bool b2::riscv::step(Machine &M, MmioDevice &Device) {
         return false;
       }
       M.storeRam(Addr, Size, Value);
-    } else if (!nonmemStore(M, Device, Addr, Size, Value)) {
+    } else if (!exec::nonmemStore(M, Device, Addr, Size, Value)) {
       return false;
     }
     break;
@@ -278,10 +136,10 @@ bool b2::riscv::step(Machine &M, MmioDevice &Device) {
     return false;
   default:
     if (isImmAlu(I.Op)) {
-      M.setReg(I.Rd, alu(I.Op, M.getReg(I.Rs1), Word(I.Imm)));
+      M.setReg(I.Rd, exec::alu(I.Op, M.getReg(I.Rs1), Word(I.Imm)));
     } else {
       assert(isRegAlu(I.Op) && "unhandled opcode in step");
-      M.setReg(I.Rd, alu(I.Op, M.getReg(I.Rs1), M.getReg(I.Rs2)));
+      M.setReg(I.Rd, exec::alu(I.Op, M.getReg(I.Rs1), M.getReg(I.Rs2)));
     }
     break;
   }

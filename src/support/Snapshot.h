@@ -63,7 +63,11 @@ public:
     size_t P = Index / PageElems;
     if (P >= PageCount)
       growTo(P + 1);
-    Dirty[P >> 6] |= uint64_t(1) << (P & 63);
+    // Test first: hot loops re-dirty the same pages, and skipping the
+    // redundant read-modify-write keeps the bitmap line clean.
+    uint64_t Bit = uint64_t(1) << (P & 63);
+    if (!(Dirty[P >> 6] & Bit))
+      Dirty[P >> 6] |= Bit;
   }
 
   /// Marks every page overlapping [\p Lo, \p Hi) dirty. No-op when the

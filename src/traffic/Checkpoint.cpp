@@ -58,12 +58,14 @@ std::vector<bool> b2::traffic::expectedLightSequence(
 //===----------------------------------------------------------------------===//
 
 SoakMachine::SoakMachine(const compiler::CompiledProgram &Prog, SoakCore Core,
-                         Word RamBytes)
+                         Word RamBytes, riscv::ExecMode SimExec)
     : Core(Core) {
   switch (Core) {
   case SoakCore::IsaSim:
     Sim = std::make_unique<riscv::Machine>(RamBytes);
     Sim->loadImage(0, Prog.image());
+    if (SimExec != riscv::ExecMode::Reference)
+      Engine = std::make_unique<riscv::BlockEngine>(*Sim, Plat, SimExec);
     break;
   case SoakCore::SpecCore:
     Mem = std::make_unique<kami::Bram>(RamBytes);
@@ -85,8 +87,10 @@ uint64_t SoakMachine::runChunk(uint64_t Cycles, bool &Ok) {
   case SoakCore::IsaSim: {
     // run() returns the retired count, which is the actual executed
     // cycle charge: the full request on a healthy chunk, the partial
-    // count when the simulator stops early on UB.
-    uint64_t Executed = riscv::run(*Sim, Plat, Cycles);
+    // count when the simulator stops early on UB. The block engine
+    // retires the exact same schedule, so the charge is engine-invariant.
+    uint64_t Executed =
+        Engine ? Engine->run(Cycles) : riscv::run(*Sim, Plat, Cycles);
     Ok = !Sim->hasUb();
     return Executed;
   }
@@ -133,6 +137,14 @@ uint64_t SoakMachine::retired() const {
 std::string SoakMachine::simUbDetail() const {
   return std::string(riscv::ubKindName(Sim->ubKind())) + ": " +
          Sim->ubDetail();
+}
+
+bool SoakMachine::engineDiverged() const {
+  return Engine && Engine->divergences() > 0;
+}
+
+std::string SoakMachine::engineDivergenceDetail() const {
+  return Engine ? Engine->divergenceDetail() : std::string();
 }
 
 SoakMachine::Snapshot SoakMachine::snapshot() {
@@ -231,6 +243,8 @@ ShardExit b2::traffic::runShardLoop(SoakMachine &M,
 
     bool Ok = true;
     M.Elapsed += M.runChunk(Options.ChunkCycles, Ok);
+    if (M.engineDiverged())
+      return ShardExit::Diverged;
     if (!Ok)
       return ShardExit::HitUb;
 
@@ -253,6 +267,10 @@ ShardStats b2::traffic::collectShardStats(SoakMachine &M, ShardExit Exit,
   if (Exit == ShardExit::HitUb) {
     S.HitUb = true;
     S.Error = "ISA simulator hit UB: " + M.simUbDetail();
+  }
+  if (Exit == ShardExit::Diverged) {
+    S.Diverged = true;
+    S.Error = "block engine left lockstep: " + M.engineDivergenceDetail();
   }
 
   S.FramesDelivered = Options.HonorSchedule
@@ -296,7 +314,7 @@ ShardStats b2::traffic::collectShardStats(SoakMachine &M, ShardExit Exit,
     KeepDelivered();
     return S;
   }
-  if (S.HitUb) {
+  if (S.HitUb || S.Diverged) {
     KeepDelivered();
     return S;
   }
@@ -359,6 +377,7 @@ uint64_t bootCacheKey(const compiler::CompiledProgram &Prog,
   for (uint8_t B : Prog.image())
     MixByte(B);
   Mix(uint64_t(Options.Core));
+  Mix(uint64_t(Options.SimExec));
   Mix(Options.RamBytes);
   Mix(Options.ChunkCycles);
   Mix(Options.FrameBudget);
@@ -381,13 +400,14 @@ b2::traffic::warmBootMachine(const compiler::CompiledProgram &Prog,
       continue;
     if (!E.Ok)
       return nullptr;
-    auto M =
-        std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes);
+    auto M = std::make_unique<SoakMachine>(Prog, Options.Core,
+                                           Options.RamBytes, Options.SimExec);
     M->restore(E.Snap);
     return M;
   }
 
-  auto M = std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes);
+  auto M = std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes,
+                                         Options.SimExec);
   ShardExit E = runShardLoop(*M, nullptr, nullptr, Options, InjectHook(),
                              /*StopBeforeFirstInject=*/true);
   const bool Ok = E == ShardExit::ReadyToInject;
@@ -436,7 +456,8 @@ CheckpointedOracle::CheckpointedOracle(const compiler::CompiledProgram &Prog,
     Scope.emplace(*this->Options.Plan);
 
   M = std::make_unique<SoakMachine>(Prog, this->Options.Core,
-                                    this->Options.RamBytes);
+                                    this->Options.RamBytes,
+                                    this->Options.SimExec);
   ShardExit E = runShardLoop(*M, nullptr, nullptr, this->Options, InjectHook(),
                              /*StopBeforeFirstInject=*/true);
   BootOk = E == ShardExit::ReadyToInject;
@@ -459,7 +480,8 @@ bool CheckpointedOracle::failing(const std::vector<ScheduledFrame> &Frames) {
     // exactly.
     ShardStats S = runSoakShard(Prog, Frames, Options);
     Stats.SimulatedCycles += S.Cycles;
-    return !S.MonitorOk || S.HitUb || (S.Drained && !S.GroundTruthOk);
+    return !S.MonitorOk || S.HitUb || S.Diverged ||
+           (S.Drained && !S.GroundTruthOk);
   }
 
   // Walk the tree along the candidate's frame sequence; resume from the
@@ -508,7 +530,8 @@ bool CheckpointedOracle::failing(const std::vector<ScheduledFrame> &Frames) {
   Stats.SimulatedCycles += M->Elapsed - StartElapsed;
   ShardStats S = collectShardStats(*M, E, Frames.data(),
                                    Frames.data() + Frames.size(), Options);
-  return !S.MonitorOk || S.HitUb || (S.Drained && !S.GroundTruthOk);
+  return !S.MonitorOk || S.HitUb || S.Diverged ||
+         (S.Drained && !S.GroundTruthOk);
 }
 
 bool CheckpointedOracle::prime(const std::vector<ScheduledFrame> &Frames) {
@@ -558,6 +581,8 @@ std::string statsMismatch(const ShardStats &A, const ShardStats &B) {
     return Num("drained", A.Drained, B.Drained);
   if (A.HitUb != B.HitUb)
     return Num("hit_ub", A.HitUb, B.HitUb);
+  if (A.Diverged != B.Diverged)
+    return Num("diverged", A.Diverged, B.Diverged);
   if (A.FramesDelivered != B.FramesDelivered)
     return Num("frames_delivered", A.FramesDelivered, B.FramesDelivered);
   if (A.FramesAccepted != B.FramesAccepted)
@@ -606,7 +631,7 @@ SnapshotDifferential b2::traffic::runSnapshotDifferential(
   const ScheduledFrame *End = Begin + Frames.size();
 
   // Straight-through run; the hook captures one snapshot in flight.
-  SoakMachine A(Prog, O.Core, O.RamBytes);
+  SoakMachine A(Prog, O.Core, O.RamBytes, O.SimExec);
   std::optional<SoakMachine::Snapshot> Snap;
   InjectHook Hook = [&](size_t Injected) {
     if (!Snap && Injected == CheckpointDepth)
@@ -621,7 +646,7 @@ SnapshotDifferential b2::traffic::runSnapshotDifferential(
   // Resumed run in a *fresh* machine. If the requested depth was never
   // reached (short run, or depth past the last injection), this is a
   // second cold run — still a meaningful determinism check.
-  SoakMachine B(Prog, O.Core, O.RamBytes);
+  SoakMachine B(Prog, O.Core, O.RamBytes, O.SimExec);
   if (Snap)
     B.restore(*Snap);
   ShardExit EB = runShardLoop(B, Begin, End, O);

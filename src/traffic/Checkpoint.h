@@ -69,7 +69,8 @@ expectedLightSequence(const std::vector<devices::ScheduledFrame> &Accepted);
 class SoakMachine {
 public:
   SoakMachine(const compiler::CompiledProgram &Prog, SoakCore Core,
-              Word RamBytes);
+              Word RamBytes,
+              riscv::ExecMode SimExec = riscv::ExecMode::Reference);
 
   /// Runs up to \p Cycles. Returns the number actually executed (the ISA
   /// simulator stops early on UB; the Kami cores always run the full
@@ -85,6 +86,11 @@ public:
   /// UB rendering; only meaningful on the ISA simulator after runChunk
   /// reported !Ok.
   std::string simUbDetail() const;
+
+  /// Lockstep divergence of the block engine (ExecMode::Differential
+  /// only; always false otherwise).
+  bool engineDiverged() const;
+  std::string engineDivergenceDetail() const;
 
   devices::Platform &platform() { return Plat; }
   TraceMonitor &monitor() { return Mon; }
@@ -134,6 +140,10 @@ private:
   SoakCore Core;
   devices::Platform Plat;
   std::unique_ptr<riscv::Machine> Sim;
+  /// Superblock trace engine over Sim; null in ExecMode::Reference and
+  /// on the Kami cores. Translation state is derived, never snapshotted:
+  /// restore flushes it and execution re-warms (bit-identically).
+  std::unique_ptr<riscv::BlockEngine> Engine;
   std::unique_ptr<kami::Bram> Mem;
   std::unique_ptr<kami::SpecCore> Spec;
   std::unique_ptr<kami::PipelinedCore> Pipe;
@@ -148,6 +158,7 @@ private:
 enum class ShardExit : uint8_t {
   Completed,        ///< Drained and settled (or empty schedule consumed).
   HitUb,            ///< ISA simulator hit UB mid-chunk.
+  Diverged,         ///< Differential block engine left lockstep.
   Violated,         ///< Streaming monitor rejected an event.
   BudgetExhausted,  ///< MaxCyclesPerShard reached first.
   ReadyToInject,    ///< StopBeforeFirstInject: boot finished, RX enabled,

@@ -90,7 +90,8 @@ ShrinkOracle b2::traffic::soakOracle(const compiler::CompiledProgram &Prog,
   O.CrossCheck = false;
   return [&Prog, O](const std::vector<ScheduledFrame> &Frames) {
     ShardStats S = runSoakShard(Prog, Frames, O);
-    return !S.MonitorOk || S.HitUb || (S.Drained && !S.GroundTruthOk);
+    return !S.MonitorOk || S.HitUb || S.Diverged ||
+           (S.Drained && !S.GroundTruthOk);
   };
 }
 
@@ -130,7 +131,8 @@ b2::traffic::shrinkSoakFailure(const compiler::CompiledProgram &Prog,
         Failing, [&](const std::vector<ScheduledFrame> &Frames) {
           ShardStats S = runSoakShard(Prog, Frames, O);
           Cycles += S.Cycles;
-          return !S.MonitorOk || S.HitUb || (S.Drained && !S.GroundTruthOk);
+          return !S.MonitorOk || S.HitUb || S.Diverged ||
+                 (S.Drained && !S.GroundTruthOk);
         });
     Out.Work.SimulatedCycles = Cycles;
   }

@@ -57,7 +57,8 @@ ShardStats runShardRange(const compiler::CompiledProgram &Prog,
   if (Options.Checkpoint && !Options.HonorSchedule && NumFrames > 0)
     M = warmBootMachine(Prog, Options);
   if (!M)
-    M = std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes);
+    M = std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes,
+                                      Options.SimExec);
 
   if (Options.HonorSchedule)
     for (const ScheduledFrame *F = Begin; F != End; ++F)

@@ -32,6 +32,7 @@
 
 #include "compiler/Compile.h"
 #include "devices/Platform.h"
+#include "riscv/BlockEngine.h"
 #include "traffic/Scenario.h"
 #include "verify/FaultInjection.h"
 
@@ -56,6 +57,13 @@ const char *soakCoreName(SoakCore C);
 
 struct SoakOptions {
   SoakCore Core = SoakCore::Pipelined;
+  /// Execution engine of the ISA simulator (SoakCore::IsaSim only):
+  /// Reference steps through the predecoded fast path, Block runs the
+  /// superblock trace engine, Differential runs both in lockstep and
+  /// fails the shard on the first divergence. Shard results are
+  /// bit-identical across all three modes by construction — the engine
+  /// retires the same instruction schedule as the stepper.
+  riscv::ExecMode SimExec = riscv::ExecMode::Reference;
   unsigned Threads = 1;      ///< Worker threads (report-invariant).
   /// Shards to split the stream into; 0 derives one shard per
   /// FramesPerShard frames. Must not depend on Threads, or the report
@@ -99,6 +107,7 @@ struct ShardStats {
   bool CrossCheckOk = true;   ///< Second-substrate agreement (or not run).
   bool Drained = false;       ///< All frames delivered and FIFO emptied.
   bool HitUb = false;         ///< ISA simulator undefined behavior.
+  bool Diverged = false;      ///< Differential block engine left lockstep.
   std::string Error;          ///< First failure, human-readable.
   uint64_t FramesDelivered = 0;
   uint64_t FramesAccepted = 0;  ///< NIC-accepted subset.

@@ -21,6 +21,7 @@
 #include "devices/Platform.h"
 #include "isa/Build.h"
 #include "isa/Encoding.h"
+#include "riscv/BlockEngine.h"
 #include "riscv/Machine.h"
 #include "riscv/Step.h"
 #include "support/Json.h"
@@ -63,6 +64,8 @@ const char *b2::verify::checkerName(Checker C) {
     return "SoakMonitor";
   case Checker::SnapDiff:
     return "SnapDiff";
+  case Checker::BlockDiff:
+    return "BlockDiff";
   case Checker::NumCheckers:
     break;
   }
@@ -715,7 +718,7 @@ std::vector<Stim> soakMonitorStims() {
 // runs equally and never trips this column; only a fault in the
 // checkpoint layer itself (SnapStateStaleLatch corrupts one restored SPI
 // latch) makes the resumed run diverge. Kept on the ISA simulator so the
-// full 32-fault matrix stays cheap; the fuzz tests cover all three cores.
+// full 34-fault matrix stays cheap; the fuzz tests cover all three cores.
 
 bool snapDiffFails(uint64_t Seed, uint64_t Frames, size_t Depth,
                    std::string &Detail) {
@@ -757,6 +760,104 @@ std::vector<Stim> snapDiffStims() {
   };
 }
 
+// -- BlockDiff column --------------------------------------------------------
+//
+// The superblock trace engine checked in lockstep against the reference
+// stepper (riscv/BlockEngine.h, ExecMode::Differential): hand-assembled
+// programs drive both engines over the same instruction schedule, and
+// any mismatch in registers, pc, RAM, UB verdict, retirement count, or
+// MMIO events is a kill. The stimuli are chosen so every engine fast
+// path — fused addi/branch counters, fused lw/sw copy pairs, block
+// linking, and the stale-superblock invalidation discipline — changes an
+// observable the lockstep compares.
+
+bool blockDiffFails(const std::vector<isa::Instr> &P, std::string &Detail,
+                    uint64_t MaxSteps = 20'000, uint64_t Chunk = 97) {
+  std::vector<uint8_t> Image = isa::instrencode(P);
+  riscv::Machine M(64 * 1024);
+  M.loadImage(0, Image);
+  riscv::NoDevice Dev;
+  riscv::BlockEngine E(M, Dev, riscv::ExecMode::Differential);
+  uint64_t Done = 0;
+  while (Done < MaxSteps && !M.hasUb() && E.divergences() == 0) {
+    uint64_t R = E.run(std::min<uint64_t>(Chunk, MaxSteps - Done));
+    Done += R;
+    if (R == 0)
+      break;
+  }
+  if (E.divergences() != 0) {
+    Detail = E.divergenceDetail();
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> blockDiffStims() {
+  using namespace isa;
+  return {
+      // A hot counter loop: the addi/bne pair fuses, and the branch reads
+      // the register the addi just wrote — the exact shape the fused-op
+      // clobber fault perturbs.
+      {"hot-counter-loop", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A0, Zero, 0));
+         P.push_back(addi(A1, Zero, 400));
+         P.push_back(addi(A0, A0, 1));               // Loop head.
+         P.push_back(mkB(Opcode::Bne, A0, A1, -4));  // Fuses with the addi.
+         P.push_back(jal(Zero, 0));                  // Halt spin.
+         return blockDiffFails(P, D);
+       }},
+      // A word-copy loop: lw/sw pairs fuse, and the trailing counter
+      // keeps the block hot across many passes of linked execution.
+      {"copy-loop", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A1, Zero, 0x400)); // Source cursor.
+         P.push_back(addi(A2, Zero, 0x600)); // Destination cursor.
+         P.push_back(addi(A3, Zero, 64));    // Words to copy.
+         P.push_back(lw(A4, A1, 0));         // Loop head; fuses with sw.
+         P.push_back(sw(A2, A4, 0));
+         P.push_back(addi(A1, A1, 4));
+         P.push_back(addi(A2, A2, 4));
+         P.push_back(addi(A3, A3, -1));
+         P.push_back(mkB(Opcode::Bne, A3, Zero, -20));
+         P.push_back(jal(Zero, 0));          // Halt spin.
+         return blockDiffFails(P, D);
+       }},
+      // The section-5.6 hazard against a *hot, translated* loop: run the
+      // loop until its superblock exists, patch the victim instruction,
+      // and re-enter. The reference semantics hit FetchNotExecutable at
+      // the patched word (the store revoked execute permission); a stale
+      // superblock sails past it without fetching — the divergence the
+      // stale-superblock fault is built to cause.
+      {"patch-refetch-hot", [](std::string &D) {
+         std::vector<Instr> P;
+         Word NewWord = encode(addi(A0, A0, 2));
+         materialize(NewWord, A4, P);        // 2 instructions.
+         P.push_back(addi(A5, Zero, 0));
+         P.push_back(addi(A5, A5, 1));       // Loop head (address 12).
+         P.push_back(addi(A0, A0, 1));       // Victim (address 16).
+         P.push_back(addi(A6, Zero, 30));
+         P.push_back(mkB(Opcode::Blt, A5, A6, -12)); // 30 hot passes.
+         P.push_back(sw(Zero, A4, 16));      // Patch the victim.
+         P.push_back(jal(Zero, -24));        // Re-enter at the reset.
+         return blockDiffFails(P, D);
+       }},
+      // A store sweep that descends into the loop's own body: the
+      // invalidation lands on the currently executing superblock, so the
+      // mid-trace self-kill (commit the completed instruction, side-exit,
+      // refetch) is on the compared path.
+      {"mid-trace-invalidate", [](std::string &D) {
+         std::vector<Instr> P;
+         P.push_back(addi(A1, Zero, 0x200)); // Sweep cursor, counts down.
+         P.push_back(addi(A2, Zero, 0x5A));
+         P.push_back(sw(A1, A2, 0));         // Loop head (address 8).
+         P.push_back(addi(A1, A1, -4));
+         P.push_back(mkB(Opcode::Bne, A1, Zero, -8));
+         return blockDiffFails(P, D);
+       }},
+  };
+}
+
 std::vector<Stim> columnStims(Checker C) {
   switch (C) {
   case Checker::CompilerDiff:
@@ -777,6 +878,8 @@ std::vector<Stim> columnStims(Checker C) {
     return soakMonitorStims();
   case Checker::SnapDiff:
     return snapDiffStims();
+  case Checker::BlockDiff:
+    return blockDiffStims();
   case Checker::NumCheckers:
     break;
   }
@@ -816,12 +919,13 @@ const fi::FaultInfo *infoFor(fi::Fault F) {
 } // namespace
 
 std::vector<fi::Fault> b2::verify::quickFaultSet() {
-  // One or two faults per layer; all nine owner columns exercised.
+  // One or two faults per layer; all ten owner columns exercised.
   return {
       fi::Fault::CompilerImmTruncate,
       fi::Fault::CompilerStackallocNoZero,
       fi::Fault::SimSraLogicalShift,
       fi::Fault::SimDecodeCacheNoInvalidate,
+      fi::Fault::SimBlockStaleSuperblock,
       fi::Fault::KamiBtbNoSquash,
       fi::Fault::KamiMemWrongByteEnable,
       fi::Fault::KamiDecodeShamtWide,

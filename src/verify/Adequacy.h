@@ -52,7 +52,10 @@ namespace verify {
 /// the offline matcher; SnapDiff is the checkpoint layer's bit-identity
 /// differential — a snapshot-resumed soak run must match the
 /// straight-through run exactly, so it is the column that owns
-/// checkpoint/restore faults.
+/// checkpoint/restore faults; BlockDiff is the superblock trace engine's
+/// lockstep differential (riscv/BlockEngine.h, ExecMode::Differential) —
+/// the column that owns the engine's translation and invalidation
+/// discipline faults.
 enum class Checker : uint8_t {
   CompilerDiff,     ///< Source semantics vs. compiled machine code.
   InterpDiff,       ///< Reference AST walker vs. bytecode engine.
@@ -63,6 +66,7 @@ enum class Checker : uint8_t {
   SimCacheDiff,     ///< ISA simulator: decode cache on vs. off.
   SoakMonitor,      ///< Traffic soak harness and streaming monitor.
   SnapDiff,         ///< Snapshot-resume vs. straight-through identity.
+  BlockDiff,        ///< Superblock trace engine vs. reference stepper.
   NumCheckers,      ///< Count sentinel; not a checker.
 };
 

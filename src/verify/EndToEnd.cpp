@@ -13,6 +13,7 @@
 #include "riscv/Step.h"
 #include "support/Format.h"
 
+#include <chrono>
 #include <memory>
 
 using namespace b2;
@@ -34,6 +35,9 @@ public:
       Sim = std::make_unique<riscv::Machine>(Options.RamBytes);
       Sim->loadImage(0, Prog.image());
       Sim->setDecodeCacheEnabled(Options.SimDecodeCache);
+      if (Options.SimExec != riscv::ExecMode::Reference)
+        Engine =
+            std::make_unique<riscv::BlockEngine>(*Sim, Plat, Options.SimExec);
       break;
     case CoreKind::SpecCore:
       Mem = std::make_unique<kami::Bram>(Options.RamBytes);
@@ -53,7 +57,12 @@ public:
   bool run(uint64_t Cycles) {
     switch (Options.Core) {
     case CoreKind::IsaSim: {
-      riscv::run(*Sim, Plat, Cycles);
+      if (Engine)
+        Engine->run(Cycles);
+      else
+        riscv::run(*Sim, Plat, Cycles);
+      if (Engine && Engine->divergences() > 0)
+        return false;
       return !Sim->hasUb();
     }
     case CoreKind::SpecCore:
@@ -107,12 +116,19 @@ public:
            Sim->ubDetail();
   }
 
+  bool engineDiverged() const { return Engine && Engine->divergences() > 0; }
+
+  std::string engineDivergenceDetail() const {
+    return Engine ? Engine->divergenceDetail() : std::string();
+  }
+
   Platform &platform() { return Plat; }
 
 private:
   const E2EOptions &Options;
   Platform Plat;
   std::unique_ptr<riscv::Machine> Sim;
+  std::unique_ptr<riscv::BlockEngine> Engine; ///< IsaSim non-Reference modes.
   std::unique_ptr<kami::Bram> Mem;
   std::unique_ptr<kami::SpecCore> Spec;
   std::unique_ptr<kami::PipelinedCore> Pipe;
@@ -152,12 +168,19 @@ E2EResult b2::verify::runCompiledEndToEnd(const compiler::CompiledProgram &Prog,
   SystemRunner Runner(Prog, Scenario, Options);
 
   // Run in chunks until the scenario is fully delivered and drained, then
-  // one settle chunk (so the final frame's iteration completes).
+  // one settle chunk (so the final frame's iteration completes). Only
+  // this loop is timed: RunSeconds is the engine's execution cost, with
+  // construction and the verification passes below excluded.
   uint64_t Elapsed = 0;
   bool Drained = false;
+  auto RunStart = std::chrono::steady_clock::now();
   while (Elapsed < Options.MaxCycles) {
     if (!Runner.run(Options.DrainChunk)) {
-      R.Error = "ISA simulator hit UB: " + Runner.simUbDetail();
+      if (Runner.engineDiverged())
+        R.Error = "ISA simulator engine divergence: " +
+                  Runner.engineDivergenceDetail();
+      else
+        R.Error = "ISA simulator hit UB: " + Runner.simUbDetail();
       R.Trace = Runner.trace();
       return R;
     }
@@ -173,6 +196,10 @@ E2EResult b2::verify::runCompiledEndToEnd(const compiler::CompiledProgram &Prog,
     }
   }
 
+  R.RunSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    RunStart)
+          .count();
   R.Trace = Runner.trace();
   R.Cycles = Elapsed;
   R.Retired = Runner.retired();

@@ -33,6 +33,7 @@
 #include "compiler/Compile.h"
 #include "devices/Platform.h"
 #include "kami/PipelinedCore.h"
+#include "riscv/BlockEngine.h"
 #include "riscv/Mmio.h"
 #include "tracespec/Matcher.h"
 
@@ -64,6 +65,11 @@ struct E2EOptions {
   /// IsaSim only). On by default; the switch exists so cached and
   /// uncached runs can be compared differentially in one binary.
   bool SimDecodeCache = true;
+  /// Execution engine of the ISA simulator (CoreKind::IsaSim only).
+  /// Block runs the superblock trace engine; Differential additionally
+  /// checks it in lockstep against the reference stepper and fails the
+  /// run on the first divergence.
+  riscv::ExecMode SimExec = riscv::ExecMode::Reference;
 };
 
 /// A packet arrival script (op-count scheduled; see devices/Platform.h).
@@ -83,6 +89,10 @@ struct E2EResult {
   size_t AcceptedFrames = 0;
   uint64_t Cycles = 0;
   uint64_t Retired = 0;
+  double RunSeconds = 0; ///< Wall time of the execution loop alone —
+                         ///< machine construction, trace-spec matching,
+                         ///< and ground-truth checks excluded. This is
+                         ///< the number throughput benchmarks divide by.
 };
 
 /// Builds and runs the whole system on \p Scenario.

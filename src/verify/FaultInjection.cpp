@@ -47,6 +47,15 @@ const std::vector<FaultInfo> &b2::fi::faultRegistry() {
        "sim", "SimCacheDiff",
        "XAddrs removal no longer drops overlapping decode-cache lines "
        "(invalidation set != removal set)"},
+      {Fault::SimBlockStaleSuperblock, "sim-stale-superblock-after-invalidate",
+       "sim", "BlockDiff",
+       "decode invalidation no longer kills the owning superblocks, so "
+       "the trace engine keeps executing stale micro-op traces after "
+       "self-modifying stores"},
+      {Fault::SimBlockFusedClobber, "sim-fused-op-flag-clobber", "sim",
+       "BlockDiff",
+       "the fused addi/branch micro-op evaluates its branch on the stale "
+       "pre-increment counter value instead of the updated one"},
       // -- Kami processors ---------------------------------------------------
       {Fault::KamiBtbNoSquash, "kami-btb-no-squash", "kami", "Refinement",
        "a detected misprediction redirects fetch but does not squash the "

@@ -62,6 +62,13 @@ enum class Fault : uint8_t {
                               ///< survive the overwrite (section 5.6).
   SimDecodeCacheNoInvalidate, ///< XAddrs removal keeps decode-cache lines
                               ///< (invalidation set != removal set).
+  SimBlockStaleSuperblock,    ///< Decode invalidation no longer kills the
+                              ///< owning superblocks, so the trace engine
+                              ///< keeps executing stale micro-op traces
+                              ///< after self-modifying stores.
+  SimBlockFusedClobber,       ///< The fused addi/branch micro-op compares
+                              ///< against the stale pre-increment counter
+                              ///< value instead of the updated one.
   // -- Kami processor bugs (owned by Refinement / Lockstep / Decode) -------
   KamiBtbNoSquash,            ///< Mispredicted wrong-path instr not squashed.
   KamiForwardLoadStale,       ///< WB forwarding bypasses load results too,

@@ -7,7 +7,7 @@
 // Tier-1 coverage for the fault-injection adequacy campaign itself: the
 // injection kernel, the no-false-positive baseline, one representative
 // seeded fault per stack layer killed by its owning checker, and
-// bit-identical reports at every thread count. The full 32-fault matrix
+// bit-identical reports at every thread count. The full 34-fault matrix
 // runs as the `adequacy` CI tier (tools/adequacy).
 //
 //===----------------------------------------------------------------------===//
@@ -95,7 +95,7 @@ namespace {
 
 // One representative per layer, disjoint from quickFaultSet() where
 // possible so tier-1 plus the CI quick gate together cover more of the
-// matrix. Runs the fault's full row (all eight columns).
+// matrix. Runs the fault's full row (all checker columns).
 void expectOwnerKills(const char *Name) {
   AdequacyOptions O;
   O.OnlyFault = Name;
@@ -136,6 +136,18 @@ TEST(Adequacy, InterpLayerFaultKilled) {
 
 TEST(Adequacy, TrafficLayerFaultKilled) {
   expectOwnerKills("traffic-pcap-truncate-write");
+}
+
+// The superblock engine's own faults: both must fall to the BlockDiff
+// lockstep column (sim-stale-superblock-after-invalidate also rides in
+// quickFaultSet; the fused-op clobber is only covered here and in the
+// full matrix).
+TEST(Adequacy, BlockEngineStaleSuperblockFaultKilled) {
+  expectOwnerKills("sim-stale-superblock-after-invalidate");
+}
+
+TEST(Adequacy, BlockEngineFusedClobberFaultKilled) {
+  expectOwnerKills("sim-fused-op-flag-clobber");
 }
 
 // -- Error handling ----------------------------------------------------------

@@ -7,8 +7,10 @@
 // Tier-1 coverage for the whole-machine checkpoint/restore layer: the
 // copy-on-write and delta-chain snapshot primitives, SoakMachine
 // snapshot round trips, the randomized snapshot-resume-vs-straight-
-// through bit-identity fuzz on every execution substrate (clean and
-// under seeded fault plans), warm-boot vs. cold-boot shard identity,
+// through bit-identity fuzz on every execution substrate — including
+// the superblock Block/Differential engines, whose translation caches
+// are flushed on restore — (clean and under seeded fault plans),
+// warm-boot vs. cold-boot shard identity across engine modes,
 // and the checkpointed shrink oracle's agreement with the cold oracle.
 // The one seeded checkpoint bug (snap-state-stale-latch) must make the
 // differential fail — proof the identity check has teeth.
@@ -215,6 +217,49 @@ TEST(Checkpoint, DifferentialFuzzOnIsaSim) {
   }
 }
 
+TEST(Checkpoint, DifferentialFuzzWithBlockEngine) {
+  // The superblock trace engine keeps derived state (hot counters,
+  // translated traces, block links) that is never snapshotted: restore
+  // flushes it and execution re-warms. Identity must still hold —
+  // trace state is architecturally invisible — for the Block engine and
+  // for the full lockstep Differential, clean and under seeded fault
+  // plans that perturb both runs equally. (Block-engine faults like
+  // sim-stale-superblock-after-invalidate are deliberately absent: they
+  // make trace state visible, which is exactly what the BlockDiff
+  // adequacy column exists to catch.)
+  const fi::Fault Plans[] = {
+      fi::Fault::NumFaults, // No fault armed.
+      fi::Fault::DevLanRxByteOrder,
+      fi::Fault::SimDecodeCacheNoInvalidate,
+  };
+  support::Rng R(0xB10C);
+  unsigned Trial = 0;
+  for (riscv::ExecMode Mode :
+       {riscv::ExecMode::Block, riscv::ExecMode::Differential}) {
+    for (unsigned I = 0; I != 3; ++I, ++Trial) {
+      const uint64_t NumFrames = R.range(2, 8);
+      std::vector<devices::ScheduledFrame> Frames =
+          scenarioFrames(R.next64(), NumFrames);
+      const size_t Depth = size_t(R.range(1, NumFrames + 1));
+      const fi::Fault F = Plans[Trial % (sizeof(Plans) / sizeof(Plans[0]))];
+
+      SoakOptions O;
+      O.Core = SoakCore::IsaSim;
+      O.SimExec = Mode;
+      fi::FaultPlan Plan;
+      if (F != fi::Fault::NumFaults) {
+        Plan = fi::FaultPlan::single(F);
+        O.Plan = &Plan;
+      }
+      SnapshotDifferential D =
+          runSnapshotDifferential(soakFirmware(), Frames, O, Depth);
+      EXPECT_TRUE(D.Identical) << riscv::execModeName(Mode) << " trial "
+                               << Trial << " depth " << Depth << ": "
+                               << D.Detail;
+    }
+  }
+}
+
 TEST(Checkpoint, DifferentialFuzzOnKamiCores) {
   support::Rng R(0xB007);
   for (SoakCore Core : {SoakCore::SpecCore, SoakCore::Pipelined}) {
@@ -280,6 +325,41 @@ TEST(Checkpoint, WarmBootShardIsBitIdenticalToCold) {
     EXPECT_EQ(S->MmioEvents, C.MmioEvents);
     EXPECT_EQ(S->MonitorEventsSeen, C.MonitorEventsSeen);
     EXPECT_EQ(S->LightTransitions, C.LightTransitions);
+  }
+  EXPECT_TRUE(C.Ok) << C.Error;
+}
+
+TEST(Checkpoint, WarmBootWithBlockEngineMatchesColdAndReference) {
+  // Warm-boot fleets under the Block engine: the boot cache keys on the
+  // engine mode, the restored machine flushes its translation cache and
+  // re-warms, and the result must be bit-identical to a cold Block boot
+  // — which in turn must match the Reference engine field for field,
+  // because the engine retires the exact same instruction schedule.
+  std::vector<devices::ScheduledFrame> Frames = scenarioFrames(23, 10);
+  SoakOptions Warm, Cold, Ref;
+  Warm.Core = Cold.Core = Ref.Core = SoakCore::IsaSim;
+  Warm.SimExec = Cold.SimExec = riscv::ExecMode::Block;
+  Ref.SimExec = riscv::ExecMode::Reference;
+  Warm.Checkpoint = true;
+  Cold.Checkpoint = Ref.Checkpoint = false;
+
+  ShardStats W1 = runSoakShard(soakFirmware(), Frames, Warm);
+  ShardStats W2 = runSoakShard(soakFirmware(), Frames, Warm);
+  ShardStats C = runSoakShard(soakFirmware(), Frames, Cold);
+  ShardStats R = runSoakShard(soakFirmware(), Frames, Ref);
+  for (const ShardStats *S : {&W1, &W2, &R}) {
+    EXPECT_EQ(S->Ok, C.Ok);
+    EXPECT_EQ(S->Error, C.Error);
+    EXPECT_EQ(S->TraceHash, C.TraceHash);
+    EXPECT_EQ(S->Cycles, C.Cycles);
+    EXPECT_EQ(S->Retired, C.Retired);
+    EXPECT_EQ(S->FramesDelivered, C.FramesDelivered);
+    EXPECT_EQ(S->FramesAccepted, C.FramesAccepted);
+    EXPECT_EQ(S->ValidCommands, C.ValidCommands);
+    EXPECT_EQ(S->MmioEvents, C.MmioEvents);
+    EXPECT_EQ(S->MonitorEventsSeen, C.MonitorEventsSeen);
+    EXPECT_EQ(S->LightTransitions, C.LightTransitions);
+    EXPECT_EQ(S->Diverged, C.Diverged);
   }
   EXPECT_TRUE(C.Ok) << C.Error;
 }

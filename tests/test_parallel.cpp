@@ -161,6 +161,27 @@ TEST(ParallelDriver, EndToEndFuzzFleetIsThreadCountInvariant) {
   }
 }
 
+TEST(ParallelDriver, EndToEndFuzzFleetIsEngineModeInvariant) {
+  // The superblock engine retires the exact same instruction schedule as
+  // the reference stepper, so a fuzz fleet run under ExecMode::Block (or
+  // the lockstep Differential) must report identical verdicts, retirement
+  // counts, and trace hashes — across three engines and any thread count.
+  std::vector<uint64_t> Seeds = fleetSeeds(42, 4);
+  E2EOptions O;
+  O.Core = CoreKind::IsaSim;
+  O.SimExec = riscv::ExecMode::Reference;
+  FleetReport Ref = endToEndFuzzFleet(firmware(), O, Seeds, 2, 1);
+  EXPECT_TRUE(Ref.allOk()) << Ref.firstError();
+  for (riscv::ExecMode Mode :
+       {riscv::ExecMode::Block, riscv::ExecMode::Differential}) {
+    O.SimExec = Mode;
+    FleetReport R = endToEndFuzzFleet(firmware(), O, Seeds, 2, 3);
+    EXPECT_TRUE(R.allOk()) << riscv::execModeName(Mode) << ": "
+                           << R.firstError();
+    EXPECT_TRUE(R.sameVerdicts(Ref)) << riscv::execModeName(Mode);
+  }
+}
+
 TEST(ParallelDriver, CompilerDiffFleetIsThreadCountInvariant) {
   auto ProgramForSeed = [](uint64_t Seed) {
     b2::testing::RandomProgramOptions O;

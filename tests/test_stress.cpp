@@ -16,9 +16,17 @@
 #include "compiler/Asm.h"
 #include "devices/Net.h"
 #include "devices/Platform.h"
+#include "isa/Build.h"
+#include "isa/Encoding.h"
+#include "riscv/BlockEngine.h"
+#include "riscv/Machine.h"
+#include "riscv/Mmio.h"
+#include "riscv/Step.h"
+#include "support/Rng.h"
 #include "tracespec/Matcher.h"
 #include "verify/CompilerDiff.h"
 #include "verify/EndToEnd.h"
+#include "verify/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
@@ -300,4 +308,204 @@ TEST(RoundTrip, FirmwarePrintsParsesAndRecompilesIdentically) {
   Plat.injectNow(devices::buildCommandFrame(true));
   EXPECT_EQ(I.callFunction("lightbulb_loop", {}).Rets[0], 0u);
   EXPECT_TRUE(Plat.gpio().lightbulbOn());
+}
+
+// -- Superblock engine: randomized differential fuzz ---------------------------
+//
+// The stress-tier counterpart of the BlockDiff adequacy column: seeded
+// loopy machine-code kernels driven through ExecMode::Differential with
+// randomized chunk boundaries. With no fault armed — or with plain
+// simulator faults, which live in the shared semantic kernels
+// (riscv/Exec.h) and so perturb the trace and the reference stepper
+// identically — the lockstep must never diverge, and the final
+// architectural state must match a pure reference run step for step.
+// With the engine's own seeded discipline faults armed, it must diverge
+// on every seed.
+
+namespace {
+
+struct LockstepOutcome {
+  uint64_t Divergences = 0;
+  std::string Detail;
+  uint64_t Retired = 0;
+  Word Pc = 0;
+  std::vector<Word> Regs;
+};
+
+/// Runs \p P for exactly \p MaxSteps retirements (the programs park in a
+/// jal spin, so the budget is always consumed unless the lockstep breaks)
+/// under the Differential engine, in chunks of \p Chunk.
+LockstepOutcome runLockstep(const std::vector<isa::Instr> &P,
+                            uint64_t MaxSteps, uint64_t Chunk) {
+  LockstepOutcome Out;
+  std::vector<uint8_t> Image = isa::instrencode(P);
+  riscv::Machine M(64 * 1024);
+  M.loadImage(0, Image);
+  riscv::NoDevice Dev;
+  riscv::BlockEngine E(M, Dev, riscv::ExecMode::Differential);
+  uint64_t Done = 0;
+  while (Done < MaxSteps && !M.hasUb() && E.divergences() == 0) {
+    uint64_t R = E.run(std::min<uint64_t>(Chunk, MaxSteps - Done));
+    Done += R;
+    if (R == 0)
+      break;
+  }
+  Out.Divergences = E.divergences();
+  Out.Detail = E.divergenceDetail();
+  Out.Retired = M.retiredInstructions();
+  Out.Pc = M.getPc();
+  for (unsigned R = 0; R != 32; ++R)
+    Out.Regs.push_back(M.getReg(R));
+  return Out;
+}
+
+/// The same program under the plain reference stepper, same step budget.
+LockstepOutcome runReference(const std::vector<isa::Instr> &P,
+                             uint64_t MaxSteps) {
+  LockstepOutcome Out;
+  std::vector<uint8_t> Image = isa::instrencode(P);
+  riscv::Machine M(64 * 1024);
+  M.loadImage(0, Image);
+  riscv::NoDevice Dev;
+  riscv::run(M, Dev, MaxSteps);
+  Out.Retired = M.retiredInstructions();
+  Out.Pc = M.getPc();
+  for (unsigned R = 0; R != 32; ++R)
+    Out.Regs.push_back(M.getReg(R));
+  return Out;
+}
+
+/// A seeded counted loop whose body is a random ALU/memory chain: every
+/// program goes hot, translates, fuses its trailing addi/bne counter,
+/// and links blocks; memory traffic stays inside an aligned RAM buffer.
+std::vector<isa::Instr> loopyProgram(support::Rng &R) {
+  using namespace b2::isa;
+  std::vector<Instr> P;
+  const SWord Trip = SWord(R.range(60, 300));
+  P.push_back(addi(A0, Zero, 0));                      // Induction var.
+  P.push_back(addi(A1, Zero, Trip));                   // Bound.
+  P.push_back(addi(A2, Zero, 0x400));                  // Buffer base.
+  P.push_back(addi(A3, Zero, SWord(R.range(1, 99)))); // Accumulator.
+  const size_t Head = P.size();
+  const unsigned Body = unsigned(R.range(2, 6));
+  for (unsigned I = 0; I != Body; ++I) {
+    switch (R.below(6)) {
+    case 0:
+      P.push_back(mkR(Opcode::Add, A3, A3, A0));
+      break;
+    case 1:
+      P.push_back(mkR(Opcode::Xor, A3, A3, A1));
+      break;
+    case 2:
+      P.push_back(mkI(Opcode::Srai, A3, A3, SWord(R.range(1, 7))));
+      break;
+    case 3:
+      P.push_back(sw(A2, A3, SWord(4 * R.below(4))));
+      break;
+    case 4:
+      P.push_back(lw(A4, A2, SWord(4 * R.below(4))));
+      break;
+    default:
+      P.push_back(mkR(Opcode::Sltu, A4, A1, A3));
+      break;
+    }
+  }
+  P.push_back(addi(A0, A0, 1));
+  P.push_back(mkB(Opcode::Bne, A0, A1,
+                  -SWord(4 * (P.size() - Head)))); // Back to the head.
+  P.push_back(jal(Zero, 0));                       // Park.
+  return P;
+}
+
+} // namespace
+
+TEST(BlockEngineFuzz, RandomLoopKernelsStayInLockstep) {
+  support::Rng R(0x5EED5);
+  for (unsigned Trial = 0; Trial != 12; ++Trial) {
+    std::vector<isa::Instr> P = loopyProgram(R);
+    const uint64_t Chunk = R.range(13, 257);
+    LockstepOutcome D = runLockstep(P, 8000, Chunk);
+    EXPECT_EQ(D.Divergences, 0u)
+        << "trial " << Trial << " chunk " << Chunk << ": " << D.Detail;
+    LockstepOutcome Ref = runReference(P, 8000);
+    EXPECT_EQ(D.Retired, Ref.Retired) << "trial " << Trial;
+    EXPECT_EQ(D.Pc, Ref.Pc) << "trial " << Trial;
+    EXPECT_EQ(D.Regs, Ref.Regs) << "trial " << Trial;
+  }
+}
+
+TEST(BlockEngineFuzz, LockstepHoldsUnderSimulatorFaultPlans) {
+  // Simulator faults are seeded into the shared kernels, so an armed
+  // plan bends both engines the same way: consistent wrongness, never a
+  // divergence. (The engine's own faults are the designed exception,
+  // covered below.)
+  const fi::Fault Plans[] = {
+      fi::Fault::SimSraLogicalShift,
+      fi::Fault::SimBranchLtAsGe,
+      fi::Fault::SimStoreKeepsXAddrs,
+      fi::Fault::SimDecodeCacheNoInvalidate,
+  };
+  support::Rng R(0xFA0175);
+  for (unsigned Trial = 0; Trial != 8; ++Trial) {
+    std::vector<isa::Instr> P = loopyProgram(R);
+    const uint64_t Chunk = R.range(13, 257);
+    const fi::Fault F = Plans[Trial % (sizeof(Plans) / sizeof(Plans[0]))];
+    fi::FaultPlan Plan = fi::FaultPlan::single(F);
+    fi::FaultScope Scope(Plan);
+    LockstepOutcome D = runLockstep(P, 8000, Chunk);
+    EXPECT_EQ(D.Divergences, 0u)
+        << "trial " << Trial << " fault " << unsigned(F) << ": " << D.Detail;
+  }
+}
+
+TEST(BlockEngineFuzz, FusedClobberFaultDivergesOnEverySeed) {
+  // Randomized trip counts around the adequacy stimulus shape: a hot
+  // counter loop whose fused addi/bne pair the fault perturbs. Every
+  // seed must diverge once the block goes hot.
+  using namespace b2::isa;
+  fi::FaultPlan Plan = fi::FaultPlan::single(fi::Fault::SimBlockFusedClobber);
+  support::Rng R(0xC10BBE4);
+  for (unsigned Trial = 0; Trial != 6; ++Trial) {
+    std::vector<Instr> P;
+    P.push_back(addi(A0, Zero, 0));
+    P.push_back(addi(A1, Zero, SWord(R.range(100, 500))));
+    P.push_back(addi(A0, A0, 1));
+    P.push_back(mkB(Opcode::Bne, A0, A1, -4));
+    P.push_back(jal(Zero, 0));
+    fi::FaultScope Scope(Plan);
+    // A trace only runs when its full-pass retirement count fits the
+    // remaining step budget, and a hot loop superblock unrolls up to 64
+    // instructions — chunks must clear that or the engine cold-steps
+    // forever and the seeded trace fault stays dormant.
+    LockstepOutcome D = runLockstep(P, 20'000, R.range(72, 257));
+    EXPECT_GT(D.Divergences, 0u) << "trial " << Trial;
+    EXPECT_FALSE(D.Detail.empty());
+  }
+}
+
+TEST(BlockEngineFuzz, StaleSuperblockFaultDivergesOnEverySeed) {
+  // Randomized pass counts on the patch-refetch shape: heat the loop,
+  // patch its victim word, re-enter. The reference stepper faults at
+  // the revoked word; the stale superblock sails past it.
+  using namespace b2::isa;
+  fi::FaultPlan Plan =
+      fi::FaultPlan::single(fi::Fault::SimBlockStaleSuperblock);
+  support::Rng R(0x57A1E);
+  for (unsigned Trial = 0; Trial != 6; ++Trial) {
+    std::vector<Instr> P;
+    Word NewWord = encode(addi(A0, A0, 2));
+    materialize(NewWord, A4, P); // 2 instructions.
+    P.push_back(addi(A5, Zero, 0));
+    P.push_back(addi(A5, A5, 1)); // Loop head (address 12).
+    P.push_back(addi(A0, A0, 1)); // The victim (address 16).
+    P.push_back(addi(A6, Zero, SWord(R.range(20, 60))));
+    P.push_back(mkB(Opcode::Blt, A5, A6, -12));
+    P.push_back(sw(Zero, A4, 16)); // Patch the victim.
+    P.push_back(jal(Zero, -24));   // Re-enter at the reset.
+    fi::FaultScope Scope(Plan);
+    // Chunks above the 64-instruction superblock weight, as above.
+    LockstepOutcome D = runLockstep(P, 20'000, R.range(72, 257));
+    EXPECT_GT(D.Divergences, 0u) << "trial " << Trial;
+    EXPECT_FALSE(D.Detail.empty());
+  }
 }

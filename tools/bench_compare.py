@@ -2,16 +2,20 @@
 """Benchmark regression guard for the b2stack CI.
 
 Compares the throughput JSON emitted by bench/sim_throughput
-(BENCH_sim_throughput.json) and bench/interp_throughput
-(BENCH_interp.json) against a baseline from a previous main-branch run,
-and fails when any per-row throughput regresses by more than the allowed
-fraction (default 25%).
+(BENCH_sim.json) and bench/interp_throughput (BENCH_interp.json)
+against a baseline from a previous main-branch run, and fails when any
+per-row throughput regresses by more than the allowed fraction
+(default 25%).
 
 Rows are keyed by their identity fields (kernel+substrate for the
 simulator bench, workload+engine for the interpreter bench), so adding
 or removing rows never trips the guard — only a matched row that got
-slower does. A missing baseline (first run, expired cache) is reported
-and skipped rather than failed, so the guard can bootstrap itself.
+slower does. A baseline that lacks a file — first run, expired cache,
+or a bench JSON newly added (or renamed) by the current PR — is
+reported and skipped rather than failed, so the guard can bootstrap
+itself; a file that exists but cannot be parsed under the registered
+schema is likewise warned about and skipped instead of crashing the
+job.
 
 Usage:
   bench_compare.py --baseline DIR --current DIR [--max-regression 0.25]
@@ -23,9 +27,11 @@ import os
 import sys
 
 # file name -> (array key, identity fields, throughput field)
+# BENCH_sim.json superseded BENCH_sim_throughput.json when the simulator
+# bench grew the superblock-engine rows; old baselines simply skip.
 BENCH_FILES = {
-    "BENCH_sim_throughput.json": ("kernels", ("kernel", "substrate"),
-                                  "instr_per_sec"),
+    "BENCH_sim.json": ("kernels", ("kernel", "substrate"),
+                       "instr_per_sec"),
     "BENCH_interp.json": ("workloads", ("workload", "engine"),
                           "stmts_per_sec"),
     "BENCH_soak.json": ("scenarios", ("scenario", "core"),
@@ -68,11 +74,16 @@ def main():
             print(f"bench_compare: {name}: no current file, skipping")
             continue
         if not os.path.exists(base_path):
-            print(f"bench_compare: {name}: no baseline (first run or "
-                  f"expired cache), skipping")
+            print(f"bench_compare: {name}: no baseline (first run, expired "
+                  f"cache, or file newly added this PR), skipping")
             continue
-        base = load_rows(base_path, array_key, id_fields, value_field)
-        cur = load_rows(cur_path, array_key, id_fields, value_field)
+        try:
+            base = load_rows(base_path, array_key, id_fields, value_field)
+            cur = load_rows(cur_path, array_key, id_fields, value_field)
+        except (OSError, ValueError) as err:
+            print(f"bench_compare: {name}: unreadable under registered "
+                  f"schema ({err}), skipping")
+            continue
         for ident, base_value in sorted(base.items()):
             label = f"{name}:" + "/".join(str(p) for p in ident)
             if ident not in cur:

@@ -12,9 +12,9 @@
 // exit status is nonzero.
 //
 //   soak [--frames N] [--threads K] [--seed S] [--scenario NAME]
-//        [--core pipelined|isa|spec] [--shards N] [--cross-check]
-//        [--pcap-in PATH] [--pcap-out PATH] [--report PATH]
-//        [--fault NAME] [--list-scenarios]
+//        [--core pipelined|isa|spec] [--engine reference|block|diff]
+//        [--shards N] [--cross-check] [--pcap-in PATH] [--pcap-out PATH]
+//        [--report PATH] [--fault NAME] [--list-scenarios]
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,10 +42,10 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--frames N] [--threads K] [--seed S] [--scenario NAME]\n"
-      "          [--core pipelined|isa|spec] [--shards N] [--cross-check]\n"
-      "          [--honor-schedule] [--no-checkpoint] [--pcap-in PATH]\n"
-      "          [--pcap-out PATH] [--report PATH] [--fault NAME]\n"
-      "          [--list-scenarios]\n"
+      "          [--core pipelined|isa|spec] [--engine reference|block|diff]\n"
+      "          [--shards N] [--cross-check] [--honor-schedule]\n"
+      "          [--no-checkpoint] [--pcap-in PATH] [--pcap-out PATH]\n"
+      "          [--report PATH] [--fault NAME] [--list-scenarios]\n"
       "\n"
       "  --frames N        frames to generate (default 10000)\n"
       "  --threads K       worker threads (default: hardware concurrency;\n"
@@ -54,6 +54,12 @@ int usage(const char *Argv0) {
       "  --scenario NAME   workload family (default valid-mix;\n"
       "                    see --list-scenarios)\n"
       "  --core KIND       execution substrate (default pipelined)\n"
+      "  --engine MODE     ISA-simulator engine (--core isa only):\n"
+      "                    reference steps with the predecoded fast path,\n"
+      "                    block runs the superblock trace engine, diff\n"
+      "                    runs both in lockstep and fails on the first\n"
+      "                    divergence; SOAK.json is bit-identical across\n"
+      "                    all three (default reference)\n"
       "  --shards N        override the derived shard count\n"
       "  --cross-check     rerun every shard on a second substrate\n"
       "  --honor-schedule  deliver at recorded AtOp instead of\n"
@@ -125,6 +131,13 @@ int main(int Argc, char **Argv) {
       if (!Ok) {
         std::fprintf(stderr,
                      "soak: unknown core '%s' (pipelined|isa|spec)\n", Argv[I]);
+        return 2;
+      }
+    } else if (Arg == "--engine" && I + 1 < Argc) {
+      if (!riscv::execModeByName(Argv[++I], Options.SimExec)) {
+        std::fprintf(stderr,
+                     "soak: unknown engine '%s' (reference|block|diff)\n",
+                     Argv[I]);
         return 2;
       }
     } else if (Arg == "--shards" && I + 1 < Argc) {
@@ -218,9 +231,12 @@ int main(int Argc, char **Argv) {
   }
   // Wall-clock throughput goes to stdout only; SOAK.json stays
   // deterministic.
+  std::string CoreDesc = soakCoreName(Options.Core);
+  if (Options.Core == SoakCore::IsaSim)
+    CoreDesc += std::string("/") + riscv::execModeName(Options.SimExec);
   std::printf("soak: core %s, %zu shards, %u threads: %llu frames, "
               "%llu Mcycles, %.1f s (%.0f frames/s)\n",
-              soakCoreName(Options.Core), Report.Shards.size(),
+              CoreDesc.c_str(), Report.Shards.size(),
               Options.Threads, (unsigned long long)Delivered,
               (unsigned long long)(Cycles / 1'000'000), Secs,
               Secs > 0 ? double(Delivered) / Secs : 0.0);
