@@ -23,6 +23,7 @@
 #include "devices/Platform.h"
 #include "riscv/Mmio.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 
 #include <chrono>
 #include <cstdio>
@@ -247,6 +248,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "failed to write %s\n", OutPath);
   else
     std::printf("wrote %s\n", OutPath);
+
+  const char *MetricsPath = "METRICS_interp.json";
+  if (!metrics::writeMetricsFile(MetricsPath, "interp_throughput"))
+    std::fprintf(stderr, "failed to write %s\n", MetricsPath);
+  else
+    std::printf("wrote %s\n", MetricsPath);
 
   return DiffOk ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 
 #include "BenchUtil.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "traffic/Scenario.h"
 #include "traffic/Soak.h"
 
@@ -141,6 +142,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "failed to write %s\n", OutPath);
   else
     std::printf("wrote %s\n", OutPath);
+
+  const char *MetricsPath = "METRICS_soak.json";
+  if (!metrics::writeMetricsFile(MetricsPath, "soak_throughput"))
+    std::fprintf(stderr, "failed to write %s\n", MetricsPath);
+  else
+    std::printf("wrote %s\n", MetricsPath);
 
   return AllOk ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "bedrock2/Bytecode.h"
 
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "verify/FaultInjection.h"
 
 #include <algorithm>
@@ -205,7 +206,11 @@ private:
     // Code after a StaticFault never runs but is still tracked linearly,
     // so MaxDepth can over-estimate there; that only costs slack capacity.
     BF.MaxStack = uint32_t(MaxDepth);
+    size_t InsnsIn = BF.Code.size();
     fuse(BF);
+    metrics::add(metrics::Id::InterpCompileFns);
+    metrics::add(metrics::Id::InterpCompileInsnsIn, InsnsIn);
+    metrics::add(metrics::Id::InterpCompileInsnsOut, BF.Code.size());
   }
 
   /// True when \p I transfers control to \p I.Arg (so Arg is a code
@@ -249,12 +254,16 @@ private:
     std::vector<bc::Insn> New;
     New.reserve(Old.size());
     std::vector<uint32_t> Map(Old.size() + 1, ~uint32_t(0));
+    uint64_t Fused = 0;
     size_t Pc = 0;
     while (Pc < Old.size()) {
       Map[Pc] = uint32_t(New.size());
-      Pc += Fn(Old, IsTarget, Pc, New);
+      size_t Consumed = Fn(Old, IsTarget, Pc, New);
+      Fused += Consumed > 1;
+      Pc += Consumed;
     }
     Map[Old.size()] = uint32_t(New.size());
+    metrics::add(metrics::Id::InterpFuseHits, Fused);
     for (bc::Insn &I : New)
       if (isJumpy(I)) {
         assert(Map[I.Arg] != ~uint32_t(0) && "jump into a fused pattern");
@@ -303,6 +312,7 @@ private:
         continue;
       L.K = bc::Op::IncLoopBrNZ;
       L.Arg = uint32_t(H.Imm << 24 | (L.Arg + 1));
+      metrics::add(metrics::Id::InterpFuseLoopHeads);
     }
   }
 
@@ -1785,5 +1795,9 @@ ExecResult BytecodeProgram::run(const std::string &Fn,
   E.Top = Args.size();
   if (E.runFunction(It->second, 0))
     E.R.Rets.assign(E.Stack.begin(), E.Stack.begin() + F.NumRets);
+  // One publication per top-level run (never per bytecode step): the
+  // dispatch loop's own fuel accounting already aggregates the mix.
+  metrics::add(metrics::Id::InterpExecRuns);
+  metrics::add(metrics::Id::InterpExecSteps, E.R.StepsUsed);
   return std::move(E.R);
 }

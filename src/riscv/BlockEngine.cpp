@@ -10,6 +10,7 @@
 #include "riscv/Exec.h"
 #include "riscv/Step.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "verify/FaultInjection.h"
 
 #include <algorithm>
@@ -65,8 +66,36 @@ BlockEngine::BlockEngine(Machine &M, MmioDevice &Device, ExecMode Mode)
 }
 
 BlockEngine::~BlockEngine() {
+  publishMetrics(); // Flush any tail accumulated since the last run().
   if (Mode != ExecMode::Reference && M.invalidationListener() == this)
     M.setInvalidationListener(nullptr);
+}
+
+void BlockEngine::publishMetrics() {
+  using metrics::Id;
+  metrics::add(Id::SimBlockTranslations,
+               Stats.BlocksTranslated - Published.BlocksTranslated);
+  metrics::add(Id::SimBlockKilled, Stats.BlocksKilled - Published.BlocksKilled);
+  metrics::add(Id::SimBlockFlushes, Stats.Flushes - Published.Flushes);
+  metrics::add(Id::SimBlockTraceInstrs,
+               Stats.TraceInstrs - Published.TraceInstrs);
+  metrics::add(Id::SimBlockColdInstrs, Stats.ColdInstrs - Published.ColdInstrs);
+  metrics::add(Id::SimBlockSideExits, Stats.SideExits - Published.SideExits);
+  metrics::add(Id::SimBlockSideExitUntranslated,
+               Stats.SideExitUntranslated - Published.SideExitUntranslated);
+  metrics::add(Id::SimBlockSideExitMemGuard,
+               Stats.SideExitMemGuard - Published.SideExitMemGuard);
+  metrics::add(Id::SimBlockSideExitKilled,
+               Stats.SideExitKilled - Published.SideExitKilled);
+  metrics::add(Id::SimBlockLinkHits, Stats.LinkHits - Published.LinkHits);
+  metrics::add(Id::SimBlockLinkMisses, Stats.LinkMisses - Published.LinkMisses);
+  metrics::add(Id::SimBlockMmioInline, Stats.MmioInline - Published.MmioInline);
+  metrics::add(Id::SimBlockFusedRetired,
+               Stats.FusedRetired - Published.FusedRetired);
+  metrics::add(Id::SimBlockInvalProbes,
+               Stats.InvalProbes - Published.InvalProbes);
+  Published = Stats;
+  M.publishMetrics();
 }
 
 void BlockEngine::flushTranslations() {
@@ -94,6 +123,7 @@ void BlockEngine::onInvalidate(size_t FirstWord, size_t LastWord) {
     return; // Seeded bug: invalidation no longer reaches the trace cache.
   if (CoverCount.empty())
     return;
+  ++Stats.InvalProbes;
   if (LastWord >= CoverCount.size())
     LastWord = CoverCount.size() - 1;
   // Fast path: almost every store hits data words no trace covers.
@@ -479,6 +509,7 @@ int32_t BlockEngine::translate(Word HeadPc) {
     CoverBits[W >> 6] |= uint64_t(1) << (W & 63);
   }
   IndexByWord[size_t(HeadPc >> 2)] = Idx;
+  metrics::record(metrics::Id::SimBlockWeight, B.Count);
   Blocks.push_back(std::move(B));
   ++Stats.BlocksTranslated;
   return Idx;
@@ -500,6 +531,12 @@ uint64_t BlockEngine::execTraces(size_t Bi, uint64_t Budget) {
   Word Addr = 0;
   Word NextPc = 0;
   Word ExitPc = 0;
+  // Side-exit classification: most exit sites are memory-guard misses
+  // (MMIO beyond the inline path, misaligned, unmapped), so that is the
+  // default; the self-kill and untranslated paths override it just
+  // before jumping. Set at most once per call — side_exit returns.
+  enum : uint8_t { ExUntranslated, ExMemGuard, ExKilled };
+  uint8_t ExitReason = ExMemGuard;
   int32_t *LinkSlot = nullptr;
   bool UseJalrCache = false;
   Block *B = nullptr;
@@ -602,6 +639,7 @@ dispatch:
   }
   assert(false && "unhandled micro-op kind");
   ExitPc = U->InstrPc;
+  ExitReason = ExUntranslated;
   goto side_exit;
 #endif
 
@@ -708,6 +746,7 @@ L_StoreW:
         // The store invalidated this very trace: commit the completed
         // instruction and hand the stale tail to the stepper.
         ExitPc = U->InstrPc + 4;
+        ExitReason = ExKilled;
         goto side_exit;
       }
       B2_DISPATCH();
@@ -727,6 +766,7 @@ L_Store: {
       // The store invalidated this very trace: commit the completed
       // instruction and hand the stale tail to the stepper.
       ExitPc = U->InstrPc + 4;
+      ExitReason = ExKilled;
       goto side_exit;
     }
     B2_DISPATCH();
@@ -770,6 +810,7 @@ L_FusedSwSw: {
       ++Ret;
       ++Stats.FusedRetired;
       ExitPc = U->InstrPc + 4;
+      ExitReason = ExKilled;
       goto side_exit;
     }
   }
@@ -781,6 +822,7 @@ L_FusedSwSw: {
     onInvalidate(size_t(Addr2 >> 2), size_t(Addr2 >> 2));
     if (CurKilled) {
       ExitPc = U->InstrPc + 8;
+      ExitReason = ExKilled;
       goto side_exit;
     }
   }
@@ -807,6 +849,7 @@ L_FusedLwSw: {
     onInvalidate(size_t(StoreAddr >> 2), size_t(StoreAddr >> 2));
     if (CurKilled) {
       ExitPc = U->InstrPc + 8;
+      ExitReason = ExKilled;
       goto side_exit;
     }
   }
@@ -1029,6 +1072,7 @@ L_Jalr:
 
 L_SideExit:
   ExitPc = U->Aux;
+  ExitReason = ExUntranslated;
   goto side_exit;
 
 chain:
@@ -1043,10 +1087,12 @@ chain:
           Blocks[size_t(B->JalrCacheBlock)].Valid &&
           Blocks[size_t(B->JalrCacheBlock)].HeadPc == NextPc) {
         Ni = B->JalrCacheBlock;
+        ++Stats.LinkHits;
       } else {
         Ni = blockAt(NextPc);
         B->JalrCachePc = NextPc;
         B->JalrCacheBlock = Ni;
+        ++Stats.LinkMisses;
       }
     } else {
       Ni = *LinkSlot;
@@ -1057,6 +1103,9 @@ chain:
       if (Ni < 0) {
         Ni = blockAt(NextPc);
         *LinkSlot = Ni;
+        ++Stats.LinkMisses;
+      } else {
+        ++Stats.LinkHits;
       }
     }
     if (Ni >= 0 && uint64_t(Blocks[size_t(Ni)].EntryCount) <= Budget - Done) {
@@ -1075,6 +1124,12 @@ chain:
 side_exit:
   Done += Ret;
   ++Stats.SideExits;
+  if (ExitReason == ExKilled)
+    ++Stats.SideExitKilled;
+  else if (ExitReason == ExMemGuard)
+    ++Stats.SideExitMemGuard;
+  else
+    ++Stats.SideExitUntranslated;
   CurBlock = -1;
   M.Pc = ExitPc;
   M.Retired += Done;
@@ -1196,10 +1251,16 @@ std::string BlockEngine::compareWithShadow(size_t TraceStart, bool Desynced) {
 }
 
 uint64_t BlockEngine::run(uint64_t MaxSteps) {
-  if (Mode == ExecMode::Reference)
-    return riscv::run(M, Dev, MaxSteps);
-  if (Mode == ExecMode::Block)
-    return runBlocks(MaxSteps);
+  if (Mode == ExecMode::Reference) {
+    uint64_t N = riscv::run(M, Dev, MaxSteps);
+    publishMetrics();
+    return N;
+  }
+  if (Mode == ExecMode::Block) {
+    uint64_t N = runBlocks(MaxSteps);
+    publishMetrics();
+    return N;
+  }
 
   // Differential: run the block engine, then replay the same instruction
   // count through the reference stepper on the shadow and demand an
@@ -1220,5 +1281,6 @@ uint64_t BlockEngine::run(uint64_t MaxSteps) {
       DiffDead = true; // Sticky: preserve the first divergence's detail.
     }
   }
+  publishMetrics();
   return N;
 }

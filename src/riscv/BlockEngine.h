@@ -81,6 +81,20 @@ struct BlockEngineStats {
   uint64_t SideExits = 0;        ///< Trace exits back to the stepper.
   uint64_t MmioInline = 0;       ///< MMIO word accesses handled in-trace.
   uint64_t FusedRetired = 0;     ///< Instructions retired by fused ops.
+  // Side-exit reasons (their sum equals SideExits).
+  uint64_t SideExitUntranslated = 0; ///< An untranslatable instruction
+                                     ///< (explicit SideExit micro-op).
+  uint64_t SideExitMemGuard = 0;     ///< Load/store guard miss: MMIO
+                                     ///< beyond the inline path,
+                                     ///< misaligned, or unmapped.
+  uint64_t SideExitKilled = 0;       ///< A store invalidated the very
+                                     ///< trace that executed it.
+  // Direct-link resolution at block transitions.
+  uint64_t LinkHits = 0;   ///< Successor reached through a valid cached
+                           ///< link (direct link or jalr cache).
+  uint64_t LinkMisses = 0; ///< Link stale/empty: full blockAt lookup.
+  uint64_t InvalProbes = 0; ///< onInvalidate calls that passed the
+                            ///< cover-bitmap filter (rare path).
 };
 
 /// The two-tier engine. Owns the machine's execution strategy for its
@@ -113,6 +127,13 @@ public:
   /// Drops every translation (blocks, links, heat). Architectural state
   /// is untouched; execution re-warms from the stepper.
   void flushTranslations();
+
+  /// Publishes the stat deltas since the last publish (plus the driven
+  /// machine's decode-cache deltas) to the global metrics registry.
+  /// Called automatically at the end of every run() chunk and on
+  /// destruction; Stats itself is monotone for the engine's lifetime,
+  /// so deltas never underflow.
+  void publishMetrics();
 
   // -- InvalidationListener -------------------------------------------------
 
@@ -236,6 +257,7 @@ private:
                        ///< `A <= RamWordMax && !(A & 3)` is inRam(A, 4)
                        ///< plus alignment in one compare each.
   BlockEngineStats Stats;
+  BlockEngineStats Published; ///< publishMetrics() baseline.
 
   std::vector<Block> Blocks;
   std::vector<int32_t> IndexByWord;   ///< Head word -> block index, or -1.

@@ -7,6 +7,7 @@
 #include "riscv/Machine.h"
 
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "verify/FaultInjection.h"
 
 using namespace b2;
@@ -197,7 +198,20 @@ Machine::Snapshot Machine::snapshot() {
   return S;
 }
 
+void Machine::publishMetrics() {
+  metrics::add(metrics::Id::SimDecodeHits, CacheStats.Hits - PubCacheStats.Hits);
+  metrics::add(metrics::Id::SimDecodeMisses,
+               CacheStats.Misses - PubCacheStats.Misses);
+  metrics::add(metrics::Id::SimDecodeInvalidations,
+               CacheStats.Invalidations - PubCacheStats.Invalidations);
+  PubCacheStats = CacheStats;
+}
+
 void Machine::restore(const Snapshot &S) {
+  // Publish the pending counter deltas first: CacheStats is about to be
+  // rewound below the publication baseline, and published totals must
+  // stay monotone (no loss, no double count) across restores.
+  publishMetrics();
   std::copy(std::begin(S.Regs), std::end(S.Regs), std::begin(Regs));
   Pc = S.Pc;
   RamCow.restore(Ram, S.Ram);
@@ -205,6 +219,8 @@ void Machine::restore(const Snapshot &S) {
   DecodeCow.restore(DecodeCache, S.DecodeCache);
   DecodeValid = S.DecodeValid;
   CacheStats = S.CacheStats;
+  PubCacheStats = CacheStats; // Rebase: the restored values are already
+                              // accounted for by their original run.
   Ub = S.Ub;
   UbMessage = S.UbMessage;
   TraceChain.restore(Trace, S.Trace);

@@ -278,6 +278,14 @@ public:
 
   const DecodeCacheStats &decodeCacheStats() const { return CacheStats; }
 
+  /// Publishes the decode-cache counter deltas accumulated since the
+  /// last publish to the global metrics registry (support/Metrics.h).
+  /// Called at chunk/run boundaries by the engines and drivers — the
+  /// hot fetch path keeps incrementing the plain local struct. restore()
+  /// publishes pending deltas itself before rewinding CacheStats, so
+  /// published totals stay monotone across checkpoint restores.
+  void publishMetrics();
+
   /// Installs (or clears, with null) the invalidation listener. At most
   /// one listener is supported; the superblock trace engine owns it for
   /// the machine it drives.
@@ -352,6 +360,10 @@ private:
   std::vector<uint64_t> DecodeValid;
   bool UseDecodeCache = true;
   DecodeCacheStats CacheStats;
+  /// Counter values as of the last publishMetrics() — the publication
+  /// baseline. Not architectural state: snapshot/restore do not touch it
+  /// beyond restore()'s publish-then-rebase discipline.
+  DecodeCacheStats PubCacheStats;
   UbKind Ub = UbKind::None;
   std::string UbMessage;
   MmioTrace Trace;

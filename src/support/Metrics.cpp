@@ -1,0 +1,188 @@
+//===- support/Metrics.cpp - Fleet-wide metrics registry --------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+using namespace b2;
+using namespace b2::metrics;
+
+uint64_t b2::metrics::nowNs() {
+  using namespace std::chrono;
+  return uint64_t(
+      duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool Snapshot::deterministicEquals(const Snapshot &O) const {
+  for (size_t I = 0; I != NumIds; ++I) {
+    if (Table[I].S != Scope::Det)
+      continue;
+    size_t Slot = detail::Slots[I];
+    if (detail::isScalar(Table[I].K)) {
+      if (Counters[Slot] != O.Counters[Slot])
+        return false;
+    } else {
+      if (!(Hists[Slot] == O.Hists[Slot]))
+        return false;
+    }
+  }
+  return true;
+}
+
+#if B2_METRICS
+
+namespace {
+
+/// The global registry: every live thread-local sheet plus the merged
+/// totals of threads that have exited. The mutex guards only the sheet
+/// list and the graveyard — never the hot recording path.
+struct Registry {
+  std::mutex Mu;
+  std::vector<Snapshot *> Live;
+  Snapshot Graveyard;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry; // Leaked: outlives late thread exits.
+  return *R;
+}
+
+/// Per-thread sheet holder: registers on first use, folds into the
+/// graveyard on thread exit so no recorded value is ever lost.
+struct TlsSheet {
+  Snapshot S;
+  TlsSheet() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Live.push_back(&S);
+  }
+  ~TlsSheet() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Graveyard.merge(S);
+    for (size_t I = 0; I != R.Live.size(); ++I)
+      if (R.Live[I] == &S) {
+        R.Live.erase(R.Live.begin() + I);
+        break;
+      }
+  }
+};
+
+} // namespace
+
+std::atomic<bool> detail::EnabledFlag{true};
+thread_local uint32_t detail::PauseDepth = 0;
+thread_local Snapshot *detail::SheetPtr = nullptr;
+
+Snapshot &detail::acquireSheet() {
+  static thread_local TlsSheet Sheet;
+  SheetPtr = &Sheet.S;
+  return Sheet.S;
+}
+
+bool b2::metrics::enabledSlow() { return enabled(); }
+
+void b2::metrics::setEnabled(bool On) {
+  detail::EnabledFlag.store(On, std::memory_order_relaxed);
+}
+
+Snapshot b2::metrics::snapshot() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  Snapshot Out = R.Graveyard;
+  for (const Snapshot *S : R.Live)
+    Out.merge(*S);
+  return Out;
+}
+
+void b2::metrics::resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Graveyard = Snapshot();
+  for (Snapshot *S : R.Live)
+    *S = Snapshot();
+}
+
+#else // !B2_METRICS
+
+bool b2::metrics::enabledSlow() { return false; }
+void b2::metrics::setEnabled(bool) {}
+Snapshot b2::metrics::snapshot() { return Snapshot(); }
+void b2::metrics::resetAll() {}
+
+#endif // B2_METRICS
+
+namespace {
+
+void emitHist(support::JsonWriter &J, const HistData &H) {
+  J.beginObject();
+  J.key("count").value(H.Count);
+  J.key("sum").value(H.Sum);
+  J.key("buckets").beginArray();
+  for (uint64_t B : H.Buckets)
+    J.value(B);
+  J.endArray();
+  J.endObject();
+}
+
+} // namespace
+
+std::string b2::metrics::metricsJson(const Snapshot &S,
+                                     const std::string &Tool) {
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("schema").value("b2stack-metrics-v1");
+  J.key("tool").value(Tool);
+  J.key("compiled_in").value(bool(B2_METRICS));
+
+  // Deterministic section: bit-identical at any thread count (the CI
+  // determinism checks compare exactly this subtree).
+  J.key("deterministic").beginObject();
+  J.key("counters").beginObject();
+  for (size_t I = 0; I != NumIds; ++I)
+    if (Table[I].S == Scope::Det && detail::isScalar(Table[I].K))
+      J.key(Table[I].Name).value(S.Counters[detail::Slots[I]]);
+  J.endObject();
+  J.key("histograms").beginObject();
+  for (size_t I = 0; I != NumIds; ++I)
+    if (Table[I].S == Scope::Det && !detail::isScalar(Table[I].K)) {
+      J.key(Table[I].Name);
+      emitHist(J, S.Hists[detail::Slots[I]]);
+    }
+  J.endObject();
+  J.endObject();
+
+  // Nondeterministic section: wall-clock timers and thread-local cache
+  // behavior. Reported for observability, never compared bit-for-bit.
+  J.key("nondeterministic").beginObject();
+  J.key("counters").beginObject();
+  for (size_t I = 0; I != NumIds; ++I)
+    if (Table[I].S == Scope::Nondet && detail::isScalar(Table[I].K))
+      J.key(Table[I].Name).value(S.Counters[detail::Slots[I]]);
+  J.endObject();
+  J.key("timers_ns").beginObject();
+  for (size_t I = 0; I != NumIds; ++I)
+    if (Table[I].S == Scope::Nondet && !detail::isScalar(Table[I].K)) {
+      J.key(Table[I].Name);
+      emitHist(J, S.Hists[detail::Slots[I]]);
+    }
+  J.endObject();
+  J.endObject();
+
+  J.endObject();
+  return J.str();
+}
+
+bool b2::metrics::writeMetricsFile(const std::string &Path,
+                                   const std::string &Tool) {
+  return support::writeFile(Path, metricsJson(snapshot(), Tool));
+}

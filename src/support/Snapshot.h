@@ -28,6 +28,8 @@
 #ifndef B2_SUPPORT_SNAPSHOT_H
 #define B2_SUPPORT_SNAPSHOT_H
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
@@ -93,6 +95,7 @@ public:
     Snap S;
     S.Size = Data.size();
     S.Pages.resize(N);
+    uint64_t Copied = 0;
     for (size_t P = 0; P != N; ++P) {
       if (P < Base.size() && Base[P] && !isDirty(P) &&
           Base[P]->size() == sliceLen(Data.size(), P)) {
@@ -102,7 +105,9 @@ public:
       size_t Lo = P * PageElems;
       S.Pages[P] = std::make_shared<const std::vector<T>>(
           Data.begin() + Lo, Data.begin() + Lo + sliceLen(Data.size(), P));
+      Copied += sliceLen(Data.size(), P) * sizeof(T);
     }
+    metrics::add(metrics::Id::CkptBytesCopied, Copied);
     Base = S.Pages;
     clearDirty();
     return S;
@@ -119,14 +124,17 @@ public:
     size_t N = S.Pages.size();
     if (N > PageCount)
       growTo(N);
+    uint64_t Copied = 0;
     for (size_t P = 0; P != N; ++P) {
       if (P < Base.size() && Base[P] == S.Pages[P] && !isDirty(P))
         continue;
       const std::vector<T> &Src = *S.Pages[P];
       std::copy(Src.begin(), Src.end(), Data.begin() + P * PageElems);
+      Copied += Src.size() * sizeof(T);
       if (TouchedPages)
         TouchedPages->push_back(P);
     }
+    metrics::add(metrics::Id::CkptBytesCopied, Copied);
     Base = S.Pages;
     Base.resize(PageCount);
     clearDirty();

@@ -94,6 +94,10 @@ public:
     /// offending event once dead).
     size_t consumed() const { return Consumed; }
 
+    /// Live NFA positions right now — the per-event matching cost and
+    /// the size of a frontier checkpoint (observability surface).
+    size_t frontierSize() const { return Current.size(); }
+
     /// Leaf names the spec would have accepted at the current point
     /// (after death: at the point of death). Deduplicated, in position
     /// order, like MatchDiagnosis::ExpectedHere.

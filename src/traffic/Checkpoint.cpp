@@ -9,6 +9,7 @@
 #include "devices/Net.h"
 #include "riscv/Step.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "verify/FaultInjection.h"
 
 #include <algorithm>
@@ -148,6 +149,7 @@ std::string SoakMachine::engineDivergenceDetail() const {
 }
 
 SoakMachine::Snapshot SoakMachine::snapshot() {
+  metrics::add(metrics::Id::CkptSnapshots);
   Snapshot S;
   if (Sim)
     S.Sim = Sim->snapshot();
@@ -169,6 +171,7 @@ SoakMachine::Snapshot SoakMachine::snapshot() {
 }
 
 void SoakMachine::restore(const Snapshot &S) {
+  metrics::add(metrics::Id::CkptRestores);
   if (Sim)
     Sim->restore(*S.Sim);
   if (Mem)
@@ -185,6 +188,13 @@ void SoakMachine::restore(const Snapshot &S) {
   NextFrame = S.NextFrame;
   DeliveredChain.restore(Delivered, S.Delivered);
   DrainFlagged = S.DrainFlagged;
+}
+
+void SoakMachine::publishMetrics() {
+  if (Engine)
+    Engine->publishMetrics();
+  else if (Sim)
+    Sim->publishMetrics();
 }
 
 //===----------------------------------------------------------------------===//
@@ -221,6 +231,10 @@ ShardExit b2::traffic::runShardLoop(SoakMachine &M,
         if (OnInject)
           OnInject(M.NextFrame);
       }
+      // Frames remain but delivery is blocked (rx disabled or the FIFO
+      // is at budget): the coming chunk runs under backpressure.
+      if (M.NextFrame < NumFrames)
+        metrics::add(metrics::Id::SoakFifoStalls);
       // The drain check is suppressed during a boot capture (nothing has
       // been injected; an empty schedule must not look drained).
       if (!StopBeforeFirstInject && M.NextFrame == NumFrames &&
@@ -293,6 +307,22 @@ ShardStats b2::traffic::collectShardStats(SoakMachine &M, ShardExit Exit,
 
   S.MonitorOk = !Mon.violated();
   S.Drained = M.DrainFlagged;
+
+  // One publication per shard, before the early-exit returns below so
+  // failing shards are counted too. The simulator-side deltas ride along
+  // here; per-frame work was already aggregated by the delivery loop.
+  {
+    using metrics::Id;
+    metrics::add(Id::SoakShards);
+    metrics::add(Id::SoakFramesDelivered, S.FramesDelivered);
+    metrics::add(Id::SoakFramesAccepted, S.FramesAccepted);
+    if (S.FramesDelivered > S.FramesAccepted)
+      metrics::add(Id::SoakFramesDropped, S.FramesDelivered - S.FramesAccepted);
+    metrics::add(Id::SoakValidCommands, S.ValidCommands);
+    metrics::add(Id::SoakMmioEvents, S.MmioEvents);
+    metrics::add(Id::SoakMonitorEvents, S.MonitorEventsSeen);
+    M.publishMetrics();
+  }
 
   // Keeps the delivered prefix for the shrinker (only called on
   // frame-dependent failures).
@@ -398,14 +428,26 @@ b2::traffic::warmBootMachine(const compiler::CompiledProgram &Prog,
   for (const BootCacheEntry &E : BootCache) {
     if (E.Key != Key)
       continue;
+    // The cache is thread-local, so hit/miss mix depends on the thread
+    // count — counted under the Nondet scope, and everything the warm or
+    // cold boot path *executes* is suppressed below so the Det metrics
+    // describe only the per-shard work, which is thread-count-invariant.
+    metrics::add(metrics::Id::CkptBootHits);
     if (!E.Ok)
       return nullptr;
+    metrics::PauseScope Pause;
     auto M = std::make_unique<SoakMachine>(Prog, Options.Core,
                                            Options.RamBytes, Options.SimExec);
     M->restore(E.Snap);
+    // While paused this publishes nothing but still rebases the engine
+    // and decode-cache publication baselines, so the restore-time flush
+    // never leaks into the shard's deltas.
+    M->publishMetrics();
     return M;
   }
 
+  metrics::add(metrics::Id::CkptBootMisses);
+  metrics::PauseScope Pause;
   auto M = std::make_unique<SoakMachine>(Prog, Options.Core, Options.RamBytes,
                                          Options.SimExec);
   ShardExit E = runShardLoop(*M, nullptr, nullptr, Options, InjectHook(),
@@ -419,6 +461,9 @@ b2::traffic::warmBootMachine(const compiler::CompiledProgram &Prog,
   if (BootCache.size() >= BootCacheCap)
     BootCache.erase(BootCache.begin());
   BootCache.push_back(std::move(Entry));
+  // Rebase (see the warm path): boot-era engine work stays out of the
+  // shard's published deltas, exactly as it does on a warm fork.
+  M->publishMetrics();
   return Ok ? std::move(M) : nullptr;
 }
 
@@ -455,6 +500,9 @@ CheckpointedOracle::CheckpointedOracle(const compiler::CompiledProgram &Prog,
   if (this->Options.Plan)
     Scope.emplace(*this->Options.Plan);
 
+  // Boot is cache priming, not oracle work: suppress its metric traffic
+  // and rebase the publication baselines, mirroring warmBootMachine.
+  metrics::PauseScope Pause;
   M = std::make_unique<SoakMachine>(Prog, this->Options.Core,
                                     this->Options.RamBytes,
                                     this->Options.SimExec);
@@ -464,9 +512,20 @@ CheckpointedOracle::CheckpointedOracle(const compiler::CompiledProgram &Prog,
   Root = std::make_unique<Node>();
   if (BootOk)
     Root->Snap = M->snapshot();
+  M->publishMetrics();
 }
 
-CheckpointedOracle::~CheckpointedOracle() = default;
+CheckpointedOracle::~CheckpointedOracle() {
+  // The oracle's lifetime totals feed the fleet registry exactly once.
+  using metrics::Id;
+  metrics::add(Id::ShrinkOracleRuns, Stats.OracleRuns);
+  metrics::add(Id::ShrinkOracleResumed, Stats.ResumedRuns);
+  metrics::add(Id::ShrinkCyclesSimulated, Stats.SimulatedCycles);
+  metrics::add(Id::ShrinkCyclesSkipped, Stats.SkippedCycles);
+  metrics::add(Id::ShrinkCheckpoints, Stats.Checkpoints);
+  metrics::add(Id::ShrinkPrimeRuns, Stats.PrimeRuns);
+  metrics::add(Id::ShrinkPrimeCycles, Stats.PrimeCycles);
+}
 
 bool CheckpointedOracle::failing(const std::vector<ScheduledFrame> &Frames) {
   ++Stats.OracleRuns;

@@ -136,6 +136,13 @@ public:
   /// cross-machine restore is merely slower, never wrong.
   void restore(const Snapshot &S);
 
+  /// Publishes the simulator-side metric deltas (engine + decode cache)
+  /// accumulated since the last publication. Called at shard-stat
+  /// collection, and — under metrics::PauseScope — by the warm-boot path
+  /// to rebase the publication baselines so warm and cold shards publish
+  /// identical shard-only deltas. No-op for the Kami cores.
+  void publishMetrics();
+
 private:
   SoakCore Core;
   devices::Platform Plat;

@@ -7,6 +7,7 @@
 #include "traffic/Monitor.h"
 
 #include "app/LightbulbSpec.h"
+#include "support/Metrics.h"
 #include "verify/FaultInjection.h"
 
 using namespace b2;
@@ -41,9 +42,15 @@ bool TraceMonitor::feed(const tracespec::Event &E) {
 
 bool TraceMonitor::pollTrace(const riscv::MmioTrace &T) {
   while (Watermark < T.size()) {
-    if (!feed(T[Watermark]))
+    if (!feed(T[Watermark])) {
+      metrics::record(metrics::Id::SoakMonitorFrontier, Stream.frontierSize());
       return false;
+    }
     ++Watermark;
   }
+  // Frontier occupancy sampled once per poll (i.e. per soak chunk): the
+  // per-event matching cost the monitor is currently paying. Polls are a
+  // pure function of the shard plan, so the histogram is deterministic.
+  metrics::record(metrics::Id::SoakMonitorFrontier, Stream.frontierSize());
   return Stream.alive();
 }

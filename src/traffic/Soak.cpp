@@ -9,6 +9,7 @@
 #include "app/Firmware.h"
 #include "app/LightbulbSpec.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "traffic/Checkpoint.h"
 
@@ -37,6 +38,7 @@ namespace {
 ShardStats runShardRange(const compiler::CompiledProgram &Prog,
                          const ScheduledFrame *Begin, const ScheduledFrame *End,
                          const SoakOptions &Options) {
+  metrics::Timed Wall(metrics::Id::SoakShardWall);
   // Arm the requested plan, if any. When none is requested the ambient
   // thread-local plan (e.g. one the adequacy driver armed around this
   // call) is left in place rather than masked with an empty scope. The

@@ -25,6 +25,7 @@
 #include "riscv/Machine.h"
 #include "riscv/Step.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "traffic/Checkpoint.h"
 #include "traffic/Pcap.h"
@@ -889,6 +890,8 @@ std::vector<Stim> columnStims(Checker C) {
 // -- Campaign driver ---------------------------------------------------------
 
 CellResult runCell(const fi::FaultInfo *F, Checker C) {
+  metrics::add(metrics::Id::AdequacyCells);
+  metrics::Timed Wall(metrics::Id::AdequacyCellWall);
   CellResult R;
   R.FaultId = F ? F->Id : fi::Fault::NumFaults;
   R.Col = C;
@@ -906,6 +909,8 @@ CellResult runCell(const fi::FaultInfo *F, Checker C) {
       break;
     }
   }
+  if (R.Killed)
+    metrics::add(metrics::Id::AdequacyKills);
   return R;
 }
 

@@ -6,6 +6,7 @@
 
 #include "verify/ParallelDriver.h"
 
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 using namespace b2;
@@ -48,6 +49,8 @@ FleetReport b2::verify::runShards(const std::vector<uint64_t> &Seeds,
   Report.Threads = Threads == 0 ? 1 : Threads;
   Report.Shards.resize(Seeds.size());
   support::parallelFor(Seeds.size(), Report.Threads, [&](size_t I) {
+    metrics::add(metrics::Id::VerifyShards);
+    metrics::Timed T(metrics::Id::VerifyShardWall);
     ShardResult R = Work(I, Seeds[I]);
     R.Index = I;
     R.Seed = Seeds[I];

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "verify/Adequacy.h"
 
 #include <cstdio>
@@ -39,6 +40,9 @@ int usage(const char *Argv0) {
                "                concurrency; output is identical for every N)\n"
                "  --out PATH    where to write the JSON report\n"
                "                (default: ADEQUACY.json)\n"
+               "  --metrics PATH  where to write the fleet metrics report\n"
+               "                (default: METRICS.json; schema\n"
+               "                b2stack-metrics-v1)\n"
                "  --only-fault NAME  run one fault's full row (debugging;\n"
                "                the owner-kill gate applies to it alone)\n"
                "  --list        print the fault registry and exit\n",
@@ -65,6 +69,7 @@ int main(int Argc, char **Argv) {
   AdequacyOptions Options;
   Options.Threads = std::max(1u, std::thread::hardware_concurrency());
   std::string OutPath = "ADEQUACY.json";
+  std::string MetricsPath = "METRICS.json";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -74,6 +79,8 @@ int main(int Argc, char **Argv) {
       Options.Threads = unsigned(std::max(1, std::atoi(Argv[++I])));
     } else if (Arg == "--out" && I + 1 < Argc) {
       OutPath = Argv[++I];
+    } else if (Arg == "--metrics" && I + 1 < Argc) {
+      MetricsPath = Argv[++I];
     } else if (Arg == "--only-fault" && I + 1 < Argc) {
       Options.OnlyFault = Argv[++I];
       if (!fi::findFault(Options.OnlyFault)) {
@@ -91,6 +98,8 @@ int main(int Argc, char **Argv) {
 
   std::printf("adequacy: %s campaign, %u threads\n",
               Options.Quick ? "quick" : "full", Options.Threads);
+  // The metrics report describes the campaign alone.
+  metrics::resetAll();
   AdequacyReport Report = runAdequacy(Options);
 
   // Human-readable kill matrix.
@@ -123,6 +132,10 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::printf("adequacy: wrote %s\n", OutPath.c_str());
+  if (!metrics::writeMetricsFile(MetricsPath, "adequacy"))
+    std::fprintf(stderr, "adequacy: cannot write %s\n", MetricsPath.c_str());
+  else
+    std::printf("adequacy: wrote %s\n", MetricsPath.c_str());
 
   std::string Violation = Report.firstViolation();
   if (!Violation.empty()) {

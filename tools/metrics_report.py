@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Render, diff, and compare b2stack METRICS.json reports.
+
+The metrics registry (src/support/Metrics.h) emits a versioned report,
+schema ``b2stack-metrics-v1``::
+
+    {
+      "schema": "b2stack-metrics-v1",
+      "tool": "soak",
+      "compiled_in": true,
+      "deterministic":    { "counters": {...}, "histograms": {...} },
+      "nondeterministic": { "counters": {...}, "timers_ns": {...} }
+    }
+
+The ``deterministic`` subtree is contractually bit-identical for the same
+workload at any ``--threads`` value; ``nondeterministic`` holds wall-clock
+timers and cache-behavior counters that legitimately vary run to run.
+
+Modes:
+
+  metrics_report.py REPORT.json              human-readable summary
+  metrics_report.py --diff OLD.json NEW.json per-counter delta table
+  metrics_report.py --assert-same A.json B.json [C.json ...]
+                                             exit 1 unless every report's
+                                             *deterministic* subtree is
+                                             bit-identical (the CI
+                                             thread-invariance gate)
+
+No dependencies beyond the standard library.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "b2stack-metrics-v1"
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise SystemExit(
+            f"metrics_report: {path}: unsupported schema {schema!r} "
+            f"(want {SCHEMA!r})"
+        )
+    return report
+
+
+def hist_stats(h):
+    """(count, sum, mean) for a histogram entry."""
+    count = h.get("count", 0)
+    total = h.get("sum", 0)
+    return count, total, (total / count if count else 0.0)
+
+
+def fmt_count(n):
+    return f"{n:,}"
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns}ns"
+
+
+def print_table(rows, headers):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def line(cells):
+        # First column left-aligned, numbers right-aligned.
+        out = [str(cells[0]).ljust(widths[0])]
+        out += [str(c).rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        print("  ".join(out))
+    line(headers)
+    line(["-" * w for w in widths])
+    for row in rows:
+        line(row)
+
+
+def summarize(path):
+    report = load(path)
+    print(f"{path}: tool={report.get('tool')} "
+          f"compiled_in={report.get('compiled_in')}")
+    det = report.get("deterministic", {})
+    nondet = report.get("nondeterministic", {})
+
+    rows = [(k, fmt_count(v)) for k, v in det.get("counters", {}).items()
+            if v != 0]
+    if rows:
+        print("\ndeterministic counters (nonzero):")
+        print_table(rows, ["counter", "value"])
+
+    rows = []
+    for k, h in det.get("histograms", {}).items():
+        count, total, mean = hist_stats(h)
+        if count:
+            rows.append((k, fmt_count(count), fmt_count(total),
+                         f"{mean:.1f}"))
+    if rows:
+        print("\ndeterministic histograms:")
+        print_table(rows, ["histogram", "count", "sum", "mean"])
+
+    rows = [(k, fmt_count(v)) for k, v in nondet.get("counters", {}).items()
+            if v != 0]
+    if rows:
+        print("\nnondeterministic counters (nonzero):")
+        print_table(rows, ["counter", "value"])
+
+    rows = []
+    for k, t in nondet.get("timers_ns", {}).items():
+        count, total, mean = hist_stats(t)
+        if count:
+            rows.append((k, fmt_count(count), fmt_ns(total), fmt_ns(mean)))
+    if rows:
+        print("\nwall-clock timers:")
+        print_table(rows, ["timer", "count", "total", "mean"])
+    return 0
+
+
+def flat_counters(report):
+    """Every scalar counter in the report, both scopes, as one dict."""
+    out = {}
+    for scope in ("deterministic", "nondeterministic"):
+        for k, v in report.get(scope, {}).get("counters", {}).items():
+            out[k] = v
+    return out
+
+
+def diff(old_path, new_path):
+    old, new = load(old_path), load(new_path)
+    oc, nc = flat_counters(old), flat_counters(new)
+    rows = []
+    for k in sorted(set(oc) | set(nc)):
+        a, b = oc.get(k), nc.get(k)
+        if a == b:
+            continue
+        if a is None:
+            rows.append((k, "(absent)", fmt_count(b), "new"))
+        elif b is None:
+            rows.append((k, fmt_count(a), "(absent)", "removed"))
+        else:
+            pct = f"{(b - a) / a * 100.0:+.1f}%" if a else "n/a"
+            rows.append((k, fmt_count(a), fmt_count(b), pct))
+    if not rows:
+        print(f"{old_path} -> {new_path}: no counter changes")
+    else:
+        print(f"{old_path} -> {new_path}:")
+        print_table(rows, ["counter", "old", "new", "delta"])
+    return 0
+
+
+def assert_same(paths):
+    """Exit nonzero unless all deterministic subtrees are bit-identical."""
+    reports = [(p, load(p)) for p in paths]
+    base_path, base = reports[0]
+    base_det = base.get("deterministic")
+    ok = True
+    for path, report in reports[1:]:
+        det = report.get("deterministic")
+        if det == base_det:
+            continue
+        ok = False
+        print(f"metrics_report: DETERMINISM VIOLATION: {path} differs "
+              f"from {base_path}:", file=sys.stderr)
+        bc = base_det.get("counters", {})
+        dc = det.get("counters", {})
+        for k in sorted(set(bc) | set(dc)):
+            if bc.get(k) != dc.get(k):
+                print(f"  {k}: {bc.get(k)} vs {dc.get(k)}", file=sys.stderr)
+        bh = base_det.get("histograms", {})
+        dh = det.get("histograms", {})
+        for k in sorted(set(bh) | set(dh)):
+            if bh.get(k) != dh.get(k):
+                print(f"  {k} (histogram): {bh.get(k)} vs {dh.get(k)}",
+                      file=sys.stderr)
+    if ok:
+        print(f"metrics_report: deterministic subtrees identical across "
+              f"{len(paths)} report(s)")
+        return 0
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Render, diff, and compare METRICS.json reports.")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="print counters that changed between reports")
+    parser.add_argument("--assert-same", nargs="+", metavar="REPORT",
+                        help="fail unless all deterministic subtrees match")
+    parser.add_argument("report", nargs="?",
+                        help="report to summarize (default mode)")
+    args = parser.parse_args(argv)
+
+    if args.diff:
+        return diff(*args.diff)
+    if args.assert_same:
+        if len(args.assert_same) < 2:
+            parser.error("--assert-same needs at least two reports")
+        return assert_same(args.assert_same)
+    if not args.report:
+        parser.error("give a report to summarize, --diff, or --assert-same")
+    return summarize(args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

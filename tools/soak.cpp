@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "traffic/Pcap.h"
 #include "traffic/Scenario.h"
 #include "traffic/Shrink.h"
@@ -73,6 +74,9 @@ int usage(const char *Argv0) {
       "                    shrunk counterexample) as a pcap file\n"
       "  --report PATH     where to write the JSON report\n"
       "                    (default SOAK.json)\n"
+      "  --metrics PATH    where to write the fleet metrics report\n"
+      "                    (default METRICS.json; schema\n"
+      "                    b2stack-metrics-v1)\n"
       "  --fault NAME      arm one seeded fault for the whole run\n"
       "  --list-scenarios  print the scenario catalog and exit\n",
       Argv0);
@@ -108,6 +112,7 @@ int main(int Argc, char **Argv) {
   std::string Scenario = "valid-mix";
   std::string PcapIn, PcapOut, FaultName;
   std::string ReportPath = "SOAK.json";
+  std::string MetricsPath = "METRICS.json";
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -154,6 +159,8 @@ int main(int Argc, char **Argv) {
       PcapOut = Argv[++I];
     } else if (Arg == "--report" && I + 1 < Argc) {
       ReportPath = Argv[++I];
+    } else if (Arg == "--metrics" && I + 1 < Argc) {
+      MetricsPath = Argv[++I];
     } else if (Arg == "--fault" && I + 1 < Argc) {
       FaultName = Argv[++I];
       if (!fi::findFault(FaultName)) {
@@ -212,6 +219,10 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // The metrics report should describe the measured soak run alone, not
+  // firmware compilation or pcap parsing.
+  metrics::resetAll();
+
   auto Start = std::chrono::steady_clock::now();
   SoakReport Report =
       runSoak(*Compiled.Prog, Stream, Options, Scenario, Gen.Seed);
@@ -223,6 +234,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "soak: cannot write %s\n", ReportPath.c_str());
     return 2;
   }
+  if (!metrics::writeMetricsFile(MetricsPath, "soak"))
+    std::fprintf(stderr, "soak: cannot write %s\n", MetricsPath.c_str());
+  else
+    std::printf("soak: wrote %s\n", MetricsPath.c_str());
 
   uint64_t Delivered = 0, Cycles = 0;
   for (const ShardStats &S : Report.Shards) {
@@ -289,6 +304,8 @@ int main(int Argc, char **Argv) {
                    "soak: violation did not reproduce under the shrink "
                    "oracle (options differ from the failing shard?)\n");
     }
+    // Refresh the metrics report so the shrink's oracle counters land too.
+    metrics::writeMetricsFile(MetricsPath, "soak");
   }
   return 1;
 }

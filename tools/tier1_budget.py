@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Tier-1 wall-clock budget guard for the b2stack CI.
+
+Parses a tee'd ``ctest`` log, reports the slowest tests, and fails when
+the suite's total real time exceeds the recorded budget. The budget is
+a latency contract on the merge gate: tier-1 is the suite every PR
+waits on, so unbounded growth there taxes every future change. When a
+PR legitimately needs more headroom (a new subsystem with real tests),
+it raises the budget in .github/workflows/ci.yml in the same diff —
+making the latency cost reviewable instead of silent.
+
+The slowest-test table is written to $GITHUB_STEP_SUMMARY when set
+(GitHub renders it on the job page) and echoed to stdout either way.
+
+Usage:
+  ctest -L tier1 ... 2>&1 | tee ctest.log
+  tier1_budget.py ctest.log --budget-seconds 420
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# " 3/18 Test  #3: riscv_sim ........   Passed    1.23 sec"
+# Names may contain spaces (gtest value-parameterized tests append
+# "# GetParam() = ..."), so match non-greedily up to the dot leader.
+TEST_RE = re.compile(
+    r"Test\s+#\d+:\s+(?P<name>.+?)\s*\.{3,}\s*"
+    r"(?P<verdict>Passed|\*\*\*[A-Za-z]+)\s+"
+    r"(?P<sec>[0-9.]+)\s+sec")
+TOTAL_RE = re.compile(
+    r"Total Test time \(real\)\s*=\s*(?P<sec>[0-9.]+)\s+sec")
+
+
+def parse_log(text):
+    """Returns ([(name, verdict, seconds)], total_real_seconds)."""
+    tests = [(m.group("name"), m.group("verdict"), float(m.group("sec")))
+             for m in TEST_RE.finditer(text)]
+    total = None
+    m = TOTAL_RE.search(text)
+    if m:
+        total = float(m.group("sec"))
+    elif tests:
+        # Serial fallback: with -j the sum overstates wall time, but a
+        # log truncated before the summary line should still gate.
+        total = sum(t[2] for t in tests)
+    return tests, total
+
+
+def markdown_table(tests, slowest):
+    rows = sorted(tests, key=lambda t: -t[2])[:slowest]
+    lines = [f"| rank | test | verdict | seconds |",
+             f"|---:|---|---|---:|"]
+    for i, (name, verdict, sec) in enumerate(rows, 1):
+        lines.append(f"| {i} | `{name}` | {verdict} | {sec:.2f} |")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("log", help="tee'd ctest output")
+    ap.add_argument("--budget-seconds", type=float, required=True,
+                    help="max allowed total real time for the suite")
+    ap.add_argument("--slowest", type=int, default=10,
+                    help="how many slowest tests to report (default 10)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.log) as f:
+            text = f.read()
+    except OSError as err:
+        print(f"tier1_budget: cannot read {args.log}: {err}",
+              file=sys.stderr)
+        return 2
+    tests, total = parse_log(text)
+    if not tests or total is None:
+        print(f"tier1_budget: no ctest results found in {args.log}",
+              file=sys.stderr)
+        return 2
+
+    over = total > args.budget_seconds
+    headline = (f"tier-1 wall clock: {total:.1f}s of "
+                f"{args.budget_seconds:.0f}s budget "
+                f"({total / args.budget_seconds:.0%}) — "
+                f"{'OVER BUDGET' if over else 'ok'}; "
+                f"{len(tests)} tests")
+    table = markdown_table(tests, args.slowest)
+    print(headline)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(f"### Tier-1 budget\n\n{headline}\n\n"
+                    f"{table}\n")
+
+    if over:
+        print(f"tier1_budget: FAILED: suite exceeded its "
+              f"{args.budget_seconds:.0f}s budget; speed up the new "
+              f"tests or raise the budget in ci.yml (reviewed choice)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
