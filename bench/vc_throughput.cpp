@@ -1,0 +1,164 @@
+//===- bench/vc_throughput.cpp - Symbolic VC engine throughput ---------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Measures the symbolic VC pipeline (WP generation + bit-blasting +
+// counterexample replay + concrete probes) end to end over the same
+// targets tools/vc verifies in CI: the three contracted firmware
+// functions and the annotated example corpus. The reported rate is
+// discharged obligations per second, which is robust to corpus growth
+// in a way whole-run wall time is not.
+//
+// Each target is re-verified until the leg has accumulated enough wall
+// time for a stable rate (one iteration under --quick). Every verdict
+// must stay Valid with zero unconfirmed models — a throughput number
+// bought by a wrong verdict is a correctness bug, so verdict failures
+// fail the bench.
+//
+// Emits BENCH_vc.json (rows keyed by func+program, trended by
+// tools/bench_compare.py) and METRICS_vc.json (schema
+// b2stack-metrics-v1, the vc.* counter subtree).
+//
+// Usage: vc_throughput [--quick]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "app/Firmware.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "vc/Corpus.h"
+#include "vc/Vc.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace b2;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+struct Leg {
+  std::string Program;
+  std::string Func;
+  const bedrock2::Program *Prog = nullptr;
+  vc::FuncReport Report;
+  unsigned Iters = 0;
+  double Seconds = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+
+  std::printf("== vc_throughput: WP + bit-blast + replay pipeline ==\n\n");
+
+  app::FirmwareOptions Fw;
+  Fw.Timeouts = true;
+  bedrock2::Program Firmware = app::buildFirmware(Fw);
+  std::vector<vc::VcExample> Examples = vc::vcExamples();
+
+  std::vector<Leg> Legs;
+  for (const char *Fn : {"spi_write", "spi_read", "lightbulb_loop"})
+    Legs.push_back({"firmware", Fn, &Firmware, {}, 0, 0});
+  for (const vc::VcExample &E : Examples)
+    Legs.push_back({E.Name, E.Func, &E.Prog, {}, 0, 0});
+
+  const double MinSeconds = Quick ? 0.0 : 0.2;
+  vc::VcOptions Opts;
+  bool AllOk = true;
+  for (Leg &L : Legs) {
+    double T0 = now();
+    L.Report = vc::verifyFunction(*L.Prog, L.Func, L.Program, Opts);
+    L.Iters = 1;
+    L.Seconds = now() - T0;
+    while (L.Seconds < MinSeconds) {
+      double T1 = now();
+      vc::FuncReport R = vc::verifyFunction(*L.Prog, L.Func, L.Program, Opts);
+      L.Seconds += now() - T1;
+      ++L.Iters;
+      if (R.V != L.Report.V) {
+        std::fprintf(stderr, "FAIL: %s verdict unstable across reruns\n",
+                     L.Func.c_str());
+        AllOk = false;
+        break;
+      }
+    }
+    if (L.Report.V != vc::Verdict::Valid || L.Report.Unconfirmed != 0 ||
+        !L.Report.Error.empty()) {
+      std::fprintf(stderr, "FAIL: %s/%s expected Valid, got %s %s\n",
+                   L.Program.c_str(), L.Func.c_str(),
+                   vc::verdictName(L.Report.V), L.Report.Error.c_str());
+      AllOk = false;
+    }
+  }
+
+  bench::Table Tab({"program", "func", "verdict", "obs", "conflicts",
+                    "dag nodes", "iters", "obs/sec"});
+  for (const Leg &L : Legs) {
+    double Rate = L.Seconds > 0
+                      ? double(L.Report.Obligations.size()) * L.Iters /
+                            L.Seconds
+                      : 0;
+    Tab.row({L.Program, L.Func, vc::verdictName(L.Report.V),
+             std::to_string(L.Report.Obligations.size()),
+             std::to_string(L.Report.Solver.Conflicts),
+             std::to_string(L.Report.DagNodes), std::to_string(L.Iters),
+             bench::fixed(Rate, 1)});
+  }
+  Tab.print();
+
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("vc_throughput");
+  J.key("quick").value(Quick);
+  J.key("funcs").beginArray();
+  for (const Leg &L : Legs) {
+    double Rate = L.Seconds > 0
+                      ? double(L.Report.Obligations.size()) * L.Iters /
+                            L.Seconds
+                      : 0;
+    J.beginObject();
+    J.key("func").value(L.Func);
+    J.key("program").value(L.Program);
+    J.key("verdict").value(vc::verdictName(L.Report.V));
+    J.key("obligations").value(uint64_t(L.Report.Obligations.size()));
+    J.key("proved").value(uint64_t(L.Report.Proved));
+    J.key("conflicts").value(L.Report.Solver.Conflicts);
+    J.key("dag_nodes").value(L.Report.DagNodes);
+    J.key("iters").value(uint64_t(L.Iters));
+    J.key("seconds").value(L.Seconds);
+    J.key("vcs_per_sec").value(Rate);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("all_ok").value(AllOk);
+  J.endObject();
+  const char *OutPath = "BENCH_vc.json";
+  if (!support::writeFile(OutPath, J.str()))
+    std::fprintf(stderr, "failed to write %s\n", OutPath);
+  else
+    std::printf("\nwrote %s\n", OutPath);
+
+  // One clean instrumented pass per target for the metrics report, so
+  // rates derived from it (conflicts per VC, replay confirm rate) trend
+  // the engine rather than the bench's per-target repeat counts.
+  metrics::resetAll();
+  for (const Leg &L : Legs)
+    (void)vc::verifyFunction(*L.Prog, L.Func, L.Program, Opts);
+  if (metrics::writeMetricsFile("METRICS_vc.json", "vc"))
+    std::printf("wrote METRICS_vc.json\n");
+
+  return AllOk ? 0 : 1;
+}

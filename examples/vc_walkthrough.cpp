@@ -1,0 +1,119 @@
+//===- examples/vc_walkthrough.cpp - Tour of the symbolic VC engine ----------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+// Walkthrough of the src/vc pipeline in three acts:
+//
+//   1. A contracted function verifies Valid: the WP generator turns the
+//      body into proof obligations, the bit-blasting solver discharges
+//      each one, and concrete probe runs stress-test the verdict.
+//   2. A needle-in-the-haystack bug (one violating input out of 2^32)
+//      falls out as a *confirmed* counterexample: the solver's model is
+//      replayed through the reference interpreter and must reproduce
+//      the exact predicted fault before the engine will report it.
+//   3. The shipped annotated corpus (vc::vcExamples) verifies end to
+//      end — the same targets tools/vc runs in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bedrock2/Parser.h"
+#include "bedrock2/Semantics.h"
+#include "vc/Corpus.h"
+#include "vc/Vc.h"
+
+#include <cstdio>
+
+using namespace b2;
+
+namespace {
+
+// Act 1: overflow-free averaging, with the precondition that makes the
+// postcondition true.
+const char *Avg2Source = R"(
+fn avg2(a, b) -> (r)
+  requires ((a < 0x80000000) & (b < 0x80000000))
+  ensures (r < 0x80000000)
+{
+  r = (a + b) >> 1;
+}
+)";
+
+// Act 2: a contract violated by exactly one of the 2^32 inputs. Random
+// testing has essentially no chance here; the solver must construct the
+// trigger, and the replay must confirm it.
+const char *TriggerSource = R"(
+fn trig(a) -> (r)
+  ensures (r < 2)
+{
+  r = 1;
+  if (a == 0x1234ABCD) {
+    r = 2;
+  }
+}
+)";
+
+bool report(const vc::FuncReport &R) {
+  std::printf("  %-12s verdict=%-15s obligations=%zu proved=%u "
+              "conflicts=%llu\n",
+              R.Func.c_str(), vc::verdictName(R.V), R.Obligations.size(),
+              R.Proved, (unsigned long long)R.Solver.Conflicts);
+  if (R.V == vc::Verdict::Counterexample) {
+    std::printf("    counterexample at %s: %s with args", R.CexWhere.c_str(),
+                bedrock2::faultName(R.CexFault));
+    for (Word A : R.CexArgs)
+      std::printf(" 0x%08X", unsigned(A));
+    std::printf("\n    replay: %s\n", R.CexDetail.c_str());
+  }
+  return R.Error.empty() && R.Unconfirmed == 0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== vc walkthrough: WP generation, bit-blasting, replay ==\n");
+  bool Ok = true;
+
+  // -- Act 1: a correct contract discharges statically -----------------------
+  std::printf("\n[1] avg2: requires no-overflow inputs, ensures the mean "
+              "fits\n");
+  {
+    bedrock2::ParseResult P = bedrock2::parseProgram(Avg2Source);
+    if (!P.ok()) {
+      std::printf("parse error: %s\n", P.Error.c_str());
+      return 1;
+    }
+    vc::FuncReport R = vc::verifyFunction(*P.Prog, "avg2", "walkthrough");
+    Ok &= report(R) && R.V == vc::Verdict::Valid;
+    std::printf("    every path obligation proved; %u concrete probe runs "
+                "agreed\n",
+                vc::VcOptions().Probes);
+  }
+
+  // -- Act 2: a one-in-four-billion bug, found and confirmed -----------------
+  std::printf("\n[2] trig: violates its contract only on a == 0x1234ABCD\n");
+  {
+    bedrock2::ParseResult P = bedrock2::parseProgram(TriggerSource);
+    if (!P.ok()) {
+      std::printf("parse error: %s\n", P.Error.c_str());
+      return 1;
+    }
+    vc::FuncReport R = vc::verifyFunction(*P.Prog, "trig", "walkthrough");
+    bool Confirmed = R.V == vc::Verdict::Counterexample &&
+                     R.CexArgs.size() == 1 && R.CexArgs[0] == 0x1234ABCD;
+    report(R);
+    Ok &= Confirmed;
+    std::printf("    the model was replayed in the reference interpreter "
+                "and reproduced\n    the predicted fault — unconfirmed "
+                "models are never reported\n");
+  }
+
+  // -- Act 3: the shipped corpus -------------------------------------------
+  std::printf("\n[3] the annotated corpus (what tools/vc verifies in CI)\n");
+  for (const vc::VcExample &E : vc::vcExamples()) {
+    vc::FuncReport R = vc::verifyFunction(E.Prog, E.Func, E.Name);
+    Ok &= report(R) && R.V == vc::Verdict::Valid;
+  }
+
+  std::printf("\n%s\n", Ok ? "walkthrough PASS" : "walkthrough FAIL");
+  return Ok ? 0 : 1;
+}

@@ -113,6 +113,17 @@ namespace metrics {
   X(VerifyShards, "verify.shards.run", Counter, Det)                           \
   X(AdequacyCells, "adequacy.cells.run", Counter, Det)                         \
   X(AdequacyKills, "adequacy.cells.killed", Counter, Det)                      \
+  /* vc: symbolic VC engine */                                                 \
+  X(VcFuncsChecked, "vc.funcs.checked", Counter, Det)                          \
+  X(VcVcsGenerated, "vc.vcs.generated", Counter, Det)                          \
+  X(VcDagNodes, "vc.dag.nodes", Counter, Det)                                  \
+  X(VcClauses, "vc.solver.clauses", Counter, Det)                              \
+  X(VcConflicts, "vc.solver.conflicts", Counter, Det)                          \
+  X(VcDecisions, "vc.solver.decisions", Counter, Det)                          \
+  X(VcValid, "vc.verdict.valid", Counter, Det)                                 \
+  X(VcUnknown, "vc.verdict.unknown", Counter, Det)                             \
+  X(VcReplayConfirmed, "vc.replay.confirmed", Counter, Det)                    \
+  X(VcReplayUnconfirmed, "vc.replay.unconfirmed", Counter, Det)                \
   X(VerifyShardWall, "verify.shard.wall_ns", Timer, Nondet)                    \
   X(AdequacyCellWall, "adequacy.cell.wall_ns", Timer, Nondet)                  \
   X(SoakShardWall, "soak.shard.wall_ns", Timer, Nondet)

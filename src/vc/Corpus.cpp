@@ -1,0 +1,160 @@
+//===- vc/Corpus.cpp - Annotated example programs for the VC engine -------===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/Corpus.h"
+
+#include "bedrock2/Parser.h"
+
+#include <cassert>
+
+namespace b2 {
+namespace vc {
+namespace {
+
+bedrock2::Program mustParse(const char *Src) {
+  bedrock2::ParseResult R = bedrock2::parseProgram(Src);
+  assert(R.ok() && "corpus program failed to parse");
+  if (!R.ok())
+    return bedrock2::Program();
+  return std::move(*R.Prog);
+}
+
+} // namespace
+
+std::vector<VcExample> vcExamples() {
+  std::vector<VcExample> Out;
+
+  // Pure arithmetic contract: no overflow under the precondition.
+  Out.push_back({"avg2", "avg2", mustParse(R"(
+    fn avg2(a, b) -> (r)
+      requires ((a < 0x80000000) & (b < 0x80000000))
+      ensures (r < 0x80000000)
+    {
+      r = (a + b) >> 1;
+    }
+  )")});
+
+  // If-join merge: both arms must reach the postcondition.
+  Out.push_back({"absdiff", "absdiff", mustParse(R"(
+    fn absdiff(a, b) -> (r)
+      ensures ((r == a - b) | (r == b - a))
+    {
+      if (a < b) {
+        r = b - a;
+      } else {
+        r = a - b;
+      }
+    }
+  )")});
+
+  // Annotated loop: invariant entry + preservation + measure, and the
+  // postcondition discharged from the havocked loop-exit state alone.
+  Out.push_back({"clamp_loop", "clamp_loop", mustParse(R"(
+    fn clamp_loop(n) -> (i)
+      requires (n < 100)
+      ensures (i < 101)
+    {
+      i = 0;
+      while (i < n)
+        invariant (i < n + 1)
+        measure (n - i)
+      {
+        i = i + 1;
+      }
+    }
+  )")});
+
+  // Stackalloc footprint: in-bounds aligned stores and loads.
+  Out.push_back({"stackpair", "stackpair", mustParse(R"(
+    fn stackpair() -> (x, y)
+      ensures ((x == 42) & (y == 17))
+    {
+      stackalloc buf[8] {
+        store4(buf, 17);
+        store4(buf + 4, 42);
+        x = load4(buf + 4);
+        y = load4(buf);
+      }
+    }
+  )")});
+
+  // vcextern MMIO contract: aligned GPIO register addresses.
+  Out.push_back({"gpio_pulse", "gpio_pulse", mustParse(R"(
+    fn gpio_pulse() -> (v) {
+      extern MMIOWRITE(0x10012008, 0x800000);
+      v = extern MMIOREAD(0x1001200C);
+      extern MMIOWRITE(0x1001200C, v | 0x800000);
+    }
+  )")});
+
+  return Out;
+}
+
+std::vector<VcBugExample> vcBugExamples() {
+  std::vector<VcBugExample> Out;
+
+  // Off-by-one postcondition violation on every input.
+  Out.push_back({"bump_bug", "bump", mustParse(R"(
+    fn bump(a) -> (r)
+      ensures (r == a + 1)
+    {
+      r = a + 2;
+    }
+  )"), bedrock2::Fault::PostconditionFailed});
+
+  // Magic-constant trigger: only one of 2^32 inputs violates the
+  // contract — random testing will not find it; the solver must.
+  Out.push_back({"trig_bug", "trig", mustParse(R"(
+    fn trig(a) -> (r)
+      ensures (r < 2)
+    {
+      r = 1;
+      if (a == 0x1234ABCD) {
+        r = 2;
+      }
+    }
+  )"), bedrock2::Fault::PostconditionFailed});
+
+  // One-past-the-end store outside the stackalloc footprint.
+  Out.push_back({"oob_bug", "oob", mustParse(R"(
+    fn oob(i) -> (r)
+      requires (i < 3)
+    {
+      stackalloc buf[8] {
+        store4(buf + (i << 2), 1);
+        r = load4(buf);
+      }
+    }
+  )"), bedrock2::Fault::StoreOutsideFootprint});
+
+  // Misaligned MMIO register address: vcextern contract violation.
+  Out.push_back({"mmio_bug", "mmio_bad", mustParse(R"(
+    fn mmio_bad(a) -> (r)
+      requires (a < 4)
+    {
+      extern MMIOWRITE(0x10012008 + a, 1);
+      r = 0;
+    }
+  )"), bedrock2::Fault::ExtContractViolation});
+
+  // Caller ignores the callee's requires clause.
+  Out.push_back({"callpre_bug", "caller", mustParse(R"(
+    fn need(a) -> (r)
+      requires (a < 10)
+      ensures (r < 11)
+    {
+      r = a + 1;
+    }
+    fn caller(x) -> (r) {
+      r = need(x);
+    }
+  )"), bedrock2::Fault::PreconditionFailed});
+
+  return Out;
+}
+
+} // namespace vc
+} // namespace b2

@@ -1,0 +1,54 @@
+//===- vc/Corpus.h - Annotated example programs for the VC engine *- C++ -*===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small corpus of contracted Bedrock2 programs exercising every
+/// obligation kind the WP generator emits: arithmetic contracts, If
+/// joins, annotated loops (invariant + measure), stackalloc footprints,
+/// and vcextern MMIO contracts. The correct half must verify Valid; the
+/// buggy half must each yield a *confirmed* counterexample with the
+/// recorded Fault — the corpus doubles as the ground truth for
+/// tests/test_vc.cpp, the vc_walkthrough example, and the VcCheck
+/// adequacy stims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_CORPUS_H
+#define B2_VC_CORPUS_H
+
+#include "bedrock2/Ast.h"
+#include "bedrock2/Semantics.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+struct VcExample {
+  std::string Name;      ///< Corpus label (also the JSON program tag).
+  std::string Func;      ///< Entry function to verify.
+  bedrock2::Program Prog;
+};
+
+struct VcBugExample {
+  std::string Name;
+  std::string Func;
+  bedrock2::Program Prog;
+  bedrock2::Fault Expected; ///< Fault of the confirmed counterexample.
+};
+
+/// Correct contracted programs: every entry verifies Valid.
+std::vector<VcExample> vcExamples();
+
+/// Buggy variants: every entry yields a confirmed counterexample whose
+/// fault kind matches Expected.
+std::vector<VcBugExample> vcBugExamples();
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_CORPUS_H

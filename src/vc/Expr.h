@@ -1,0 +1,162 @@
+//===- vc/Expr.h - Hash-consed symbolic expression DAG ---------*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression language of the symbolic VC engine: 32-bit bitvector
+/// terms over the Bedrock2 operator set, plus if-then-else, built inside a
+/// hash-consing arena so that structurally equal terms share one node. The
+/// smart constructors canonicalize (commutative-operand ordering, constant
+/// folding through bedrock2::evalBinOp, algebraic identities) so that the
+/// verification conditions handed to the bit-blasting solver are as small
+/// as the rewriter can make them; obligations whose condition folds to a
+/// constant never reach the solver at all.
+///
+/// Booleans are represented as 0/1-valued words (the Bedrock2 convention:
+/// any nonzero word is "true"). The arena tracks which nodes are provably
+/// 0/1-valued so that toBool() can avoid stacking redundant comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_EXPR_H
+#define B2_VC_EXPR_H
+
+#include "bedrock2/Ast.h"
+#include "support/Word.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+/// Index of a node in the owning ExprArena. Nodes are created bottom-up,
+/// so every operand index is smaller than its parent's — evaluation and
+/// bit-blasting can run a single forward pass.
+using ExprRef = uint32_t;
+
+enum class ExprKind : uint8_t {
+  Const, ///< Lit holds the value.
+  Var,   ///< Lit holds the variable id (index into the arena's var table).
+  Op,    ///< BinOp over A, B.
+  Ite,   ///< A != 0 ? B : C.
+};
+
+struct ExprNode {
+  ExprKind K;
+  bedrock2::BinOp Op;  ///< Valid iff K == Op.
+  bool Is01;           ///< Node provably evaluates to 0 or 1.
+  ExprRef A = 0, B = 0, C = 0;
+  Word Lit = 0;
+};
+
+/// What a symbolic variable stands for, so counterexample models can be
+/// mapped back onto concrete interpreter inputs.
+enum class VarOrigin : uint8_t {
+  Param,    ///< Entry-function parameter.
+  MmioRead, ///< Value returned by a symbolic MMIOREAD.
+  Havoc,    ///< Havocked local at an annotated loop head, havocked memory
+            ///< byte after a storing annotated loop, or a fallback binding.
+};
+
+struct VarInfo {
+  std::string Name;
+  VarOrigin Origin;
+};
+
+class ExprArena {
+public:
+  ExprArena();
+
+  /// The constant \p V (hash-consed).
+  ExprRef constant(Word V);
+
+  /// A fresh symbolic variable (never consed: each call is a new var).
+  ExprRef var(std::string Name, VarOrigin Origin);
+
+  /// \p O applied to \p A, \p B with canonicalization + constant folding.
+  ExprRef op(bedrock2::BinOp O, ExprRef A, ExprRef B);
+
+  /// Cond != 0 ? Then : Else, folding constant conditions and equal arms.
+  ExprRef ite(ExprRef Cond, ExprRef Then, ExprRef Else);
+
+  // -- Boolean (0/1-valued word) helpers -----------------------------------
+  ExprRef trueRef() const { return TrueRef; }
+  ExprRef falseRef() const { return FalseRef; }
+  /// Normalizes a word to 0/1: nonzero becomes 1.
+  ExprRef toBool(ExprRef W);
+  /// Logical negation of a 0/1 word.
+  ExprRef boolNot(ExprRef B);
+  ExprRef boolAnd(ExprRef A, ExprRef B);
+  ExprRef boolOr(ExprRef A, ExprRef B);
+  /// (Guard != 0) implies (Cond != 0), as a 0/1 word.
+  ExprRef implies(ExprRef Guard, ExprRef Cond);
+  ExprRef eq(ExprRef A, ExprRef B) { return op(bedrock2::BinOp::Eq, A, B); }
+  ExprRef ltu(ExprRef A, ExprRef B) { return op(bedrock2::BinOp::Ltu, A, B); }
+  ExprRef add(ExprRef A, ExprRef B) { return op(bedrock2::BinOp::Add, A, B); }
+  ExprRef sub(ExprRef A, ExprRef B) { return op(bedrock2::BinOp::Sub, A, B); }
+
+  const ExprNode &node(ExprRef R) const { return Nodes[R]; }
+  size_t size() const { return Nodes.size(); }
+
+  unsigned numVars() const { return unsigned(Vars.size()); }
+  const VarInfo &varInfo(unsigned Id) const { return Vars[Id]; }
+
+  /// True (and sets \p V) iff \p R is a constant.
+  bool constValue(ExprRef R, Word &V) const;
+  bool isConstTrue(ExprRef R) const;
+  bool isConstZero(ExprRef R) const;
+
+  /// Evaluates every node under \p VarVals (one Word per variable id;
+  /// missing entries read as 0) in one forward pass. Out[R] is the value
+  /// of node R. Stack-safe for arbitrarily deep DAGs.
+  std::vector<Word> evalAll(const std::vector<Word> &VarVals) const;
+
+  /// Evaluates a single node (convenience over evalAll for small arenas).
+  Word eval(ExprRef R, const std::vector<Word> &VarVals) const;
+
+private:
+  struct NodeKey {
+    uint8_t K;
+    uint8_t Op;
+    ExprRef A, B, C;
+    Word Lit;
+    bool operator==(const NodeKey &O) const {
+      return K == O.K && Op == O.Op && A == O.A && B == O.B && C == O.C &&
+             Lit == O.Lit;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey &N) const {
+      uint64_t H = 0xcbf29ce484222325ull;
+      auto Mix = [&H](uint64_t V) {
+        H ^= V;
+        H *= 0x100000001b3ull;
+      };
+      Mix(N.K);
+      Mix(N.Op);
+      Mix(N.A);
+      Mix(N.B);
+      Mix(N.C);
+      Mix(N.Lit);
+      return size_t(H);
+    }
+  };
+
+  ExprRef intern(const NodeKey &Key, bool Is01);
+
+  std::vector<ExprNode> Nodes;
+  std::vector<VarInfo> Vars;
+  std::unordered_map<NodeKey, ExprRef, NodeKeyHash> Interned;
+  ExprRef TrueRef = 0, FalseRef = 0;
+};
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_EXPR_H

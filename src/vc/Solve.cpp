@@ -1,0 +1,834 @@
+//===- vc/Solve.cpp - Bit-blasting CDCL SAT backend -----------------------===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/Solve.h"
+
+#include "verify/FaultInjection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+namespace b2 {
+namespace vc {
+namespace {
+
+using bedrock2::BinOp;
+
+//===----------------------------------------------------------------------===//
+// CDCL-lite SAT core
+//===----------------------------------------------------------------------===//
+
+/// Literal encoding: variable v (1-based) is lit 2v (positive) / 2v+1
+/// (negated). Two sentinel values stand for the constant literals so the
+/// gate builders can simplify without special cases upstream.
+class Sat {
+public:
+  Sat() {
+    // Var 1 is the reserved TRUE variable.
+    TrueLit = posLit(newVar());
+    addClause({TrueLit});
+  }
+
+  int newVar() {
+    Assign.push_back(-1);
+    Level.push_back(0);
+    Reason.push_back(-1);
+    Activity.push_back(0.0);
+    Phase.push_back(0);
+    Watches.emplace_back();
+    Watches.emplace_back();
+    return int(Assign.size()) - 1;
+  }
+
+  static int posLit(int V) { return V << 1; }
+  static int negLit(int V) { return (V << 1) | 1; }
+  static int varOf(int L) { return L >> 1; }
+  static bool signOf(int L) { return L & 1; }
+  static int flip(int L) { return L ^ 1; }
+
+  int trueLit() const { return TrueLit; }
+  int falseLit() const { return flip(TrueLit); }
+
+  /// -1 unknown, 0 false, 1 true.
+  int value(int L) const {
+    int8_t A = Assign[varOf(L)];
+    if (A < 0)
+      return -1;
+    return A ^ int(signOf(L));
+  }
+
+  bool addClause(std::vector<int> Lits) {
+    if (Contradiction)
+      return false;
+    std::sort(Lits.begin(), Lits.end());
+    Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+    std::vector<int> Out;
+    for (size_t I = 0; I < Lits.size(); ++I) {
+      if (I + 1 < Lits.size() && Lits[I + 1] == flip(Lits[I]))
+        return true; // Tautology.
+      if (value(Lits[I]) == 1)
+        return true; // Already satisfied at level 0.
+      if (value(Lits[I]) == 0)
+        continue; // Falsified at level 0: drop the literal.
+      Out.push_back(Lits[I]);
+    }
+    if (Out.empty()) {
+      Contradiction = true;
+      return false;
+    }
+    if (Out.size() == 1) {
+      if (!enqueue(Out[0], -1))
+        Contradiction = true;
+      else if (propagate() >= 0)
+        Contradiction = true;
+      return !Contradiction;
+    }
+    attach(std::move(Out));
+    return true;
+  }
+
+  uint64_t numClauses() const { return Clauses.size(); }
+
+  /// Returns 1 = SAT, 0 = UNSAT, -1 = budget exhausted.
+  int solve(uint64_t ConflictBudget, SolveStats &Stats) {
+    if (Contradiction)
+      return 0;
+    uint64_t RestartLimit = 100;
+    uint64_t ConflictsAtRestart = 0;
+    rebuildOrder();
+    for (;;) {
+      int Confl = propagate();
+      Stats.Propagations = Props;
+      if (Confl >= 0) {
+        ++Stats.Conflicts;
+        if (decisionLevel() == 0)
+          return 0;
+        if (Stats.Conflicts >= ConflictBudget)
+          return -1;
+        std::vector<int> Learnt;
+        int BackLevel = analyze(Confl, Learnt);
+        backtrack(BackLevel);
+        if (Learnt.size() == 1) {
+          if (!enqueue(Learnt[0], -1))
+            return 0;
+        } else {
+          int Idx = attach(std::move(Learnt));
+          // The first literal of a learnt clause is the asserting one.
+          if (!enqueue(Clauses[Idx][0], Idx))
+            return 0;
+        }
+        decayActivity();
+        if (Stats.Conflicts - ConflictsAtRestart >= RestartLimit) {
+          ConflictsAtRestart = Stats.Conflicts;
+          RestartLimit = RestartLimit + RestartLimit / 2;
+          backtrack(0);
+        }
+      } else {
+        int Next = pickBranchVar();
+        if (Next < 0)
+          return 1; // All assigned: SAT.
+        ++Stats.Decisions;
+        TrailLim.push_back(int(Trail.size()));
+        bool Ok = enqueue(Phase[Next] ? posLit(Next) : negLit(Next), -1);
+        (void)Ok;
+        assert(Ok && "decision on assigned var");
+      }
+    }
+  }
+
+  bool modelValue(int V) const { return Assign[V] == 1; }
+
+private:
+  std::vector<std::vector<int>> Clauses;
+  std::vector<std::vector<int>> Watches; ///< Indexed by literal.
+  std::vector<int8_t> Assign;            ///< Indexed by var; -1 unassigned.
+  std::vector<int> Level, Reason;
+  std::vector<double> Activity;
+  std::vector<int8_t> Phase;
+  std::vector<int> Trail, TrailLim;
+  size_t QHead = 0;
+  double VarInc = 1.0;
+  bool Contradiction = false;
+  int TrueLit = 0;
+  uint64_t Props = 0;
+  // Lazy max-heap over (activity, var); stale entries are skipped on pop.
+  std::priority_queue<std::pair<double, int>> Order;
+
+  int decisionLevel() const { return int(TrailLim.size()); }
+
+  int attach(std::vector<int> Lits) {
+    assert(Lits.size() >= 2);
+    int Idx = int(Clauses.size());
+    Watches[flip(Lits[0])].push_back(Idx);
+    Watches[flip(Lits[1])].push_back(Idx);
+    Clauses.push_back(std::move(Lits));
+    return Idx;
+  }
+
+  bool enqueue(int L, int From) {
+    if (value(L) == 0)
+      return false;
+    if (value(L) == 1)
+      return true;
+    int V = varOf(L);
+    Assign[V] = signOf(L) ? 0 : 1;
+    Level[V] = decisionLevel();
+    Reason[V] = From;
+    Trail.push_back(L);
+    return true;
+  }
+
+  /// Returns the index of a conflicting clause, or -1.
+  int propagate() {
+    while (QHead < Trail.size()) {
+      int L = Trail[QHead++];
+      ++Props;
+      std::vector<int> &WL = Watches[L];
+      size_t Keep = 0;
+      for (size_t I = 0; I < WL.size(); ++I) {
+        int CI = WL[I];
+        std::vector<int> &C = Clauses[CI];
+        // Ensure the falsified literal is at slot 1.
+        int FalseLit = flip(L);
+        if (C[0] == FalseLit)
+          std::swap(C[0], C[1]);
+        if (value(C[0]) == 1) {
+          WL[Keep++] = CI;
+          continue;
+        }
+        // Find a new watch.
+        bool Moved = false;
+        for (size_t K = 2; K < C.size(); ++K) {
+          if (value(C[K]) != 0) {
+            std::swap(C[1], C[K]);
+            Watches[flip(C[1])].push_back(CI);
+            Moved = true;
+            break;
+          }
+        }
+        if (Moved)
+          continue;
+        WL[Keep++] = CI;
+        if (!enqueue(C[0], CI)) {
+          // Conflict: keep remaining watches, report.
+          for (size_t K = I + 1; K < WL.size(); ++K)
+            WL[Keep++] = WL[K];
+          WL.resize(Keep);
+          QHead = Trail.size();
+          return CI;
+        }
+      }
+      WL.resize(Keep);
+    }
+    return -1;
+  }
+
+  void bump(int V) {
+    Activity[V] += VarInc;
+    if (Activity[V] > 1e100) {
+      for (double &A : Activity)
+        A *= 1e-100;
+      VarInc *= 1e-100;
+      rebuildOrder();
+      return;
+    }
+    if (Assign[V] < 0)
+      Order.push({Activity[V], V});
+  }
+
+  void decayActivity() { VarInc *= 1.0526315789473684; /* 1/0.95 */ }
+
+  void rebuildOrder() {
+    Order = {};
+    for (int V = 1; V < int(Assign.size()); ++V)
+      if (Assign[V] < 0)
+        Order.push({Activity[V], V});
+  }
+
+  int pickBranchVar() {
+    while (!Order.empty()) {
+      auto [Act, V] = Order.top();
+      Order.pop();
+      if (Assign[V] < 0 && Act == Activity[V])
+        return V;
+    }
+    // The lazy heap can run dry after backtracking; refill once.
+    for (int V = 1; V < int(Assign.size()); ++V)
+      if (Assign[V] < 0) {
+        rebuildOrder();
+        auto [Act, Top] = Order.top();
+        (void)Act;
+        Order.pop();
+        return Top;
+      }
+    return -1;
+  }
+
+  std::vector<uint8_t> Seen;
+  std::vector<int> Touched;
+
+  int analyze(int ConflIdx, std::vector<int> &Learnt) {
+    if (Seen.size() < Assign.size())
+      Seen.resize(Assign.size(), 0);
+    for (int V : Touched)
+      Seen[V] = 0;
+    Touched.clear();
+    Learnt.push_back(0); // Slot for the asserting literal.
+    int Counter = 0;
+    int L = -1;
+    size_t TrailPos = Trail.size();
+    int CI = ConflIdx;
+    do {
+      assert(CI >= 0 && "reason missing during analyze");
+      const std::vector<int> &C = Clauses[CI];
+      for (size_t I = (L == -1 ? 0 : 1); I < C.size(); ++I) {
+        int Q = C[I];
+        if (L != -1 && Q == L)
+          continue;
+        int V = varOf(Q);
+        if (Seen[V] || Level[V] == 0)
+          continue;
+        Seen[V] = 1;
+        Touched.push_back(V);
+        bump(V);
+        if (Level[V] == decisionLevel())
+          ++Counter;
+        else
+          Learnt.push_back(Q);
+      }
+      // Walk back the trail to the next seen literal.
+      while (TrailPos > 0 && !Seen[varOf(Trail[TrailPos - 1])])
+        --TrailPos;
+      assert(TrailPos > 0);
+      L = Trail[--TrailPos];
+      Seen[varOf(L)] = 0;
+      CI = Reason[varOf(L)];
+      --Counter;
+    } while (Counter > 0);
+    Learnt[0] = flip(L);
+
+    // Conflict-clause reason handling above needs the asserting literal
+    // first; compute the backjump level as the max level among the rest.
+    int Back = 0;
+    size_t MaxIdx = 1;
+    for (size_t I = 1; I < Learnt.size(); ++I) {
+      int Lv = Level[varOf(Learnt[I])];
+      if (Lv > Back) {
+        Back = Lv;
+        MaxIdx = I;
+      }
+    }
+    if (Learnt.size() > 1)
+      std::swap(Learnt[1], Learnt[MaxIdx]);
+    return Back;
+  }
+
+  void backtrack(int ToLevel) {
+    if (decisionLevel() <= ToLevel)
+      return;
+    int Bound = TrailLim[ToLevel];
+    for (int I = int(Trail.size()) - 1; I >= Bound; --I) {
+      int V = varOf(Trail[I]);
+      Phase[V] = Assign[V];
+      Assign[V] = -1;
+      Order.push({Activity[V], V});
+    }
+    Trail.resize(Bound);
+    TrailLim.resize(ToLevel);
+    QHead = Trail.size();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Bit-blaster: Tseitin word circuits matching support/Word.h semantics
+//===----------------------------------------------------------------------===//
+
+using Bits = std::vector<int>;
+
+class BitBlaster {
+public:
+  BitBlaster(const ExprArena &A, uint64_t ClauseBudget)
+      : Arena(A), ClauseBudget(ClauseBudget) {}
+
+  Sat S;
+  bool OverBudget = false;
+
+  /// Encodes all nodes reachable from \p Roots (forward pass in index
+  /// order: children always precede parents).
+  bool encodeRoots(const std::vector<ExprRef> &Roots) {
+    std::vector<uint8_t> Needed(Arena.size(), 0);
+    std::vector<ExprRef> Stack(Roots.begin(), Roots.end());
+    while (!Stack.empty()) {
+      ExprRef R = Stack.back();
+      Stack.pop_back();
+      if (Needed[R])
+        continue;
+      Needed[R] = 1;
+      const ExprNode &N = Arena.node(R);
+      if (N.K == ExprKind::Op) {
+        Stack.push_back(N.A);
+        Stack.push_back(N.B);
+      } else if (N.K == ExprKind::Ite) {
+        Stack.push_back(N.A);
+        Stack.push_back(N.B);
+        Stack.push_back(N.C);
+      }
+    }
+    WordBits.resize(Arena.size());
+    for (ExprRef R = 0; R < Arena.size(); ++R) {
+      if (!Needed[R])
+        continue;
+      encodeNode(R);
+      if (overBudget())
+        return false;
+    }
+    return true;
+  }
+
+  /// Asserts "word != 0" as a clause.
+  void assertNonzero(ExprRef R) {
+    const Bits &B = WordBits[R];
+    std::vector<int> C(B.begin(), B.end());
+    S.addClause(std::move(C));
+  }
+
+  /// Reads the model value of an encoded word.
+  Word modelWord(ExprRef R) const {
+    const Bits &B = WordBits[R];
+    Word V = 0;
+    for (unsigned I = 0; I < 32; ++I) {
+      int L = B[I];
+      bool Bit = S.value(L) == 1;
+      if (Bit)
+        V |= Word(1) << I;
+    }
+    return V;
+  }
+
+  bool hasBits(ExprRef R) const {
+    return R < WordBits.size() && !WordBits[R].empty();
+  }
+
+private:
+  const ExprArena &Arena;
+  uint64_t ClauseBudget;
+  std::vector<Bits> WordBits;
+  std::unordered_map<uint64_t, int> GateCache;
+
+  bool overBudget() {
+    if (S.numClauses() > ClauseBudget)
+      OverBudget = true;
+    return OverBudget;
+  }
+
+  int T() { return S.trueLit(); }
+  int F() { return S.falseLit(); }
+
+  int cached(uint8_t Tag, int A, int B, bool Commutative) {
+    if (Commutative && A > B)
+      std::swap(A, B);
+    uint64_t Key = (uint64_t(Tag) << 56) ^ (uint64_t(uint32_t(A)) << 28) ^
+                   uint64_t(uint32_t(B));
+    auto It = GateCache.find(Key);
+    return It == GateCache.end() ? -1 : It->second;
+  }
+  void remember(uint8_t Tag, int A, int B, bool Commutative, int Out) {
+    if (Commutative && A > B)
+      std::swap(A, B);
+    uint64_t Key = (uint64_t(Tag) << 56) ^ (uint64_t(uint32_t(A)) << 28) ^
+                   uint64_t(uint32_t(B));
+    GateCache[Key] = Out;
+  }
+
+  int mkAnd(int A, int B) {
+    if (A == F() || B == F())
+      return F();
+    if (A == T())
+      return B;
+    if (B == T())
+      return A;
+    if (A == B)
+      return A;
+    if (A == Sat::flip(B))
+      return F();
+    if (int G = cached(1, A, B, true); G >= 0)
+      return G;
+    int G = Sat::posLit(S.newVar());
+    S.addClause({Sat::flip(G), A});
+    S.addClause({Sat::flip(G), B});
+    S.addClause({G, Sat::flip(A), Sat::flip(B)});
+    remember(1, A, B, true, G);
+    return G;
+  }
+
+  int mkOr(int A, int B) { return Sat::flip(mkAnd(Sat::flip(A), Sat::flip(B))); }
+
+  int mkXor(int A, int B) {
+    if (A == F())
+      return B;
+    if (B == F())
+      return A;
+    if (A == T())
+      return Sat::flip(B);
+    if (B == T())
+      return Sat::flip(A);
+    if (A == B)
+      return F();
+    if (A == Sat::flip(B))
+      return T();
+    // Canonical polarity: xor(a,b) == xor(¬a,¬b); strip paired signs into
+    // the output so the cache hits more often.
+    int OutFlip = 0;
+    int CA = A, CB = B;
+    if (Sat::signOf(CA)) {
+      CA = Sat::flip(CA);
+      OutFlip ^= 1;
+    }
+    if (Sat::signOf(CB)) {
+      CB = Sat::flip(CB);
+      OutFlip ^= 1;
+    }
+    int G;
+    if (int Hit = cached(2, CA, CB, true); Hit >= 0) {
+      G = Hit;
+    } else {
+      G = Sat::posLit(S.newVar());
+      S.addClause({Sat::flip(G), CA, CB});
+      S.addClause({Sat::flip(G), Sat::flip(CA), Sat::flip(CB)});
+      S.addClause({G, Sat::flip(CA), CB});
+      S.addClause({G, CA, Sat::flip(CB)});
+      remember(2, CA, CB, true, G);
+    }
+    return OutFlip ? Sat::flip(G) : G;
+  }
+
+  int mkMux(int Sel, int Then, int Else) {
+    if (Sel == T())
+      return Then;
+    if (Sel == F())
+      return Else;
+    if (Then == Else)
+      return Then;
+    if (Then == T() && Else == F())
+      return Sel;
+    if (Then == F() && Else == T())
+      return Sat::flip(Sel);
+    return mkOr(mkAnd(Sel, Then), mkAnd(Sat::flip(Sel), Else));
+  }
+
+  int mkMaj(int A, int B, int C) {
+    return mkOr(mkAnd(A, B), mkAnd(C, mkXor(A, B)));
+  }
+
+  /// a + b + cin over \p Width bits; result has the same width.
+  Bits addBits(const Bits &A, const Bits &B, int Cin) {
+    Bits Out(A.size());
+    int C = Cin;
+    for (size_t I = 0; I < A.size(); ++I) {
+      int AxB = mkXor(A[I], B[I]);
+      Out[I] = mkXor(AxB, C);
+      C = mkMaj(A[I], B[I], C);
+    }
+    return Out;
+  }
+
+  Bits subBits(const Bits &A, const Bits &B) {
+    Bits NB(B.size());
+    for (size_t I = 0; I < B.size(); ++I)
+      NB[I] = Sat::flip(B[I]);
+    return addBits(A, NB, T());
+  }
+
+  /// Single literal: A <u B (borrow-chain).
+  int ltuBit(const Bits &A, const Bits &B) {
+    int Lt = F();
+    for (size_t I = 0; I < A.size(); ++I) {
+      int Eq = Sat::flip(mkXor(A[I], B[I]));
+      Lt = mkOr(mkAnd(Sat::flip(A[I]), B[I]), mkAnd(Eq, Lt));
+    }
+    return Lt;
+  }
+
+  int eqBit(const Bits &A, const Bits &B) {
+    int Out = T();
+    for (size_t I = 0; I < A.size(); ++I)
+      Out = mkAnd(Out, Sat::flip(mkXor(A[I], B[I])));
+    return Out;
+  }
+
+  int orAll(const Bits &A) {
+    int Out = F();
+    for (int L : A)
+      Out = mkOr(Out, L);
+    return Out;
+  }
+
+  static Bits boolWord(int L) {
+    Bits Out(32, 0);
+    Out[0] = L;
+    return Out;
+  }
+
+  Bits boolWordF(int L) {
+    Bits Out(32, F());
+    Out[0] = L;
+    return Out;
+  }
+
+  /// Barrel shifter. Dir: 0 = left, 1 = logical right, 2 = arithmetic
+  /// right. The shift amount is B & 31 (support/Word.h masks to 5 bits).
+  Bits shiftBits(const Bits &A, const Bits &B, int Dir) {
+    Bits Cur = A;
+    for (unsigned Stage = 0; Stage < 5; ++Stage) {
+      unsigned Sh = 1u << Stage;
+      int Sel = B[Stage];
+      Bits Next(32);
+      for (unsigned I = 0; I < 32; ++I) {
+        int Shifted;
+        if (Dir == 0)
+          Shifted = I >= Sh ? Cur[I - Sh] : F();
+        else if (Dir == 1)
+          Shifted = I + Sh < 32 ? Cur[I + Sh] : F();
+        else
+          Shifted = I + Sh < 32 ? Cur[I + Sh] : A[31];
+        Next[I] = mkMux(Sel, Shifted, Cur[I]);
+      }
+      Cur = std::move(Next);
+    }
+    return Cur;
+  }
+
+  Bits mulLow(const Bits &A, const Bits &B) {
+    Bits Acc(32, F());
+    for (unsigned I = 0; I < 32; ++I) {
+      if (B[I] == F())
+        continue;
+      Bits Part(32, F());
+      for (unsigned J = I; J < 32; ++J)
+        Part[J] = mkAnd(A[J - I], B[I]);
+      Acc = addBits(Acc, Part, F());
+    }
+    return Acc;
+  }
+
+  Bits mulHigh(const Bits &A, const Bits &B) {
+    Bits Acc(64, F());
+    for (unsigned I = 0; I < 32; ++I) {
+      if (B[I] == F())
+        continue;
+      Bits Part(64, F());
+      for (unsigned J = 0; J < 32; ++J)
+        Part[J + I] = mkAnd(A[J], B[I]);
+      Acc = addBits(Acc, Part, F());
+    }
+    return Bits(Acc.begin() + 32, Acc.end());
+  }
+
+  /// Restoring division; Quot/Rem follow the RISC-V by-zero conventions
+  /// (divu by 0 = all ones, remu by 0 = dividend), as support/Word.h does.
+  void divRem(const Bits &A, const Bits &B, Bits &Quot, Bits &Rem) {
+    Bits R(33, F());
+    Bits B33 = B;
+    B33.push_back(F());
+    Quot.assign(32, F());
+    for (int I = 31; I >= 0; --I) {
+      // R = (R << 1) | a[i], in 33 bits.
+      Bits RS(33);
+      RS[0] = A[I];
+      for (unsigned K = 1; K < 33; ++K)
+        RS[K] = R[K - 1];
+      int Ge = Sat::flip(ltuBit(RS, B33));
+      Bits Sub = subBits(RS, B33);
+      for (unsigned K = 0; K < 33; ++K)
+        R[K] = mkMux(Ge, Sub[K], RS[K]);
+      Quot[I] = Ge;
+    }
+    int BZero = Sat::flip(orAll(B));
+    for (unsigned K = 0; K < 32; ++K)
+      Quot[K] = mkMux(BZero, T(), Quot[K]);
+    Rem.assign(32, F());
+    for (unsigned K = 0; K < 32; ++K)
+      Rem[K] = mkMux(BZero, A[K], R[K]);
+  }
+
+  void encodeNode(ExprRef R) {
+    const ExprNode &N = Arena.node(R);
+    switch (N.K) {
+    case ExprKind::Const: {
+      Bits B(32);
+      for (unsigned I = 0; I < 32; ++I)
+        B[I] = (N.Lit >> I) & 1 ? T() : F();
+      WordBits[R] = std::move(B);
+      return;
+    }
+    case ExprKind::Var: {
+      Bits B(32);
+      for (unsigned I = 0; I < 32; ++I)
+        B[I] = Sat::posLit(S.newVar());
+      WordBits[R] = std::move(B);
+      VarNode[N.Lit] = R;
+      return;
+    }
+    case ExprKind::Ite: {
+      int Sel = orAll(WordBits[N.A]);
+      const Bits &TB = WordBits[N.B];
+      const Bits &EB = WordBits[N.C];
+      Bits B(32);
+      for (unsigned I = 0; I < 32; ++I)
+        B[I] = mkMux(Sel, TB[I], EB[I]);
+      WordBits[R] = std::move(B);
+      return;
+    }
+    case ExprKind::Op:
+      break;
+    }
+    const Bits &A = WordBits[N.A];
+    const Bits &B = WordBits[N.B];
+    Bits Out;
+    switch (N.Op) {
+    case BinOp::Add:
+      Out = addBits(A, B, F());
+      break;
+    case BinOp::Sub:
+      Out = subBits(A, B);
+      break;
+    case BinOp::And:
+      Out.resize(32);
+      for (unsigned I = 0; I < 32; ++I)
+        Out[I] = mkAnd(A[I], B[I]);
+      break;
+    case BinOp::Or:
+      Out.resize(32);
+      for (unsigned I = 0; I < 32; ++I)
+        Out[I] = mkOr(A[I], B[I]);
+      break;
+    case BinOp::Xor:
+      Out.resize(32);
+      for (unsigned I = 0; I < 32; ++I)
+        Out[I] = mkXor(A[I], B[I]);
+      break;
+    case BinOp::Eq:
+      Out = boolWordF(eqBit(A, B));
+      break;
+    case BinOp::Ltu:
+      Out = boolWordF(ltuBit(A, B));
+      break;
+    case BinOp::Lts: {
+      Bits AF = A, BF = B;
+      AF[31] = Sat::flip(AF[31]);
+      BF[31] = Sat::flip(BF[31]);
+      Out = boolWordF(ltuBit(AF, BF));
+      break;
+    }
+    case BinOp::Slu:
+      Out = shiftBits(A, B, 0);
+      break;
+    case BinOp::Sru:
+      Out = shiftBits(A, B, 1);
+      break;
+    case BinOp::Srs:
+      Out = shiftBits(A, B, 2);
+      break;
+    case BinOp::Mul:
+      Out = mulLow(A, B);
+      break;
+    case BinOp::MulHuu:
+      Out = mulHigh(A, B);
+      break;
+    case BinOp::Divu: {
+      Bits Q, Rm;
+      divRem(A, B, Q, Rm);
+      Out = std::move(Q);
+      break;
+    }
+    case BinOp::Remu: {
+      Bits Q, Rm;
+      divRem(A, B, Q, Rm);
+      Out = std::move(Rm);
+      break;
+    }
+    }
+    WordBits[R] = std::move(Out);
+  }
+
+public:
+  /// Var id -> the node whose bits carry its assignment (if encoded).
+  std::unordered_map<unsigned, ExprRef> VarNode;
+};
+
+} // namespace
+
+SolveResult solve(const ExprArena &Arena,
+                  const std::vector<ExprRef> &NonzeroConstraints,
+                  const SolveOptions &Opts) {
+  SolveResult Res;
+  std::vector<ExprRef> Live;
+  for (ExprRef C : NonzeroConstraints) {
+    Word V;
+    if (Arena.constValue(C, V)) {
+      if (V == 0) {
+        Res.Status = SolveStatus::Unsat;
+        return Res;
+      }
+      continue; // Trivially satisfied.
+    }
+    Live.push_back(C);
+  }
+  if (Live.empty()) {
+    Res.Status = SolveStatus::Sat;
+    Res.Model.assign(Arena.numVars(), 0);
+    if (fi::on(fi::Fault::VcSolverBadModel) && !Res.Model.empty())
+      Res.Model[0] ^= 1;
+    return Res;
+  }
+
+  BitBlaster BB(Arena, Opts.ClauseBudget);
+  if (!BB.encodeRoots(Live)) {
+    Res.Status = SolveStatus::Unknown;
+    Res.Stats.Clauses = BB.S.numClauses();
+    return Res;
+  }
+  for (ExprRef C : Live)
+    BB.assertNonzero(C);
+  Res.Stats.Clauses = BB.S.numClauses();
+
+  int Verdict = BB.S.solve(Opts.ConflictBudget, Res.Stats);
+  if (Verdict == 0) {
+    Res.Status = SolveStatus::Unsat;
+    return Res;
+  }
+  if (Verdict < 0) {
+    Res.Status = SolveStatus::Unknown;
+    return Res;
+  }
+
+  Res.Model.assign(Arena.numVars(), 0);
+  for (const auto &[VarId, NodeRef] : BB.VarNode)
+    Res.Model[VarId] = BB.modelWord(NodeRef);
+
+  // Cross-check the model against the DAG evaluator: an encoding bug must
+  // degrade to Unknown, never to an unsound counterexample.
+  std::vector<Word> Vals = Arena.evalAll(Res.Model);
+  for (ExprRef C : Live) {
+    if (Vals[C] == 0) {
+      Res.Status = SolveStatus::Unknown;
+      Res.Model.clear();
+      return Res;
+    }
+  }
+
+  Res.Status = SolveStatus::Sat;
+  // Seeded fault: corrupt the model at the final return boundary, *after*
+  // the internal cross-check, so only concrete replay can catch it.
+  if (fi::on(fi::Fault::VcSolverBadModel) && !Res.Model.empty())
+    Res.Model[0] ^= 1;
+  return Res;
+}
+
+} // namespace vc
+} // namespace b2

@@ -1,0 +1,75 @@
+//===- vc/Solve.h - Bit-blasting CDCL SAT backend --------------*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained bitvector decision procedure for the VC engine: every
+/// expression in the DAG is Tseitin-encoded into CNF over 32 literals per
+/// word (ripple-carry adders, borrow-chain comparators, barrel shifters
+/// with RISC-V shamt masking, shift-add multipliers, restoring division
+/// with the RISC-V div-by-zero conventions — bit-for-bit the semantics of
+/// support/Word.h and bedrock2::evalBinOp), then handed to a CDCL-lite SAT
+/// core (watched literals, 1UIP conflict learning, VSIDS-style activities,
+/// geometric restarts). Everything is deterministic: no randomness, no
+/// wall-clock heuristics — the same query always returns the same answer
+/// and, when satisfiable, the same model.
+///
+/// A query is a conjunction of "this word is nonzero" constraints. The
+/// conflict budget bounds the search; exhausting it returns Unknown, never
+/// a wrong answer. Every satisfying model is validated against the DAG
+/// evaluator before it is returned, so an encoding bug degrades to Unknown
+/// instead of an unsound counterexample (the seeded vc-solver-bad-model
+/// fault corrupts the model *after* this check, exactly so the replay
+/// layer must catch it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_SOLVE_H
+#define B2_VC_SOLVE_H
+
+#include "vc/Expr.h"
+
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+enum class SolveStatus : uint8_t {
+  Unsat,   ///< The constraint set is contradictory: the VC is proved.
+  Sat,     ///< Model found (one Word per arena variable id).
+  Unknown, ///< Conflict or clause budget exhausted.
+};
+
+struct SolveStats {
+  uint64_t Clauses = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+};
+
+struct SolveResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  /// Valid iff Status == Sat: value per arena variable id. Variables that
+  /// never reached the solver default to 0.
+  std::vector<Word> Model;
+  SolveStats Stats;
+};
+
+struct SolveOptions {
+  uint64_t ConflictBudget = 200000;
+  uint64_t ClauseBudget = 4000000;
+};
+
+/// Decides the conjunction "every constraint word is nonzero".
+SolveResult solve(const ExprArena &Arena,
+                  const std::vector<ExprRef> &NonzeroConstraints,
+                  const SolveOptions &Opts = SolveOptions());
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_SOLVE_H

@@ -1,0 +1,227 @@
+//===- vc/Vc.cpp - VC engine driver: generate, solve, replay --------------===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/Vc.h"
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+namespace b2 {
+namespace vc {
+
+const char *verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Valid:
+    return "valid";
+  case Verdict::Counterexample:
+    return "counterexample";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+const char *obStatusName(ObStatus S) {
+  switch (S) {
+  case ObStatus::ProvedTrivial:
+    return "proved-trivial";
+  case ObStatus::Proved:
+    return "proved";
+  case ObStatus::CexConfirmed:
+    return "cex-confirmed";
+  case ObStatus::CexUnconfirmed:
+    return "cex-unconfirmed";
+  case ObStatus::BudgetExhausted:
+    return "budget-exhausted";
+  case ObStatus::CoverageIncomplete:
+    return "coverage-incomplete";
+  }
+  return "?";
+}
+
+FuncReport verifyFunction(const bedrock2::Program &P, const std::string &Func,
+                          const std::string &ProgramLabel,
+                          const VcOptions &Opts) {
+  FuncReport Rep;
+  Rep.Program = ProgramLabel;
+  Rep.Func = Func;
+  metrics::add(metrics::Id::VcFuncsChecked);
+
+  ExprArena Arena;
+  WpResult Wp = genVCs(P, Func, Arena, Opts.Wp);
+  if (!Wp.Ok) {
+    Rep.Error = Wp.Error;
+    Rep.V = Verdict::Unknown;
+    metrics::add(metrics::Id::VcUnknown);
+    return Rep;
+  }
+  metrics::add(metrics::Id::VcVcsGenerated, Wp.Obligations.size());
+
+  ReplayOptions ROpts;
+  ROpts.Fuel = Opts.ReplayFuel;
+  ROpts.RamBytes = Opts.Wp.RamBytes;
+  ROpts.Stack = Opts.Wp.Stack;
+
+  bool AllProved = true;
+  for (const Obligation &Ob : Wp.Obligations) {
+    ObReport OR;
+    OR.Kind = Ob.Kind;
+    OR.Where = Ob.Where;
+    OR.Expected = Ob.Expected;
+
+    // Trivially discharged: dead path or constant-true condition.
+    Word CondC = 0;
+    if (Arena.isConstZero(Ob.Guard) ||
+        (Arena.constValue(Ob.Cond, CondC) && CondC != 0)) {
+      OR.Status = ObStatus::ProvedTrivial;
+      ++Rep.Proved;
+      ++Rep.Trivial;
+      Rep.Obligations.push_back(OR);
+      continue;
+    }
+
+    // The negation of (assumes ∧ guard → cond): every assume holds, the
+    // guard holds, and cond is zero. A model is a path to the check site
+    // that fails the check.
+    std::vector<ExprRef> Query = Ob.Assumes;
+    Query.push_back(Ob.Guard);
+    Query.push_back(Arena.eq(Ob.Cond, Arena.constant(0)));
+    SolveResult SR = solve(Arena, Query, Opts.Solve);
+    Rep.Solver.Clauses += SR.Stats.Clauses;
+    Rep.Solver.Conflicts += SR.Stats.Conflicts;
+    Rep.Solver.Decisions += SR.Stats.Decisions;
+    Rep.Solver.Propagations += SR.Stats.Propagations;
+
+    switch (SR.Status) {
+    case SolveStatus::Unsat:
+      OR.Status = ObStatus::Proved;
+      ++Rep.Proved;
+      break;
+    case SolveStatus::Unknown:
+      OR.Status = ObStatus::BudgetExhausted;
+      AllProved = false;
+      break;
+    case SolveStatus::Sat:
+      if (Ob.Kind == ObKind::Coverage) {
+        // A real execution escapes the analyzed bound. Not a bug — a
+        // coverage gap. Caps the verdict at Unknown.
+        OR.Status = ObStatus::CoverageIncomplete;
+        AllProved = false;
+        break;
+      }
+      {
+        ReplayOutcome RO = replayModel(P, Func, Arena, Wp, SR.Model,
+                                       Ob.Expected, ROpts);
+        if (RO.Confirmed) {
+          metrics::add(metrics::Id::VcReplayConfirmed);
+          OR.Status = ObStatus::CexConfirmed;
+          Rep.Obligations.push_back(OR);
+          Rep.V = Verdict::Counterexample;
+          Rep.CexWhere = Ob.Where;
+          Rep.CexFault = Ob.Expected;
+          Rep.CexArgs = RO.Args;
+          Rep.CexDetail = RO.Detail;
+          Rep.DagNodes = Arena.size();
+          metrics::add(metrics::Id::VcDagNodes, Arena.size());
+          metrics::add(metrics::Id::VcClauses, Rep.Solver.Clauses);
+          metrics::add(metrics::Id::VcConflicts, Rep.Solver.Conflicts);
+          metrics::add(metrics::Id::VcDecisions, Rep.Solver.Decisions);
+          return Rep;
+        }
+        metrics::add(metrics::Id::VcReplayUnconfirmed);
+        OR.Status = ObStatus::CexUnconfirmed;
+        AllProved = false;
+        // Havoc-tainted obligations legitimately over-approximate the
+        // loop head; their models may describe no real execution, and
+        // quietly demoting to Unknown is the designed behavior. An
+        // unconfirmed model anywhere else means the solver or the
+        // encoding lied — surfaced as an alarm (nonzero exit in tools).
+        if (!Ob.HavocTainted)
+          ++Rep.Unconfirmed;
+      }
+      break;
+    }
+    Rep.Obligations.push_back(OR);
+  }
+
+  Rep.V = AllProved ? Verdict::Valid : Verdict::Unknown;
+
+  // Stress-test Valid verdicts with concrete executions: a run violating
+  // any contract contradicts the proof and demotes it.
+  if (Rep.V == Verdict::Valid && Opts.ProbeValidVerdicts) {
+    std::string Detail;
+    Rep.ProbeViolations =
+        probeValid(P, Func, Opts.Probes, Opts.ProbeSeed, Detail, ROpts);
+    if (Rep.ProbeViolations != 0) {
+      Rep.V = Verdict::Unknown;
+      Rep.CexDetail = Detail;
+    }
+  }
+
+  Rep.DagNodes = Arena.size();
+  metrics::add(metrics::Id::VcDagNodes, Arena.size());
+  metrics::add(metrics::Id::VcClauses, Rep.Solver.Clauses);
+  metrics::add(metrics::Id::VcConflicts, Rep.Solver.Conflicts);
+  metrics::add(metrics::Id::VcDecisions, Rep.Solver.Decisions);
+  metrics::add(Rep.V == Verdict::Valid ? metrics::Id::VcValid
+                                       : metrics::Id::VcUnknown);
+  return Rep;
+}
+
+std::string vcJson(const std::vector<FuncReport> &Reports) {
+  support::JsonWriter J;
+  J.beginObject();
+  J.key("schema").value("b2stack-vc-v1");
+  J.key("funcs").beginArray();
+  for (const FuncReport &R : Reports) {
+    J.beginObject();
+    J.key("program").value(R.Program);
+    J.key("func").value(R.Func);
+    J.key("verdict").value(verdictName(R.V));
+    if (!R.Error.empty())
+      J.key("error").value(R.Error);
+    J.key("obligations").value(uint64_t(R.Obligations.size()));
+    J.key("proved").value(R.Proved);
+    J.key("proved_trivial").value(R.Trivial);
+    J.key("unconfirmed_cex").value(R.Unconfirmed);
+    J.key("probe_violations").value(R.ProbeViolations);
+    J.key("dag_nodes").value(R.DagNodes);
+    J.key("solver").beginObject();
+    J.key("clauses").value(R.Solver.Clauses);
+    J.key("conflicts").value(R.Solver.Conflicts);
+    J.key("decisions").value(R.Solver.Decisions);
+    J.key("propagations").value(R.Solver.Propagations);
+    J.endObject();
+    if (R.V == Verdict::Counterexample) {
+      J.key("cex").beginObject();
+      J.key("where").value(R.CexWhere);
+      J.key("fault").value(bedrock2::faultName(R.CexFault));
+      J.key("detail").value(R.CexDetail);
+      J.key("args").beginArray();
+      for (Word A : R.CexArgs)
+        J.value(uint64_t(A));
+      J.endArray();
+      J.endObject();
+    }
+    J.key("checks").beginArray();
+    for (const ObReport &OR : R.Obligations) {
+      J.beginObject();
+      J.key("kind").value(OR.Kind == ObKind::Check ? "check" : "coverage");
+      J.key("status").value(obStatusName(OR.Status));
+      J.key("where").value(OR.Where);
+      J.key("fault").value(bedrock2::faultName(OR.Expected));
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+  J.endObject();
+  return J.str();
+}
+
+} // namespace vc
+} // namespace b2

@@ -1,0 +1,106 @@
+//===- vc/Vc.h - VC engine driver: generate, solve, replay -----*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates one function's verification: WP generation, per-obligation
+/// bit-blasting, and the replay discipline that makes the verdicts
+/// trustworthy. Verdict semantics:
+///
+///  * Valid          — every obligation (Check and Coverage) proved.
+///  * Counterexample — some Check obligation has a model the checking
+///                     interpreter CONFIRMS: the concrete run faults with
+///                     exactly the predicted Fault enumerator. The report
+///                     carries the inputs. Never issued un-witnessed.
+///  * Unknown        — anything else: a solver budget exhausted, a
+///                     Coverage obligation unproved (unroll/call-depth
+///                     residue), or a model that failed to replay (havoc
+///                     abstraction or a solver/encoding bug — either way
+///                     not evidence of a program bug).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_VC_H
+#define B2_VC_VC_H
+
+#include "vc/Replay.h"
+#include "vc/Solve.h"
+#include "vc/Wp.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+enum class Verdict : uint8_t { Valid, Counterexample, Unknown };
+
+const char *verdictName(Verdict V);
+
+/// Per-obligation resolution, for the report and the JSON dump.
+enum class ObStatus : uint8_t {
+  ProvedTrivial,      ///< Folded to true during WP generation / solving.
+  Proved,             ///< Negation unsatisfiable.
+  CexConfirmed,       ///< Model replayed to the predicted runtime fault.
+  CexUnconfirmed,     ///< Model failed to replay; demoted to Unknown.
+  BudgetExhausted,    ///< Solver gave up within the conflict budget.
+  CoverageIncomplete, ///< Coverage obligation not proved (bound residue).
+};
+
+const char *obStatusName(ObStatus S);
+
+struct ObReport {
+  ObKind Kind;
+  ObStatus Status;
+  std::string Where;
+  bedrock2::Fault Expected;
+};
+
+struct VcOptions {
+  WpOptions Wp;
+  SolveOptions Solve;
+  unsigned Probes = 16;      ///< Concrete runs stress-testing Valid verdicts.
+  uint64_t ProbeSeed = 0x5eed0001;
+  uint64_t ReplayFuel = 2'000'000;
+  bool ProbeValidVerdicts = true;
+};
+
+struct FuncReport {
+  std::string Program;       ///< Label of the program the function is from.
+  std::string Func;
+  Verdict V = Verdict::Unknown;
+  std::string Error;         ///< Set when VC generation itself failed.
+  std::vector<ObReport> Obligations;
+  unsigned Proved = 0;       ///< Includes trivially-proved.
+  unsigned Trivial = 0;
+  unsigned Unconfirmed = 0;  ///< Models that failed replay (must stay 0 for
+                             ///< the zero-unconfirmed acceptance bar... they
+                             ///< demote to Unknown, never to Counterexample).
+  unsigned ProbeViolations = 0;
+  // Counterexample details (V == Counterexample only).
+  std::string CexWhere;
+  bedrock2::Fault CexFault = bedrock2::Fault::None;
+  std::vector<Word> CexArgs;
+  std::string CexDetail;
+  // Cost accounting.
+  SolveStats Solver;
+  uint64_t DagNodes = 0;
+};
+
+/// Verifies \p Func of \p P end to end. \p ProgramLabel tags the report.
+FuncReport verifyFunction(const bedrock2::Program &P, const std::string &Func,
+                          const std::string &ProgramLabel,
+                          const VcOptions &Opts = VcOptions());
+
+/// Renders reports under schema b2stack-vc-v1 (deterministic: no
+/// timestamps, no wall-clock).
+std::string vcJson(const std::vector<FuncReport> &Reports);
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_VC_H

@@ -1,0 +1,723 @@
+//===- vc/Wp.cpp - Weakest-precondition VC generator ----------------------===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/Wp.h"
+
+#include "devices/MemoryMap.h"
+#include "verify/FaultInjection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <set>
+
+namespace b2 {
+namespace vc {
+namespace {
+
+using bedrock2::BinOp;
+using bedrock2::Fault;
+using bedrock2::Function;
+using bedrock2::Program;
+using bedrock2::Stmt;
+
+/// A local variable: its value plus a 0/1 "is bound" guard. Most code has
+/// Def == const 1 and the unbound-variable obligations fold away; only
+/// variables bound on some paths but not others carry a symbolic Def.
+struct SymLocal {
+  ExprRef Val;
+  ExprRef Def;
+};
+
+/// std::map for deterministic iteration during If merges.
+using SymLocals = std::map<std::string, SymLocal>;
+
+/// One entry of the global, program-ordered memory log. Loads resolve by
+/// walking the log newest-to-oldest under each entry's guard.
+struct MemEntry {
+  enum Kind : uint8_t {
+    Store, ///< Guarded store of Size bytes of Value at Addr.
+    Zero,  ///< Stackalloc entry: [Base, Base+Len) zero-filled (concrete).
+    Havoc, ///< Annotated loop with stores: all memory becomes unknown.
+  } K;
+  ExprRef Guard;
+  ExprRef Addr = 0;  ///< Store address (symbolic).
+  unsigned Size = 0; ///< Store size in bytes.
+  ExprRef Value = 0; ///< Store value.
+  Word Base = 0;     ///< Zero base (concrete).
+  Word Len = 0;      ///< Zero length.
+};
+
+/// A concrete stackalloc region currently owned (lexical lifetime).
+struct Region {
+  Word Base;
+  Word Len;
+};
+
+/// Does this statement (transitively through calls) write memory? Used to
+/// decide whether an annotated loop must havoc the memory log.
+class StoreAnalysis {
+public:
+  explicit StoreAnalysis(const Program &P) : Prog(P) {}
+
+  bool mayStore(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Store:
+      return true;
+    case Stmt::Kind::Skip:
+    case Stmt::Kind::Set:
+    case Stmt::Kind::Interact:
+      return false;
+    case Stmt::Kind::If:
+    case Stmt::Kind::Seq:
+      return (S.S1 && mayStore(*S.S1)) || (S.S2 && mayStore(*S.S2));
+    case Stmt::Kind::While:
+    case Stmt::Kind::Stackalloc:
+      return S.S1 && mayStore(*S.S1);
+    case Stmt::Kind::Call: {
+      if (!Visiting.insert(S.Callee).second)
+        return false; // Recursion cycle: already being analyzed.
+      const Function *F = Prog.find(S.Callee);
+      bool R = F && F->Body && mayStore(*F->Body);
+      Visiting.erase(S.Callee);
+      return R;
+    }
+    }
+    return true;
+  }
+
+private:
+  const Program &Prog;
+  std::set<std::string> Visiting;
+};
+
+/// Variables a statement may assign (syntactic; callee locals excluded).
+void assignedVars(const Stmt &S, std::set<std::string> &Out) {
+  switch (S.K) {
+  case Stmt::Kind::Set:
+    Out.insert(S.Var);
+    break;
+  case Stmt::Kind::Stackalloc:
+    Out.insert(S.Var);
+    if (S.S1)
+      assignedVars(*S.S1, Out);
+    break;
+  case Stmt::Kind::Call:
+  case Stmt::Kind::Interact:
+    for (const std::string &D : S.Dsts)
+      Out.insert(D);
+    break;
+  case Stmt::Kind::If:
+  case Stmt::Kind::Seq:
+    if (S.S1)
+      assignedVars(*S.S1, Out);
+    if (S.S2)
+      assignedVars(*S.S2, Out);
+    break;
+  case Stmt::Kind::While:
+    if (S.S1)
+      assignedVars(*S.S1, Out);
+    break;
+  case Stmt::Kind::Skip:
+  case Stmt::Kind::Store:
+    break;
+  }
+}
+
+class WpGen {
+public:
+  WpGen(const Program &P, ExprArena &A, const WpOptions &O)
+      : Prog(P), Arena(A), Opts(O), Stores(P) {
+    StackNext = O.Stack.Base - (O.Stack.Salt & ~Word(3));
+  }
+
+  WpResult run(const std::string &FuncName) {
+    WpResult Res;
+    const Function *F = Prog.find(FuncName);
+    if (!F) {
+      Res.Error = "unknown function '" + FuncName + "'";
+      return Res;
+    }
+    SymLocals L;
+    for (const std::string &P : F->Params) {
+      ExprRef V = Arena.var(P, VarOrigin::Param);
+      Res.ParamVars.push_back(Arena.node(V).Lit);
+      L[P] = {V, Arena.trueRef()};
+    }
+    Guard = Arena.trueRef();
+    // The entry contract's precondition is an assumption: replay passes
+    // arguments satisfying it, so the interpreter's own entry Pre check
+    // always passes on a model.
+    if (F->Pre)
+      assume(Arena.toBool(evalE(*F->Pre, L)));
+    if (F->Body)
+      execS(*F->Body, L, 0);
+
+    // Bind results; an unbound result variable is a runtime fault.
+    SymLocals Finals = L;
+    for (const std::string &R : F->Rets) {
+      SymLocal SL = lookup(L, R);
+      oblige(ObKind::Check, Fault::UnboundVariable,
+             FuncName + ": result variable '" + R + "' bound", SL.Def);
+    }
+    // The entry postcondition, evaluated over the final locals — the
+    // paper's Q. The seeded vc-wp-dropped-conjunct fault silently omits
+    // it, modeling a vcgen that forgets a conjunct: the engine then calls
+    // buggy functions Valid, and only the concrete probe layer can tell.
+    if (F->Post && !fi::on(fi::Fault::VcWpDroppedConjunct)) {
+      ExprRef Q = evalE(*F->Post, Finals);
+      oblige(ObKind::Check, Fault::PostconditionFailed,
+             FuncName + ": ensures clause", Q);
+    }
+    Res.Ok = true;
+    Res.Obligations = std::move(Obligations);
+    Res.Events = std::move(Events);
+    return Res;
+  }
+
+private:
+  const Program &Prog;
+  ExprArena &Arena;
+  const WpOptions &Opts;
+  StoreAnalysis Stores;
+
+  std::vector<Obligation> Obligations;
+  std::vector<SymEvent> Events;
+  std::vector<ExprRef> Assumes; ///< Scoped: saved/restored around loops.
+  std::vector<MemEntry> Log;
+  std::vector<Region> Live;
+  std::map<std::pair<size_t, ExprRef>, ExprRef> SelMemo;
+  std::map<std::pair<size_t, ExprRef>, ExprRef> HavocMemo;
+  ExprRef Guard = 0;
+  Word StackNext = 0;
+  bool HavocLive = false; ///< Entered/passed an annotated loop head.
+  std::vector<std::string> CallStack;
+
+  // -- Assumption scope ----------------------------------------------------
+
+  void assume(ExprRef B01) {
+    if (!Arena.isConstTrue(B01))
+      Assumes.push_back(B01);
+  }
+
+  /// Emits an obligation (Guard -> Cond != 0) and, for Check kinds, adds
+  /// the implication to the assumption set: later obligations may rely on
+  /// every earlier runtime check passing, which is what steers a model's
+  /// replay to exactly the failing check.
+  void oblige(ObKind K, Fault Expected, std::string Where, ExprRef Cond) {
+    if (Arena.isConstZero(Guard))
+      return; // Dead path.
+    bool Trivial = Arena.isConstTrue(Cond);
+    if (!Trivial) {
+      Obligation O;
+      O.Kind = K;
+      O.Expected = Expected;
+      O.Where = std::move(Where);
+      O.Guard = Guard;
+      O.Cond = Cond;
+      O.Assumes = Assumes;
+      O.HavocTainted = HavocLive;
+      Obligations.push_back(std::move(O));
+    }
+    if (K == ObKind::Check)
+      assume(Arena.implies(Guard, Cond));
+  }
+
+  // -- Memory --------------------------------------------------------------
+
+  /// The byte at \p Addr after the first \p Len log entries. The base case
+  /// is 0: every owned region enters the log as a Zero entry when it is
+  /// allocated, and the footprint obligations (assumed by every later
+  /// obligation) rule out models that read outside owned regions.
+  ExprRef selByte(size_t Len, ExprRef Addr) {
+    if (Len == 0)
+      return Arena.falseRef();
+    auto Key = std::make_pair(Len, Addr);
+    auto It = SelMemo.find(Key);
+    if (It != SelMemo.end())
+      return It->second;
+    const MemEntry &E = Log[Len - 1];
+    ExprRef Older = selByte(Len - 1, Addr);
+    ExprRef V = Older;
+    switch (E.K) {
+    case MemEntry::Store: {
+      ExprRef Off = Arena.sub(Addr, E.Addr);
+      ExprRef Hit =
+          E.Size == 1 ? Arena.eq(Addr, E.Addr)
+                      : Arena.ltu(Off, Arena.constant(E.Size));
+      ExprRef Byte = Arena.op(
+          BinOp::And,
+          Arena.op(BinOp::Sru, E.Value,
+                   Arena.op(BinOp::Slu, Off, Arena.constant(3))),
+          Arena.constant(0xFF));
+      V = Arena.ite(Arena.boolAnd(E.Guard, Hit), Byte, Older);
+      break;
+    }
+    case MemEntry::Zero: {
+      ExprRef Off = Arena.sub(Addr, Arena.constant(E.Base));
+      ExprRef Hit = Arena.ltu(Off, Arena.constant(E.Len));
+      V = Arena.ite(Arena.boolAnd(E.Guard, Hit), Arena.falseRef(), Older);
+      break;
+    }
+    case MemEntry::Havoc: {
+      auto HKey = std::make_pair(Len - 1, Addr);
+      auto HIt = HavocMemo.find(HKey);
+      ExprRef Fresh;
+      if (HIt != HavocMemo.end()) {
+        Fresh = HIt->second;
+      } else {
+        Fresh = Arena.op(BinOp::And, Arena.var("mem.havoc", VarOrigin::Havoc),
+                         Arena.constant(0xFF));
+        HavocMemo.emplace(HKey, Fresh);
+      }
+      V = Arena.ite(E.Guard, Fresh, Older);
+      break;
+    }
+    }
+    SelMemo.emplace(Key, V);
+    return V;
+  }
+
+  ExprRef loadBytes(ExprRef Addr, unsigned Size) {
+    ExprRef V = selByte(Log.size(), Addr);
+    for (unsigned I = 1; I < Size; ++I) {
+      ExprRef B =
+          selByte(Log.size(), Arena.add(Addr, Arena.constant(I)));
+      V = Arena.op(BinOp::Or, V,
+                   Arena.op(BinOp::Slu, B, Arena.constant(I * 8)));
+    }
+    return V;
+  }
+
+  /// 0/1: [Addr, Addr+Size) lies inside a live concrete region.
+  ExprRef ownsCond(ExprRef Addr, unsigned Size) {
+    ExprRef Any = Arena.falseRef();
+    for (const Region &R : Live) {
+      if (R.Len < Size)
+        continue;
+      ExprRef Off = Arena.sub(Addr, Arena.constant(R.Base));
+      Any = Arena.boolOr(Any,
+                         Arena.ltu(Off, Arena.constant(R.Len - Size + 1)));
+    }
+    return Any;
+  }
+
+  ExprRef alignedCond(ExprRef Addr, unsigned Size) {
+    if (Size <= 1)
+      return Arena.trueRef();
+    return Arena.eq(Arena.op(BinOp::And, Addr, Arena.constant(Size - 1)),
+                    Arena.falseRef());
+  }
+
+  // -- Expressions ---------------------------------------------------------
+
+  SymLocal lookup(const SymLocals &L, const std::string &Name) {
+    auto It = L.find(Name);
+    if (It != L.end())
+      return It->second;
+    return {Arena.falseRef(), Arena.falseRef()};
+  }
+
+  ExprRef evalE(const bedrock2::Expr &E, const SymLocals &L) {
+    switch (E.K) {
+    case bedrock2::Expr::Kind::Literal:
+      return Arena.constant(E.Lit);
+    case bedrock2::Expr::Kind::Var: {
+      SymLocal SL = lookup(L, E.Name);
+      oblige(ObKind::Check, Fault::UnboundVariable,
+             "variable '" + E.Name + "' bound", SL.Def);
+      return SL.Val;
+    }
+    case bedrock2::Expr::Kind::Load: {
+      ExprRef Addr = evalE(*E.A, L);
+      std::string Loc = "load" + std::to_string(E.Size);
+      oblige(ObKind::Check, Fault::MisalignedAccess, Loc + " aligned",
+             alignedCond(Addr, E.Size));
+      oblige(ObKind::Check, Fault::LoadOutsideFootprint,
+             Loc + " within footprint", ownsCond(Addr, E.Size));
+      return loadBytes(Addr, E.Size);
+    }
+    case bedrock2::Expr::Kind::Op: {
+      ExprRef A = evalE(*E.A, L);
+      ExprRef B = evalE(*E.B, L);
+      return Arena.op(E.Op, A, B);
+    }
+    }
+    return Arena.falseRef();
+  }
+
+  // -- Statements ----------------------------------------------------------
+
+  void execS(const Stmt &S, SymLocals &L, unsigned Depth) {
+    if (Arena.isConstZero(Guard))
+      return;
+    switch (S.K) {
+    case Stmt::Kind::Skip:
+      return;
+    case Stmt::Kind::Set:
+      L[S.Var] = {evalE(*S.Value, L), Arena.trueRef()};
+      return;
+    case Stmt::Kind::Store: {
+      ExprRef Addr = evalE(*S.Addr, L);
+      ExprRef Val = evalE(*S.Value, L);
+      std::string Loc = "store" + std::to_string(S.Size);
+      oblige(ObKind::Check, Fault::MisalignedAccess, Loc + " aligned",
+             alignedCond(Addr, S.Size));
+      oblige(ObKind::Check, Fault::StoreOutsideFootprint,
+             Loc + " within footprint", ownsCond(Addr, S.Size));
+      MemEntry E;
+      E.K = MemEntry::Store;
+      E.Guard = Guard;
+      E.Addr = Addr;
+      E.Size = S.Size;
+      E.Value = Val;
+      Log.push_back(E);
+      return;
+    }
+    case Stmt::Kind::If:
+      execIf(S, L, Depth);
+      return;
+    case Stmt::Kind::While:
+      if (S.Invariant || S.Measure)
+        execAnnotatedLoop(S, L, Depth);
+      else
+        execUnrolledLoop(S, L, Depth);
+      return;
+    case Stmt::Kind::Seq:
+      execS(*S.S1, L, Depth);
+      execS(*S.S2, L, Depth);
+      return;
+    case Stmt::Kind::Call:
+      execCall(S, L, Depth);
+      return;
+    case Stmt::Kind::Interact:
+      execInteract(S, L);
+      return;
+    case Stmt::Kind::Stackalloc:
+      execStackalloc(S, L, Depth);
+      return;
+    }
+  }
+
+  void execIf(const Stmt &S, SymLocals &L, unsigned Depth) {
+    ExprRef C = evalE(*S.Cond, L);
+    Word CV;
+    if (Arena.constValue(C, CV)) {
+      if (CV != 0)
+        execS(*S.S1, L, Depth);
+      else
+        execS(*S.S2, L, Depth);
+      return;
+    }
+    ExprRef G = Guard;
+    ExprRef CB = Arena.toBool(C);
+    SymLocals ThenL = L, ElseL = L;
+    Guard = Arena.boolAnd(G, CB);
+    execS(*S.S1, ThenL, Depth);
+    Guard = Arena.boolAnd(G, Arena.boolNot(CB));
+    execS(*S.S2, ElseL, Depth);
+    Guard = G;
+    mergeLocals(C, ThenL, ElseL, L);
+  }
+
+  void mergeLocals(ExprRef C, const SymLocals &ThenL, const SymLocals &ElseL,
+                   SymLocals &Out) {
+    Out.clear();
+    auto TI = ThenL.begin(), EI = ElseL.begin();
+    while (TI != ThenL.end() || EI != ElseL.end()) {
+      if (EI == ElseL.end() || (TI != ThenL.end() && TI->first < EI->first)) {
+        // Bound only on the then-path.
+        Out[TI->first] = {TI->second.Val,
+                          Arena.ite(C, TI->second.Def, Arena.falseRef())};
+        ++TI;
+      } else if (TI == ThenL.end() || EI->first < TI->first) {
+        Out[EI->first] = {EI->second.Val,
+                          Arena.ite(C, Arena.falseRef(), EI->second.Def)};
+        ++EI;
+      } else {
+        Out[TI->first] = {Arena.ite(C, TI->second.Val, EI->second.Val),
+                          Arena.ite(C, TI->second.Def, EI->second.Def)};
+        ++TI;
+        ++EI;
+      }
+    }
+  }
+
+  /// Annotated loop: prove the invariant at entry, havoc written state,
+  /// assume invariant + condition for one symbolic body pass proving
+  /// preservation and measure decrease, then continue under invariant +
+  /// negated condition. This mirrors the interpreter exactly: it checks
+  /// the invariant at *every* test of the condition and compares the
+  /// measure across consecutive tests where the condition held.
+  void execAnnotatedLoop(const Stmt &S, SymLocals &L, unsigned Depth) {
+    ExprRef G = Guard;
+    if (S.Invariant) {
+      ExprRef I0 = evalE(*S.Invariant, L);
+      oblige(ObKind::Check, Fault::InvariantViolated,
+             "loop invariant at entry", I0);
+    }
+    // The interpreter evaluates the condition at the first test too; emit
+    // that evaluation's own side conditions (loads etc.) on entry state.
+    (void)evalE(*S.Cond, L);
+    // Havoc the variables the body can write: fresh symbols stand for
+    // "after some number of iterations".
+    std::set<std::string> Written;
+    if (S.S1)
+      assignedVars(*S.S1, Written);
+    for (const std::string &V : Written)
+      L[V] = {Arena.var("havoc." + V, VarOrigin::Havoc), Arena.trueRef()};
+    HavocLive = true;
+
+    ExprRef InvH =
+        S.Invariant ? evalE(*S.Invariant, L) : Arena.trueRef();
+    ExprRef CondH = evalE(*S.Cond, L);
+
+    // One symbolic body pass under (invariant && condition) proves
+    // preservation and measure decrease; its assumptions are scoped.
+    bool BodyStores = S.S1 && Stores.mayStore(*S.S1);
+    {
+      size_t Mark = Assumes.size();
+      assume(Arena.toBool(InvH));
+      assume(Arena.toBool(CondH));
+      ExprRef M0 = S.Measure ? evalE(*S.Measure, L) : Arena.falseRef();
+      SymLocals BodyL = L;
+      if (S.S1)
+        execS(*S.S1, BodyL, Depth);
+      if (S.Invariant) {
+        ExprRef I1 = evalE(*S.Invariant, BodyL);
+        oblige(ObKind::Check, Fault::InvariantViolated,
+               "loop invariant preserved", I1);
+      }
+      if (S.Measure) {
+        ExprRef C1 = evalE(*S.Cond, BodyL);
+        ExprRef M1 = evalE(*S.Measure, BodyL);
+        // The interpreter evaluates the measure at the next test only if
+        // the condition still holds there, and faults unless it strictly
+        // decreased (unsigned).
+        oblige(ObKind::Check, Fault::MeasureNotDecreasing,
+               "loop measure decreases",
+               Arena.implies(Arena.boolAnd(G, Arena.toBool(C1)),
+                             Arena.ltu(M1, M0)));
+      }
+      Assumes.resize(Mark);
+    }
+
+    // The single body pass's stores describe one iteration, not all of
+    // them: shield the continuation behind a havoc entry.
+    if (BodyStores) {
+      MemEntry E;
+      E.K = MemEntry::Havoc;
+      E.Guard = G;
+      Log.push_back(E);
+    }
+    // Continue after the loop: the havocked head state with the exit facts.
+    assume(Arena.implies(G, InvH));
+    assume(Arena.implies(G, Arena.eq(CondH, Arena.falseRef())));
+  }
+
+  /// Annotation-free loop: bounded unrolling; a Coverage obligation
+  /// records that the bound sufficed (its failure caps the verdict at
+  /// Unknown — bounded model checking, honestly labeled).
+  void execUnrolledLoop(const Stmt &S, SymLocals &L, unsigned Depth) {
+    ExprRef G = Guard;
+    for (unsigned K = 0; K < Opts.UnrollBound; ++K) {
+      ExprRef C = evalE(*S.Cond, L);
+      if (Arena.isConstZero(C))
+        return; // Loop provably exited.
+      ExprRef CB = Arena.toBool(C);
+      ExprRef BodyGuard = Arena.boolAnd(G, CB);
+      if (Arena.isConstZero(BodyGuard))
+        return;
+      SymLocals BodyL = L;
+      Guard = BodyGuard;
+      execS(*S.S1, BodyL, Depth);
+      Guard = G;
+      SymLocals Prev = L;
+      mergeLocals(C, BodyL, Prev, L);
+    }
+    ExprRef CN = evalE(*S.Cond, L);
+    if (Arena.isConstZero(CN))
+      return;
+    oblige(ObKind::Coverage, Fault::OutOfFuel,
+           "loop exits within unroll bound " +
+               std::to_string(Opts.UnrollBound),
+           Arena.eq(CN, Arena.falseRef()));
+    // Sound for counterexamples (models describe real, short executions);
+    // the unproved Coverage obligation is what withholds "Valid".
+    assume(Arena.implies(G, Arena.eq(CN, Arena.falseRef())));
+  }
+
+  void execCall(const Stmt &S, SymLocals &L, unsigned Depth) {
+    const Function *F = Prog.find(S.Callee);
+    if (!F) {
+      oblige(ObKind::Check, Fault::UnknownFunction,
+             "call target '" + S.Callee + "' exists", Arena.falseRef());
+      bindFresh(S.Dsts, L);
+      return;
+    }
+    if (S.Args.size() != F->Params.size() ||
+        S.Dsts.size() != F->Rets.size()) {
+      oblige(ObKind::Check, Fault::ArityMismatch,
+             "call arity of '" + S.Callee + "'", Arena.falseRef());
+      bindFresh(S.Dsts, L);
+      return;
+    }
+    std::vector<ExprRef> ArgVals;
+    for (const bedrock2::ExprPtr &A : S.Args)
+      ArgVals.push_back(evalE(*A, L));
+
+    if (Depth >= Opts.MaxCallDepth ||
+        std::count(CallStack.begin(), CallStack.end(), S.Callee)) {
+      // Recursion / depth limit: modular fallback. Havoc the results,
+      // assume the callee contract, and record the incompleteness.
+      oblige(ObKind::Coverage, Fault::OutOfFuel,
+             "call depth limit at '" + S.Callee + "'", Arena.falseRef());
+      SymLocals CalleeL;
+      for (size_t I = 0; I < F->Params.size(); ++I)
+        CalleeL[F->Params[I]] = {ArgVals[I], Arena.trueRef()};
+      if (F->Pre)
+        oblige(ObKind::Check, Fault::PreconditionFailed,
+               "requires clause of '" + S.Callee + "'",
+               evalE(*F->Pre, CalleeL));
+      bindFresh(S.Dsts, L);
+      for (size_t I = 0; I < F->Rets.size(); ++I)
+        CalleeL[F->Rets[I]] = L[S.Dsts[I]];
+      if (F->Post)
+        assume(Arena.implies(Guard, evalE(*F->Post, CalleeL)));
+      return;
+    }
+
+    // Inline the callee. Checking its contract at the exact program
+    // points the interpreter would keeps every model replayable.
+    SymLocals CalleeL;
+    for (size_t I = 0; I < F->Params.size(); ++I)
+      CalleeL[F->Params[I]] = {ArgVals[I], Arena.trueRef()};
+    if (F->Pre)
+      oblige(ObKind::Check, Fault::PreconditionFailed,
+             "requires clause of '" + S.Callee + "'", evalE(*F->Pre, CalleeL));
+    CallStack.push_back(S.Callee);
+    if (F->Body)
+      execS(*F->Body, CalleeL, Depth + 1);
+    CallStack.pop_back();
+    for (size_t I = 0; I < F->Rets.size(); ++I) {
+      SymLocal SL = lookup(CalleeL, F->Rets[I]);
+      oblige(ObKind::Check, Fault::UnboundVariable,
+             "'" + S.Callee + "': result variable '" + F->Rets[I] + "' bound",
+             SL.Def);
+    }
+    if (F->Post)
+      oblige(ObKind::Check, Fault::PostconditionFailed,
+             "ensures clause of '" + S.Callee + "'",
+             evalE(*F->Post, CalleeL));
+    for (size_t I = 0; I < S.Dsts.size(); ++I)
+      L[S.Dsts[I]] = {lookup(CalleeL, F->Rets[I]).Val, Arena.trueRef()};
+  }
+
+  void bindFresh(const std::vector<std::string> &Dsts, SymLocals &L) {
+    for (const std::string &D : Dsts)
+      L[D] = {Arena.var("havoc." + D, VarOrigin::Havoc), Arena.trueRef()};
+  }
+
+  /// vcextern: the MMIO contract of MmioExtSpec, checked symbolically.
+  /// MMIOREAD returns a model-chosen value (the device may answer
+  /// anything); the guarded event list lets replay script those answers.
+  void execInteract(const Stmt &S, SymLocals &L) {
+    bool IsRead = S.Callee == "MMIOREAD";
+    bool IsWrite = S.Callee == "MMIOWRITE";
+    if (!IsRead && !IsWrite) {
+      oblige(ObKind::Check, Fault::ExtContractViolation,
+             "external action '" + S.Callee + "' known", Arena.falseRef());
+      bindFresh(S.Dsts, L);
+      return;
+    }
+    size_t WantArgs = IsRead ? 1 : 2;
+    if (S.Args.size() != WantArgs) {
+      oblige(ObKind::Check, Fault::ExtContractViolation,
+             "'" + S.Callee + "' arity", Arena.falseRef());
+      bindFresh(S.Dsts, L);
+      return;
+    }
+    if (S.Dsts.size() != (IsRead ? 1u : 0u)) {
+      oblige(ObKind::Check, Fault::ArityMismatch,
+             "'" + S.Callee + "' result arity", Arena.falseRef());
+      bindFresh(S.Dsts, L);
+      return;
+    }
+    std::vector<ExprRef> ArgVals;
+    for (const bedrock2::ExprPtr &A : S.Args)
+      ArgVals.push_back(evalE(*A, L));
+    ExprRef Addr = ArgVals[0];
+    // The MmioExtSpec contract: a word-aligned MMIO-window address that
+    // does not overlap physical RAM.
+    ExprRef InGpio = Arena.ltu(Arena.sub(Addr, Arena.constant(devices::GpioBase)),
+                               Arena.constant(devices::GpioSize));
+    ExprRef InSpi = Arena.ltu(Arena.sub(Addr, Arena.constant(devices::SpiBase)),
+                              Arena.constant(devices::SpiSize));
+    ExprRef Contract = Arena.boolAnd(
+        Arena.boolOr(InGpio, InSpi),
+        Arena.boolAnd(alignedCond(Addr, 4),
+                      Arena.boolNot(
+                          Arena.ltu(Addr, Arena.constant(Opts.RamBytes)))));
+    oblige(ObKind::Check, Fault::ExtContractViolation,
+           "'" + S.Callee + "' MMIO contract", Contract);
+
+    SymEvent Ev;
+    Ev.Guard = Guard;
+    Ev.IsRead = IsRead;
+    Ev.Addr = Addr;
+    Ev.ReadVar = 0;
+    if (IsRead) {
+      ExprRef V = Arena.var("mmio.read", VarOrigin::MmioRead);
+      Ev.Value = V;
+      Ev.ReadVar = Arena.node(V).Lit;
+      L[S.Dsts[0]] = {V, Arena.trueRef()};
+    } else {
+      Ev.Value = ArgVals[1];
+    }
+    Events.push_back(Ev);
+  }
+
+  void execStackalloc(const Stmt &S, SymLocals &L, unsigned Depth) {
+    if (S.NBytes == 0 || S.NBytes % 4 != 0) {
+      oblige(ObKind::Check, Fault::StackallocMisuse,
+             "stackalloc size " + std::to_string(S.NBytes) + " valid",
+             Arena.falseRef());
+      // The interpreter faults before running the body; this path is dead.
+      return;
+    }
+    // Mirror the interpreter's deterministic address policy so models
+    // replay: addresses are concrete, the region enters the footprint,
+    // and its bytes start zeroed.
+    StackNext -= S.NBytes;
+    Word Base = StackNext;
+    Live.push_back({Base, S.NBytes});
+    MemEntry E;
+    E.K = MemEntry::Zero;
+    E.Guard = Guard;
+    E.Base = Base;
+    E.Len = S.NBytes;
+    Log.push_back(E);
+    // The interpreter leaves the pointer variable bound after the block
+    // (only the *ownership* is lexical), so we do too.
+    L[S.Var] = {Arena.constant(Base), Arena.trueRef()};
+    if (S.S1)
+      execS(*S.S1, L, Depth);
+    Live.pop_back();
+    StackNext += S.NBytes;
+  }
+};
+
+} // namespace
+
+WpResult genVCs(const Program &P, const std::string &Func, ExprArena &Arena,
+                const WpOptions &Opts) {
+  WpGen G(P, Arena, Opts);
+  return G.run(Func);
+}
+
+} // namespace vc
+} // namespace b2

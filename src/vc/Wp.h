@@ -1,0 +1,98 @@
+//===- vc/Wp.h - Weakest-precondition VC generator -------------*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static counterpart of the checking interpreter: a guard-based
+/// single-pass symbolic executor that walks a Bedrock2 function and emits
+/// one proof obligation per side condition the interpreter would check at
+/// runtime — exactly the paper's vcgen obligations (§4.1), reified as
+/// bitvector formulas.
+///
+/// The discipline that makes counterexamples *replayable* is obligation
+/// chaining: obligations are emitted in program order, and each proved or
+/// pending obligation (guard → condition) is added to the assumption set
+/// of every later obligation in the same scope. A model for obligation k
+/// therefore satisfies every earlier runtime check on its path, so the
+/// checking interpreter, run on the model's inputs, walks straight to the
+/// k-th check and faults there — with the exact Fault enumerator the
+/// obligation predicted. Constructs the interpreter resolves
+/// nondeterministically are pinned to its deterministic policy (stackalloc
+/// addresses are computed concretely from StackallocPolicy) or turned into
+/// model-chosen symbols that replay can script (MMIOREAD results).
+///
+/// Two sources of incompleteness are tracked honestly rather than hidden:
+/// annotated loops havoc their written state at the head (a counterexample
+/// touching havocked state may fail to replay, and is then demoted to
+/// Unknown by the driver), and annotation-free loops are unrolled to a
+/// bound, with a Coverage obligation recording the residue — a Coverage
+/// failure caps the verdict at Unknown, never Counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_WP_H
+#define B2_VC_WP_H
+
+#include "bedrock2/Ast.h"
+#include "bedrock2/Semantics.h"
+#include "vc/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+enum class ObKind : uint8_t {
+  Check,    ///< A runtime check: a model is a candidate counterexample.
+  Coverage, ///< A completeness side condition (unroll bound, call depth):
+            ///< failure to prove means Unknown, never Counterexample.
+};
+
+struct Obligation {
+  ObKind Kind;
+  bedrock2::Fault Expected; ///< Fault the interpreter reports if this fails.
+  std::string Where;        ///< Human-readable description / location.
+  ExprRef Guard;            ///< 0/1 path condition.
+  ExprRef Cond;             ///< Must be nonzero whenever Guard is.
+  std::vector<ExprRef> Assumes; ///< Nonzero-word assumptions in scope.
+  bool HavocTainted;        ///< References havocked loop-head state; a
+                            ///< counterexample may not replay concretely.
+};
+
+/// One symbolic MMIO interaction, in program order, for replay scripting.
+struct SymEvent {
+  ExprRef Guard;     ///< 0/1: the event occurs iff this holds.
+  bool IsRead;       ///< MMIOREAD vs MMIOWRITE.
+  ExprRef Addr;
+  ExprRef Value;     ///< Written value, or the read's fresh variable.
+  unsigned ReadVar;  ///< Arena var id of the read result (IsRead only).
+};
+
+struct WpOptions {
+  unsigned UnrollBound = 8;  ///< Iterations for annotation-free loops.
+  unsigned MaxCallDepth = 16;
+  Word RamBytes = 64 * 1024; ///< MMIO must not overlap [0, RamBytes).
+  bedrock2::StackallocPolicy Stack;
+};
+
+struct WpResult {
+  bool Ok = false;
+  std::string Error; ///< Set when !Ok (e.g. unknown function).
+  std::vector<Obligation> Obligations;
+  std::vector<SymEvent> Events;
+  std::vector<unsigned> ParamVars; ///< Arena var ids of the entry params.
+};
+
+/// Generates the verification conditions for \p Func of \p P into \p Arena.
+WpResult genVCs(const bedrock2::Program &P, const std::string &Func,
+                ExprArena &Arena, const WpOptions &Opts = WpOptions());
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_WP_H

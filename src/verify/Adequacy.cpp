@@ -36,6 +36,7 @@
 #include "verify/EndToEnd.h"
 #include "verify/Lockstep.h"
 #include "verify/Refinement.h"
+#include "vc/Vc.h"
 
 #include <array>
 #include <functional>
@@ -67,6 +68,8 @@ const char *b2::verify::checkerName(Checker C) {
     return "SnapDiff";
   case Checker::BlockDiff:
     return "BlockDiff";
+  case Checker::VcCheck:
+    return "VcCheck";
   case Checker::NumCheckers:
     break;
   }
@@ -719,7 +722,7 @@ std::vector<Stim> soakMonitorStims() {
 // runs equally and never trips this column; only a fault in the
 // checkpoint layer itself (SnapStateStaleLatch corrupts one restored SPI
 // latch) makes the resumed run diverge. Kept on the ISA simulator so the
-// full 34-fault matrix stays cheap; the fuzz tests cover all three cores.
+// full 36-fault matrix stays cheap; the fuzz tests cover all three cores.
 
 bool snapDiffFails(uint64_t Seed, uint64_t Frames, size_t Depth,
                    std::string &Detail) {
@@ -859,6 +862,82 @@ std::vector<Stim> blockDiffStims() {
   };
 }
 
+// -- VcCheck column ----------------------------------------------------------
+//
+// The symbolic VC engine checked against the interpreter from both sides.
+// A Counterexample verdict must arrive with a model the checking
+// interpreter *confirms* — a SAT backend that corrupts its models
+// (vc-solver-bad-model) produces unconfirmed counterexamples, which the
+// engine demotes to Unknown and these stims reject. And a buggy contract
+// must never verify Valid: the concrete probes behind every Valid verdict
+// expose a WP generator that loses obligations (vc-wp-dropped-conjunct).
+// The stims are stackalloc-free and extern-free so faults owned by other
+// columns cannot perturb this column's baseline.
+
+bool vcVerdictFails(const char *Src, const char *Fn, vc::Verdict Want,
+                    bedrock2::Fault WantFault, std::string &Detail) {
+  bedrock2::ParseResult P = bedrock2::parseProgram(Src);
+  if (!P.ok()) {
+    Detail = "stimulus parse error: " + P.Error;
+    return true;
+  }
+  vc::FuncReport R = vc::verifyFunction(*P.Prog, Fn, "adequacy");
+  if (R.Unconfirmed != 0) {
+    Detail = std::to_string(R.Unconfirmed) +
+             " unconfirmed symbolic counterexample(s) on '" + Fn + "'";
+    return true;
+  }
+  if (R.V != Want) {
+    Detail = std::string("expected ") + vc::verdictName(Want) + " for '" +
+             Fn + "', got " + vc::verdictName(R.V) +
+             (R.CexDetail.empty() ? std::string()
+                                  : " (" + R.CexDetail + ")");
+    return true;
+  }
+  if (Want == vc::Verdict::Counterexample && R.CexFault != WantFault) {
+    Detail = std::string("counterexample for '") + Fn + "' replayed to " +
+             bedrock2::faultName(R.CexFault) + ", expected " +
+             bedrock2::faultName(WantFault);
+    return true;
+  }
+  return false;
+}
+
+std::vector<Stim> vcCheckStims() {
+  return {
+      // A magic-constant contract violation: the solver must find the one
+      // input in 2^32 that triggers it, and the interpreter must confirm
+      // the model. A corrupted model misses the trigger, fails replay,
+      // and the verdict degrades to Unknown — a kill.
+      {"counterexample-confirms", [](std::string &D) {
+         return vcVerdictFails(
+             "fn trig(a) -> (r) ensures (r < 2) {"
+             "  r = 1; if (a == 0x1234ABCD) { r = 2; } }",
+             "trig", vc::Verdict::Counterexample,
+             bedrock2::Fault::PostconditionFailed, D);
+       }},
+      // An always-wrong postcondition: must be a confirmed counterexample.
+      // A WP generator that drops the ensures obligation answers Valid
+      // instead, and the seeded concrete probes behind Valid verdicts
+      // contradict it.
+      {"valid-probes", [](std::string &D) {
+         return vcVerdictFails(
+             "fn bump(a) -> (r) ensures (r == a + 1) { r = a + 2; }",
+             "bump", vc::Verdict::Counterexample,
+             bedrock2::Fault::PostconditionFailed, D);
+       }},
+      // A correct contract must stay Valid (the baseline row's guard
+      // against a trigger-happy engine).
+      {"valid-stays-valid", [](std::string &D) {
+         return vcVerdictFails(
+             "fn absdiff(a, b) -> (r)"
+             "  ensures ((r == a - b) | (r == b - a)) {"
+             "  if (a < b) { r = b - a; } else { r = a - b; } }",
+             "absdiff", vc::Verdict::Valid, bedrock2::Fault::None, D);
+       }},
+  };
+}
+
 std::vector<Stim> columnStims(Checker C) {
   switch (C) {
   case Checker::CompilerDiff:
@@ -881,6 +960,8 @@ std::vector<Stim> columnStims(Checker C) {
     return snapDiffStims();
   case Checker::BlockDiff:
     return blockDiffStims();
+  case Checker::VcCheck:
+    return vcCheckStims();
   case Checker::NumCheckers:
     break;
   }
@@ -924,7 +1005,7 @@ const fi::FaultInfo *infoFor(fi::Fault F) {
 } // namespace
 
 std::vector<fi::Fault> b2::verify::quickFaultSet() {
-  // One or two faults per layer; all ten owner columns exercised.
+  // One or two faults per layer; all eleven owner columns exercised.
   return {
       fi::Fault::CompilerImmTruncate,
       fi::Fault::CompilerStackallocNoZero,
@@ -939,6 +1020,8 @@ std::vector<fi::Fault> b2::verify::quickFaultSet() {
       fi::Fault::BcAllocSkew,
       fi::Fault::TrafficGenUnseededFrame,
       fi::Fault::SnapStateStaleLatch,
+      fi::Fault::VcWpDroppedConjunct,
+      fi::Fault::VcSolverBadModel,
   };
 }
 

@@ -67,6 +67,9 @@ enum class Checker : uint8_t {
   SoakMonitor,      ///< Traffic soak harness and streaming monitor.
   SnapDiff,         ///< Snapshot-resume vs. straight-through identity.
   BlockDiff,        ///< Superblock trace engine vs. reference stepper.
+  VcCheck,          ///< Symbolic VC engine vs. checking interpreter:
+                    ///< counterexamples must replay concretely, Valid
+                    ///< verdicts must survive seeded concrete probes.
   NumCheckers,      ///< Count sentinel; not a checker.
 };
 

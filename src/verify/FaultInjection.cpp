@@ -129,6 +129,13 @@ const std::vector<FaultInfo> &b2::fi::faultRegistry() {
        "SnapDiff",
        "checkpoint restore leaves the SPI shifter-busy latch stale, so "
        "a snapshot-resumed run diverges from the straight-through run"},
+      // -- VC subsystem --------------------------------------------------------
+      {Fault::VcWpDroppedConjunct, "vc-wp-dropped-conjunct", "vc", "VcCheck",
+       "the WP generator drops the entry function's postcondition "
+       "obligation, so buggy contracts verify Valid"},
+      {Fault::VcSolverBadModel, "vc-solver-bad-model", "vc", "VcCheck",
+       "the SAT backend flips one bit of every model it returns, so "
+       "symbolic counterexamples describe no real execution"},
   };
   return Registry;
 }

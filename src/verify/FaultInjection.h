@@ -108,6 +108,13 @@ enum class Fault : uint8_t {
   SnapStateStaleLatch,        ///< Checkpoint restore leaves the SPI
                               ///< shifter-busy latch stale, so a resumed
                               ///< run diverges from straight-through.
+  // -- VC subsystem bugs (owned by VcCheck) --------------------------------
+  VcWpDroppedConjunct,        ///< The WP generator drops the entry
+                              ///< function's postcondition obligation, so
+                              ///< buggy contracts verify Valid.
+  VcSolverBadModel,           ///< The SAT backend corrupts one bit of
+                              ///< every model it returns, so symbolic
+                              ///< counterexamples describe no real run.
 
   NumFaults, ///< Count sentinel; not a fault.
 };

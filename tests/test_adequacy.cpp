@@ -7,7 +7,7 @@
 // Tier-1 coverage for the fault-injection adequacy campaign itself: the
 // injection kernel, the no-false-positive baseline, one representative
 // seeded fault per stack layer killed by its owning checker, and
-// bit-identical reports at every thread count. The full 34-fault matrix
+// bit-identical reports at every thread count. The full 36-fault matrix
 // runs as the `adequacy` CI tier (tools/adequacy).
 //
 //===----------------------------------------------------------------------===//
@@ -86,7 +86,8 @@ TEST(Adequacy, QuickFaultSetSpansEveryLayer) {
     Owners.insert(Info->Owner);
   }
   EXPECT_EQ(Layers, (std::set<std::string>{"compiler", "sim", "kami",
-                                           "devices", "interp", "traffic"}));
+                                           "devices", "interp", "traffic",
+                                           "vc"}));
   EXPECT_EQ(Owners.size(), size_t(NumCheckers))
       << "every checker column should own at least one quick-set fault";
 }
@@ -148,6 +149,18 @@ TEST(Adequacy, BlockEngineStaleSuperblockFaultKilled) {
 
 TEST(Adequacy, BlockEngineFusedClobberFaultKilled) {
   expectOwnerKills("sim-fused-op-flag-clobber");
+}
+
+// The VC engine's own faults: both must fall to the VcCheck column. A
+// dropped WP conjunct turns a buggy contract Valid (caught by the concrete
+// probes behind Valid verdicts); a corrupted solver model turns a real
+// counterexample unconfirmed (caught by the replay discipline).
+TEST(Adequacy, VcDroppedConjunctFaultKilled) {
+  expectOwnerKills("vc-wp-dropped-conjunct");
+}
+
+TEST(Adequacy, VcSolverBadModelFaultKilled) {
+  expectOwnerKills("vc-solver-bad-model");
 }
 
 // -- Error handling ----------------------------------------------------------

@@ -1,0 +1,307 @@
+//===- tests/test_vc.cpp - Symbolic VC engine tests -------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tier-1 coverage for src/vc: the expression DAG's rewrites and hash
+// consing, the bit-blasting solver fuzzed against brute force and the
+// concrete Word semantics, the WP generator's agreement with the checking
+// interpreter over the annotated corpus (every counterexample must replay
+// to the predicted runtime fault; every Valid verdict must survive seeded
+// concrete probes), and bit-for-bit determinism of the whole engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "support/Rng.h"
+#include "vc/Corpus.h"
+#include "vc/Vc.h"
+
+#include <gtest/gtest.h>
+
+using namespace b2;
+using namespace b2::vc;
+using bedrock2::BinOp;
+
+// -- Expression DAG ----------------------------------------------------------
+
+TEST(VcExpr, HashConsingSharesStructurallyEqualNodes) {
+  ExprArena A;
+  ExprRef X = A.var("x", VarOrigin::Param);
+  ExprRef Y = A.var("y", VarOrigin::Param);
+  EXPECT_NE(X, Y) << "vars are never consed";
+  EXPECT_EQ(A.op(BinOp::Add, X, Y), A.op(BinOp::Add, X, Y));
+  EXPECT_EQ(A.constant(42), A.constant(42));
+  // Commutative canonicalization: both orders intern to one node.
+  EXPECT_EQ(A.op(BinOp::Add, X, Y), A.op(BinOp::Add, Y, X));
+  EXPECT_EQ(A.op(BinOp::And, X, Y), A.op(BinOp::And, Y, X));
+  // Operand order matters for non-commutative ops.
+  EXPECT_NE(A.op(BinOp::Sub, X, Y), A.op(BinOp::Sub, Y, X));
+}
+
+TEST(VcExpr, ConstantFoldingUsesWordSemantics) {
+  ExprArena A;
+  Word V = 0;
+  ASSERT_TRUE(A.constValue(
+      A.op(BinOp::Add, A.constant(0xFFFFFFFF), A.constant(2)), V));
+  EXPECT_EQ(V, 1u) << "wraparound addition";
+  ASSERT_TRUE(A.constValue(
+      A.op(BinOp::Divu, A.constant(7), A.constant(0)), V));
+  EXPECT_EQ(V, 0xFFFFFFFFu) << "RISC-V divide-by-zero convention";
+  ASSERT_TRUE(A.constValue(
+      A.op(BinOp::Sru, A.constant(0x80000000), A.constant(31)), V));
+  EXPECT_EQ(V, 1u);
+  ASSERT_TRUE(A.constValue(
+      A.op(BinOp::Srs, A.constant(0x80000000), A.constant(31)), V));
+  EXPECT_EQ(V, 0xFFFFFFFFu) << "arithmetic shift drags the sign";
+}
+
+TEST(VcExpr, AlgebraicIdentities) {
+  ExprArena A;
+  ExprRef X = A.var("x", VarOrigin::Param);
+  ExprRef Zero = A.constant(0);
+  EXPECT_EQ(A.op(BinOp::Add, X, Zero), X);
+  EXPECT_EQ(A.op(BinOp::Xor, X, Zero), X);
+  EXPECT_EQ(A.op(BinOp::Mul, X, A.constant(1)), X);
+  EXPECT_EQ(A.op(BinOp::And, X, Zero), Zero);
+  EXPECT_EQ(A.op(BinOp::Sub, X, X), Zero);
+  EXPECT_EQ(A.op(BinOp::Xor, X, X), Zero);
+  EXPECT_EQ(A.op(BinOp::Ltu, X, X), Zero);
+  EXPECT_EQ(A.op(BinOp::Or, X, X), X);
+  EXPECT_EQ(A.op(BinOp::Eq, X, X), A.constant(1));
+}
+
+TEST(VcExpr, BooleanNormalization) {
+  ExprArena A;
+  ExprRef X = A.var("x", VarOrigin::Param);
+  ExprRef Y = A.var("y", VarOrigin::Param);
+  ExprRef B = A.ltu(X, Y); // Already 0/1-valued.
+  EXPECT_TRUE(A.node(B).Is01);
+  EXPECT_EQ(A.toBool(B), B) << "toBool is the identity on 0/1 nodes";
+  EXPECT_NE(A.toBool(X), X) << "a raw word needs normalization";
+  EXPECT_TRUE(A.node(A.toBool(X)).Is01);
+  // Double negation on a 0/1 node cancels.
+  EXPECT_EQ(A.boolNot(A.boolNot(B)), B);
+  // Folding through implies: a true guard reduces to the condition.
+  EXPECT_EQ(A.implies(A.trueRef(), B), B);
+  EXPECT_EQ(A.implies(A.falseRef(), B), A.trueRef());
+}
+
+TEST(VcExpr, IteFolds) {
+  ExprArena A;
+  ExprRef X = A.var("x", VarOrigin::Param);
+  ExprRef Y = A.var("y", VarOrigin::Param);
+  ExprRef B = A.ltu(X, Y);
+  EXPECT_EQ(A.ite(A.trueRef(), X, Y), X);
+  EXPECT_EQ(A.ite(A.falseRef(), X, Y), Y);
+  EXPECT_EQ(A.ite(B, X, X), X) << "equal arms fold";
+  EXPECT_EQ(A.ite(B, A.constant(1), A.constant(0)), B);
+}
+
+TEST(VcExpr, EvalAllMatchesConcreteSemantics) {
+  ExprArena A;
+  ExprRef X = A.var("x", VarOrigin::Param);
+  ExprRef Y = A.var("y", VarOrigin::Param);
+  ExprRef E = A.ite(A.ltu(X, Y), A.op(BinOp::Mul, X, Y),
+                    A.op(BinOp::Sub, X, Y));
+  EXPECT_EQ(A.eval(E, {3, 5}), 15u);
+  EXPECT_EQ(A.eval(E, {5, 3}), 2u);
+}
+
+// -- Bit-blasting solver -----------------------------------------------------
+
+namespace {
+
+/// Asserts that the constraint set is satisfiable and the model checks out
+/// under the arena's own evaluator.
+void expectSat(ExprArena &A, const std::vector<ExprRef> &Cs) {
+  SolveResult R = solve(A, Cs);
+  ASSERT_EQ(R.Status, SolveStatus::Sat);
+  std::vector<Word> Vals = A.evalAll(R.Model);
+  for (ExprRef C : Cs)
+    EXPECT_NE(Vals[C], 0u) << "model violates a constraint";
+}
+
+} // namespace
+
+TEST(VcSolve, ConcreteOpEquationsAgainstWordSemantics) {
+  // For every operator and a battery of operand pairs: x == a && y == b
+  // entails op(x, y) == evalBinOp(op, a, b), and contradicts any other
+  // value. This pins the bit-level encodings (adders, shifters,
+  // multiplier, divider) to the simulator's Word semantics.
+  const BinOp Ops[] = {BinOp::Add,    BinOp::Sub,  BinOp::Mul,
+                       BinOp::MulHuu, BinOp::Divu, BinOp::Remu,
+                       BinOp::And,    BinOp::Or,   BinOp::Xor,
+                       BinOp::Sru,    BinOp::Slu,  BinOp::Srs,
+                       BinOp::Lts,    BinOp::Ltu,  BinOp::Eq};
+  support::Rng R(0xb1a57);
+  for (BinOp O : Ops) {
+    for (unsigned Trial = 0; Trial != 6; ++Trial) {
+      Word WA = R.interestingWord();
+      Word WB = Trial == 0 ? 0 : R.interestingWord(); // Divide-by-zero leg.
+      Word Want = bedrock2::evalBinOp(O, WA, WB);
+      ExprArena A;
+      ExprRef X = A.var("x", VarOrigin::Param);
+      ExprRef Y = A.var("y", VarOrigin::Param);
+      ExprRef App = A.op(O, X, Y);
+      std::vector<ExprRef> Pin = {A.eq(X, A.constant(WA)),
+                                  A.eq(Y, A.constant(WB))};
+      std::vector<ExprRef> Good = Pin;
+      Good.push_back(A.eq(App, A.constant(Want)));
+      expectSat(A, Good);
+      std::vector<ExprRef> Bad = Pin;
+      Bad.push_back(A.eq(App, A.constant(Want ^ 1)));
+      EXPECT_EQ(solve(A, Bad).Status, SolveStatus::Unsat)
+          << "op " << int(O) << " on " << WA << ", " << WB;
+    }
+  }
+}
+
+TEST(VcSolve, FuzzAgainstBruteForceOnSmallFormulas) {
+  // Random formulas over four 1-bit variables, checked against exhaustive
+  // enumeration of all 16 assignments.
+  support::Rng R(0xf0f0);
+  for (unsigned Trial = 0; Trial != 60; ++Trial) {
+    ExprArena A;
+    std::vector<ExprRef> Bits;
+    std::vector<unsigned> VarIds;
+    for (unsigned I = 0; I != 4; ++I) {
+      ExprRef V = A.var("b" + std::to_string(I), VarOrigin::Param);
+      VarIds.push_back(A.node(V).Lit);
+      Bits.push_back(A.op(BinOp::And, V, A.constant(1)));
+    }
+    // Grow a random term pool over the bits.
+    std::vector<ExprRef> Pool = Bits;
+    const BinOp Mix[] = {BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Eq,
+                         BinOp::Add, BinOp::Ltu};
+    for (unsigned I = 0; I != 8; ++I) {
+      ExprRef L = Pool[R.below(uint32_t(Pool.size()))];
+      ExprRef Rh = Pool[R.below(uint32_t(Pool.size()))];
+      Pool.push_back(A.op(Mix[R.below(6)], L, Rh));
+    }
+    ExprRef F = A.toBool(Pool.back());
+    // The formula reaches each variable only through (v & 1), so
+    // enumerating the 16 low-bit assignments is exhaustive.
+    bool AnySat = false;
+    for (unsigned M = 0; M != 16 && !AnySat; ++M) {
+      std::vector<Word> Vals(A.numVars(), 0);
+      for (unsigned I = 0; I != 4; ++I)
+        Vals[VarIds[I]] = (M >> I) & 1;
+      if (A.eval(F, Vals) != 0)
+        AnySat = true;
+    }
+    std::vector<ExprRef> Cs = {F};
+    SolveResult S = solve(A, Cs);
+    if (AnySat) {
+      ASSERT_EQ(S.Status, SolveStatus::Sat) << "trial " << Trial;
+      std::vector<Word> Vals = A.evalAll(S.Model);
+      for (ExprRef C : Cs)
+        EXPECT_NE(Vals[C], 0u);
+    } else {
+      EXPECT_EQ(S.Status, SolveStatus::Unsat) << "trial " << Trial;
+    }
+  }
+}
+
+TEST(VcSolve, BudgetExhaustionIsUnknownNotWrong) {
+  // Refuting multiplier associativity is classically hard for CDCL —
+  // far beyond a 16-conflict budget. The instance is UNSAT, so the only
+  // honest answer under the budget is Unknown, never Sat.
+  ExprArena A;
+  ExprRef X = A.var("x", VarOrigin::Param);
+  ExprRef Y = A.var("y", VarOrigin::Param);
+  ExprRef Z = A.var("z", VarOrigin::Param);
+  ExprRef L = A.op(BinOp::Mul, A.op(BinOp::Mul, X, Y), Z);
+  ExprRef R2 = A.op(BinOp::Mul, X, A.op(BinOp::Mul, Y, Z));
+  std::vector<ExprRef> Cs = {A.boolNot(A.eq(L, R2))};
+  SolveOptions O;
+  O.ConflictBudget = 16;
+  SolveResult R = solve(A, Cs, O);
+  EXPECT_EQ(R.Status, SolveStatus::Unknown);
+}
+
+// -- WP / interpreter agreement ----------------------------------------------
+
+TEST(VcWp, CorrectCorpusVerifiesValid) {
+  for (const VcExample &E : vcExamples()) {
+    FuncReport R = verifyFunction(E.Prog, E.Func, E.Name);
+    EXPECT_EQ(R.V, Verdict::Valid) << E.Name << ": " << R.CexDetail;
+    EXPECT_EQ(R.Unconfirmed, 0u) << E.Name;
+    EXPECT_EQ(R.ProbeViolations, 0u) << E.Name;
+    EXPECT_TRUE(R.Error.empty()) << E.Name << ": " << R.Error;
+  }
+}
+
+TEST(VcWp, BuggyCorpusYieldsConfirmedCounterexamples) {
+  for (const VcBugExample &E : vcBugExamples()) {
+    FuncReport R = verifyFunction(E.Prog, E.Func, E.Name);
+    EXPECT_EQ(R.V, Verdict::Counterexample) << E.Name;
+    EXPECT_EQ(R.CexFault, E.Expected)
+        << E.Name << " replayed to the wrong fault";
+    EXPECT_EQ(R.Unconfirmed, 0u)
+        << E.Name << ": a counterexample failed to replay";
+  }
+}
+
+TEST(VcWp, CounterexampleModelsReplayInTheInterpreter) {
+  // The replay contract, end to end, on the magic-constant bug: the model
+  // must carry the one triggering input.
+  for (const VcBugExample &E : vcBugExamples()) {
+    if (E.Name != "trig_bug")
+      continue;
+    FuncReport R = verifyFunction(E.Prog, E.Func, E.Name);
+    ASSERT_EQ(R.V, Verdict::Counterexample);
+    ASSERT_EQ(R.CexArgs.size(), 1u);
+    EXPECT_EQ(R.CexArgs[0], 0x1234ABCDu)
+        << "the solver must find the single triggering input";
+  }
+}
+
+TEST(VcWp, UnknownFunctionIsAnError) {
+  std::vector<VcExample> Ex = vcExamples();
+  ASSERT_FALSE(Ex.empty());
+  FuncReport R = verifyFunction(Ex[0].Prog, "no_such_fn", "test");
+  EXPECT_EQ(R.V, Verdict::Unknown);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_NE(R.Error.find("no_such_fn"), std::string::npos);
+}
+
+TEST(VcWp, FirmwareContractsDischargeStatically) {
+  app::FirmwareOptions Fw;
+  Fw.Timeouts = true;
+  bedrock2::Program P = app::buildFirmware(Fw);
+  for (const char *Fn : {"spi_write", "spi_read"}) {
+    FuncReport R = verifyFunction(P, Fn, "firmware");
+    EXPECT_EQ(R.V, Verdict::Valid) << Fn << ": " << R.CexDetail;
+    EXPECT_EQ(R.Unconfirmed, 0u) << Fn;
+  }
+}
+
+// -- Determinism -------------------------------------------------------------
+
+TEST(VcDeterminism, ReportsAreBitIdenticalAcrossReruns) {
+  std::vector<FuncReport> A, B;
+  for (const VcExample &E : vcExamples()) {
+    A.push_back(verifyFunction(E.Prog, E.Func, E.Name));
+    B.push_back(verifyFunction(E.Prog, E.Func, E.Name));
+  }
+  EXPECT_EQ(vcJson(A), vcJson(B));
+  EXPECT_NE(vcJson(A).find("\"schema\":\"b2stack-vc-v1\""),
+            std::string::npos);
+}
+
+TEST(VcDeterminism, VerdictsStableAcrossBudgets) {
+  // A larger conflict budget may only move Unknown toward a definite
+  // verdict, never flip Valid <-> Counterexample; on this corpus every
+  // verdict is definite at both budgets, so they must be identical.
+  for (const VcExample &E : vcExamples()) {
+    VcOptions Small, Large;
+    Small.Solve.ConflictBudget = 50'000;
+    Large.Solve.ConflictBudget = 500'000;
+    FuncReport RS = verifyFunction(E.Prog, E.Func, E.Name, Small);
+    FuncReport RL = verifyFunction(E.Prog, E.Func, E.Name, Large);
+    EXPECT_EQ(RS.V, RL.V) << E.Name;
+    EXPECT_EQ(RS.Proved, RL.Proved) << E.Name;
+  }
+}

@@ -52,6 +52,8 @@ BENCH_FILES = {
                         "frames_per_sec"),
     "BENCH_shrink.json": ("shrinks", ("scenario", "oracle"),
                           "speedup_vs_cold"),
+    "BENCH_vc.json": ("funcs", ("func", "program"),
+                      "vcs_per_sec"),
 }
 
 METRICS_SCHEMA = "b2stack-metrics-v1"
@@ -107,11 +109,31 @@ def _derived_soak(c):
     }
 
 
+def _derived_vc(c):
+    vcs = c.get("vc.vcs.generated")
+    confirmed = c.get("vc.replay.confirmed") or 0
+    unconfirmed = c.get("vc.replay.unconfirmed") or 0
+    replays = confirmed + unconfirmed
+    return {
+        # Solver effort per obligation: drift means the WP encoding or
+        # the solver's search changed, not that the corpus grew.
+        "conflicts_per_vc": _rate(c.get("vc.solver.conflicts"), vcs),
+        "clauses_per_vc": _rate(c.get("vc.solver.clauses"), vcs),
+        "dag_nodes_per_func": _rate(c.get("vc.dag.nodes"),
+                                    c.get("vc.funcs.checked")),
+        "replay_confirm_rate":
+            _rate(confirmed, replays if replays else 0),
+        "proved_rate": _rate(c.get("vc.verdict.valid"),
+                             c.get("vc.funcs.checked")),
+    }
+
+
 # file name -> derived-metric function over the flattened counter dict.
 METRICS_FILES = {
     "METRICS_sim.json": _derived_sim,
     "METRICS_interp.json": _derived_interp,
     "METRICS_soak.json": _derived_soak,
+    "METRICS_vc.json": _derived_vc,
 }
 
 

@@ -125,9 +125,15 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--scenario" && I + 1 < Argc) {
       Scenario = Argv[++I];
       if (!isScenario(Scenario)) {
-        std::fprintf(stderr, "soak: unknown scenario '%s' (try "
-                             "--list-scenarios)\n",
-                     Scenario.c_str());
+        std::string Valid;
+        for (const ScenarioInfo &S : scenarioCatalog()) {
+          if (!Valid.empty())
+            Valid += ", ";
+          Valid += S.Name;
+        }
+        std::fprintf(stderr,
+                     "soak: unknown scenario '%s'; valid names are: %s\n",
+                     Scenario.c_str(), Valid.c_str());
         return 2;
       }
     } else if (Arg == "--core" && I + 1 < Argc) {

@@ -1,0 +1,219 @@
+//===- tools/vc.cpp - Symbolic VC engine CLI --------------------------------==//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the symbolic VC engine (src/vc) over the contracted firmware
+// functions and the annotated example corpus, and emits VC.json (schema
+// b2stack-vc-v1) plus METRICS_vc.json. Exit status:
+//
+//   0  every function Valid or honestly Unknown (budget/coverage residue)
+//   1  a confirmed counterexample, an unconfirmed symbolic model outside
+//      a havocked loop head, or a VC-generation error
+//   2  bad usage / unknown --func or --program name
+//
+//   vc [--program firmware|examples|all] [--func NAME] [--budget N]
+//      [--unroll N] [--probes N] [--json PATH] [--metrics PATH]
+//      [--list-funcs]
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Firmware.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "vc/Corpus.h"
+#include "vc/Vc.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace b2;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--program firmware|examples|all] [--func NAME]\n"
+      "          [--budget N] [--unroll N] [--probes N]\n"
+      "          [--json PATH] [--metrics PATH] [--list-funcs]\n"
+      "\n"
+      "  --program WHICH  contract set to verify (default: all)\n"
+      "  --func NAME      verify one function only (see --list-funcs)\n"
+      "  --budget N       solver conflict budget per obligation\n"
+      "                   (default: 200000)\n"
+      "  --unroll N       bound for annotation-free loops (default: 8)\n"
+      "  --probes N       concrete runs stress-testing each Valid verdict\n"
+      "                   (default: 16)\n"
+      "  --json PATH      where to write the report (default: VC.json)\n"
+      "  --metrics PATH   where to write the metrics report\n"
+      "                   (default: METRICS_vc.json)\n"
+      "  --list-funcs     print the verifiable function names and exit\n",
+      Argv0);
+  return 2;
+}
+
+/// One verification target: a program (shared), its label, and the entry.
+struct Target {
+  std::string Program; ///< "firmware" or the corpus example name.
+  std::string Func;
+  const bedrock2::Program *Prog;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Which = "all";
+  std::string OnlyFunc;
+  std::string JsonPath = "VC.json";
+  std::string MetricsPath = "METRICS_vc.json";
+  vc::VcOptions Opts;
+  bool ListFuncs = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--program" && I + 1 < Argc) {
+      Which = Argv[++I];
+      if (Which != "firmware" && Which != "examples" && Which != "all") {
+        std::fprintf(stderr,
+                     "vc: unknown program set '%s'; valid names are: "
+                     "firmware, examples, all\n",
+                     Which.c_str());
+        return 2;
+      }
+    } else if (Arg == "--func" && I + 1 < Argc) {
+      OnlyFunc = Argv[++I];
+    } else if (Arg == "--budget" && I + 1 < Argc) {
+      Opts.Solve.ConflictBudget = uint64_t(std::atoll(Argv[++I]));
+    } else if (Arg == "--unroll" && I + 1 < Argc) {
+      Opts.Wp.UnrollBound = unsigned(std::max(1, std::atoi(Argv[++I])));
+    } else if (Arg == "--probes" && I + 1 < Argc) {
+      Opts.Probes = unsigned(std::max(0, std::atoi(Argv[++I])));
+    } else if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (Arg == "--metrics" && I + 1 < Argc) {
+      MetricsPath = Argv[++I];
+    } else if (Arg == "--list-funcs") {
+      ListFuncs = true;
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+
+  // Assemble the target list. The firmware set is its *contracted*
+  // functions: the helpers (spi_xchg, lan9250_*) carry no contracts of
+  // their own and are verified inline at their call sites.
+  app::FirmwareOptions Fw;
+  Fw.Timeouts = true;
+  bedrock2::Program Firmware = app::buildFirmware(Fw);
+  std::vector<vc::VcExample> Examples = vc::vcExamples();
+
+  std::vector<Target> Targets;
+  if (Which == "firmware" || Which == "all")
+    for (const char *Fn : {"spi_write", "spi_read", "lightbulb_loop"})
+      Targets.push_back({"firmware", Fn, &Firmware});
+  if (Which == "examples" || Which == "all")
+    for (const vc::VcExample &E : Examples)
+      Targets.push_back({E.Name, E.Func, &E.Prog});
+
+  if (ListFuncs) {
+    std::printf("%-16s %s\n", "PROGRAM", "FUNC");
+    for (const Target &T : Targets)
+      std::printf("%-16s %s\n", T.Program.c_str(), T.Func.c_str());
+    return 0;
+  }
+
+  if (!OnlyFunc.empty()) {
+    std::vector<Target> Filtered;
+    std::string Valid;
+    for (const Target &T : Targets) {
+      if (T.Func == OnlyFunc)
+        Filtered.push_back(T);
+      if (!Valid.empty())
+        Valid += ", ";
+      Valid += T.Func;
+    }
+    if (Filtered.empty()) {
+      // Allow any function of the firmware by name (e.g. spi_xchg), so
+      // uncontracted helpers can be probed standalone.
+      if ((Which == "firmware" || Which == "all") &&
+          Firmware.find(OnlyFunc)) {
+        Filtered.push_back({"firmware", OnlyFunc, &Firmware});
+      } else {
+        std::string All = Valid;
+        for (const auto &[Name, F] : Firmware.Functions) {
+          (void)F;
+          All += ", ";
+          All += Name;
+        }
+        std::fprintf(stderr, "vc: unknown function '%s'; valid names are: %s\n",
+                     OnlyFunc.c_str(), All.c_str());
+        return 2;
+      }
+    }
+    Targets = std::move(Filtered);
+  }
+
+  // The metrics report describes the verification run alone.
+  metrics::resetAll();
+
+  std::vector<vc::FuncReport> Reports;
+  bool Bad = false;
+  std::printf("%-16s %-16s %-15s %7s %7s %9s %10s\n", "PROGRAM", "FUNC",
+              "VERDICT", "OBS", "PROVED", "CONFLICTS", "DAG-NODES");
+  for (const Target &T : Targets) {
+    vc::FuncReport R = vc::verifyFunction(*T.Prog, T.Func, T.Program, Opts);
+    std::printf("%-16s %-16s %-15s %7zu %7u %9llu %10llu\n", T.Program.c_str(),
+                T.Func.c_str(), vc::verdictName(R.V), R.Obligations.size(),
+                R.Proved, (unsigned long long)R.Solver.Conflicts,
+                (unsigned long long)R.DagNodes);
+    if (!R.Error.empty()) {
+      std::fprintf(stderr, "vc: %s: %s\n", T.Func.c_str(), R.Error.c_str());
+      Bad = true;
+    }
+    if (R.V == vc::Verdict::Counterexample) {
+      std::printf("  counterexample at %s (%s), args:", R.CexWhere.c_str(),
+                  bedrock2::faultName(R.CexFault));
+      for (Word A : R.CexArgs)
+        std::printf(" 0x%08X", unsigned(A));
+      std::printf("\n  replay: %s\n", R.CexDetail.c_str());
+      Bad = true;
+    }
+    if (R.Unconfirmed != 0) {
+      std::fprintf(stderr,
+                   "vc: %s: %u unconfirmed symbolic counterexample(s) — "
+                   "solver or encoding bug\n",
+                   T.Func.c_str(), R.Unconfirmed);
+      Bad = true;
+    }
+    if (R.ProbeViolations != 0) {
+      std::fprintf(stderr,
+                   "vc: %s: Valid verdict contradicted by %u concrete "
+                   "probe(s): %s\n",
+                   T.Func.c_str(), R.ProbeViolations, R.CexDetail.c_str());
+      Bad = true;
+    }
+    Reports.push_back(std::move(R));
+  }
+
+  if (!support::writeFile(JsonPath, vc::vcJson(Reports))) {
+    std::fprintf(stderr, "vc: cannot write %s\n", JsonPath.c_str());
+    return 2;
+  }
+  std::printf("vc: wrote %s\n", JsonPath.c_str());
+  if (!metrics::writeMetricsFile(MetricsPath, "vc"))
+    std::fprintf(stderr, "vc: cannot write %s\n", MetricsPath.c_str());
+  else
+    std::printf("vc: wrote %s\n", MetricsPath.c_str());
+
+  if (Bad) {
+    std::fprintf(stderr, "vc: FAILED\n");
+    return 1;
+  }
+  std::printf("vc: PASS\n");
+  return 0;
+}
