@@ -81,6 +81,27 @@ std::vector<VcExample> vcExamples() {
     }
   )")});
 
+  // Memory-reading loop condition and invariant with a storing body: the
+  // loop-head havoc must cover the memory log too, and the postcondition
+  // is discharged purely from the exit facts over havocked memory
+  // (condition == 0 at the head the continuation reads).
+  Out.push_back({"memcount", "memcount", mustParse(R"(
+    fn memcount() -> (r)
+      ensures (r == 0)
+    {
+      stackalloc buf[4] {
+        store4(buf, 3);
+        while (load4(buf))
+          invariant (load4(buf) < 4)
+          measure (load4(buf))
+        {
+          store4(buf, load4(buf) - 1);
+        }
+        r = load4(buf);
+      }
+    }
+  )")});
+
   // vcextern MMIO contract: aligned GPIO register addresses.
   Out.push_back({"gpio_pulse", "gpio_pulse", mustParse(R"(
     fn gpio_pulse() -> (v) {
@@ -139,6 +160,34 @@ std::vector<VcBugExample> vcBugExamples() {
       r = 0;
     }
   )"), bedrock2::Fault::ExtContractViolation});
+
+  // Input-dependent bug behind a memory-reading loop condition. Without
+  // the memory havoc at the loop head, the condition folds to the
+  // constant first-iteration value, the exit fact becomes assume(false),
+  // and everything after the loop is vacuously "proved" — an unsound
+  // Valid that random probes cannot catch (one magic input in 2^32). The
+  // solver must reach the bug through the havocked exit facts.
+  Out.push_back({"memtrig_bug", "memtrig", mustParse(R"(
+    fn memtrig(a) -> (r)
+      ensures (r < 2)
+    {
+      stackalloc buf[4] {
+        store4(buf, 1);
+        while (load4(buf))
+          invariant (load4(buf) < 2)
+          measure (load4(buf))
+        {
+          store4(buf, 0);
+        }
+        r = load4(buf);
+      }
+      if (a == 0x600DF00D) {
+        r = 2;
+      } else {
+        r = r;
+      }
+    }
+  )"), bedrock2::Fault::PostconditionFailed});
 
   // Caller ignores the callee's requires clause.
   Out.push_back({"callpre_bug", "caller", mustParse(R"(

@@ -152,11 +152,12 @@ unsigned probeValid(const bedrock2::Program &P, const std::string &Func,
     if (R.F == Fault::None || R.F == Fault::OutOfFuel)
       continue;
     // A rejected entry precondition makes the probe vacuous — the
-    // contract only promises anything for inputs satisfying it. A callee
-    // precondition failing mid-run is a real violation; the interpreter's
-    // detail string names the offending function.
-    if (R.F == Fault::PreconditionFailed &&
-        R.Detail.find("'" + Func + "'") != std::string::npos)
+    // contract only promises anything for inputs satisfying it. The entry
+    // check runs before any statement executes, so StepsUsed == 0
+    // identifies it positively; a callee precondition failing mid-run —
+    // including a recursive call back into the entry function — has
+    // executed at least the call statement and is a real violation.
+    if (R.F == Fault::PreconditionFailed && R.StepsUsed == 0)
       continue;
     ++Violations;
     if (Detail.empty())

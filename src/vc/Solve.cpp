@@ -429,20 +429,25 @@ private:
   int T() { return S.trueLit(); }
   int F() { return S.falseLit(); }
 
+  /// Collision-free cache key: literals are nonnegative ints and so fit
+  /// disjoint 31-bit fields, with the tag in the top two bits — no two
+  /// distinct (Tag, A, B) triples share a key.
+  static uint64_t gateKey(uint8_t Tag, int A, int B) {
+    assert(A >= 0 && B >= 0 && Tag < 4 && "gate key fields out of range");
+    return (uint64_t(Tag) << 62) | (uint64_t(uint32_t(A)) << 31) |
+           uint64_t(uint32_t(B));
+  }
+
   int cached(uint8_t Tag, int A, int B, bool Commutative) {
     if (Commutative && A > B)
       std::swap(A, B);
-    uint64_t Key = (uint64_t(Tag) << 56) ^ (uint64_t(uint32_t(A)) << 28) ^
-                   uint64_t(uint32_t(B));
-    auto It = GateCache.find(Key);
+    auto It = GateCache.find(gateKey(Tag, A, B));
     return It == GateCache.end() ? -1 : It->second;
   }
   void remember(uint8_t Tag, int A, int B, bool Commutative, int Out) {
     if (Commutative && A > B)
       std::swap(A, B);
-    uint64_t Key = (uint64_t(Tag) << 56) ^ (uint64_t(uint32_t(A)) << 28) ^
-                   uint64_t(uint32_t(B));
-    GateCache[Key] = Out;
+    GateCache[gateKey(Tag, A, B)] = Out;
   }
 
   int mkAnd(int A, int B) {

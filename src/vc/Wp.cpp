@@ -229,6 +229,16 @@ private:
 
   // -- Memory --------------------------------------------------------------
 
+  /// All memory becomes unknown past this point (under \p G): annotated
+  /// loop heads and skipped callees that may store. Each entry yields its
+  /// own fresh bytes (HavocMemo keys on the entry's log position).
+  void pushMemHavoc(ExprRef G) {
+    MemEntry E;
+    E.K = MemEntry::Havoc;
+    E.Guard = G;
+    Log.push_back(E);
+  }
+
   /// The byte at \p Addr after the first \p Len log entries. The base case
   /// is 0: every owned region enters the log as a Zero entry when it is
   /// allocated, and the footprint obligations (assumed by every later
@@ -463,13 +473,20 @@ private:
     // The interpreter evaluates the condition at the first test too; emit
     // that evaluation's own side conditions (loads etc.) on entry state.
     (void)evalE(*S.Cond, L);
-    // Havoc the variables the body can write: fresh symbols stand for
-    // "after some number of iterations".
+    // Havoc the state the body can write: fresh symbols stand for "after
+    // some number of iterations". Written locals get fresh variables; if
+    // the body stores, the memory log gets a havoc entry too, so an
+    // invariant or condition that reads memory is judged at the arbitrary
+    // loop head rather than at first-iteration memory (where it could
+    // fold to a constant and make the exit facts vacuous).
     std::set<std::string> Written;
     if (S.S1)
       assignedVars(*S.S1, Written);
     for (const std::string &V : Written)
       L[V] = {Arena.var("havoc." + V, VarOrigin::Havoc), Arena.trueRef()};
+    bool BodyStores = S.S1 && Stores.mayStore(*S.S1);
+    if (BodyStores)
+      pushMemHavoc(G);
     HavocLive = true;
 
     ExprRef InvH =
@@ -478,7 +495,6 @@ private:
 
     // One symbolic body pass under (invariant && condition) proves
     // preservation and measure decrease; its assumptions are scoped.
-    bool BodyStores = S.S1 && Stores.mayStore(*S.S1);
     {
       size_t Mark = Assumes.size();
       assume(Arena.toBool(InvH));
@@ -507,16 +523,18 @@ private:
     }
 
     // The single body pass's stores describe one iteration, not all of
-    // them: shield the continuation behind a havoc entry.
+    // them: shield the continuation behind a second havoc entry, and state
+    // the exit facts over that havocked memory — the memory the
+    // continuation actually reads.
+    ExprRef InvX = InvH, CondX = CondH;
     if (BodyStores) {
-      MemEntry E;
-      E.K = MemEntry::Havoc;
-      E.Guard = G;
-      Log.push_back(E);
+      pushMemHavoc(G);
+      InvX = S.Invariant ? evalE(*S.Invariant, L) : Arena.trueRef();
+      CondX = evalE(*S.Cond, L);
     }
     // Continue after the loop: the havocked head state with the exit facts.
-    assume(Arena.implies(G, InvH));
-    assume(Arena.implies(G, Arena.eq(CondH, Arena.falseRef())));
+    assume(Arena.implies(G, InvX));
+    assume(Arena.implies(G, Arena.eq(CondX, Arena.falseRef())));
   }
 
   /// Annotation-free loop: bounded unrolling; a Coverage obligation
@@ -583,6 +601,16 @@ private:
         oblige(ObKind::Check, Fault::PreconditionFailed,
                "requires clause of '" + S.Callee + "'",
                evalE(*F->Pre, CalleeL));
+      // The skipped callee may store: continuation loads (and the
+      // postcondition assumption below) must read havocked memory, not
+      // stale pre-call memory, and later obligations are taint-marked so
+      // models that fail replay demote quietly to Unknown instead of
+      // raising the solver-bug alarm. The Coverage obligation above
+      // already caps the verdict at Unknown.
+      if (F->Body && Stores.mayStore(*F->Body)) {
+        pushMemHavoc(Guard);
+        HavocLive = true;
+      }
       bindFresh(S.Dsts, L);
       for (size_t I = 0; I < F->Rets.size(); ++I)
         CalleeL[F->Rets[I]] = L[S.Dsts[I]];

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "app/Firmware.h"
+#include "bedrock2/Parser.h"
 #include "support/Rng.h"
 #include "vc/Corpus.h"
 #include "vc/Vc.h"
@@ -265,6 +266,61 @@ TEST(VcWp, UnknownFunctionIsAnError) {
   EXPECT_EQ(R.V, Verdict::Unknown);
   EXPECT_FALSE(R.Error.empty());
   EXPECT_NE(R.Error.find("no_such_fn"), std::string::npos);
+}
+
+TEST(VcWp, RecursionFallbackWithStoringCalleeRaisesNoSolverAlarm) {
+  // The recursion fallback skips the callee body; since it may store, the
+  // continuation's loads must read havocked memory, and models for
+  // post-call obligations (which over-approximate and may fail replay)
+  // must demote quietly to Unknown rather than count as a solver or
+  // encoding bug. Concretely, recmain is a correct program: without the
+  // havoc, load4(buf) would resolve to the single inlined iteration's
+  // store and yield a spurious unconfirmed counterexample.
+  bedrock2::ParseResult PR = bedrock2::parseProgram(R"(
+    fn countdown(p, n) -> (r) {
+      if (n) {
+        store4(p, n);
+        r = countdown(p, n - 1);
+      } else {
+        r = 0;
+      }
+    }
+    fn recmain() -> (r)
+      ensures (r == 1)
+    {
+      stackalloc buf[4] {
+        store4(buf, 7);
+        r = countdown(buf, 2);
+        r = load4(buf);
+      }
+    }
+  )");
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  FuncReport R = verifyFunction(*PR.Prog, "recmain", "recursion-fallback");
+  EXPECT_EQ(R.Unconfirmed, 0u)
+      << "fallback havoc missing: stale-memory model raised a false alarm";
+  EXPECT_EQ(R.V, Verdict::Unknown)
+      << "the coverage obligation caps the verdict at Unknown";
+}
+
+TEST(VcReplay, MidRunSelfPreconditionCountsAsProbeViolation) {
+  // Only the *entry* precondition rejection makes a probe vacuous. A
+  // recursive call back into the entry function with arguments violating
+  // its own requires clause is a real mid-run contract violation and must
+  // be counted, not skipped by matching the function's name.
+  bedrock2::ParseResult PR = bedrock2::parseProgram(R"(
+    fn selfbad(n) -> (r)
+      requires (n < 0x80000000)
+    {
+      r = selfbad(0xFFFFFFFF);
+    }
+  )");
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  std::string Detail;
+  unsigned V =
+      probeValid(*PR.Prog, "selfbad", /*Probes=*/32, /*Seed=*/0xabc, Detail);
+  EXPECT_GT(V, 0u) << "self-call precondition violations were skipped";
+  EXPECT_NE(Detail.find("requires clause"), std::string::npos) << Detail;
 }
 
 TEST(VcWp, FirmwareContractsDischargeStatically) {
