@@ -124,6 +124,15 @@ namespace metrics {
   X(VcUnknown, "vc.verdict.unknown", Counter, Det)                             \
   X(VcReplayConfirmed, "vc.replay.confirmed", Counter, Det)                    \
   X(VcReplayUnconfirmed, "vc.replay.unconfirmed", Counter, Det)                \
+  /* vc: staged discharge pipeline */                                          \
+  X(VcTierIntervalKills, "vc.tier.interval_kills", Counter, Det)               \
+  X(VcTierRewriteKills, "vc.tier.rewrite_kills", Counter, Det)                 \
+  X(VcCacheHits, "vc.cache.hits", Counter, Det)                                \
+  X(VcCacheMisses, "vc.cache.misses", Counter, Det)                            \
+  X(VcSliceDropped, "vc.slice.dropped_assumes", Counter, Det)                  \
+  X(VcIncrementalProved, "vc.solver.incremental_proved", Counter, Det)         \
+  X(VcColdSolves, "vc.solver.cold_solves", Counter, Det)                       \
+  X(VcDiffMismatches, "vc.diff.mismatches", Counter, Det)                      \
   X(VerifyShardWall, "verify.shard.wall_ns", Timer, Nondet)                    \
   X(AdequacyCellWall, "adequacy.cell.wall_ns", Timer, Nondet)                  \
   X(SoakShardWall, "soak.shard.wall_ns", Timer, Nondet)

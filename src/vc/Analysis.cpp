@@ -1,0 +1,554 @@
+//===- vc/Analysis.cpp - Cheap pre-solver tiers over the Expr DAG ---------===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/Analysis.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace b2 {
+namespace vc {
+namespace {
+
+using bedrock2::BinOp;
+
+Word smear(Word V) {
+  V |= V >> 1;
+  V |= V >> 2;
+  V |= V >> 4;
+  V |= V >> 8;
+  V |= V >> 16;
+  return V;
+}
+
+AbsVal top() { return AbsVal{}; }
+
+AbsVal exact(Word V) { return AbsVal{~V, V, V, V}; }
+
+AbsVal boolRange() { return AbsVal{~Word(1), 0, 0, 1}; }
+
+/// Tightens bits from range and range from bits until stable (two rounds
+/// suffice: each direction is idempotent). A contradictory value — which a
+/// sound transfer never produces for a reachable node — degrades to top.
+AbsVal normalize(AbsVal V) {
+  for (int Round = 0; Round < 2; ++Round) {
+    if ((V.KnownZero & V.KnownOne) != 0)
+      return top();
+    if (V.Lo < V.KnownOne)
+      V.Lo = V.KnownOne;
+    if (V.Hi > ~V.KnownZero)
+      V.Hi = ~V.KnownZero;
+    if (V.Lo > V.Hi)
+      return top();
+    // Bits above the highest bit where Lo and Hi differ are decided.
+    Word Diff = V.Lo ^ V.Hi;
+    Word Mask = smear(Diff); // Undecided bits (and below the top diff).
+    V.KnownOne |= V.Lo & ~Mask;
+    V.KnownZero |= ~V.Lo & ~Mask;
+  }
+  return V;
+}
+
+/// Trit: -1 unknown, 0/1 known.
+int knownBit(const AbsVal &V, unsigned I) {
+  Word M = Word(1) << I;
+  if (V.KnownOne & M)
+    return 1;
+  if (V.KnownZero & M)
+    return 0;
+  return -1;
+}
+
+/// Bitwise ripple-carry over trits; \p Cin is a trit. Computes the known
+/// bits of A + B + Cin exactly (per-bit, given the operand trits).
+AbsVal addBits(const AbsVal &A, const AbsVal &B, int Cin) {
+  AbsVal Out = top();
+  Out.Hi = ~Word(0);
+  int C = Cin;
+  for (unsigned I = 0; I < 32; ++I) {
+    int Ai = knownBit(A, I), Bi = knownBit(B, I);
+    int Sum;
+    if (Ai >= 0 && Bi >= 0 && C >= 0)
+      Sum = Ai ^ Bi ^ C;
+    else
+      Sum = -1;
+    if (Sum == 1)
+      Out.KnownOne |= Word(1) << I;
+    else if (Sum == 0)
+      Out.KnownZero |= Word(1) << I;
+    // Majority carry: decided when two inputs agree.
+    if (Ai >= 0 && Ai == Bi)
+      C = Ai;
+    else if (Ai >= 0 && Ai == C)
+      ; // carry stays C
+    else if (Bi >= 0 && Bi == C)
+      ; // carry stays C
+    else
+      C = -1;
+  }
+  return Out;
+}
+
+AbsVal negBits(const AbsVal &B) {
+  // ~b: swap the known masks; range is handled by the caller.
+  AbsVal Out = top();
+  Out.KnownZero = B.KnownOne;
+  Out.KnownOne = B.KnownZero;
+  return Out;
+}
+
+AbsVal transferOp(BinOp O, const AbsVal &A, const AbsVal &B) {
+  AbsVal Out = top();
+  switch (O) {
+  case BinOp::Add: {
+    Out = addBits(A, B, 0);
+    DWord Lo = DWord(A.Lo) + B.Lo, Hi = DWord(A.Hi) + B.Hi;
+    if (Hi <= ~Word(0)) {
+      Out.Lo = Word(Lo);
+      Out.Hi = Word(Hi);
+    } else if (Lo > ~Word(0)) {
+      Out.Lo = Word(Lo); // Both wrap exactly once.
+      Out.Hi = Word(Hi);
+    }
+    break;
+  }
+  case BinOp::Sub: {
+    Out = addBits(A, negBits(B), 1);
+    if (A.Lo >= B.Hi) {
+      Out.Lo = A.Lo - B.Hi;
+      Out.Hi = A.Hi - B.Lo;
+    } else if (A.Hi < B.Lo) {
+      Out.Lo = A.Lo - B.Hi; // Always borrows: wraps exactly once.
+      Out.Hi = A.Hi - B.Lo;
+    }
+    break;
+  }
+  case BinOp::And:
+    Out.KnownZero = A.KnownZero | B.KnownZero;
+    Out.KnownOne = A.KnownOne & B.KnownOne;
+    Out.Lo = 0;
+    Out.Hi = A.Hi < B.Hi ? A.Hi : B.Hi;
+    break;
+  case BinOp::Or:
+    Out.KnownZero = A.KnownZero & B.KnownZero;
+    Out.KnownOne = A.KnownOne | B.KnownOne;
+    Out.Lo = A.Lo > B.Lo ? A.Lo : B.Lo;
+    Out.Hi = smear(A.Hi | B.Hi);
+    break;
+  case BinOp::Xor:
+    Out.KnownZero = (A.KnownZero & B.KnownZero) | (A.KnownOne & B.KnownOne);
+    Out.KnownOne = (A.KnownZero & B.KnownOne) | (A.KnownOne & B.KnownZero);
+    Out.Lo = 0;
+    Out.Hi = smear(A.Hi | B.Hi);
+    break;
+  case BinOp::Eq:
+    Out = boolRange();
+    if (A.Hi < B.Lo || B.Hi < A.Lo ||
+        ((A.KnownOne & B.KnownZero) | (B.KnownOne & A.KnownZero)) != 0)
+      Out = exact(0);
+    else if (A.Lo == A.Hi && B.Lo == B.Hi && A.Lo == B.Lo)
+      Out = exact(1);
+    break;
+  case BinOp::Ltu:
+    Out = boolRange();
+    if (A.Hi < B.Lo)
+      Out = exact(1);
+    else if (A.Lo >= B.Hi)
+      Out = exact(0);
+    break;
+  case BinOp::Lts: {
+    Out = boolRange();
+    int Sa = knownBit(A, 31), Sb = knownBit(B, 31);
+    if (Sa >= 0 && Sb >= 0) {
+      if (Sa == 1 && Sb == 0)
+        Out = exact(1);
+      else if (Sa == 0 && Sb == 1)
+        Out = exact(0);
+      else if (A.Hi < B.Lo) // Same sign: signed order == unsigned order.
+        Out = exact(1);
+      else if (A.Lo >= B.Hi)
+        Out = exact(0);
+    }
+    break;
+  }
+  case BinOp::Slu:
+    if (B.Lo == B.Hi) {
+      unsigned S = B.Lo & 31;
+      Out.KnownZero = (A.KnownZero << S) | ~(~Word(0) << S);
+      Out.KnownOne = A.KnownOne << S;
+      if (A.Hi <= (~Word(0) >> S)) {
+        Out.Lo = A.Lo << S;
+        Out.Hi = A.Hi << S;
+      }
+    }
+    break;
+  case BinOp::Sru:
+    if (B.Lo == B.Hi) {
+      unsigned S = B.Lo & 31;
+      Out.KnownZero = (A.KnownZero >> S) | (S ? ~(~Word(0) >> S) : 0);
+      Out.KnownOne = A.KnownOne >> S;
+      Out.Lo = A.Lo >> S;
+      Out.Hi = A.Hi >> S;
+    }
+    break;
+  case BinOp::Srs:
+    if (B.Lo == B.Hi && knownBit(A, 31) == 0) {
+      unsigned S = B.Lo & 31;
+      Out.KnownZero = (A.KnownZero >> S) | (S ? ~(~Word(0) >> S) : 0);
+      Out.KnownOne = A.KnownOne >> S;
+      Out.Lo = A.Lo >> S;
+      Out.Hi = A.Hi >> S;
+    }
+    break;
+  case BinOp::Mul: {
+    DWord Prod = DWord(A.Hi) * B.Hi;
+    if (Prod <= ~Word(0)) {
+      Out.Lo = Word(DWord(A.Lo) * B.Lo);
+      Out.Hi = Word(Prod);
+    }
+    // Trailing zeros add: tz(a*b) >= tz(a) + tz(b).
+    unsigned Tz = 0;
+    while (Tz < 32 && ((A.KnownZero >> Tz) & 1))
+      ++Tz;
+    unsigned TzB = 0;
+    while (TzB < 32 && ((B.KnownZero >> TzB) & 1))
+      ++TzB;
+    unsigned T = Tz + TzB;
+    if (T >= 32)
+      Out.KnownZero = ~Word(0);
+    else if (T > 0)
+      Out.KnownZero |= ~(~Word(0) << T);
+    break;
+  }
+  case BinOp::MulHuu: {
+    DWord Prod = DWord(A.Hi) * B.Hi;
+    Out.Lo = Word((DWord(A.Lo) * B.Lo) >> 32);
+    Out.Hi = Word(Prod >> 32);
+    break;
+  }
+  case BinOp::Divu:
+    if (B.Hi == 0) {
+      Out = exact(~Word(0)); // divu by zero: all ones.
+    } else {
+      Out.Lo = A.Lo / B.Hi;
+      Out.Hi = B.Lo > 0 ? A.Hi / B.Lo : ~Word(0);
+    }
+    break;
+  case BinOp::Remu:
+    Out.Lo = 0;
+    Out.Hi = A.Hi; // remu(a, b) <= a in every case (including b == 0).
+    if (B.Lo > 0 && B.Hi - 1 < Out.Hi)
+      Out.Hi = B.Hi - 1;
+    break;
+  }
+  return normalize(Out);
+}
+
+/// Intersects \p F into \p V. Returns false when the intersection is
+/// empty — unlike normalize(), which degrades contradictions to top,
+/// RefinedEval needs the signal: an empty meet on a context-implied fact
+/// proves the context unsatisfiable.
+bool meetInto(AbsVal &V, const AbsVal &F) {
+  V.KnownZero |= F.KnownZero;
+  V.KnownOne |= F.KnownOne;
+  if (F.Lo > V.Lo)
+    V.Lo = F.Lo;
+  if (F.Hi < V.Hi)
+    V.Hi = F.Hi;
+  if ((V.KnownZero & V.KnownOne) != 0)
+    return false;
+  if (V.Lo < V.KnownOne)
+    V.Lo = V.KnownOne;
+  if (V.Hi > ~V.KnownZero)
+    V.Hi = ~V.KnownZero;
+  return V.Lo <= V.Hi;
+}
+
+} // namespace
+
+AbsDomain::AbsDomain(const ExprArena &Arena) {
+  Vals.resize(Arena.size());
+  for (ExprRef R = 0; R < Arena.size(); ++R) {
+    const ExprNode &N = Arena.node(R);
+    AbsVal V;
+    switch (N.K) {
+    case ExprKind::Const:
+      V = exact(N.Lit);
+      break;
+    case ExprKind::Var:
+      V = top();
+      break;
+    case ExprKind::Op:
+      V = transferOp(N.Op, Vals[N.A], Vals[N.B]);
+      break;
+    case ExprKind::Ite: {
+      const AbsVal &C = Vals[N.A];
+      if (C.Lo > 0 || C.KnownOne != 0) {
+        V = Vals[N.B];
+      } else if (C.Hi == 0) {
+        V = Vals[N.C];
+      } else {
+        const AbsVal &T = Vals[N.B], &E = Vals[N.C];
+        V.KnownZero = T.KnownZero & E.KnownZero;
+        V.KnownOne = T.KnownOne & E.KnownOne;
+        V.Lo = T.Lo < E.Lo ? T.Lo : E.Lo;
+        V.Hi = T.Hi > E.Hi ? T.Hi : E.Hi;
+      }
+      break;
+    }
+    }
+    if (N.Is01) {
+      AbsVal B = boolRange();
+      V.KnownZero |= B.KnownZero;
+      if (V.Hi > 1)
+        V.Hi = 1;
+    }
+    Vals[R] = normalize(V);
+  }
+}
+
+ExprRef simplify(ExprArena &Arena, const AbsDomain &Dom, ExprRef R,
+                 std::vector<ExprRef> &Cache) {
+  constexpr ExprRef None = ~ExprRef(0);
+  if (Cache.size() <= R)
+    Cache.resize(R + 1, None);
+  std::vector<ExprRef> Stack{R};
+  while (!Stack.empty()) {
+    ExprRef Cur = Stack.back();
+    if (Cache[Cur] != None) {
+      Stack.pop_back();
+      continue;
+    }
+    Word V;
+    if (Dom.singleton(Cur, V)) {
+      Cache[Cur] = Arena.constant(V);
+      Stack.pop_back();
+      continue;
+    }
+    // Copy: creating nodes below may reallocate the arena's node table.
+    const ExprNode N = Arena.node(Cur);
+    switch (N.K) {
+    case ExprKind::Const:
+    case ExprKind::Var:
+      Cache[Cur] = Cur;
+      Stack.pop_back();
+      break;
+    case ExprKind::Op: {
+      ExprRef A = Cache[N.A], B = Cache[N.B];
+      if (A == None || B == None) {
+        if (A == None)
+          Stack.push_back(N.A);
+        if (B == None)
+          Stack.push_back(N.B);
+        break;
+      }
+      Cache[Cur] = Arena.op(N.Op, A, B);
+      Stack.pop_back();
+      break;
+    }
+    case ExprKind::Ite: {
+      // Constant-guard pruning on analysis facts, not just literal consts.
+      if (Dom.provesNonzero(N.A)) {
+        if (Cache[N.B] == None) {
+          Stack.push_back(N.B);
+          break;
+        }
+        Cache[Cur] = Cache[N.B];
+        Stack.pop_back();
+        break;
+      }
+      if (Dom.provesZero(N.A)) {
+        if (Cache[N.C] == None) {
+          Stack.push_back(N.C);
+          break;
+        }
+        Cache[Cur] = Cache[N.C];
+        Stack.pop_back();
+        break;
+      }
+      ExprRef A = Cache[N.A], B = Cache[N.B], C = Cache[N.C];
+      if (A == None || B == None || C == None) {
+        if (A == None)
+          Stack.push_back(N.A);
+        if (B == None)
+          Stack.push_back(N.B);
+        if (C == None)
+          Stack.push_back(N.C);
+        break;
+      }
+      Cache[Cur] = Arena.ite(A, B, C);
+      Stack.pop_back();
+      break;
+    }
+    }
+  }
+  return Cache[R];
+}
+
+void RefinedEval::addFact(ExprRef R, const AbsVal &F) {
+  if (Contra)
+    return;
+  auto It = Facts.find(R);
+  AbsVal V = It != Facts.end() ? It->second : Base.val(R);
+  if (!meetInto(V, F)) {
+    Contra = true;
+    return;
+  }
+  Facts[R] = V;
+}
+
+void RefinedEval::assertTrue(ExprRef R) {
+  std::vector<ExprRef> Work{R};
+  std::unordered_set<ExprRef> Seen;
+  while (!Work.empty() && !Contra) {
+    ExprRef Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    const ExprNode &N = Arena.node(Cur);
+    // The conjunct itself is nonzero — for unsigned words that is
+    // exactly Lo >= 1, and for a 0/1-valued node it pins the value.
+    AbsVal Self;
+    Self.Lo = 1;
+    if (N.Is01)
+      Self = exact(1);
+    addFact(Cur, Self);
+    if (N.K != ExprKind::Op)
+      continue;
+    Word C;
+    switch (N.Op) {
+    case BinOp::And:
+      // A nonzero AND forces both operands nonzero (a zero operand
+      // zeroes the conjunction), so each side is itself asserted.
+      Work.push_back(N.A);
+      Work.push_back(N.B);
+      break;
+    case BinOp::Ltu:
+      if (Arena.constValue(N.A, C) && C != ~Word(0)) {
+        AbsVal G;
+        G.Lo = C + 1;
+        addFact(N.B, G);
+        // c <u x makes x nonzero, so x decomposes as an asserted
+        // conjunct in its own right — the toBool normal form `0 <u W`
+        // funnels every boolean coercion through here.
+        Work.push_back(N.B);
+      } else if (Arena.constValue(N.B, C) && C != 0) {
+        AbsVal G;
+        G.Hi = C - 1;
+        addFact(N.A, G);
+      }
+      break;
+    case BinOp::Eq:
+      if (Arena.constValue(N.B, C)) {
+        addFact(N.A, exact(C));
+        if (C != 0)
+          Work.push_back(N.A); // x == c, c nonzero: x is asserted too.
+      } else if (Arena.constValue(N.A, C)) {
+        addFact(N.B, exact(C));
+        if (C != 0)
+          Work.push_back(N.B);
+      }
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+AbsVal RefinedEval::eval(ExprRef R) {
+  std::vector<ExprRef> Stack{R};
+  while (!Stack.empty()) {
+    ExprRef Cur = Stack.back();
+    if (Memo.count(Cur)) {
+      Stack.pop_back();
+      continue;
+    }
+    const ExprNode &N = Arena.node(Cur);
+    unsigned NumCh = N.K == ExprKind::Op ? 2 : N.K == ExprKind::Ite ? 3 : 0;
+    bool Ready = true;
+    for (unsigned I = 0; I < NumCh; ++I) {
+      ExprRef Ch = I == 0 ? N.A : I == 1 ? N.B : N.C;
+      if (!Memo.count(Ch)) {
+        Stack.push_back(Ch);
+        Ready = false;
+      }
+    }
+    if (!Ready)
+      continue;
+    AbsVal V;
+    switch (N.K) {
+    case ExprKind::Const:
+      V = exact(N.Lit);
+      break;
+    case ExprKind::Var:
+      V = top();
+      break;
+    case ExprKind::Op: {
+      V = transferOp(N.Op, Memo[N.A], Memo[N.B]);
+      if (N.Op == BinOp::Ltu && V.Lo != V.Hi) {
+        // Relational special case the interval product cannot express:
+        // `x - k <u x` holds whenever the context bounds x >= k >= 1 —
+        // the subtraction cannot wrap, so it strictly decreases. (An
+        // added constant c is the same statement with k = -c.) This is
+        // what discharges loop-measure obligations under `x != 0`.
+        const ExprNode &L = Arena.node(N.A);
+        Word C;
+        if (L.K == ExprKind::Op && L.A == N.B && Arena.constValue(L.B, C)) {
+          Word K = L.Op == BinOp::Sub   ? C
+                   : L.Op == BinOp::Add ? Word(0) - C
+                                        : Word(0);
+          if (K >= 1 && Memo[N.B].Lo >= K)
+            V = exact(1);
+        }
+      }
+      break;
+    }
+    case ExprKind::Ite: {
+      const AbsVal &C = Memo[N.A];
+      if (C.Lo > 0 || C.KnownOne != 0) {
+        V = Memo[N.B];
+      } else if (C.Hi == 0) {
+        V = Memo[N.C];
+      } else {
+        const AbsVal &T = Memo[N.B], &E = Memo[N.C];
+        V.KnownZero = T.KnownZero & E.KnownZero;
+        V.KnownOne = T.KnownOne & E.KnownOne;
+        V.Lo = T.Lo < E.Lo ? T.Lo : E.Lo;
+        V.Hi = T.Hi > E.Hi ? T.Hi : E.Hi;
+      }
+      break;
+    }
+    }
+    if (N.Is01) {
+      V.KnownZero |= ~Word(1);
+      if (V.Hi > 1)
+        V.Hi = 1;
+    }
+    // Meet with the global domain and any harvested fact: both are sound
+    // for every context valuation, so an empty meet proves the context
+    // unsatisfiable.
+    if (!meetInto(V, Base.val(Cur)))
+      Contra = true;
+    auto FIt = Facts.find(Cur);
+    if (!Contra && FIt != Facts.end() && !meetInto(V, FIt->second))
+      Contra = true;
+    Memo[Cur] = normalize(V);
+    Stack.pop_back();
+  }
+  return Memo[R];
+}
+
+bool RefinedEval::provesNonzero(ExprRef R) {
+  if (Contra)
+    return true;
+  AbsVal V = eval(R);
+  if (Contra)
+    return true;
+  return V.Lo > 0 || V.KnownOne != 0;
+}
+
+} // namespace vc
+} // namespace b2

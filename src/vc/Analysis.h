@@ -1,0 +1,144 @@
+//===- vc/Analysis.h - Cheap pre-solver tiers over the Expr DAG -*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cheap tiers of the staged discharge pipeline: a combined
+/// known-bits/unsigned-interval abstract interpreter over the hash-consed
+/// expression DAG, and a rewrite pass that rebuilds a term with the
+/// analysis facts substituted in (constant-guard pruning, singleton
+/// folding) on top of the arena's own algebraic identities.
+///
+/// Soundness contract: for every node R and every variable valuation, the
+/// concrete value of R lies in [Lo, Hi], has every KnownOne bit set and
+/// every KnownZero bit clear; and simplify(R) evaluates to the same word
+/// as R under every valuation. Obligations discharged by these tiers are
+/// therefore proved without ever reaching the SAT backend — and because
+/// the tiers only ever *prove* (a claim of Sat still goes to the solver
+/// and the replay interpreter), an analysis bug can cost completeness but
+/// can never mint a counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_ANALYSIS_H
+#define B2_VC_ANALYSIS_H
+
+#include "vc/Expr.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+/// Per-node abstract value: bit-level and interval facts side by side.
+struct AbsVal {
+  Word KnownZero = 0;  ///< Bits provably 0.
+  Word KnownOne = 0;   ///< Bits provably 1.
+  Word Lo = 0;         ///< Unsigned lower bound (inclusive).
+  Word Hi = ~Word(0);  ///< Unsigned upper bound (inclusive).
+};
+
+/// One forward pass over the arena at construction time; queries are O(1).
+/// The domain is valid for the arena size at construction — nodes created
+/// later (e.g. by simplify) conservatively read as top.
+class AbsDomain {
+public:
+  explicit AbsDomain(const ExprArena &Arena);
+
+  AbsVal val(ExprRef R) const {
+    return R < Vals.size() ? Vals[R] : AbsVal{};
+  }
+
+  /// The node is nonzero under every valuation.
+  bool provesNonzero(ExprRef R) const {
+    AbsVal V = val(R);
+    return V.Lo > 0 || V.KnownOne != 0;
+  }
+
+  /// The node is zero under every valuation.
+  bool provesZero(ExprRef R) const { return val(R).Hi == 0; }
+
+  /// True (and sets \p Out) iff the analysis pins the node to one value.
+  bool singleton(ExprRef R, Word &Out) const {
+    AbsVal V = val(R);
+    if (V.Lo == V.Hi) {
+      Out = V.Lo;
+      return true;
+    }
+    if ((V.KnownZero | V.KnownOne) == ~Word(0)) {
+      Out = V.KnownOne;
+      return true;
+    }
+    return false;
+  }
+
+private:
+  std::vector<AbsVal> Vals;
+};
+
+/// Rewrites \p R using \p Dom's facts plus the arena's smart constructors:
+/// singleton nodes become constants, decided ite guards prune the dead
+/// arm, and the rebuilt operands re-trigger the arena's folds (xor/add
+/// chains, implies/toBool normal forms). Appends nodes to \p Arena; the
+/// memo \p Cache must be reused only with the same (Arena, Dom) pair.
+ExprRef simplify(ExprArena &Arena, const AbsDomain &Dom, ExprRef R,
+                 std::vector<ExprRef> &Cache);
+
+/// Context-sensitive re-evaluation: harvests interval/known-bits facts
+/// from asserted conjuncts (an obligation's assumptions and path guard)
+/// and re-runs the abstract transfer over a condition's cone with those
+/// facts met in. This proves guard-dependent conditions the global domain
+/// cannot see — the canonical one being a loop measure `t - 1 <u t`,
+/// valid only under the in-scope `t != 0`.
+///
+/// Soundness: every harvested fact is implied by the asserted conjuncts,
+/// so any valuation satisfying the context lies inside every fact. A
+/// contradiction between facts (or with the base domain) therefore means
+/// the context itself admits no valuation — the obligation holds
+/// vacuously. Like the base domain, this tier only ever *proves*.
+///
+/// Usage per obligation: begin(), assertTrue() each conjunct, then query.
+/// Asserting after a query would leave stale memoized values; don't.
+class RefinedEval {
+public:
+  RefinedEval(const ExprArena &Arena, const AbsDomain &Base)
+      : Arena(Arena), Base(Base) {}
+
+  /// Starts a fresh context (clears facts and memoized values).
+  void begin() {
+    Facts.clear();
+    Memo.clear();
+    Contra = false;
+  }
+
+  /// Asserts one conjunct nonzero, decomposing `&`-chains, comparisons
+  /// against constants, and equalities into per-node refinements.
+  void assertTrue(ExprRef R);
+
+  /// The asserted context admits no valuation at all.
+  bool contradiction() const { return Contra; }
+
+  /// The node is nonzero under every valuation satisfying the context —
+  /// vacuously so when the context turns out to be contradictory.
+  bool provesNonzero(ExprRef R);
+
+private:
+  AbsVal eval(ExprRef R);
+  void addFact(ExprRef R, const AbsVal &F);
+
+  const ExprArena &Arena;
+  const AbsDomain &Base;
+  std::unordered_map<ExprRef, AbsVal> Facts;
+  std::unordered_map<ExprRef, AbsVal> Memo;
+  bool Contra = false;
+};
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_ANALYSIS_H

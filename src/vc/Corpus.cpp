@@ -111,6 +111,23 @@ std::vector<VcExample> vcExamples() {
     }
   )")});
 
+  // Symbolic-index store into a stackalloc frame: the bounds obligations
+  // (4*n + 3 < 32 with n < 8) are interval facts, the re-load after the
+  // store duplicates the store's own footprint checks (subsumption food),
+  // and the postcondition still needs the solver. Exercises every tier of
+  // the staged discharge pipeline in one function.
+  Out.push_back({"fill", "fill", mustParse(R"(
+    fn fill(n) -> (r)
+      requires (n < 8)
+      ensures (r == 5)
+    {
+      stackalloc buf[32] {
+        store4(buf + (n << 2), 5);
+        r = load4(buf + (n << 2));
+      }
+    }
+  )")});
+
   return Out;
 }
 

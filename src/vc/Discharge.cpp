@@ -1,0 +1,605 @@
+//===- vc/Discharge.cpp - Staged obligation discharge engine --------------===//
+//
+// Part of the b2stack project (PLDI 2021 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Phase structure (see Discharge.h for the trust argument):
+//
+//   A1 (sequential)  tier pass: wp-trivial, interval, rewrite; builds the
+//                    attempt (simplified) and full (PR-9-identical) query
+//                    root vectors for every survivor. The only phase that
+//                    creates arena nodes.
+//   A2 (sequential)  variable-support index over the now-final arena.
+//   A3 (sequential)  cone-of-influence slicing, canonical-hash cache
+//                    lookup, in-run dedup. All fault hooks live here.
+//   B  (parallel)    obligation groups solve their survivors — one
+//                    incremental context per group, cold fallback for
+//                    anything not proved. Workers touch only their own
+//                    Pending slots: no arena growth, no metrics, no
+//                    shared counters.
+//   C  (sequential)  resolution in obligation order: dup resolution,
+//                    cache population, counter accumulation, and the
+//                    Differential audits.
+//
+// The group partition is min(16, survivors) contiguous chunks — a function
+// of the obligation list only, never of the thread count — so every
+// verdict, model, and counter is bit-identical at any --threads value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/Discharge.h"
+
+#include "support/ThreadPool.h"
+#include "vc/Analysis.h"
+#include "verify/FaultInjection.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace b2 {
+namespace vc {
+
+const char *tierName(DischargeTier T) {
+  switch (T) {
+  case DischargeTier::Wp:
+    return "wp";
+  case DischargeTier::Interval:
+    return "interval";
+  case DischargeTier::Rewrite:
+    return "rewrite";
+  case DischargeTier::Cache:
+    return "cache";
+  case DischargeTier::SatShared:
+    return "sat-shared";
+  case DischargeTier::SatCold:
+    return "sat-cold";
+  case DischargeTier::NumTiers:
+    break;
+  }
+  return "?";
+}
+
+bool DischargeCache::lookup(const Key &K) const {
+  if (Proved.find(K) != Proved.end())
+    return true;
+  // Seeded fault vc-cache-stale-hit: hash discrimination lost — any
+  // non-empty cache answers any key. Killed by the Valid-verdict probes
+  // and the Differential claim audit.
+  if (fi::on(fi::Fault::VcCacheStaleHit) && !Proved.empty())
+    return true;
+  return false;
+}
+
+namespace {
+
+void addStats(SolveStats &Into, const SolveStats &S) {
+  Into.Clauses += S.Clauses;
+  Into.Conflicts += S.Conflicts;
+  Into.Decisions += S.Decisions;
+  Into.Propagations += S.Propagations;
+}
+
+/// Per-node variable-support bitsets, one forward pass. Operand refs are
+/// always smaller than their parent's, so a single sweep suffices.
+class SupportIndex {
+public:
+  void build(const ExprArena &A) {
+    size_t N = A.size();
+    Words = (size_t(A.numVars()) + 63) / 64;
+    if (Words == 0)
+      Words = 1;
+    // Degrade to "keep everything" rather than blow memory on a
+    // pathological arena (the cap is far above every corpus program).
+    if (N * Words > (size_t(1) << 23))
+      return;
+    Bits.assign(N * Words, 0);
+    for (size_t I = 0; I < N; ++I) {
+      const ExprNode &Nd = A.node(ExprRef(I));
+      uint64_t *Row = &Bits[I * Words];
+      switch (Nd.K) {
+      case ExprKind::Const:
+        break;
+      case ExprKind::Var:
+        Row[Nd.Lit >> 6] |= uint64_t(1) << (Nd.Lit & 63);
+        break;
+      case ExprKind::Ite:
+        orInto(Row, Nd.C);
+        orInto(Row, Nd.A);
+        orInto(Row, Nd.B);
+        break;
+      case ExprKind::Op:
+        orInto(Row, Nd.A);
+        orInto(Row, Nd.B);
+        break;
+      }
+    }
+    Built = true;
+  }
+
+  bool ok() const { return Built; }
+  size_t words() const { return Words; }
+
+  bool intersects(ExprRef R, const std::vector<uint64_t> &Set) const {
+    const uint64_t *Row = &Bits[size_t(R) * Words];
+    for (size_t W = 0; W < Words; ++W)
+      if (Row[W] & Set[W])
+        return true;
+    return false;
+  }
+
+  void unionInto(ExprRef R, std::vector<uint64_t> &Set) const {
+    const uint64_t *Row = &Bits[size_t(R) * Words];
+    for (size_t W = 0; W < Words; ++W)
+      Set[W] |= Row[W];
+  }
+
+private:
+  void orInto(uint64_t *Row, ExprRef Child) {
+    const uint64_t *Src = &Bits[size_t(Child) * Words];
+    for (size_t W = 0; W < Words; ++W)
+      Row[W] |= Src[W];
+  }
+
+  size_t Words = 0;
+  std::vector<uint64_t> Bits;
+  bool Built = false;
+};
+
+/// Streams two independent 64-bit FNV-style digests.
+struct CanonHasher {
+  uint64_t H1 = 0xcbf29ce484222325ull;
+  uint64_t H2 = 0x84222325cbf29ce4ull;
+  void mix(uint64_t V) {
+    H1 ^= V;
+    H1 *= 0x100000001b3ull;
+    H2 += V ^ (H2 >> 29);
+    H2 *= 0x9e3779b97f4a7c15ull;
+    H2 ^= H2 >> 32;
+  }
+};
+
+/// Canonical structural hash of a root list: nodes are numbered in
+/// post-order of a DFS that walks the roots left to right, and variables
+/// hash positionally (no var id, no origin) — structurally isomorphic
+/// queries collide on purpose, since validity is closed under variable
+/// renaming. This is what makes the cache hit across functions that
+/// discharge the same callee contract.
+DischargeCache::Key canonKey(const ExprArena &A,
+                             const std::vector<ExprRef> &Roots) {
+  CanonHasher H;
+  std::unordered_map<ExprRef, uint32_t> Canon;
+  std::vector<std::pair<ExprRef, unsigned>> Stack;
+  for (ExprRef Root : Roots) {
+    if (Canon.count(Root))
+      continue;
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      ExprRef R = Stack.back().first;
+      if (Canon.count(R)) {
+        Stack.pop_back();
+        continue;
+      }
+      const ExprNode &N = A.node(R);
+      unsigned NumCh =
+          N.K == ExprKind::Op ? 2 : N.K == ExprKind::Ite ? 3 : 0;
+      unsigned &CI = Stack.back().second;
+      if (CI < NumCh) {
+        ExprRef Ch = CI == 0 ? N.A : CI == 1 ? N.B : N.C;
+        ++CI;
+        if (!Canon.count(Ch))
+          Stack.push_back({Ch, 0});
+        continue;
+      }
+      Canon.emplace(R, uint32_t(Canon.size()));
+      H.mix(0xA0 + uint64_t(N.K));
+      switch (N.K) {
+      case ExprKind::Const:
+        H.mix(N.Lit);
+        break;
+      case ExprKind::Var:
+        break;
+      case ExprKind::Op:
+        H.mix(uint64_t(N.Op));
+        H.mix(Canon[N.A]);
+        H.mix(Canon[N.B]);
+        break;
+      case ExprKind::Ite:
+        H.mix(Canon[N.A]);
+        H.mix(Canon[N.B]);
+        H.mix(Canon[N.C]);
+        break;
+      }
+      Stack.pop_back();
+    }
+  }
+  H.mix(0x5eba11);
+  for (ExprRef Root : Roots)
+    H.mix(Canon[Root]);
+  return DischargeCache::Key{H.H1, H.H2};
+}
+
+constexpr size_t NoDup = ~size_t(0);
+
+struct Pending {
+  size_t Ob = 0;
+  std::vector<ExprRef> Attempt; ///< Simplified + sliced roots.
+  bool HasGuardRoot = false;    ///< Attempt[size-2] is the (non-const) guard.
+  DischargeCache::Key Key{};
+  bool HasKey = false;
+  size_t DupOf = NoDup; ///< Pending index of the first same-key survivor.
+  // Worker-phase results; each worker owns its Pending slots exclusively.
+  bool AttemptRan = false;
+  SolveStatus AttemptStatus = SolveStatus::Unknown;
+  SolveStats AttemptStats;
+  bool ColdRan = false;
+  SolveResult Cold;
+};
+
+bool isConstNonzero(const ExprArena &A, ExprRef R) {
+  Word V;
+  return A.constValue(R, V) && V != 0;
+}
+
+} // namespace
+
+DischargeResult discharge(ExprArena &Arena, const WpResult &Wp,
+                          const SolveOptions &SOpts,
+                          const DischargeOptions &DOpts,
+                          DischargeCache *SharedCache) {
+  const size_t N = Wp.Obligations.size();
+  DischargeResult Res;
+  Res.Outcomes.resize(N);
+
+  DischargeCache LocalCache;
+  DischargeCache *Cache = SharedCache ? SharedCache : &LocalCache;
+
+  // -- Phase A1: cheap tiers + query construction (all arena growth) -------
+  std::unique_ptr<AbsDomain> Dom;
+  std::unique_ptr<RefinedEval> Ref;
+  std::vector<ExprRef> SimpMemo;
+  if (DOpts.Tiers) {
+    Dom.reset(new AbsDomain(Arena));
+    Ref.reset(new RefinedEval(Arena, *Dom));
+  }
+
+  std::vector<std::vector<ExprRef>> Full(N); ///< PR-9-identical queries.
+  std::vector<Pending> Pend;
+  Pend.reserve(N);
+
+  auto buildFull = [&](size_t I) {
+    const Obligation &Ob = Wp.Obligations[I];
+    Full[I] = Ob.Assumes;
+    Full[I].push_back(Ob.Guard);
+    Full[I].push_back(Arena.eq(Ob.Cond, Arena.constant(0)));
+  };
+
+  for (size_t I = 0; I < N; ++I) {
+    const Obligation &Ob = Wp.Obligations[I];
+    ObOutcome &Out = Res.Outcomes[I];
+
+    // Tier wp: exactly the WP-time trivial test of the cold driver.
+    Word CondC = 0;
+    if (Arena.isConstZero(Ob.Guard) ||
+        (Arena.constValue(Ob.Cond, CondC) && CondC != 0)) {
+      Out.Status = SolveStatus::Unsat;
+      Out.Tier = DischargeTier::Wp;
+      Out.Trivial = true;
+      continue;
+    }
+
+    ExprRef AttemptGuard = Ob.Guard;
+    ExprRef AttemptCond = Ob.Cond;
+    bool Killed = false;
+    if (DOpts.Tiers) {
+      // Tier interval: the analysis proves the condition (or kills the
+      // path) without looking at the assumptions.
+      if (Dom->provesNonzero(Ob.Cond) || Dom->provesZero(Ob.Guard)) {
+        Out.Status = SolveStatus::Unsat;
+        Out.Tier = DischargeTier::Interval;
+        Killed = true;
+      }
+      if (!Killed) {
+        // Tier rewrite, part 1 — subsumption: obligation chaining pushes
+        // implies(Guard, Cond) after every Check, so a re-emitted check
+        // (loop unrolls, repeated callee contracts) finds its own
+        // implication — or its bare condition — among the assumptions.
+        ExprRef Chain = Arena.implies(Ob.Guard, Ob.Cond);
+        for (ExprRef A : Ob.Assumes)
+          if (A == Chain || A == Ob.Cond) {
+            Out.Status = SolveStatus::Unsat;
+            Out.Tier = DischargeTier::Rewrite;
+            Killed = true;
+            break;
+          }
+      }
+      if (!Killed) {
+        // Tier interval, contextual: re-evaluate the condition's cone
+        // with facts harvested from the in-scope assumptions and path
+        // guard. This is what proves guard-dependent conditions — most
+        // of all loop measures (`t - 1 <u t` under the in-scope
+        // `t != 0`) — without a solver call.
+        Ref->begin();
+        for (ExprRef A : Ob.Assumes)
+          Ref->assertTrue(A);
+        Ref->assertTrue(Ob.Guard);
+        if (Ref->contradiction() || Ref->provesNonzero(Ob.Cond)) {
+          Out.Status = SolveStatus::Unsat;
+          Out.Tier = DischargeTier::Interval;
+          Killed = true;
+        }
+      }
+      if (!Killed) {
+        // Tier rewrite, part 2 — simplification with analysis facts
+        // substituted in, plus vacuous-path detection (a false
+        // assumption in scope makes the query unsatisfiable).
+        ExprRef SC = simplify(Arena, *Dom, Ob.Cond, SimpMemo);
+        ExprRef SG = simplify(Arena, *Dom, Ob.Guard, SimpMemo);
+        if (isConstNonzero(Arena, SC) || Arena.isConstZero(SG)) {
+          Out.Status = SolveStatus::Unsat;
+          Out.Tier = DischargeTier::Rewrite;
+          Killed = true;
+        }
+        if (!Killed)
+          for (ExprRef A : Ob.Assumes) {
+            ExprRef SA = simplify(Arena, *Dom, A, SimpMemo);
+            if (Arena.isConstZero(SA)) {
+              Out.Status = SolveStatus::Unsat;
+              Out.Tier = DischargeTier::Rewrite;
+              Killed = true;
+              break;
+            }
+          }
+        AttemptGuard = SG;
+        AttemptCond = SC;
+      }
+    }
+    if (Killed) {
+      // The Differential claim audit re-checks every fast-tier proof
+      // against the cold solver, so it needs the full query too.
+      if (DOpts.Differential)
+        buildFull(I);
+      continue;
+    }
+
+    buildFull(I);
+    Pending P;
+    P.Ob = I;
+    for (ExprRef A : Ob.Assumes) {
+      ExprRef SA = DOpts.Tiers ? simplify(Arena, *Dom, A, SimpMemo) : A;
+      if (!isConstNonzero(Arena, SA))
+        P.Attempt.push_back(SA);
+    }
+    if (!isConstNonzero(Arena, AttemptGuard)) {
+      P.Attempt.push_back(AttemptGuard);
+      P.HasGuardRoot = true;
+    }
+    P.Attempt.push_back(Arena.eq(AttemptCond, Arena.constant(0)));
+    Pend.push_back(std::move(P));
+  }
+
+  // -- Phase A2: support index over the final arena ------------------------
+  SupportIndex Sup;
+  if (DOpts.Slice && !Pend.empty())
+    Sup.build(Arena);
+
+  // -- Phase A3: slicing, cache lookup, dedup (fault hooks live here) ------
+  std::unordered_map<uint64_t, size_t> FirstByKey; // Key.H1 -> pending idx
+  std::vector<Pending> Survivors;
+  Survivors.reserve(Pend.size());
+  for (Pending &P : Pend) {
+    if (DOpts.Slice && Sup.ok() && P.Attempt.size() > 1) {
+      // Cone of influence: the goal is the last two roots (guard + the
+      // cond == 0 comparison); keep every assumption whose variable
+      // support touches the growing kept-union-goal set.
+      size_t NumAs = P.Attempt.size() - 1;
+      ExprRef GoalCondEq = P.Attempt.back();
+      std::vector<uint64_t> Set(Sup.words(), 0);
+      Sup.unionInto(GoalCondEq, Set);
+      std::vector<uint8_t> Kept(NumAs, 0);
+      // The guard root (when non-const) is part of the goal, not a
+      // sliceable assumption: pin it and seed the cone with its support.
+      size_t GuardIdx = NumAs; // sentinel: no guard root
+      if (P.HasGuardRoot) {
+        GuardIdx = NumAs - 1;
+        Kept[GuardIdx] = 1;
+        Sup.unionInto(P.Attempt[GuardIdx], Set);
+      }
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        for (size_t A = 0; A < NumAs; ++A)
+          if (!Kept[A] && Sup.intersects(P.Attempt[A], Set)) {
+            Kept[A] = 1;
+            Sup.unionInto(P.Attempt[A], Set);
+            Changed = true;
+          }
+      }
+      // Seeded fault vc-slice-dropped-support: drop the highest-index
+      // live assumption. Sliced proofs stay sound (fewer constraints can
+      // only turn Unsat into Sat, and Sat falls back to the cold path),
+      // so the checker that kills this is the Differential partition
+      // audit below.
+      if (fi::on(fi::Fault::VcSliceDroppedSupport))
+        for (size_t A = NumAs; A-- > 0;)
+          if (Kept[A] && A != GuardIdx) {
+            Kept[A] = 0;
+            break;
+          }
+      if (DOpts.Differential) {
+        // Partition audit: every dropped assumption must be variable-
+        // disjoint from the kept-union-goal support. Recomputed from
+        // scratch so a buggy fixpoint (or the seeded fault) is caught by
+        // arithmetic, not by trusting the slicer's own bookkeeping.
+        std::vector<uint64_t> AuditSet(Sup.words(), 0);
+        Sup.unionInto(GoalCondEq, AuditSet);
+        for (size_t A = 0; A < NumAs; ++A)
+          if (Kept[A])
+            Sup.unionInto(P.Attempt[A], AuditSet);
+        for (size_t A = 0; A < NumAs; ++A)
+          if (!Kept[A] && Sup.intersects(P.Attempt[A], AuditSet)) {
+            ++Res.Counters.DiffMismatches;
+            if (Res.DiffDetail.empty())
+              Res.DiffDetail = "slice audit: obligation '" +
+                               Wp.Obligations[P.Ob].Where +
+                               "' dropped an assumption whose variables "
+                               "intersect the kept cone";
+          }
+      }
+      std::vector<ExprRef> Sliced;
+      Sliced.reserve(P.Attempt.size());
+      for (size_t A = 0; A < NumAs; ++A) {
+        if (Kept[A])
+          Sliced.push_back(P.Attempt[A]);
+        else
+          ++Res.Counters.SliceDroppedAssumes;
+      }
+      Sliced.push_back(GoalCondEq);
+      P.Attempt = std::move(Sliced);
+    }
+
+    if (DOpts.Cache) {
+      P.Key = canonKey(Arena, P.Attempt);
+      P.HasKey = true;
+      if (Cache->lookup(P.Key)) {
+        ++Res.Counters.CacheHits;
+        ObOutcome &Out = Res.Outcomes[P.Ob];
+        Out.Status = SolveStatus::Unsat;
+        Out.Tier = DischargeTier::Cache;
+        continue; // resolved; never enters the solver fleet
+      }
+      auto It = FirstByKey.find(P.Key.H1 ^ P.Key.H2);
+      if (It != FirstByKey.end() &&
+          Survivors[It->second].Key == P.Key)
+        P.DupOf = It->second;
+      else
+        FirstByKey[P.Key.H1 ^ P.Key.H2] = Survivors.size();
+    }
+    Survivors.push_back(std::move(P));
+  }
+  Pend = std::move(Survivors);
+
+  // -- Phase B: the parallel obligation fleet ------------------------------
+  std::vector<size_t> Solo;
+  for (size_t PI = 0; PI < Pend.size(); ++PI)
+    if (Pend[PI].DupOf == NoDup)
+      Solo.push_back(PI);
+  size_t Groups = std::min<size_t>(16, Solo.size());
+  if (Groups > 0) {
+    support::parallelFor(Groups, DOpts.Threads, [&](size_t GI) {
+      size_t Begin = Solo.size() * GI / Groups;
+      size_t End = Solo.size() * (GI + 1) / Groups;
+      std::unique_ptr<IncrementalSolver> Inc;
+      if (DOpts.Incremental)
+        Inc.reset(new IncrementalSolver(Arena, SOpts));
+      for (size_t K = Begin; K < End; ++K) {
+        Pending &P = Pend[Solo[K]];
+        const std::vector<ExprRef> &FullQ = Full[P.Ob];
+        if (Inc) {
+          P.AttemptStatus = Inc->solveNonzero(P.Attempt, P.AttemptStats);
+          P.AttemptRan = true;
+        } else if (P.Attempt != FullQ) {
+          SolveResult R = solve(Arena, P.Attempt, SOpts);
+          P.AttemptStatus = R.Status;
+          P.AttemptStats = R.Stats;
+          P.AttemptRan = true;
+        }
+        if (P.AttemptRan && P.AttemptStatus == SolveStatus::Unsat)
+          continue;
+        // Anything not proved falls back to the cold path on the
+        // untouched query: models (and Unknowns) are always re-derived
+        // with the full PR-9 discipline.
+        P.Cold = solve(Arena, FullQ, SOpts);
+        P.ColdRan = true;
+      }
+    });
+  }
+
+  // -- Phase C: sequential resolution in obligation order ------------------
+  for (size_t PI = 0; PI < Pend.size(); ++PI) {
+    Pending &P = Pend[PI];
+    ObOutcome &Out = Res.Outcomes[P.Ob];
+    if (P.DupOf != NoDup) {
+      const ObOutcome &Rep = Res.Outcomes[Pend[P.DupOf].Ob];
+      if (Rep.Status == SolveStatus::Unsat) {
+        Out.Status = SolveStatus::Unsat;
+        Out.Tier = DischargeTier::Cache;
+        ++Res.Counters.CacheHits;
+        continue;
+      }
+      // The representative wasn't proved; this duplicate solves its own
+      // full query so its model is its own.
+      ++Res.Counters.CacheMisses;
+      SolveResult R = solve(Arena, Full[P.Ob], SOpts);
+      Out.Status = R.Status;
+      Out.Tier = DischargeTier::SatCold;
+      Out.Model = std::move(R.Model);
+      Out.Stats = R.Stats;
+      ++Res.Counters.ColdSolves;
+      continue;
+    }
+    if (P.HasKey)
+      ++Res.Counters.CacheMisses;
+    Out.Stats = P.AttemptStats;
+    if (P.AttemptRan && P.AttemptStatus == SolveStatus::Unsat) {
+      Out.Status = SolveStatus::Unsat;
+      Out.Tier = DOpts.Incremental ? DischargeTier::SatShared
+                                   : DischargeTier::SatCold;
+      if (!DOpts.Incremental)
+        ++Res.Counters.ColdSolves;
+      if (P.HasKey)
+        Cache->insert(P.Key);
+      continue;
+    }
+    if (P.AttemptRan && !DOpts.Incremental)
+      ++Res.Counters.ColdSolves;
+    Out.Status = P.Cold.Status;
+    Out.Tier = DischargeTier::SatCold;
+    Out.Model = std::move(P.Cold.Model);
+    addStats(Out.Stats, P.Cold.Stats);
+    ++Res.Counters.ColdSolves;
+    // A cold Unsat proves the attempt only when the attempt IS the full
+    // query — a sliced proof claim must come from the sliced query
+    // itself, or the cache would hold keys it never discharged.
+    if (P.HasKey && P.Attempt == Full[P.Ob] &&
+        P.Cold.Status == SolveStatus::Unsat)
+      Cache->insert(P.Key);
+  }
+
+  for (const ObOutcome &O : Res.Outcomes)
+    if (O.Status == SolveStatus::Unsat)
+      ++Res.Counters.TierKills[size_t(O.Tier)];
+
+  // -- Differential claim audit: every fast-tier proof must survive the
+  // cold solver. (Sliced SatCold proofs are sound by construction —
+  // dropping constraints only ever weakens a query — so only claims that
+  // bypassed the solver, or used the shared context, are re-checked.)
+  if (DOpts.Differential) {
+    for (size_t I = 0; I < N; ++I) {
+      const ObOutcome &O = Res.Outcomes[I];
+      if (O.Status != SolveStatus::Unsat)
+        continue;
+      if (O.Tier != DischargeTier::Interval &&
+          O.Tier != DischargeTier::Rewrite &&
+          O.Tier != DischargeTier::Cache &&
+          O.Tier != DischargeTier::SatShared)
+        continue;
+      if (Full[I].empty())
+        continue;
+      SolveResult R = solve(Arena, Full[I], SOpts);
+      if (R.Status == SolveStatus::Sat) {
+        ++Res.Counters.DiffMismatches;
+        if (Res.DiffDetail.empty())
+          Res.DiffDetail =
+              "claim audit: obligation '" + Wp.Obligations[I].Where +
+              "' was proved by tier " + tierName(O.Tier) +
+              " but the cold solver found a model";
+      }
+    }
+  }
+
+  return Res;
+}
+
+} // namespace vc
+} // namespace b2

@@ -1,0 +1,138 @@
+//===- vc/Discharge.h - Staged obligation discharge engine -----*- C++ -*-===//
+//
+// Part of the b2stack project: a C++ reproduction of "Integration
+// Verification across Software and Hardware for a Simple Embedded System"
+// (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged discharge pipeline between WP generation and the verdict
+/// logic. Each obligation runs down a ladder of ever-more-expensive
+/// tiers, and only the survivors pay for a SAT search:
+///
+///   wp        guard or condition folded to a constant during WP gen
+///   interval  known-bits/interval analysis proves the condition
+///   rewrite   simplification, assumption subsumption (duplicate checks
+///             from loop unrolls / repeated callee contracts), vacuous
+///             paths (a false assumption in scope)
+///   cache     canonical-DAG-hash cache of previously proved queries
+///   sat-shared  incremental shared-context solver proved Unsat
+///   sat-cold    the cold single-query solver (authoritative)
+///
+/// Trust discipline: the fast tiers may only *prove*. Any Sat or Unknown
+/// answer from a sliced/simplified/incremental attempt falls back to the
+/// cold path on the original untouched query, so counterexample models —
+/// the only artifacts that feed replay — always come from exactly the
+/// PR-9 cold pipeline, bit for bit. The solved-obligation cache stores
+/// 128 bits of canonical structural hash per proved query and nothing
+/// else; Differential mode re-checks every fast-tier proof against the
+/// cold solver and audits the slice partition, which is what the
+/// vc-cache-stale-hit and vc-slice-dropped-support seeded faults are
+/// killed with.
+///
+/// Determinism: the obligation-group partition is a function of the
+/// obligation list alone (never the thread count), each group runs its
+/// own incremental context in obligation order, and all counters are
+/// accumulated in a sequential resolution pass — verdicts, models, and
+/// every counter are bit-identical at any --threads value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef B2_VC_DISCHARGE_H
+#define B2_VC_DISCHARGE_H
+
+#include "vc/Solve.h"
+#include "vc/Wp.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace b2 {
+namespace vc {
+
+enum class DischargeTier : uint8_t {
+  Wp,        ///< Trivially folded during WP generation.
+  Interval,  ///< Known-bits/interval abstract interpretation.
+  Rewrite,   ///< Simplification / subsumption / vacuous-path pruning.
+  Cache,     ///< Canonical-hash solved-obligation cache (or in-run dup).
+  SatShared, ///< Incremental shared-context solver proved Unsat.
+  SatCold,   ///< Cold single-query solver (authoritative for Sat).
+  NumTiers
+};
+
+const char *tierName(DischargeTier T);
+
+struct DischargeOptions {
+  bool Tiers = true;        ///< Interval + rewrite pre-solver tiers.
+  bool Slice = true;        ///< Cone-of-influence assumption slicing.
+  bool Cache = true;        ///< Solved-obligation cache + in-run dedup.
+  bool Incremental = true;  ///< Shared solver context per group.
+  bool Differential = false; ///< Audit staged claims against the cold path.
+  unsigned Threads = 1;     ///< Worker threads for the obligation fleet.
+};
+
+/// Solved-obligation cache: 128-bit canonical structural hashes of proved
+/// (query-Unsat) sliced queries. Passing one cache to several
+/// verifyFunction calls makes repeated contracts free across functions.
+class DischargeCache {
+public:
+  struct Key {
+    uint64_t H1 = 0, H2 = 0;
+    bool operator==(const Key &O) const { return H1 == O.H1 && H2 == O.H2; }
+  };
+
+  /// True iff \p K was inserted earlier. Carries the vc-cache-stale-hit
+  /// seeded fault: when armed, any non-empty cache answers any key.
+  bool lookup(const Key &K) const;
+  void insert(const Key &K) { Proved.insert(K); }
+  size_t size() const { return Proved.size(); }
+
+private:
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return size_t(K.H1 ^ (K.H2 * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  std::unordered_set<Key, KeyHash> Proved;
+};
+
+/// Per-obligation result of the pipeline.
+struct ObOutcome {
+  SolveStatus Status = SolveStatus::Unknown;
+  DischargeTier Tier = DischargeTier::SatCold;
+  bool Trivial = false;    ///< Tier Wp: matched the WP-time constant fold.
+  std::vector<Word> Model; ///< Sat only; always from the cold solver.
+  SolveStats Stats;
+};
+
+/// Deterministic pipeline counters (all accumulated sequentially).
+struct DischargeCounters {
+  uint64_t TierKills[size_t(DischargeTier::NumTiers)] = {};
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t SliceDroppedAssumes = 0;
+  uint64_t ColdSolves = 0;     ///< Cold solve() calls (fallbacks included).
+  uint64_t DiffMismatches = 0; ///< Differential mode only.
+};
+
+struct DischargeResult {
+  std::vector<ObOutcome> Outcomes; ///< Parallel to Wp.Obligations.
+  DischargeCounters Counters;
+  std::string DiffDetail; ///< First mismatch, human-readable.
+};
+
+/// Runs every obligation of \p Wp down the tier ladder. Appends rewrite
+/// products to \p Arena (sequential phase only; the parallel phase treats
+/// the arena as immutable).
+DischargeResult discharge(ExprArena &Arena, const WpResult &Wp,
+                          const SolveOptions &SOpts,
+                          const DischargeOptions &DOpts,
+                          DischargeCache *SharedCache = nullptr);
+
+} // namespace vc
+} // namespace b2
+
+#endif // B2_VC_DISCHARGE_H

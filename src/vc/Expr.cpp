@@ -171,13 +171,22 @@ ExprRef ExprArena::op(BinOp O, ExprRef A, ExprRef B) {
       break;
     }
   }
-  // Xor constant chains collapse: (x ^ c1) ^ c2 == x ^ (c1 ^ c2). This
-  // is what makes boolNot self-inverse.
-  if (O == BinOp::Xor && BConst && NA.K == ExprKind::Op &&
-      NA.Op == BinOp::Xor) {
+  // Associative constant chains collapse: (x ? c1) ? c2 == x ? (c1 ? c2)
+  // for xor/add/and/or. The xor case is what makes boolNot self-inverse;
+  // the add case flattens the address arithmetic loop unrolling produces.
+  if (BConst && NA.K == ExprKind::Op && NA.Op == O &&
+      (O == BinOp::Xor || O == BinOp::Add || O == BinOp::And ||
+       O == BinOp::Or)) {
     Word C1;
     if (constValue(NA.B, C1))
-      return op(BinOp::Xor, NA.A, constant(C1 ^ CB));
+      return op(O, NA.A, constant(bedrock2::evalBinOp(O, C1, CB)));
+  }
+  // Mixed add/sub constant chains: (x + c1) - c2 == x + (c1 - c2).
+  if (O == BinOp::Sub && BConst && NA.K == ExprKind::Op &&
+      NA.Op == BinOp::Add) {
+    Word C1;
+    if (constValue(NA.B, C1))
+      return op(BinOp::Add, NA.A, constant(C1 - CB));
   }
   // 0 <u x over a 0/1-valued x is x itself (the toBool normal form).
   if (O == BinOp::Ltu && AConst && CA == 0 && NB.Is01)

@@ -143,6 +143,80 @@ public:
 
   bool modelValue(int V) const { return Assign[V] == 1; }
 
+  /// Solves under a single assumption literal, which is re-decided first
+  /// at every level-0 state — so it can only ever be *falsified* by
+  /// level-0 propagation, where falsity is a proof that the clause set
+  /// implies its negation. Returns 1 = SAT, 0 = UNSAT under the
+  /// assumption, -1 = conflict budget exhausted, -2 = the shared context
+  /// itself is contradictory (encoder bug; the caller must degrade to
+  /// Unknown, never report Unsat).
+  int solveAssuming(int AssumeLit, uint64_t ConflictBudget,
+                    SolveStats &Stats) {
+    if (Contradiction)
+      return -2;
+    uint64_t RestartLimit = 100;
+    uint64_t ConflictsAtRestart = 0;
+    uint64_t PropsBase = Props;
+    rebuildOrder();
+    for (;;) {
+      int Confl = propagate();
+      Stats.Propagations = Props - PropsBase;
+      if (Confl >= 0) {
+        ++Stats.Conflicts;
+        if (decisionLevel() == 0)
+          return -2;
+        if (Stats.Conflicts >= ConflictBudget)
+          return -1;
+        std::vector<int> Learnt;
+        int BackLevel = analyze(Confl, Learnt);
+        backtrack(BackLevel);
+        if (Learnt.size() == 1) {
+          if (!enqueue(Learnt[0], -1))
+            return -2;
+        } else {
+          int Idx = attach(std::move(Learnt));
+          if (!enqueue(Clauses[Idx][0], Idx))
+            return -2;
+        }
+        decayActivity();
+        if (Stats.Conflicts - ConflictsAtRestart >= RestartLimit) {
+          ConflictsAtRestart = Stats.Conflicts;
+          RestartLimit = RestartLimit + RestartLimit / 2;
+          backtrack(0);
+        }
+      } else {
+        if (value(AssumeLit) == 0) {
+          assert(Level[varOf(AssumeLit)] == 0 &&
+                 "assumption falsified above the root level");
+          return 0;
+        }
+        if (value(AssumeLit) == -1) {
+          ++Stats.Decisions;
+          TrailLim.push_back(int(Trail.size()));
+          bool Ok = enqueue(AssumeLit, -1);
+          (void)Ok;
+          assert(Ok && "assumption decision on assigned var");
+          continue;
+        }
+        int Next = pickBranchVar();
+        if (Next < 0)
+          return 1;
+        ++Stats.Decisions;
+        TrailLim.push_back(int(Trail.size()));
+        bool Ok = enqueue(Phase[Next] ? posLit(Next) : negLit(Next), -1);
+        (void)Ok;
+        assert(Ok && "decision on assigned var");
+      }
+    }
+  }
+
+  /// Permanently deactivates a finished query's assumption literal, so
+  /// its clauses are satisfied in every later query.
+  void retire(int AssumeLit) {
+    backtrack(0);
+    addClause({flip(AssumeLit)});
+  }
+
 private:
   std::vector<std::vector<int>> Clauses;
   std::vector<std::vector<int>> Watches; ///< Indexed by literal.
@@ -358,17 +432,28 @@ public:
   Sat S;
   bool OverBudget = false;
 
-  /// Encodes all nodes reachable from \p Roots (forward pass in index
-  /// order: children always precede parents).
+  const ExprArena &arena() const { return Arena; }
+
+  /// Encodes all not-yet-encoded nodes reachable from \p Roots, in index
+  /// order (children always precede parents). Incremental: nodes encoded
+  /// by earlier calls keep their variables, so shared sub-DAGs cost their
+  /// Tseitin clauses exactly once per context. A cold single-query call
+  /// is the one-call special case and produces the same variable
+  /// numbering as before.
   bool encodeRoots(const std::vector<ExprRef> &Roots) {
-    std::vector<uint8_t> Needed(Arena.size(), 0);
+    if (Marked.size() < Arena.size())
+      Marked.resize(Arena.size(), 0);
+    if (WordBits.size() < Arena.size())
+      WordBits.resize(Arena.size());
+    std::vector<ExprRef> Fresh;
     std::vector<ExprRef> Stack(Roots.begin(), Roots.end());
     while (!Stack.empty()) {
       ExprRef R = Stack.back();
       Stack.pop_back();
-      if (Needed[R])
+      if (Marked[R])
         continue;
-      Needed[R] = 1;
+      Marked[R] = 1;
+      Fresh.push_back(R);
       const ExprNode &N = Arena.node(R);
       if (N.K == ExprKind::Op) {
         Stack.push_back(N.A);
@@ -379,10 +464,8 @@ public:
         Stack.push_back(N.C);
       }
     }
-    WordBits.resize(Arena.size());
-    for (ExprRef R = 0; R < Arena.size(); ++R) {
-      if (!Needed[R])
-        continue;
+    std::sort(Fresh.begin(), Fresh.end());
+    for (ExprRef R : Fresh) {
       encodeNode(R);
       if (overBudget())
         return false;
@@ -394,6 +477,16 @@ public:
   void assertNonzero(ExprRef R) {
     const Bits &B = WordBits[R];
     std::vector<int> C(B.begin(), B.end());
+    S.addClause(std::move(C));
+  }
+
+  /// Asserts "word != 0" only when \p ActLit holds (assumption-guarded).
+  void assertNonzeroUnder(int ActLit, ExprRef R) {
+    const Bits &B = WordBits[R];
+    std::vector<int> C;
+    C.reserve(B.size() + 1);
+    C.push_back(Sat::flip(ActLit));
+    C.insert(C.end(), B.begin(), B.end());
     S.addClause(std::move(C));
   }
 
@@ -417,6 +510,7 @@ public:
 private:
   const ExprArena &Arena;
   uint64_t ClauseBudget;
+  std::vector<uint8_t> Marked; ///< Node already queued for encoding.
   std::vector<Bits> WordBits;
   std::unordered_map<uint64_t, int> GateCache;
 
@@ -833,6 +927,66 @@ SolveResult solve(const ExprArena &Arena,
   if (fi::on(fi::Fault::VcSolverBadModel) && !Res.Model.empty())
     Res.Model[0] ^= 1;
   return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalSolver: persistent context + assumption-literal activation
+//===----------------------------------------------------------------------===//
+
+struct IncrementalSolver::Impl {
+  Impl(const ExprArena &Arena, const SolveOptions &Opts)
+      : Opts(Opts), BB(Arena, Opts.ClauseBudget) {}
+  SolveOptions Opts;
+  BitBlaster BB;
+  bool Dead = false; ///< Clause budget blown: every later call is Unknown.
+};
+
+IncrementalSolver::IncrementalSolver(const ExprArena &Arena,
+                                     const SolveOptions &Opts)
+    : P(new Impl(Arena, Opts)) {}
+
+IncrementalSolver::~IncrementalSolver() = default;
+
+SolveStatus IncrementalSolver::solveNonzero(const std::vector<ExprRef> &Roots,
+                                            SolveStats &Stats) {
+  const ExprArena &Arena = P->BB.arena();
+  std::vector<ExprRef> Live;
+  for (ExprRef C : Roots) {
+    Word V;
+    if (Arena.constValue(C, V)) {
+      if (V == 0)
+        return SolveStatus::Unsat;
+      continue;
+    }
+    Live.push_back(C);
+  }
+  if (Live.empty())
+    return SolveStatus::Sat; // Caller re-derives any model via the cold path.
+  if (P->Dead)
+    return SolveStatus::Unknown;
+
+  uint64_t ClausesBefore = P->BB.S.numClauses();
+  if (!P->BB.encodeRoots(Live)) {
+    P->Dead = true;
+    Stats.Clauses += P->BB.S.numClauses() - ClausesBefore;
+    return SolveStatus::Unknown;
+  }
+  int Act = Sat::posLit(P->BB.S.newVar());
+  for (ExprRef C : Live)
+    P->BB.assertNonzeroUnder(Act, C);
+
+  SolveStats Call;
+  int Verdict = P->BB.S.solveAssuming(Act, P->Opts.ConflictBudget, Call);
+  P->BB.S.retire(Act);
+  Stats.Clauses += P->BB.S.numClauses() - ClausesBefore;
+  Stats.Conflicts += Call.Conflicts;
+  Stats.Decisions += Call.Decisions;
+  Stats.Propagations += Call.Propagations;
+  if (Verdict == 1)
+    return SolveStatus::Sat;
+  if (Verdict == 0)
+    return SolveStatus::Unsat;
+  return SolveStatus::Unknown;
 }
 
 } // namespace vc

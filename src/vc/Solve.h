@@ -33,6 +33,7 @@
 
 #include "vc/Expr.h"
 
+#include <memory>
 #include <vector>
 
 namespace b2 {
@@ -68,6 +69,38 @@ struct SolveOptions {
 SolveResult solve(const ExprArena &Arena,
                   const std::vector<ExprRef> &NonzeroConstraints,
                   const SolveOptions &Opts = SolveOptions());
+
+/// A persistent solver context for one sequence of related queries (the
+/// staged discharge engine runs one per obligation group). Tseitin
+/// clauses for shared sub-DAGs are emitted once, each query is activated
+/// via a fresh assumption literal and retired with its permanent negation
+/// afterwards, and learned clauses survive across queries.
+///
+/// Only the Unsat answer is trusted downstream (it proves the obligation);
+/// Sat/Unknown make the caller fall back to the cold single-query path,
+/// which re-derives the model with the full cross-check-and-replay
+/// discipline. A shared-context contradiction — impossible unless the
+/// encoder is buggy, since every query clause is guarded by its
+/// assumption literal — degrades to Unknown, never to a wrong Unsat.
+///
+/// The arena must not grow between construction and the last query; all
+/// nodes are built in the sequential phase of the discharge pipeline.
+class IncrementalSolver {
+public:
+  IncrementalSolver(const ExprArena &Arena, const SolveOptions &Opts);
+  ~IncrementalSolver();
+  IncrementalSolver(const IncrementalSolver &) = delete;
+  IncrementalSolver &operator=(const IncrementalSolver &) = delete;
+
+  /// Decides "every root is nonzero" under a fresh assumption literal.
+  /// \p Stats receives this call's deltas (clauses added, conflicts, ...).
+  SolveStatus solveNonzero(const std::vector<ExprRef> &Roots,
+                           SolveStats &Stats);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
 
 } // namespace vc
 } // namespace b2

@@ -65,39 +65,50 @@ FuncReport verifyFunction(const bedrock2::Program &P, const std::string &Func,
   ROpts.RamBytes = Opts.Wp.RamBytes;
   ROpts.Stack = Opts.Wp.Stack;
 
-  bool AllProved = true;
-  for (const Obligation &Ob : Wp.Obligations) {
+  // Every obligation runs down the staged tier ladder (interval/rewrite
+  // pre-solvers, slicing, cache, incremental fleet) before anything cold;
+  // a disabled pipeline (--sat-only) degenerates to one cold solve per
+  // obligation — the exact pre-staging behavior. Verdict resolution below
+  // stays sequential and in obligation order either way.
+  DischargeResult DR = discharge(Arena, Wp, Opts.Solve, Opts.Discharge,
+                                 Opts.SharedCache);
+  Rep.Pipeline = DR.Counters;
+  Rep.DiffDetail = DR.DiffDetail;
+  metrics::add(metrics::Id::VcTierIntervalKills,
+               DR.Counters.TierKills[size_t(DischargeTier::Interval)]);
+  metrics::add(metrics::Id::VcTierRewriteKills,
+               DR.Counters.TierKills[size_t(DischargeTier::Rewrite)]);
+  metrics::add(metrics::Id::VcCacheHits, DR.Counters.CacheHits);
+  metrics::add(metrics::Id::VcCacheMisses, DR.Counters.CacheMisses);
+  metrics::add(metrics::Id::VcSliceDropped, DR.Counters.SliceDroppedAssumes);
+  metrics::add(metrics::Id::VcIncrementalProved,
+               DR.Counters.TierKills[size_t(DischargeTier::SatShared)]);
+  metrics::add(metrics::Id::VcColdSolves, DR.Counters.ColdSolves);
+  metrics::add(metrics::Id::VcDiffMismatches, DR.Counters.DiffMismatches);
+
+  bool AllProved = DR.Counters.DiffMismatches == 0;
+  for (size_t I = 0; I < Wp.Obligations.size(); ++I) {
+    const Obligation &Ob = Wp.Obligations[I];
+    ObOutcome &Out = DR.Outcomes[I];
     ObReport OR;
     OR.Kind = Ob.Kind;
     OR.Where = Ob.Where;
     OR.Expected = Ob.Expected;
+    OR.Tier = Out.Tier;
 
-    // Trivially discharged: dead path or constant-true condition.
-    Word CondC = 0;
-    if (Arena.isConstZero(Ob.Guard) ||
-        (Arena.constValue(Ob.Cond, CondC) && CondC != 0)) {
-      OR.Status = ObStatus::ProvedTrivial;
-      ++Rep.Proved;
-      ++Rep.Trivial;
-      Rep.Obligations.push_back(OR);
-      continue;
-    }
+    Rep.Solver.Clauses += Out.Stats.Clauses;
+    Rep.Solver.Conflicts += Out.Stats.Conflicts;
+    Rep.Solver.Decisions += Out.Stats.Decisions;
+    Rep.Solver.Propagations += Out.Stats.Propagations;
 
-    // The negation of (assumes ∧ guard → cond): every assume holds, the
-    // guard holds, and cond is zero. A model is a path to the check site
-    // that fails the check.
-    std::vector<ExprRef> Query = Ob.Assumes;
-    Query.push_back(Ob.Guard);
-    Query.push_back(Arena.eq(Ob.Cond, Arena.constant(0)));
-    SolveResult SR = solve(Arena, Query, Opts.Solve);
-    Rep.Solver.Clauses += SR.Stats.Clauses;
-    Rep.Solver.Conflicts += SR.Stats.Conflicts;
-    Rep.Solver.Decisions += SR.Stats.Decisions;
-    Rep.Solver.Propagations += SR.Stats.Propagations;
-
-    switch (SR.Status) {
+    switch (Out.Status) {
     case SolveStatus::Unsat:
-      OR.Status = ObStatus::Proved;
+      if (Out.Trivial) {
+        OR.Status = ObStatus::ProvedTrivial;
+        ++Rep.Trivial;
+      } else {
+        OR.Status = ObStatus::Proved;
+      }
       ++Rep.Proved;
       break;
     case SolveStatus::Unknown:
@@ -113,7 +124,7 @@ FuncReport verifyFunction(const bedrock2::Program &P, const std::string &Func,
         break;
       }
       {
-        ReplayOutcome RO = replayModel(P, Func, Arena, Wp, SR.Model,
+        ReplayOutcome RO = replayModel(P, Func, Arena, Wp, Out.Model,
                                        Ob.Expected, ROpts);
         if (RO.Confirmed) {
           metrics::add(metrics::Id::VcReplayConfirmed);
@@ -174,7 +185,7 @@ FuncReport verifyFunction(const bedrock2::Program &P, const std::string &Func,
 std::string vcJson(const std::vector<FuncReport> &Reports) {
   support::JsonWriter J;
   J.beginObject();
-  J.key("schema").value("b2stack-vc-v1");
+  J.key("schema").value("b2stack-vc-v2");
   J.key("funcs").beginArray();
   for (const FuncReport &R : Reports) {
     J.beginObject();
@@ -195,6 +206,16 @@ std::string vcJson(const std::vector<FuncReport> &Reports) {
     J.key("decisions").value(R.Solver.Decisions);
     J.key("propagations").value(R.Solver.Propagations);
     J.endObject();
+    J.key("tiers").beginObject();
+    for (size_t T = 0; T < size_t(DischargeTier::NumTiers); ++T)
+      J.key(tierName(DischargeTier(T)))
+          .value(R.Pipeline.TierKills[T]);
+    J.endObject();
+    J.key("cache_hits").value(R.Pipeline.CacheHits);
+    J.key("cache_misses").value(R.Pipeline.CacheMisses);
+    J.key("slice_dropped_assumes").value(R.Pipeline.SliceDroppedAssumes);
+    J.key("cold_solves").value(R.Pipeline.ColdSolves);
+    J.key("diff_mismatches").value(R.Pipeline.DiffMismatches);
     if (R.V == Verdict::Counterexample) {
       J.key("cex").beginObject();
       J.key("where").value(R.CexWhere);
@@ -211,6 +232,7 @@ std::string vcJson(const std::vector<FuncReport> &Reports) {
       J.beginObject();
       J.key("kind").value(OR.Kind == ObKind::Check ? "check" : "coverage");
       J.key("status").value(obStatusName(OR.Status));
+      J.key("tier").value(tierName(OR.Tier));
       J.key("where").value(OR.Where);
       J.key("fault").value(bedrock2::faultName(OR.Expected));
       J.endObject();

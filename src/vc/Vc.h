@@ -27,6 +27,7 @@
 #ifndef B2_VC_VC_H
 #define B2_VC_VC_H
 
+#include "vc/Discharge.h"
 #include "vc/Replay.h"
 #include "vc/Solve.h"
 #include "vc/Wp.h"
@@ -58,11 +59,16 @@ struct ObReport {
   ObStatus Status;
   std::string Where;
   bedrock2::Fault Expected;
+  DischargeTier Tier = DischargeTier::SatCold; ///< Which tier resolved it.
 };
 
 struct VcOptions {
   WpOptions Wp;
   SolveOptions Solve;
+  DischargeOptions Discharge; ///< Staged-pipeline switches (all on, 1 thread).
+  /// Optional cross-function solved-obligation cache; when null every
+  /// function gets a private one (in-function dedup still applies).
+  DischargeCache *SharedCache = nullptr;
   unsigned Probes = 16;      ///< Concrete runs stress-testing Valid verdicts.
   uint64_t ProbeSeed = 0x5eed0001;
   uint64_t ReplayFuel = 2'000'000;
@@ -89,6 +95,10 @@ struct FuncReport {
   // Cost accounting.
   SolveStats Solver;
   uint64_t DagNodes = 0;
+  // Staged-pipeline accounting (per-tier kills, cache traffic, slicing,
+  // Differential mismatches). DiffDetail describes the first mismatch.
+  DischargeCounters Pipeline;
+  std::string DiffDetail;
 };
 
 /// Verifies \p Func of \p P end to end. \p ProgramLabel tags the report.
@@ -96,8 +106,9 @@ FuncReport verifyFunction(const bedrock2::Program &P, const std::string &Func,
                           const std::string &ProgramLabel,
                           const VcOptions &Opts = VcOptions());
 
-/// Renders reports under schema b2stack-vc-v1 (deterministic: no
-/// timestamps, no wall-clock).
+/// Renders reports under schema b2stack-vc-v2 (deterministic: no
+/// timestamps, no wall-clock). v2 adds the per-function tier/cache/slice
+/// counters, Differential mismatch counts, and a per-check "tier" field.
 std::string vcJson(const std::vector<FuncReport> &Reports);
 
 } // namespace vc

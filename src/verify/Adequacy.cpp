@@ -875,13 +875,14 @@ std::vector<Stim> blockDiffStims() {
 // columns cannot perturb this column's baseline.
 
 bool vcVerdictFails(const char *Src, const char *Fn, vc::Verdict Want,
-                    bedrock2::Fault WantFault, std::string &Detail) {
+                    bedrock2::Fault WantFault, const vc::VcOptions &Opts,
+                    std::string &Detail) {
   bedrock2::ParseResult P = bedrock2::parseProgram(Src);
   if (!P.ok()) {
     Detail = "stimulus parse error: " + P.Error;
     return true;
   }
-  vc::FuncReport R = vc::verifyFunction(*P.Prog, Fn, "adequacy");
+  vc::FuncReport R = vc::verifyFunction(*P.Prog, Fn, "adequacy", Opts);
   if (R.Unconfirmed != 0) {
     Detail = std::to_string(R.Unconfirmed) +
              " unconfirmed symbolic counterexample(s) on '" + Fn + "'";
@@ -901,6 +902,11 @@ bool vcVerdictFails(const char *Src, const char *Fn, vc::Verdict Want,
     return true;
   }
   return false;
+}
+
+bool vcVerdictFails(const char *Src, const char *Fn, vc::Verdict Want,
+                    bedrock2::Fault WantFault, std::string &Detail) {
+  return vcVerdictFails(Src, Fn, Want, WantFault, vc::VcOptions(), Detail);
 }
 
 std::vector<Stim> vcCheckStims() {
@@ -934,6 +940,45 @@ std::vector<Stim> vcCheckStims() {
              "  ensures ((r == a - b) | (r == b - a)) {"
              "  if (a < b) { r = b - a; } else { r = a - b; } }",
              "absdiff", vc::Verdict::Valid, bedrock2::Fault::None, D);
+       }},
+      // A shared solved-obligation cache warmed by a genuinely proved
+      // function, then a buggy one. A cache that loses hash
+      // discrimination (vc-cache-stale-hit) answers the buggy ensures
+      // with the warm entry's "proved", minting a Valid the concrete
+      // probes behind every Valid verdict then contradict — a kill.
+      {"cache-stale-probes", [](std::string &D) {
+         vc::DischargeCache Shared;
+         vc::VcOptions Opts;
+         Opts.SharedCache = &Shared;
+         if (vcVerdictFails(
+                 "fn absdiff(a, b) -> (r)"
+                 "  ensures ((r == a - b) | (r == b - a)) {"
+                 "  if (a < b) { r = b - a; } else { r = a - b; } }",
+                 "absdiff", vc::Verdict::Valid, bedrock2::Fault::None, Opts,
+                 D))
+           return true;
+         return vcVerdictFails(
+             "fn bump(a) -> (r) ensures (r == a + 1) { r = a + 2; }",
+             "bump", vc::Verdict::Counterexample,
+             bedrock2::Fault::PostconditionFailed, Opts, D);
+       }},
+      // Differential mode on a contract whose one solver-bound
+      // obligation depends on a live requires assumption. A slicer that
+      // drops live support (vc-slice-dropped-support) never changes a
+      // verdict — a weaker query can only turn Unsat into Sat, and Sat
+      // falls back to the cold path — so the partition audit is the one
+      // checker that sees the dropped assumption intersect the kept
+      // cone; its mismatch demotes the verdict from Valid.
+      {"differential-slice-audit", [](std::string &D) {
+         vc::VcOptions Opts;
+         Opts.Discharge.Differential = true;
+         return vcVerdictFails(
+             "fn halfdiff(a, b) -> (r)"
+             "  requires (a < b)"
+             "  ensures (r == b - a) {"
+             "  if (a < b) { r = b - a; } else { r = a - b; } }",
+             "halfdiff", vc::Verdict::Valid, bedrock2::Fault::None, Opts,
+             D);
        }},
   };
 }
@@ -1022,6 +1067,8 @@ std::vector<fi::Fault> b2::verify::quickFaultSet() {
       fi::Fault::SnapStateStaleLatch,
       fi::Fault::VcWpDroppedConjunct,
       fi::Fault::VcSolverBadModel,
+      fi::Fault::VcCacheStaleHit,
+      fi::Fault::VcSliceDroppedSupport,
   };
 }
 

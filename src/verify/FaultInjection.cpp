@@ -136,6 +136,14 @@ const std::vector<FaultInfo> &b2::fi::faultRegistry() {
       {Fault::VcSolverBadModel, "vc-solver-bad-model", "vc", "VcCheck",
        "the SAT backend flips one bit of every model it returns, so "
        "symbolic counterexamples describe no real execution"},
+      {Fault::VcCacheStaleHit, "vc-cache-stale-hit", "vc", "VcCheck",
+       "the solved-obligation cache loses hash discrimination and answers "
+       "any lookup from any stored entry, so unproved obligations come "
+       "back proved"},
+      {Fault::VcSliceDroppedSupport, "vc-slice-dropped-support", "vc",
+       "VcCheck",
+       "the cone-of-influence slicer drops one live assumption, so sliced "
+       "queries are weaker than the originals"},
   };
   return Registry;
 }

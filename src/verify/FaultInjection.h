@@ -115,6 +115,13 @@ enum class Fault : uint8_t {
   VcSolverBadModel,           ///< The SAT backend corrupts one bit of
                               ///< every model it returns, so symbolic
                               ///< counterexamples describe no real run.
+  VcCacheStaleHit,            ///< The solved-obligation cache answers any
+                              ///< lookup from any stored entry (hash
+                              ///< discrimination lost), so unproved
+                              ///< obligations come back "proved".
+  VcSliceDroppedSupport,      ///< The cone-of-influence slicer drops one
+                              ///< live assumption, so sliced queries are
+                              ///< weaker than the originals.
 
   NumFaults, ///< Count sentinel; not a fault.
 };

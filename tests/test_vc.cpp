@@ -16,6 +16,7 @@
 #include "app/Firmware.h"
 #include "bedrock2/Parser.h"
 #include "support/Rng.h"
+#include "vc/Analysis.h"
 #include "vc/Corpus.h"
 #include "vc/Vc.h"
 
@@ -343,8 +344,253 @@ TEST(VcDeterminism, ReportsAreBitIdenticalAcrossReruns) {
     B.push_back(verifyFunction(E.Prog, E.Func, E.Name));
   }
   EXPECT_EQ(vcJson(A), vcJson(B));
-  EXPECT_NE(vcJson(A).find("\"schema\":\"b2stack-vc-v1\""),
+  EXPECT_NE(vcJson(A).find("\"schema\":\"b2stack-vc-v2\""),
             std::string::npos);
+}
+
+// -- Staged discharge pipeline -----------------------------------------------
+
+namespace {
+
+/// Grows a random term pool over three full-range variables; returns the
+/// arena refs plus the variable ids for building valuations.
+std::vector<ExprRef> randomPool(ExprArena &A, support::Rng &R,
+                                std::vector<unsigned> &VarIds) {
+  std::vector<ExprRef> Pool;
+  for (const char *N : {"x", "y", "z"}) {
+    ExprRef V = A.var(N, VarOrigin::Param);
+    VarIds.push_back(A.node(V).Lit);
+    Pool.push_back(V);
+  }
+  Pool.push_back(A.constant(R.interestingWord()));
+  const BinOp Mix[] = {BinOp::And, BinOp::Or,  BinOp::Xor, BinOp::Add,
+                       BinOp::Sub, BinOp::Mul, BinOp::Sru, BinOp::Slu,
+                       BinOp::Ltu, BinOp::Eq};
+  for (unsigned I = 0; I != 12; ++I) {
+    ExprRef L = Pool[R.below(uint32_t(Pool.size()))];
+    ExprRef Rh = Pool[R.below(uint32_t(Pool.size()))];
+    Pool.push_back(A.op(Mix[R.below(10)], L, Rh));
+  }
+  return Pool;
+}
+
+std::vector<Word> randomVals(support::Rng &R, size_t NumVars) {
+  std::vector<Word> Vals(NumVars, 0);
+  for (Word &V : Vals)
+    V = R.interestingWord();
+  return Vals;
+}
+
+} // namespace
+
+TEST(VcDischarge, SimplifyPreservesEvaluationOnRandomDags) {
+  // simplify() rebuilds terms with analysis facts substituted in; the
+  // rewrite tier trusts it blindly, so it must be value-preserving under
+  // every valuation — checked here on random DAGs and random models.
+  support::Rng R(0x51392);
+  for (unsigned Trial = 0; Trial != 40; ++Trial) {
+    ExprArena A;
+    std::vector<unsigned> VarIds;
+    std::vector<ExprRef> Pool = randomPool(A, R, VarIds);
+    ExprRef F = Pool.back();
+    AbsDomain Dom(A);
+    std::vector<ExprRef> Memo;
+    ExprRef S = simplify(A, Dom, F, Memo);
+    for (unsigned M = 0; M != 32; ++M) {
+      std::vector<Word> Vals = randomVals(R, A.numVars());
+      EXPECT_EQ(A.eval(F, Vals), A.eval(S, Vals))
+          << "trial " << Trial << ": simplify changed the term's value";
+    }
+  }
+}
+
+TEST(VcDischarge, RefinedEvalIsSoundOnRandomContexts) {
+  // The contextual tier asserts random conjuncts and claims condition
+  // facts under them. Every claim is checked against sampled models: a
+  // valuation satisfying the context must make a proved-nonzero
+  // condition nonzero, and a "contradictory" context must reject every
+  // sampled valuation.
+  support::Rng R(0x8e41ed);
+  unsigned Proofs = 0;
+  for (unsigned Trial = 0; Trial != 60; ++Trial) {
+    ExprArena A;
+    std::vector<unsigned> VarIds;
+    std::vector<ExprRef> Pool = randomPool(A, R, VarIds);
+    ExprRef Ctx = A.toBool(Pool[R.below(uint32_t(Pool.size()))]);
+    ExprRef Cond = Pool[R.below(uint32_t(Pool.size()))];
+    AbsDomain Dom(A);
+    RefinedEval Ref(A, Dom);
+    Ref.begin();
+    Ref.assertTrue(Ctx);
+    bool Contra = Ref.contradiction();
+    bool Proved = Ref.provesNonzero(Cond);
+    for (unsigned M = 0; M != 64; ++M) {
+      std::vector<Word> Vals = randomVals(R, A.numVars());
+      if (A.eval(Ctx, Vals) == 0)
+        continue;
+      EXPECT_FALSE(Contra)
+          << "trial " << Trial << ": satisfiable context called impossible";
+      if (Proved) {
+        ++Proofs;
+        EXPECT_NE(A.eval(Cond, Vals), 0u)
+            << "trial " << Trial << ": unsound contextual proof";
+      }
+    }
+  }
+  (void)Proofs; // Sampled claims; the targeted shapes below pin coverage.
+}
+
+TEST(VcDischarge, RefinedEvalProvesLoopMeasureShape) {
+  // The shape every annotated poll loop discharges per iteration:
+  // t - 1 <u t is unprovable alone (t == 0 wraps) but forced by the
+  // in-scope loop condition t != 0 — including through the And-chain
+  // and toBool normal forms the WP generator actually emits.
+  ExprArena A;
+  ExprRef T = A.var("havoc.t", VarOrigin::Havoc);
+  ExprRef Busy = A.var("busy", VarOrigin::Param);
+  ExprRef Dec = A.op(BinOp::Ltu, A.op(BinOp::Sub, T, A.constant(1)), T);
+  AbsDomain Dom(A);
+  {
+    RefinedEval Ref(A, Dom);
+    Ref.begin();
+    EXPECT_FALSE(Ref.provesNonzero(Dec))
+        << "t == 0 wraps: unprovable without the context";
+  }
+  {
+    RefinedEval Ref(A, Dom);
+    Ref.begin();
+    // while (busy & (0 < t)) — the condition as toBool sees it.
+    Ref.assertTrue(A.toBool(A.op(BinOp::And, A.toBool(Busy),
+                                 A.op(BinOp::Ltu, A.constant(0), T))));
+    EXPECT_FALSE(Ref.contradiction());
+    EXPECT_TRUE(Ref.provesNonzero(Dec));
+    EXPECT_TRUE(Ref.provesNonzero(A.toBool(Busy)))
+        << "the And-chain asserts both operands";
+  }
+  {
+    // A contradictory context (t == 3 and t < 2) proves anything.
+    RefinedEval Ref(A, Dom);
+    Ref.begin();
+    Ref.assertTrue(A.eq(T, A.constant(3)));
+    Ref.assertTrue(A.op(BinOp::Ltu, T, A.constant(2)));
+    EXPECT_TRUE(Ref.contradiction());
+  }
+}
+
+namespace {
+
+/// Everything a discharge mode must reproduce bit for bit.
+std::string reportFingerprint(const FuncReport &R) {
+  std::string S = verdictName(R.V);
+  S += "|" + std::to_string(R.Proved) + "|" + std::to_string(R.Unconfirmed);
+  S += "|" + std::string(bedrock2::faultName(R.CexFault));
+  for (Word A : R.CexArgs)
+    S += "," + std::to_string(A);
+  for (const ObReport &O : R.Obligations) {
+    S += ";";
+    S += obStatusName(O.Status);
+    S += ":" + O.Where;
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(VcDischarge, StagedMatchesColdOnFullCorpus) {
+  // The trust rule of the whole pipeline: the staged path (and each
+  // partial stage) reproduces the exact verdicts, per-obligation
+  // statuses, and replayed counterexample args of the cold path — over
+  // the valid corpus AND every buggy example.
+  VcOptions Cold;
+  Cold.Discharge.Tiers = false;
+  Cold.Discharge.Slice = false;
+  Cold.Discharge.Cache = false;
+  Cold.Discharge.Incremental = false;
+  VcOptions NoSlice;
+  NoSlice.Discharge.Slice = false;
+  VcOptions NoCache;
+  NoCache.Discharge.Cache = false;
+  VcOptions Staged; // tools/vc default
+
+  auto checkAll = [&](const bedrock2::Program &P, const std::string &Fn,
+                      const std::string &Name) {
+    std::string Want =
+        reportFingerprint(verifyFunction(P, Fn, Name, Cold));
+    EXPECT_EQ(Want, reportFingerprint(verifyFunction(P, Fn, Name, Staged)))
+        << Name << " staged";
+    EXPECT_EQ(Want,
+              reportFingerprint(verifyFunction(P, Fn, Name, NoSlice)))
+        << Name << " no-slice";
+    EXPECT_EQ(Want,
+              reportFingerprint(verifyFunction(P, Fn, Name, NoCache)))
+        << Name << " no-cache";
+  };
+  for (const VcExample &E : vcExamples())
+    checkAll(E.Prog, E.Func, E.Name);
+  for (const VcBugExample &E : vcBugExamples())
+    checkAll(E.Prog, E.Func, E.Name);
+}
+
+TEST(VcDischarge, WarmSharedCacheKeepsReportsIdentical) {
+  // A shared solved-obligation cache warmed by an identical earlier run
+  // must change nothing observable except the tier column: same verdict,
+  // same statuses, and actual hits on the rerun.
+  std::vector<VcExample> Ex = vcExamples();
+  const VcExample *Abs = nullptr;
+  for (const VcExample &E : Ex)
+    if (E.Name == "absdiff")
+      Abs = &E;
+  ASSERT_NE(Abs, nullptr);
+  DischargeCache Shared;
+  VcOptions O;
+  O.SharedCache = &Shared;
+  FuncReport First = verifyFunction(Abs->Prog, Abs->Func, Abs->Name, O);
+  FuncReport Warm = verifyFunction(Abs->Prog, Abs->Func, Abs->Name, O);
+  EXPECT_EQ(First.V, Verdict::Valid);
+  EXPECT_GT(Shared.size(), 0u) << "the first run must populate the cache";
+  EXPECT_GT(Warm.Pipeline.CacheHits, 0u)
+      << "the rerun must hit the warmed cache";
+  EXPECT_EQ(reportFingerprint(First), reportFingerprint(Warm));
+}
+
+TEST(VcDischarge, ThreadCountDoesNotChangeReports) {
+  // The fleet's group partition is a function of the obligation list
+  // only, so the full report — verdicts, statuses, tiers, solver stats —
+  // is bit-identical at any thread count.
+  app::FirmwareOptions Fw;
+  Fw.Timeouts = true;
+  bedrock2::Program FW = app::buildFirmware(Fw);
+  auto runAll = [&](unsigned Threads) {
+    VcOptions O;
+    O.Discharge.Threads = Threads;
+    std::vector<FuncReport> Rs;
+    for (const VcExample &E : vcExamples())
+      Rs.push_back(verifyFunction(E.Prog, E.Func, E.Name, O));
+    Rs.push_back(verifyFunction(FW, "lightbulb_loop", "firmware", O));
+    return vcJson(Rs);
+  };
+  std::string T1 = runAll(1);
+  EXPECT_EQ(T1, runAll(4));
+  EXPECT_EQ(T1, runAll(8));
+}
+
+TEST(VcDischarge, DifferentialAuditCleanOnCorpus) {
+  // Differential mode re-checks every fast-tier proof against the cold
+  // solver and audits every slice partition from scratch. On a healthy
+  // engine it finds nothing, and the verdicts stand.
+  app::FirmwareOptions Fw;
+  Fw.Timeouts = true;
+  bedrock2::Program FW = app::buildFirmware(Fw);
+  VcOptions O;
+  O.Discharge.Differential = true;
+  for (const VcExample &E : vcExamples()) {
+    FuncReport R = verifyFunction(E.Prog, E.Func, E.Name, O);
+    EXPECT_EQ(R.Pipeline.DiffMismatches, 0u) << E.Name << ": " << R.DiffDetail;
+    EXPECT_EQ(R.V, Verdict::Valid) << E.Name;
+  }
+  FuncReport R = verifyFunction(FW, "spi_write", "firmware", O);
+  EXPECT_EQ(R.Pipeline.DiffMismatches, 0u) << R.DiffDetail;
+  EXPECT_EQ(R.V, Verdict::Valid);
 }
 
 TEST(VcDeterminism, VerdictsStableAcrossBudgets) {

@@ -52,7 +52,10 @@ BENCH_FILES = {
                         "frames_per_sec"),
     "BENCH_shrink.json": ("shrinks", ("scenario", "oracle"),
                           "speedup_vs_cold"),
-    "BENCH_vc.json": ("funcs", ("func", "program"),
+    # "mode" joined the identity when the staged discharge pipeline
+    # added per-mode rows (cold/tiers/slice/staged/threads4); baselines
+    # from before then have no "mode" field and their rows skip.
+    "BENCH_vc.json": ("funcs", ("func", "program", "mode"),
                       "vcs_per_sec"),
 }
 
@@ -114,7 +117,19 @@ def _derived_vc(c):
     confirmed = c.get("vc.replay.confirmed") or 0
     unconfirmed = c.get("vc.replay.unconfirmed") or 0
     replays = confirmed + unconfirmed
+    tier_kills = None
+    if c.get("vc.tier.interval_kills") is not None or \
+       c.get("vc.tier.rewrite_kills") is not None:
+        tier_kills = (c.get("vc.tier.interval_kills") or 0) + \
+                     (c.get("vc.tier.rewrite_kills") or 0)
+    cache_lookups = (c.get("vc.cache.hits") or 0) + \
+                    (c.get("vc.cache.misses") or 0)
     return {
+        # Staged-pipeline health: how much of the corpus dies in the
+        # cheap tiers, and how often the solved-obligation cache hits.
+        # Drift means the tier ladder or the canonical hashing changed.
+        "cheap_tier_kill_ratio": _rate(tier_kills, vcs),
+        "cache_hit_ratio": _rate(c.get("vc.cache.hits"), cache_lookups),
         # Solver effort per obligation: drift means the WP encoding or
         # the solver's search changed, not that the corpus grew.
         "conflicts_per_vc": _rate(c.get("vc.solver.conflicts"), vcs),
@@ -249,6 +264,10 @@ def main(argv=None):
         except (OSError, ValueError) as err:
             print(f"bench_compare: {name}: unreadable under registered "
                   f"schema ({err}), skipping")
+            continue
+        if not base and cur:
+            print(f"bench_compare: {name}: baseline rows lack the current "
+                  f"identity fields (schema predates this PR), skipping")
             continue
         for ident, base_value in sorted(base.items()):
             label = f"{name}:" + "/".join(str(p) for p in ident)

@@ -6,16 +6,23 @@
 //
 // Runs the symbolic VC engine (src/vc) over the contracted firmware
 // functions and the annotated example corpus, and emits VC.json (schema
-// b2stack-vc-v1) plus METRICS_vc.json. Exit status:
+// b2stack-vc-v2) plus METRICS_vc.json. Exit status:
 //
 //   0  every function Valid or honestly Unknown (budget/coverage residue)
 //   1  a confirmed counterexample, an unconfirmed symbolic model outside
-//      a havocked loop head, or a VC-generation error
+//      a havocked loop head, a Differential-mode mismatch, or a
+//      VC-generation error
 //   2  bad usage / unknown --func or --program name
 //
 //   vc [--program firmware|examples|all] [--func NAME] [--budget N]
-//      [--unroll N] [--probes N] [--json PATH] [--metrics PATH]
+//      [--unroll N] [--probes N] [--threads N] [--no-cache] [--no-slice]
+//      [--sat-only] [--differential] [--json PATH] [--metrics PATH]
 //      [--list-funcs]
+//
+// One solved-obligation cache is shared across all targets of the run, so
+// functions that discharge the same callee contracts hit each other's
+// proofs. Verdicts, counterexample args, and every deterministic metric
+// are bit-identical at any --threads value.
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,7 +46,8 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--program firmware|examples|all] [--func NAME]\n"
-      "          [--budget N] [--unroll N] [--probes N]\n"
+      "          [--budget N] [--unroll N] [--probes N] [--threads N]\n"
+      "          [--no-cache] [--no-slice] [--sat-only] [--differential]\n"
       "          [--json PATH] [--metrics PATH] [--list-funcs]\n"
       "\n"
       "  --program WHICH  contract set to verify (default: all)\n"
@@ -49,6 +57,15 @@ int usage(const char *Argv0) {
       "  --unroll N       bound for annotation-free loops (default: 8)\n"
       "  --probes N       concrete runs stress-testing each Valid verdict\n"
       "                   (default: 16)\n"
+      "  --threads N      worker threads for the obligation fleet\n"
+      "                   (default: 1; verdicts and metrics are\n"
+      "                   bit-identical at any value)\n"
+      "  --no-cache       disable the solved-obligation cache\n"
+      "  --no-slice       disable cone-of-influence slicing\n"
+      "  --sat-only       disable the whole staged pipeline (cold solver\n"
+      "                   per obligation, the pre-PR-10 behavior)\n"
+      "  --differential   audit every fast-tier proof and slice partition\n"
+      "                   against the cold path; mismatches fail the run\n"
       "  --json PATH      where to write the report (default: VC.json)\n"
       "  --metrics PATH   where to write the metrics report\n"
       "                   (default: METRICS_vc.json)\n"
@@ -93,6 +110,27 @@ int main(int Argc, char **Argv) {
       Opts.Wp.UnrollBound = unsigned(std::max(1, std::atoi(Argv[++I])));
     } else if (Arg == "--probes" && I + 1 < Argc) {
       Opts.Probes = unsigned(std::max(0, std::atoi(Argv[++I])));
+    } else if (Arg == "--threads" && I + 1 < Argc) {
+      int T = std::atoi(Argv[++I]);
+      if (T < 1 || T > 256) {
+        std::fprintf(stderr,
+                     "vc: --threads wants a count between 1 and 256, got "
+                     "'%s'\n",
+                     Argv[I]);
+        return 2;
+      }
+      Opts.Discharge.Threads = unsigned(T);
+    } else if (Arg == "--no-cache") {
+      Opts.Discharge.Cache = false;
+    } else if (Arg == "--no-slice") {
+      Opts.Discharge.Slice = false;
+    } else if (Arg == "--sat-only") {
+      Opts.Discharge.Tiers = false;
+      Opts.Discharge.Slice = false;
+      Opts.Discharge.Cache = false;
+      Opts.Discharge.Incremental = false;
+    } else if (Arg == "--differential") {
+      Opts.Discharge.Differential = true;
     } else if (Arg == "--json" && I + 1 < Argc) {
       JsonPath = Argv[++I];
     } else if (Arg == "--metrics" && I + 1 < Argc) {
@@ -161,16 +199,27 @@ int main(int Argc, char **Argv) {
   // The metrics report describes the verification run alone.
   metrics::resetAll();
 
+  // One solved-obligation cache for the whole run: identical queries
+  // discharged by an earlier target (shared callee contracts, repeated
+  // loop footprints) are free for every later one.
+  vc::DischargeCache SharedCache;
+  Opts.SharedCache = &SharedCache;
+
   std::vector<vc::FuncReport> Reports;
   bool Bad = false;
-  std::printf("%-16s %-16s %-15s %7s %7s %9s %10s\n", "PROGRAM", "FUNC",
-              "VERDICT", "OBS", "PROVED", "CONFLICTS", "DAG-NODES");
+  std::printf("%-16s %-16s %-15s %7s %7s %9s %7s %7s\n", "PROGRAM", "FUNC",
+              "VERDICT", "OBS", "PROVED", "CONFLICTS", "TIERED", "CACHED");
   for (const Target &T : Targets) {
     vc::FuncReport R = vc::verifyFunction(*T.Prog, T.Func, T.Program, Opts);
-    std::printf("%-16s %-16s %-15s %7zu %7u %9llu %10llu\n", T.Program.c_str(),
-                T.Func.c_str(), vc::verdictName(R.V), R.Obligations.size(),
-                R.Proved, (unsigned long long)R.Solver.Conflicts,
-                (unsigned long long)R.DagNodes);
+    uint64_t Tiered =
+        R.Pipeline.TierKills[size_t(vc::DischargeTier::Interval)] +
+        R.Pipeline.TierKills[size_t(vc::DischargeTier::Rewrite)];
+    std::printf("%-16s %-16s %-15s %7zu %7u %9llu %7llu %7llu\n",
+                T.Program.c_str(), T.Func.c_str(), vc::verdictName(R.V),
+                R.Obligations.size(), R.Proved,
+                (unsigned long long)R.Solver.Conflicts,
+                (unsigned long long)Tiered,
+                (unsigned long long)R.Pipeline.CacheHits);
     if (!R.Error.empty()) {
       std::fprintf(stderr, "vc: %s: %s\n", T.Func.c_str(), R.Error.c_str());
       Bad = true;
@@ -195,6 +244,15 @@ int main(int Argc, char **Argv) {
                    "vc: %s: Valid verdict contradicted by %u concrete "
                    "probe(s): %s\n",
                    T.Func.c_str(), R.ProbeViolations, R.CexDetail.c_str());
+      Bad = true;
+    }
+    if (R.Pipeline.DiffMismatches != 0) {
+      std::fprintf(stderr,
+                   "vc: %s: %llu differential mismatch(es) — a staged "
+                   "fast-tier claim disagrees with the cold path: %s\n",
+                   T.Func.c_str(),
+                   (unsigned long long)R.Pipeline.DiffMismatches,
+                   R.DiffDetail.c_str());
       Bad = true;
     }
     Reports.push_back(std::move(R));
